@@ -1,0 +1,43 @@
+//! # gdim-baselines — the seven comparison algorithms of §6
+//!
+//! The paper evaluates DSPM against seven ways of choosing the mapped
+//! dimensions from the frequent feature set `F`:
+//!
+//! | Name | §6 description | Module |
+//! |------|----------------|--------|
+//! | Original | all frequent subgraphs as dimensions | [`original`] |
+//! | Sample | `p` uniformly sampled features | [`sample`] |
+//! | SFS | sequential forward selection minimizing the stress objective \[21\] | [`sfs`] |
+//! | MICI | feature-similarity clustering via the maximal information compression index \[24\] | [`mici`] |
+//! | MCFS | multi-cluster spectral feature selection (spectral embedding + per-eigenvector LASSO) \[27\] | [`mcfs`] |
+//! | UDFS | ℓ2,1-regularized discriminative feature selection \[28\] | [`udfs`] |
+//! | NDFS | nonnegative spectral analysis + ℓ2,1 feature selection \[29\] | [`ndfs`] |
+//!
+//! All selectors consume the same [`FeatureSpace`](gdim_core::FeatureSpace)
+//! and return feature-id lists compatible with
+//! [`MappedDatabase::build`](gdim_core::MappedDatabase::build), so the
+//! bench harness treats every algorithm identically.
+//!
+//! The spectral trio (MCFS/UDFS/NDFS) follows the published update rules
+//! on top of `gdim-linalg`; UDFS's local-patch scatter is approximated
+//! by the kNN-graph Laplacian scatter (documented in DESIGN.md).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mcfs;
+pub mod mici;
+pub mod ndfs;
+pub mod original;
+pub mod sample;
+pub mod sfs;
+pub mod spectral;
+pub mod udfs;
+
+pub use mcfs::{mcfs_select, McfsConfig};
+pub use mici::{mici_select, MiciConfig};
+pub use ndfs::{ndfs_select, NdfsConfig};
+pub use original::original_select;
+pub use sample::sample_select;
+pub use sfs::{sfs_select, SfsConfig};
+pub use udfs::{udfs_select, UdfsConfig};

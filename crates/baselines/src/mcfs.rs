@@ -1,0 +1,117 @@
+//! **MCFS** — unsupervised feature selection for multi-cluster data
+//! [Cai, Zhang, He; KDD 2010]. Two steps:
+//!
+//! 1. Spectral embedding: the `K` smallest non-trivial generalized
+//!    eigenvectors of the kNN-graph Laplacian capture the data's
+//!    multi-cluster structure.
+//! 2. For each eigenvector `y_k`, solve the ℓ1-regularized regression
+//!    `min_a ‖y_k − X a‖² + λ‖a‖₁` and score feature `j` by
+//!    `MCFS(j) = max_k |a_{k,j}|`; keep the top `p`.
+//!
+//! The paper's §6 uses the authors' defaults (neighborhood size 5) and
+//! reports MCFS as the fastest baseline, with quality below DSPM since
+//! it "only selects the most informative features and does not consider
+//! the graph dissimilarity".
+
+use gdim_core::FeatureSpace;
+use gdim_linalg::lasso_coordinate_descent;
+
+use crate::spectral::{data_matrix, knn_graph, spectral_embedding, top_by_score};
+
+/// Configuration for [`mcfs_select`].
+#[derive(Debug, Clone)]
+pub struct McfsConfig {
+    /// Number of features to select.
+    pub p: usize,
+    /// Number of spectral-embedding dimensions `K` (cluster count).
+    pub clusters: usize,
+    /// kNN-graph neighborhood size (the paper's common default: 5).
+    pub knn: usize,
+    /// ℓ1 penalty; `0.0` picks `0.01 · max_j |x_jᵀ y_k|` automatically.
+    pub lambda: f64,
+}
+
+impl McfsConfig {
+    /// Paper-style defaults: 5 clusters, 5-NN graph, automatic λ.
+    pub fn new(p: usize) -> Self {
+        McfsConfig {
+            p,
+            clusters: 5,
+            knn: 5,
+            lambda: 0.0,
+        }
+    }
+}
+
+/// Runs MCFS, returning `min(p, m)` feature ids (ascending).
+pub fn mcfs_select(space: &FeatureSpace, cfg: &McfsConfig) -> Vec<u32> {
+    let m = space.num_features();
+    let x = data_matrix(space);
+    let w = knn_graph(&x, cfg.knn);
+    let kdim = cfg.clusters.clamp(1, space.num_graphs().saturating_sub(2).max(1));
+    let y = spectral_embedding(&w, kdim, 300);
+
+    let mut scores = vec![0.0f64; m];
+    for k in 0..y.cols() {
+        let yk = y.col(k);
+        let lambda = if cfg.lambda > 0.0 {
+            cfg.lambda
+        } else {
+            auto_lambda(&x, &yk)
+        };
+        let beta = lasso_coordinate_descent(&x, &yk, lambda, 500, 1e-8);
+        for (s, b) in scores.iter_mut().zip(&beta) {
+            *s = s.max(b.abs());
+        }
+    }
+    top_by_score(&scores, cfg.p)
+}
+
+fn auto_lambda(x: &gdim_linalg::Mat, y: &[f64]) -> f64 {
+    let mut max_corr = 0.0f64;
+    for j in 0..x.cols() {
+        let corr: f64 = (0..x.rows()).map(|i| x[(i, j)] * y[i]).sum();
+        max_corr = max_corr.max(corr.abs());
+    }
+    0.01 * max_corr.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdim_mining::{mine, MinerConfig, Support};
+
+    fn space() -> FeatureSpace {
+        let db = gdim_datagen::chem_db(30, &gdim_datagen::ChemConfig::default(), 9);
+        let feats = mine(
+            &db,
+            &MinerConfig::new(Support::Relative(0.15)).with_max_edges(3),
+        );
+        FeatureSpace::build(db.len(), feats)
+    }
+
+    #[test]
+    fn selects_p_sorted_distinct() {
+        let s = space();
+        let p = s.num_features().min(8);
+        let sel = mcfs_select(&s, &McfsConfig::new(p));
+        assert_eq!(sel.len(), p);
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = space();
+        let cfg = McfsConfig::new(6);
+        assert_eq!(mcfs_select(&s, &cfg), mcfs_select(&s, &cfg));
+    }
+
+    #[test]
+    fn oversized_p_returns_all() {
+        let s = space();
+        assert_eq!(
+            mcfs_select(&s, &McfsConfig::new(10_000)).len(),
+            s.num_features()
+        );
+    }
+}

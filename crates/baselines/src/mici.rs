@@ -1,0 +1,228 @@
+//! **MICI** — unsupervised feature selection by feature similarity
+//! [Mitra, Murthy, Pal; TPAMI 2002\]. Feature dissimilarity is the
+//! *maximal information compression index* λ₂(x, y): the smaller
+//! eigenvalue of the 2×2 covariance matrix of the feature pair,
+//!
+//! `2λ₂ = var(x) + var(y) − √((var(x)+var(y))² − 4·var(x)·var(y)(1−ρ(x,y)²))`
+//!
+//! — zero iff the features are linearly dependent. The algorithm
+//! repeatedly keeps the feature whose k-th nearest neighbor is closest
+//! (the center of the most compact feature cluster) and discards those
+//! k neighbors, shrinking k as features run out.
+//!
+//! The cluster granularity `k` only indirectly controls the output
+//! size, so [`mici_select`] searches over `k` to land on exactly `p`
+//! features, trimming/padding by retention order as a last resort (the
+//! paper tunes MICI "as suggested in \[24\]" — the same knob).
+
+use gdim_core::FeatureSpace;
+
+/// Configuration for [`mici_select`].
+#[derive(Debug, Clone)]
+pub struct MiciConfig {
+    /// Number of features to select.
+    pub p: usize,
+}
+
+/// Runs MICI feature clustering, returning exactly `min(p, m)` features.
+pub fn mici_select(space: &FeatureSpace, cfg: &MiciConfig) -> Vec<u32> {
+    let m = space.num_features();
+    let p = cfg.p.min(m);
+    if p == m {
+        return (0..m as u32).collect();
+    }
+    if p == 0 {
+        return Vec::new();
+    }
+
+    let sim = pairwise_lambda2(space);
+
+    // k ≈ m/p − 1 keeps roughly p clusters; search nearby k for an exact fit.
+    let k0 = (m / p.max(1)).saturating_sub(1).max(1);
+    let mut best: Option<Vec<u32>> = None;
+    for k in candidate_ks(k0, m) {
+        let kept = cluster_once(m, &sim, k);
+        match &best {
+            _ if kept.len() == p => {
+                best = Some(kept);
+                break;
+            }
+            Some(b) if (kept.len() as i64 - p as i64).abs()
+                >= (b.len() as i64 - p as i64).abs() => {}
+            _ => best = Some(kept),
+        }
+    }
+    let mut kept = best.expect("at least one clustering ran");
+    if kept.len() > p {
+        kept.truncate(p); // keep earliest-retained (most compact) clusters
+    } else {
+        // Pad with the unretained features most dissimilar to the kept set.
+        let mut rest: Vec<(u32, f64)> = (0..m as u32)
+            .filter(|r| !kept.contains(r))
+            .map(|r| {
+                let dmin = kept
+                    .iter()
+                    .map(|&kx| sim[r as usize * m + kx as usize])
+                    .fold(f64::INFINITY, f64::min);
+                (r, dmin)
+            })
+            .collect();
+        rest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        kept.extend(rest.into_iter().take(p - kept.len()).map(|(r, _)| r));
+    }
+    kept.sort_unstable();
+    kept
+}
+
+fn candidate_ks(k0: usize, m: usize) -> Vec<usize> {
+    let mut ks: Vec<usize> = Vec::new();
+    for delta in 0..6 {
+        for k in [k0 + delta, k0.saturating_sub(delta)] {
+            let k = k.clamp(1, m.saturating_sub(1).max(1));
+            if !ks.contains(&k) {
+                ks.push(k);
+            }
+        }
+    }
+    ks
+}
+
+/// One pass of the Mitra et al. clustering with fixed initial `k`.
+fn cluster_once(m: usize, sim: &[f64], k_init: usize) -> Vec<u32> {
+    let mut alive: Vec<bool> = vec![true; m];
+    let mut alive_count = m;
+    let mut k = k_init;
+    let mut kept: Vec<u32> = Vec::new();
+    while alive_count > 0 {
+        k = k.min(alive_count.saturating_sub(1));
+        if k == 0 {
+            // Singletons remain: keep them all.
+            kept.extend(
+                (0..m as u32).filter(|&r| alive[r as usize]),
+            );
+            break;
+        }
+        // Feature whose k-th nearest alive neighbor is closest.
+        let mut best: Option<(f64, u32, Vec<u32>)> = None;
+        for r in 0..m {
+            if !alive[r] {
+                continue;
+            }
+            let mut dists: Vec<(f64, u32)> = (0..m)
+                .filter(|&s| s != r && alive[s])
+                .map(|s| (sim[r * m + s], s as u32))
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+            let radius = dists[k - 1].0;
+            if best.as_ref().is_none_or(|(b, _, _)| radius < *b) {
+                let neighbors = dists[..k].iter().map(|&(_, s)| s).collect();
+                best = Some((radius, r as u32, neighbors));
+            }
+        }
+        let (_, center, neighbors) = best.expect("alive features exist");
+        kept.push(center);
+        alive[center as usize] = false;
+        alive_count -= 1;
+        for s in neighbors {
+            if alive[s as usize] {
+                alive[s as usize] = false;
+                alive_count -= 1;
+            }
+        }
+    }
+    kept
+}
+
+/// Dense λ₂ matrix between all feature pairs (row-major `m × m`).
+fn pairwise_lambda2(space: &FeatureSpace) -> Vec<f64> {
+    let m = space.num_features();
+    let n = space.num_graphs() as f64;
+    // Binary columns: mean = s/n, var = mean(1−mean),
+    // E[xy] = |sup_a ∩ sup_b| / n.
+    let means: Vec<f64> = (0..m)
+        .map(|r| space.support_count(r) as f64 / n)
+        .collect();
+    let vars: Vec<f64> = means.iter().map(|&mu| mu * (1.0 - mu)).collect();
+    let mut sim = vec![0.0f64; m * m];
+    for a in 0..m {
+        for b in a + 1..m {
+            let inter = intersection_size(space.if_list(a), space.if_list(b)) as f64;
+            let cov = inter / n - means[a] * means[b];
+            let (va, vb) = (vars[a], vars[b]);
+            let rho_sq = if va > 0.0 && vb > 0.0 {
+                (cov * cov / (va * vb)).min(1.0)
+            } else {
+                1.0 // constant features are "identical" to everything
+            };
+            let sum = va + vb;
+            let disc = (sum * sum - 4.0 * va * vb * (1.0 - rho_sq)).max(0.0);
+            let lambda2 = 0.5 * (sum - disc.sqrt());
+            sim[a * m + b] = lambda2;
+            sim[b * m + a] = lambda2;
+        }
+    }
+    sim
+}
+
+fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut out) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdim_mining::{mine, MinerConfig, Support};
+
+    fn space() -> FeatureSpace {
+        let db = gdim_datagen::chem_db(25, &gdim_datagen::ChemConfig::default(), 8);
+        let feats = mine(
+            &db,
+            &MinerConfig::new(Support::Relative(0.15)).with_max_edges(3),
+        );
+        FeatureSpace::build(db.len(), feats)
+    }
+
+    #[test]
+    fn returns_exactly_p_features() {
+        let s = space();
+        for p in [1, 3, s.num_features() / 2, s.num_features()] {
+            let sel = mici_select(&s, &MiciConfig { p });
+            assert_eq!(sel.len(), p.min(s.num_features()), "p = {p}");
+            assert!(sel.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn lambda2_zero_for_identical_supports() {
+        let s = space();
+        let sim = pairwise_lambda2(&s);
+        let m = s.num_features();
+        for a in 0..m {
+            for b in a + 1..m {
+                if s.if_list(a) == s.if_list(b) {
+                    assert!(sim[a * m + b] < 1e-12, "identical features λ2 = 0");
+                }
+                assert!(sim[a * m + b] >= -1e-12, "λ2 is non-negative");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = space();
+        let cfg = MiciConfig { p: 5 };
+        assert_eq!(mici_select(&s, &cfg), mici_select(&s, &cfg));
+    }
+}

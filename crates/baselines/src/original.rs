@@ -1,0 +1,31 @@
+//! **Original**: every frequent subgraph is a dimension — the
+//! no-selection baseline of §6. The paper uses it to show that the raw
+//! frequent feature set is "severely unbalanced" (anti-monotonicity
+//! makes sub-patterns of every frequent pattern frequent too), hurting
+//! both quality and query time (Fig. 4, Fig. 7a).
+
+use gdim_core::FeatureSpace;
+
+/// Selects all `m` features (ids in ascending order).
+pub fn original_select(space: &FeatureSpace) -> Vec<u32> {
+    (0..space.num_features() as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdim_mining::{mine, MinerConfig, Support};
+
+    #[test]
+    fn selects_everything_in_order() {
+        let db = gdim_datagen::chem_db(10, &gdim_datagen::ChemConfig::default(), 1);
+        let feats = mine(
+            &db,
+            &MinerConfig::new(Support::Relative(0.3)).with_max_edges(2),
+        );
+        let space = FeatureSpace::build(db.len(), feats);
+        let sel = original_select(&space);
+        assert_eq!(sel.len(), space.num_features());
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+    }
+}

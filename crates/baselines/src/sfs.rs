@@ -1,0 +1,153 @@
+//! **SFS** — sequential forward selection [Fukunaga 1990]: greedily add
+//! the feature that most decreases the stress objective
+//! `E(S) = Σ_{i<j} (d_S(i,j) − δ_ij)²` with the paper's binary mapping
+//! `d_S(i,j) = √(|{r ∈ S : y_ir ≠ y_jr}| / |S|)`.
+//!
+//! Each step evaluates every remaining candidate against every graph
+//! pair — `O(p·m·n²)` total, the most expensive baseline by far (the
+//! paper reports it failing to finish 2k graphs within 5 hours, Exp-6).
+//! The Hamming counts are maintained incrementally so a candidate
+//! evaluation costs one pass over the pairs.
+//!
+//! §6 also observes SFS performing *worst* in quality: the objective is
+//! non-monotonic in the feature set, so the greedy gets stuck in poor
+//! local minima — reproduced by our harness.
+
+use gdim_core::{DeltaMatrix, FeatureSpace};
+
+/// Configuration for [`sfs_select`].
+#[derive(Debug, Clone)]
+pub struct SfsConfig {
+    /// Number of features to select.
+    pub p: usize,
+}
+
+/// Greedy forward selection minimizing the stress objective.
+pub fn sfs_select(space: &FeatureSpace, delta: &DeltaMatrix, cfg: &SfsConfig) -> Vec<u32> {
+    let n = space.num_graphs();
+    let m = space.num_features();
+    let p = cfg.p.min(m);
+    assert_eq!(delta.n(), n);
+    let pairs = n * n.saturating_sub(1) / 2;
+
+    // Hamming distance over the selected set, per pair (incremental).
+    let mut ham = vec![0u32; pairs];
+    let mut selected: Vec<u32> = Vec::with_capacity(p);
+    let mut in_set = vec![false; m];
+
+    // Flattened pair walk order: (i, j) for i < j, row-major.
+    let deltas = delta.condensed();
+
+    for step in 0..p {
+        let size = (step + 1) as f64;
+        let mut best: Option<(f64, u32)> = None;
+        for r in 0..m {
+            if in_set[r] {
+                continue;
+            }
+            let row = space.if_list(r);
+            let mut contains = vec![false; n];
+            for &g in row {
+                contains[g as usize] = true;
+            }
+            let mut err = 0.0;
+            let mut idx = 0usize;
+            for i in 0..n {
+                let ci = contains[i];
+                for j in i + 1..n {
+                    let h = ham[idx] + u32::from(ci != contains[j]);
+                    let d = (h as f64 / size).sqrt();
+                    let diff = d - deltas[idx];
+                    err += diff * diff;
+                    idx += 1;
+                }
+            }
+            if best.is_none_or(|(b, _)| err < b) {
+                best = Some((err, r as u32));
+            }
+        }
+        let Some((_, chosen)) = best else { break };
+        in_set[chosen as usize] = true;
+        selected.push(chosen);
+        // Fold the chosen feature into the Hamming counts.
+        let mut contains = vec![false; n];
+        for &g in space.if_list(chosen as usize) {
+            contains[g as usize] = true;
+        }
+        let mut idx = 0usize;
+        for i in 0..n {
+            for j in i + 1..n {
+                ham[idx] += u32::from(contains[i] != contains[j]);
+                idx += 1;
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdim_core::DeltaConfig;
+    use gdim_mining::{mine, MinerConfig, Support};
+
+    fn setup() -> (FeatureSpace, DeltaMatrix) {
+        let db = gdim_datagen::chem_db(15, &gdim_datagen::ChemConfig::default(), 4);
+        let feats = mine(
+            &db,
+            &MinerConfig::new(Support::Relative(0.2)).with_max_edges(3),
+        );
+        let space = FeatureSpace::build(db.len(), feats);
+        let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
+        (space, delta)
+    }
+
+    #[test]
+    fn selects_p_distinct_features_in_greedy_order() {
+        let (space, delta) = setup();
+        let p = space.num_features().min(6);
+        let sel = sfs_select(&space, &delta, &SfsConfig { p });
+        assert_eq!(sel.len(), p);
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), p, "no duplicates");
+    }
+
+    #[test]
+    fn first_pick_minimizes_single_feature_objective() {
+        let (space, delta) = setup();
+        let sel = sfs_select(&space, &delta, &SfsConfig { p: 1 });
+        // Recompute the single-feature objective for every feature.
+        let n = space.num_graphs();
+        let objective = |r: usize| {
+            let mut contains = vec![false; n];
+            for &g in space.if_list(r) {
+                contains[g as usize] = true;
+            }
+            let mut err = 0.0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    let d = if contains[i] != contains[j] { 1.0 } else { 0.0 };
+                    let diff = d - delta.get(i, j);
+                    err += diff * diff;
+                }
+            }
+            err
+        };
+        let chosen = objective(sel[0] as usize);
+        for r in 0..space.num_features() {
+            assert!(chosen <= objective(r) + 1e-12, "feature {r} beats pick");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (space, delta) = setup();
+        let cfg = SfsConfig { p: 5 };
+        assert_eq!(
+            sfs_select(&space, &delta, &cfg),
+            sfs_select(&space, &delta, &cfg)
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared machinery for the spectral feature-selection baselines
+//! (MCFS/UDFS/NDFS): the graphs-as-points data matrix, kNN affinity
+//! graphs with heat-kernel weights, Laplacians, and the spectral
+//! embedding (generalized eigenproblem `L y = λ D y`).
+
+use gdim_core::FeatureSpace;
+use gdim_linalg::{top_eigenpairs, Mat};
+
+/// Binary data matrix `X` (`n × m`): row `i` is graph `g_i`'s feature
+/// vector `y_i`.
+pub fn data_matrix(space: &FeatureSpace) -> Mat {
+    let (n, m) = (space.num_graphs(), space.num_features());
+    let mut x = Mat::zeros(n, m);
+    for i in 0..n {
+        for r in space.row(i).iter_ones() {
+            x[(i, r)] = 1.0;
+        }
+    }
+    x
+}
+
+/// Column-centered copy of `x` (features get zero mean).
+pub fn center_columns(x: &Mat) -> Mat {
+    let (n, m) = (x.rows(), x.cols());
+    let mut out = x.clone();
+    for j in 0..m {
+        let mean: f64 = (0..n).map(|i| x[(i, j)]).sum::<f64>() / n.max(1) as f64;
+        for i in 0..n {
+            out[(i, j)] -= mean;
+        }
+    }
+    out
+}
+
+/// Symmetric kNN affinity matrix with heat-kernel weights
+/// (`W_ij = exp(−‖x_i − x_j‖² / 2σ²)` when `j ∈ kNN(i)` or vice versa;
+/// `σ²` = mean kNN squared distance). `k` is clamped to `n − 1`.
+pub fn knn_graph(x: &Mat, k: usize) -> Mat {
+    let n = x.rows();
+    let k = k.clamp(1, n.saturating_sub(1).max(1));
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let dist: f64 = x
+                .row(i)
+                .iter()
+                .zip(x.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+    // kNN sets and bandwidth.
+    let mut neighbor = vec![false; n * n];
+    let mut sigma_acc = 0.0;
+    let mut sigma_cnt = 0usize;
+    for i in 0..n {
+        let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        order.sort_by(|&a, &b| {
+            d2[i * n + a]
+                .partial_cmp(&d2[i * n + b])
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+        for &j in order.iter().take(k) {
+            neighbor[i * n + j] = true;
+            sigma_acc += d2[i * n + j];
+            sigma_cnt += 1;
+        }
+    }
+    let sigma_sq = (sigma_acc / sigma_cnt.max(1) as f64).max(1e-12);
+    let mut w = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && (neighbor[i * n + j] || neighbor[j * n + i]) {
+                w[(i, j)] = (-d2[i * n + j] / (2.0 * sigma_sq)).exp();
+            }
+        }
+    }
+    w
+}
+
+/// Unnormalized Laplacian `L = D − W`.
+pub fn laplacian(w: &Mat) -> Mat {
+    let n = w.rows();
+    let mut l = w.scale(-1.0);
+    for i in 0..n {
+        let deg: f64 = w.row(i).iter().sum();
+        l[(i, i)] = deg;
+    }
+    l
+}
+
+/// Spectral embedding: the `kdim` non-trivial generalized eigenvectors
+/// of `L y = λ D y` with smallest eigenvalues, computed as the leading
+/// eigenvectors of `D^{-1/2} W D^{-1/2}` mapped back through `D^{-1/2}`
+/// (the constant leading eigenvector is dropped). Returns `n × kdim`.
+pub fn spectral_embedding(w: &Mat, kdim: usize, iters: usize) -> Mat {
+    let n = w.rows();
+    let deg: Vec<f64> = (0..n)
+        .map(|i| w.row(i).iter().sum::<f64>().max(1e-12))
+        .collect();
+    let mut s = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if w[(i, j)] != 0.0 {
+                s[(i, j)] = w[(i, j)] / (deg[i] * deg[j]).sqrt();
+            }
+        }
+    }
+    let want = (kdim + 1).min(n);
+    let pairs = top_eigenpairs(&s, want, iters);
+    let mut y = Mat::zeros(n, kdim.min(n.saturating_sub(1)));
+    for c in 0..y.cols() {
+        for i in 0..n {
+            y[(i, c)] = pairs.vectors[(i, c + 1)] / deg[i].sqrt();
+        }
+    }
+    y
+}
+
+/// Row ℓ2-norms of a matrix (the ℓ2,1 scores of UDFS/NDFS).
+pub fn row_norms(w: &Mat) -> Vec<f64> {
+    (0..w.rows())
+        .map(|i| w.row(i).iter().map(|x| x * x).sum::<f64>().sqrt())
+        .collect()
+}
+
+/// Top-`p` indices by descending score (ties by index), sorted ascending.
+pub fn top_by_score(scores: &[f64], p: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..scores.len() as u32).collect();
+    ids.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
+    ids.truncate(p.min(scores.len()));
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdim_mining::{mine, MinerConfig, Support};
+
+    fn space() -> FeatureSpace {
+        let db = gdim_datagen::chem_db(20, &gdim_datagen::ChemConfig::default(), 12);
+        let feats = mine(
+            &db,
+            &MinerConfig::new(Support::Relative(0.2)).with_max_edges(3),
+        );
+        FeatureSpace::build(db.len(), feats)
+    }
+
+    #[test]
+    fn data_matrix_matches_rows() {
+        let s = space();
+        let x = data_matrix(&s);
+        assert_eq!(x.rows(), s.num_graphs());
+        assert_eq!(x.cols(), s.num_features());
+        for i in 0..s.num_graphs() {
+            for r in 0..s.num_features() {
+                assert_eq!(x[(i, r)] == 1.0, s.row(i).get(r));
+            }
+        }
+    }
+
+    #[test]
+    fn centered_columns_have_zero_mean() {
+        let s = space();
+        let xc = center_columns(&data_matrix(&s));
+        for j in 0..xc.cols() {
+            let mean: f64 = (0..xc.rows()).map(|i| xc[(i, j)]).sum::<f64>();
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_graph_is_symmetric_nonnegative() {
+        let s = space();
+        let w = knn_graph(&data_matrix(&s), 5);
+        assert!(w.is_symmetric(1e-12));
+        for i in 0..w.rows() {
+            assert_eq!(w[(i, i)], 0.0);
+            assert!(w.row(i).iter().all(|&x| (0.0..=1.0).contains(&x)));
+            assert!(w.row(i).iter().any(|&x| x > 0.0), "row {i} connected");
+        }
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let s = space();
+        let l = laplacian(&knn_graph(&data_matrix(&s), 4));
+        for i in 0..l.rows() {
+            let sum: f64 = l.row(i).iter().sum();
+            assert!(sum.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn embedding_shape_and_finiteness() {
+        let s = space();
+        let w = knn_graph(&data_matrix(&s), 5);
+        let y = spectral_embedding(&w, 3, 300);
+        assert_eq!(y.rows(), s.num_graphs());
+        assert_eq!(y.cols(), 3);
+        assert!(y.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn top_by_score_selects_largest() {
+        let scores = [0.1, 5.0, 3.0, 5.0];
+        assert_eq!(top_by_score(&scores, 2), vec![1, 3]);
+        assert_eq!(top_by_score(&scores, 10), vec![0, 1, 2, 3]);
+    }
+}

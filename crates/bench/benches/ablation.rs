@@ -1,0 +1,91 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * fused inverted-list weight update vs the literal Algorithms 2–3
+//!   (identical output, different cost);
+//! * query mapping with vs without the gSpan parent-pruning shortcut;
+//! * binary vs weighted mapped distance evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdim_core::dspm::{dspm, dspm_reference, DspmConfig};
+use gdim_core::{
+    DeltaConfig, DeltaMatrix, FeatureSpace, MappedDatabase, MappingKind,
+};
+use gdim_datagen::{chem_db, ChemConfig};
+use gdim_graph::vf2::is_subgraph_iso;
+use gdim_graph::McsOptions;
+use gdim_mining::{mine, MinerConfig, Support};
+
+fn bench_ablation(c: &mut Criterion) {
+    let db = chem_db(80, &ChemConfig::default(), 23);
+    let queries = chem_db(4, &ChemConfig::default(), 91);
+    let feats = mine(
+        &db,
+        &MinerConfig::new(Support::Relative(0.1)).with_max_edges(4),
+    );
+    let space = FeatureSpace::build(db.len(), feats);
+    let delta = DeltaMatrix::compute(
+        &db,
+        &DeltaConfig {
+            mcs: McsOptions {
+                node_budget: 2_048,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    let cfg = DspmConfig {
+        epsilon: 0.0,
+        max_iters: 3,
+        ..DspmConfig::new(30)
+    };
+    group.bench_function("dspm_update_fused", |b| {
+        b.iter(|| dspm(&space, &delta, &cfg).iterations)
+    });
+    group.bench_function("dspm_update_literal", |b| {
+        b.iter(|| dspm_reference(&space, &delta, &cfg).iterations)
+    });
+
+    // Query mapping: full space (with parent pruning) vs brute VF2.
+    group.bench_function("map_query_parent_pruned", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| space.map_query(q).count_ones())
+                .sum::<u32>()
+        })
+    });
+    group.bench_function("map_query_brute_vf2", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| {
+                    space
+                        .features()
+                        .iter()
+                        .filter(|f| is_subgraph_iso(&f.graph, q))
+                        .count()
+                })
+                .sum::<usize>()
+        })
+    });
+
+    // Distance evaluation: binary vs weighted.
+    let res = dspm(&space, &delta, &DspmConfig::new(40));
+    let binary = MappedDatabase::build(&space, &res.selected, MappingKind::Binary);
+    let weighted = MappedDatabase::build_weighted(&space, &res.selected, &res.weights);
+    let qv = binary.map_query(&queries[0]);
+    group.bench_function("scan_binary", |b| {
+        b.iter(|| binary.topk(&qv, 10)[0].0)
+    });
+    group.bench_function("scan_weighted", |b| {
+        b.iter(|| weighted.topk(&qv, 10)[0].0)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmark: DSPM iterations — the paper's indexing phase
+//! (Fig. 4d) — as the database and feature set grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdim_core::{dspm, DeltaConfig, DeltaMatrix, DspmConfig, FeatureSpace};
+use gdim_datagen::{chem_db, ChemConfig};
+use gdim_graph::McsOptions;
+use gdim_mining::{mine, MinerConfig, Support};
+
+fn setup(n: usize) -> (FeatureSpace, DeltaMatrix) {
+    let db = chem_db(n, &ChemConfig::default(), 11);
+    let feats = mine(
+        &db,
+        &MinerConfig::new(Support::Relative(0.1)).with_max_edges(4),
+    );
+    let space = FeatureSpace::build(db.len(), feats);
+    let cfg = DeltaConfig {
+        mcs: McsOptions {
+            node_budget: 2_048,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let delta = DeltaMatrix::compute(&db, &cfg);
+    (space, delta)
+}
+
+fn bench_dspm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dspm");
+    group.sample_size(10);
+    for n in [50usize, 100] {
+        let (space, delta) = setup(n);
+        group.bench_with_input(BenchmarkId::new("5_iterations_n", n), &n, |b, _| {
+            let cfg = DspmConfig {
+                epsilon: 0.0,
+                max_iters: 5,
+                ..DspmConfig::new(30)
+            };
+            b.iter(|| dspm(&space, &delta, &cfg).iterations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dspm);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmark: DSPMap indexing across partition sizes (the linear
+//! scaling behind Fig. 8(b) / Theorem 5.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdim_core::{dspmap, DeltaConfig, DspmapConfig, FeatureSpace, SharedDelta};
+use gdim_datagen::{chem_db, ChemConfig};
+use gdim_graph::McsOptions;
+use gdim_mining::{mine, MinerConfig, Support};
+
+fn bench_dspmap(c: &mut Criterion) {
+    let db = chem_db(120, &ChemConfig::default(), 17);
+    let feats = mine(
+        &db,
+        &MinerConfig::new(Support::Relative(0.1)).with_max_edges(4),
+    );
+    let space = FeatureSpace::build(db.len(), feats);
+    let delta_cfg = DeltaConfig {
+        mcs: McsOptions {
+            node_budget: 2_048,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("dspmap");
+    group.sample_size(10);
+    for b_size in [20usize, 40, 60] {
+        group.bench_with_input(
+            BenchmarkId::new("partition_size", b_size),
+            &b_size,
+            |bench, &b_size| {
+                bench.iter(|| {
+                    // Fresh cache per run: indexing time includes δ blocks.
+                    let sdelta = SharedDelta::new(&db, delta_cfg.clone());
+                    let cfg = DspmapConfig::new(30)
+                        .with_partition_size(b_size)
+                        .with_seed(5);
+                    dspmap(&space, &sdelta, &cfg).dspm_calls
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dspmap);
+criterion_main!(benches);

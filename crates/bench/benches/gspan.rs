@@ -1,0 +1,45 @@
+//! Microbenchmark: gSpan mining cost as support threshold and pattern
+//! size bound vary (the feature-generation phase of every algorithm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdim_datagen::{chem_db, synth_db, ChemConfig, SynthConfig};
+use gdim_mining::{mine, MinerConfig, Support};
+
+fn bench_gspan(c: &mut Criterion) {
+    let chem = chem_db(100, &ChemConfig::default(), 5);
+    let synth = synth_db(
+        60,
+        &SynthConfig {
+            avg_edges: 14.0,
+            ..Default::default()
+        },
+        5,
+    );
+
+    let mut group = c.benchmark_group("gspan");
+    group.sample_size(10);
+    for tau in [0.10f64, 0.05] {
+        group.bench_with_input(BenchmarkId::new("chem_tau", tau), &tau, |b, &tau| {
+            let cfg = MinerConfig::new(Support::Relative(tau)).with_max_edges(4);
+            b.iter(|| mine(&chem, &cfg).len())
+        });
+    }
+    for max_edges in [3usize, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("chem_max_edges", max_edges),
+            &max_edges,
+            |b, &me| {
+                let cfg = MinerConfig::new(Support::Relative(0.1)).with_max_edges(me);
+                b.iter(|| mine(&chem, &cfg).len())
+            },
+        );
+    }
+    group.bench_function("synth_tau_0.1", |b| {
+        let cfg = MinerConfig::new(Support::Relative(0.1)).with_max_edges(4);
+        b.iter(|| mine(&synth, &cfg).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gspan);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbenchmark: the MCS kernel (the NP-hard inner loop of δ1/δ2),
+//! across node budgets — the time side of the anytime contract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdim_datagen::{chem_db, ChemConfig};
+use gdim_graph::{mcs_edges, McsOptions};
+
+fn bench_mcs(c: &mut Criterion) {
+    let db = chem_db(40, &ChemConfig::default(), 7);
+    let pairs: Vec<(usize, usize)> = (0..10).map(|i| (i, 39 - i)).collect();
+
+    let mut group = c.benchmark_group("mcs");
+    group.sample_size(10);
+    for budget in [1_024u64, 16_384, 131_072] {
+        group.bench_with_input(BenchmarkId::new("budget", budget), &budget, |b, &budget| {
+            let opts = McsOptions {
+                node_budget: budget,
+                ..Default::default()
+            };
+            b.iter(|| {
+                let mut total = 0u32;
+                for &(i, j) in &pairs {
+                    total += mcs_edges(&db[i], &db[j], &opts).edges;
+                }
+                total
+            })
+        });
+    }
+    // The containment shortcut path (identical graphs).
+    group.bench_function("identical_shortcut", |b| {
+        let opts = McsOptions::default();
+        b.iter(|| mcs_edges(&db[0], &db[0], &opts).edges)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcs);
+criterion_main!(benches);

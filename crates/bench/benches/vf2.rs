@@ -1,0 +1,38 @@
+//! Microbenchmark: VF2 feature matching — the "feature matching time"
+//! component of mapped queries (§6, Exp-4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdim_datagen::{chem_db, ChemConfig};
+use gdim_graph::vf2::{count_embeddings, is_subgraph_iso};
+use gdim_mining::{mine, MinerConfig, Support};
+
+fn bench_vf2(c: &mut Criterion) {
+    let db = chem_db(60, &ChemConfig::default(), 3);
+    let features = mine(
+        &db,
+        &MinerConfig::new(Support::Relative(0.1)).with_max_edges(4),
+    );
+    let target = &db[0];
+
+    let mut group = c.benchmark_group("vf2");
+    group.sample_size(20);
+    group.bench_function("match_all_features_one_graph", |b| {
+        b.iter(|| {
+            features
+                .iter()
+                .filter(|f| is_subgraph_iso(&f.graph, target))
+                .count()
+        })
+    });
+    let largest = features
+        .iter()
+        .max_by_key(|f| f.graph.edge_count())
+        .expect("features mined");
+    group.bench_function("count_embeddings_largest_feature", |b| {
+        b.iter(|| count_embeddings(&largest.graph, target, 1_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vf2);
+criterion_main!(benches);

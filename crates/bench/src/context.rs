@@ -1,0 +1,237 @@
+//! Shared experiment state: datasets, mined feature spaces, δ matrices
+//! and exact ground-truth rankings, computed once per `repro` process
+//! and reused across figures (the exact MCS ground truth is by far the
+//! most expensive artifact, exactly as in the paper).
+
+use std::cell::OnceCell;
+use std::time::{Duration, Instant};
+
+use gdim_core::{DeltaConfig, DeltaMatrix, FeatureSpace};
+use gdim_datagen::{ChemConfig, SynthConfig};
+use gdim_graph::{Graph, McsOptions};
+use gdim_mining::{mine, MinerConfig, Support};
+
+use crate::scale::Scale;
+
+/// MCS budget for bulk δ-matrix work: ~1 ms/pair on 15-vertex molecule
+/// graphs, recovering ≈95% of the exact common-subgraph size (the
+/// `ablation` target quantifies the residual). DSPM's least-squares fit
+/// is robust to this noise, and every algorithm consumes the same δ.
+pub fn matrix_mcs() -> McsOptions {
+    McsOptions {
+        node_budget: 4_096,
+        ..Default::default()
+    }
+}
+
+/// δ-engine configuration for bulk matrix work.
+pub fn matrix_delta_config() -> DeltaConfig {
+    DeltaConfig {
+        mcs: matrix_mcs(),
+        ..Default::default()
+    }
+}
+
+/// MCS budget for ground-truth rankings (≈12 ms/pair, near-exact).
+pub fn truth_mcs() -> McsOptions {
+    McsOptions {
+        node_budget: 65_536,
+        ..Default::default()
+    }
+}
+
+/// A database plus its query workload.
+pub struct Dataset {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// The graph database `DG`.
+    pub db: Vec<Graph>,
+    /// Query graphs (drawn from the same generator, unseen by indexing).
+    pub queries: Vec<Graph>,
+}
+
+impl Dataset {
+    /// Chemistry-like dataset (the PubChem substitute).
+    pub fn chem(n: usize, n_queries: usize, seed: u64) -> Dataset {
+        let cfg = ChemConfig::default();
+        Dataset {
+            name: format!("chem-{n}"),
+            db: gdim_datagen::chem_db(n, &cfg, seed),
+            queries: gdim_datagen::chem_db(n_queries, &cfg, seed ^ 0xabcdef),
+        }
+    }
+
+    /// GraphGen-like synthetic dataset.
+    pub fn synth(n: usize, n_queries: usize, cfg: &SynthConfig, seed: u64) -> Dataset {
+        Dataset {
+            name: format!("synth-e{}-d{}", cfg.avg_edges, cfg.density),
+            db: gdim_datagen::synth_db(n, cfg, seed),
+            queries: gdim_datagen::synth_db(n_queries, cfg, seed ^ 0xabcdef),
+        }
+    }
+}
+
+/// A dataset with its mined feature space.
+pub struct Prepared {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// Feature space over the full frequent feature set `F`.
+    pub space: FeatureSpace,
+    /// gSpan mining time.
+    pub mining_time: Duration,
+}
+
+/// Mines the frequent feature set and builds the feature space.
+pub fn prepare(dataset: Dataset, tau: f64, max_edges: usize) -> Prepared {
+    let t = Instant::now();
+    let features = mine(
+        &dataset.db,
+        &MinerConfig::new(Support::Relative(tau)).with_max_edges(max_edges),
+    );
+    let mining_time = t.elapsed();
+    let space = FeatureSpace::build(dataset.db.len(), features);
+    Prepared {
+        dataset,
+        space,
+        mining_time,
+    }
+}
+
+/// Full exact ranking (graph ids best-first) for every query — the
+/// ground truth `T` of the paper's measures.
+pub fn exact_rankings(db: &[Graph], queries: &[Graph]) -> Vec<Vec<u32>> {
+    queries
+        .iter()
+        .map(|q| {
+            gdim_core::exact_ranking(db, q, Default::default(), &truth_mcs(), 0)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-process cache of the two main experiment datasets.
+pub struct Context {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    chem: OnceCell<Prepared>,
+    chem_delta: OnceCell<DeltaMatrix>,
+    chem_truth: OnceCell<Vec<Vec<u32>>>,
+    synth: OnceCell<Prepared>,
+    synth_delta: OnceCell<DeltaMatrix>,
+    synth_truth: OnceCell<Vec<Vec<u32>>>,
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new(scale: Scale, seed: u64) -> Context {
+        Context {
+            scale,
+            seed,
+            chem: OnceCell::new(),
+            chem_delta: OnceCell::new(),
+            chem_truth: OnceCell::new(),
+            synth: OnceCell::new(),
+            synth_delta: OnceCell::new(),
+            synth_truth: OnceCell::new(),
+        }
+    }
+
+    /// The chemistry-like dataset with mined features (lazy).
+    pub fn chem(&self) -> &Prepared {
+        self.chem.get_or_init(|| {
+            eprintln!("[ctx] preparing chem dataset ...");
+            prepare(
+                Dataset::chem(
+                    self.scale.real_db_size(),
+                    self.scale.query_count(),
+                    self.seed,
+                ),
+                self.scale.tau(),
+                self.scale.max_pattern_edges(),
+            )
+        })
+    }
+
+    /// Full δ matrix of the chem database (lazy).
+    pub fn chem_delta(&self) -> &DeltaMatrix {
+        self.chem_delta.get_or_init(|| {
+            eprintln!("[ctx] computing chem delta matrix ...");
+            DeltaMatrix::compute(&self.chem().dataset.db, &matrix_delta_config())
+        })
+    }
+
+    /// Exact rankings of all chem queries (lazy; the slow part).
+    pub fn chem_truth(&self) -> &[Vec<u32>] {
+        self.chem_truth.get_or_init(|| {
+            eprintln!("[ctx] computing chem exact ground truth ...");
+            let p = self.chem();
+            exact_rankings(&p.dataset.db, &p.dataset.queries)
+        })
+    }
+
+    /// The synthetic dataset with mined features (lazy).
+    pub fn synth(&self) -> &Prepared {
+        self.synth.get_or_init(|| {
+            eprintln!("[ctx] preparing synth dataset ...");
+            prepare(
+                Dataset::synth(
+                    self.scale.synth_db_size(),
+                    self.scale.query_count(),
+                    &SynthConfig::default(),
+                    self.seed ^ 0x5,
+                ),
+                self.scale.tau(),
+                self.scale.max_pattern_edges(),
+            )
+        })
+    }
+
+    /// Full δ matrix of the synthetic database (lazy).
+    pub fn synth_delta(&self) -> &DeltaMatrix {
+        self.synth_delta.get_or_init(|| {
+            eprintln!("[ctx] computing synth delta matrix ...");
+            DeltaMatrix::compute(&self.synth().dataset.db, &matrix_delta_config())
+        })
+    }
+
+    /// Exact rankings of all synthetic queries (lazy).
+    pub fn synth_truth(&self) -> &[Vec<u32>] {
+        self.synth_truth.get_or_init(|| {
+            eprintln!("[ctx] computing synth exact ground truth ...");
+            let p = self.synth();
+            exact_rankings(&p.dataset.db, &p.dataset.queries)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_small_dataset() {
+        let ds = Dataset::chem(12, 3, 9);
+        assert_eq!(ds.db.len(), 12);
+        assert_eq!(ds.queries.len(), 3);
+        let prep = prepare(ds, 0.2, 3);
+        assert!(prep.space.num_features() > 0);
+        assert_eq!(prep.space.num_graphs(), 12);
+    }
+
+    #[test]
+    fn exact_rankings_shape() {
+        let ds = Dataset::chem(8, 2, 10);
+        let truth = exact_rankings(&ds.db, &ds.queries);
+        assert_eq!(truth.len(), 2);
+        for t in &truth {
+            assert_eq!(t.len(), 8);
+            let mut s = t.clone();
+            s.sort_unstable();
+            assert_eq!(s, (0..8).collect::<Vec<u32>>());
+        }
+    }
+}

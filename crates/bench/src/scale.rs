@@ -1,0 +1,149 @@
+//! Experiment scales. `Quick` keeps `repro all` in the minutes range on
+//! a laptop; `Full` approaches the paper's workload sizes (1k database
+//! graphs, 1k queries — expect a long run dominated by exact MCS ground
+//! truth). Both run the *same* code paths; only sizes change.
+
+/// Workload scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down defaults (CI/laptop friendly).
+    Quick,
+    /// Paper-scale sizes.
+    Full,
+}
+
+impl Scale {
+    /// Parses `quick` / `full` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Reads `GDIM_SCALE` from the environment (default `Quick`).
+    pub fn from_env() -> Scale {
+        std::env::var("GDIM_SCALE")
+            .ok()
+            .and_then(|s| Scale::parse(&s))
+            .unwrap_or(Scale::Quick)
+    }
+
+    /// Database size for the "real" (chemistry-like) dataset.
+    pub fn real_db_size(self) -> usize {
+        match self {
+            Scale::Quick => 300,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Query-set size.
+    pub fn query_count(self) -> usize {
+        match self {
+            Scale::Quick => 40,
+            Scale::Full => 200,
+        }
+    }
+
+    /// Top-k sweep (Figs. 4, 5).
+    pub fn topk_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![10, 20, 30, 40, 50],
+            Scale::Full => vec![20, 40, 60, 80, 100],
+        }
+    }
+
+    /// Default k for single-k experiments (Figs. 6, 8, 9).
+    pub fn default_k(self) -> usize {
+        match self {
+            Scale::Quick => 20,
+            Scale::Full => 50,
+        }
+    }
+
+    /// Number of dimensions `p` (the paper reports the best over
+    /// {100..500}; we use a sweep proportional to the feature count).
+    pub fn p_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![40, 80, 120, 160, 200],
+            Scale::Full => vec![100, 200, 300, 400, 500],
+        }
+    }
+
+    /// Default p for single-p experiments.
+    pub fn default_p(self) -> usize {
+        match self {
+            Scale::Quick => 100,
+            Scale::Full => 200,
+        }
+    }
+
+    /// gSpan relative support threshold τ (paper: 5%).
+    pub fn tau(self) -> f64 {
+        0.05
+    }
+
+    /// gSpan pattern-size cap in edges.
+    pub fn max_pattern_edges(self) -> usize {
+        match self {
+            Scale::Quick => 5,
+            Scale::Full => 6,
+        }
+    }
+
+    /// Synthetic database size (Figs. 5, 6).
+    pub fn synth_db_size(self) -> usize {
+        match self {
+            Scale::Quick => 250,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Scalability sweep |DG| (Fig. 9; paper: 2k..10k).
+    pub fn scalability_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![200, 400, 600, 800, 1000],
+            Scale::Full => vec![2000, 4000, 6000, 8000, 10000],
+        }
+    }
+
+    /// Partition-size sweep for Fig. 8 (paper: 20..100).
+    pub fn partition_sweep(self) -> Vec<usize> {
+        vec![20, 40, 60, 80, 100]
+    }
+
+    /// Graph-size sweep (avg |E|) for Fig. 6 (paper: 12..20).
+    pub fn size_sweep(self) -> Vec<usize> {
+        vec![12, 14, 16, 18, 20]
+    }
+
+    /// Density sweep for Fig. 6 (paper: 0.1..0.3).
+    pub fn density_sweep(self) -> Vec<f64> {
+        vec![0.1, 0.15, 0.2, 0.25, 0.3]
+    }
+
+    /// Queries used for the heavyweight exact-baseline timings (Figs. 7, 9).
+    /// The exact ranker runs the full-budget MCS per database graph
+    /// (seconds per query by design — that is the paper's point).
+    pub fn exact_query_count(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Full => 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_defaults() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("FULL"), Some(Scale::Full));
+        assert_eq!(Scale::parse("meh"), None);
+        assert!(Scale::Quick.real_db_size() < Scale::Full.real_db_size());
+        assert_eq!(Scale::Quick.topk_sweep().len(), 5);
+    }
+}

@@ -1,0 +1,462 @@
+//! **DSPM** — the paper's core contribution (§5.1, Algorithms 1–4): an
+//! iterative majorization algorithm (SMACOF with restrictions, after
+//! De Leeuw & Heiser) that fits a weight `c_r` to every frequent
+//! subgraph feature so that weighted Euclidean distances between the
+//! graphs' feature vectors approximate the graph dissimilarities, then
+//! keeps the `p` features with the largest weights as the dimensions.
+//!
+//! One iteration (Algorithm 1, lines 9–14):
+//!
+//! 1. `Updatexbar` (Algorithm 3): Guttman transform
+//!    `x̄_ir = (1/n) Σ_{k ∈ IF_r} b_ik z_kr` with the B-matrix of Eq. 8,
+//!    restricted to the inverted list `IF_r` since `z_kr = 0` elsewhere.
+//! 2. `Updatec` (Algorithm 2 / Eq. 9, simplified by Theorem 5.1):
+//!    `c_r = Σ_i x̄_ir (n·y_ir − |sup(f_r)|) / (|sup(f_r)|(n − |sup(f_r)|))`.
+//! 3. `z = y ∘ c`, `Computeobj` (Algorithm 4): stress
+//!    `E = Σ_{i,j} (d(z_i, z_j) − δ_ij)²` via the symmetric difference
+//!    of `IG` lists.
+//!
+//! The default path additionally fuses steps 1–2 analytically: because
+//! the B-matrix has zero row sums, the update collapses to
+//! `c_r ← c_r · S_r / (s_r (n − s_r))` where `S_r = Σ_{i,k ∈ IF_r} b_ik`
+//! — an exact algebraic identity, not an approximation (verified against
+//! the literal Algorithms 2–3 in tests and kept as
+//! [`dspm_reference`] for the ablation bench).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::delta::DeltaMatrix;
+use crate::featurespace::FeatureSpace;
+
+/// Configuration for [`dspm`].
+#[derive(Debug, Clone)]
+pub struct DspmConfig {
+    /// Number of dimensions `p` to select.
+    pub p: usize,
+    /// Convergence threshold ε, **relative to the initial objective**:
+    /// iteration stops when `(E_{k−1} − E_k) ≤ epsilon · E_0` (the paper
+    /// leaves the absolute ε unspecified; a relative threshold is
+    /// scale-free across database sizes).
+    pub epsilon: f64,
+    /// Maximum number of majorization iterations.
+    pub max_iters: usize,
+    /// Worker threads; 0 means "all available cores".
+    pub threads: usize,
+}
+
+impl DspmConfig {
+    /// Defaults: ε = 1e-6 (relative), 100 iterations. The objective
+    /// drops fast in the first iterations, but weight *differentiation*
+    /// between near-duplicate features — what drives the low feature
+    /// correlation of Fig. 2 — continues long after, so the default
+    /// leans toward running longer.
+    pub fn new(p: usize) -> Self {
+        DspmConfig {
+            p,
+            epsilon: 1e-6,
+            max_iters: 100,
+            threads: 0,
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |t| t.get())
+        }
+    }
+}
+
+/// Output of [`dspm`].
+#[derive(Debug, Clone)]
+pub struct DspmResult {
+    /// Final weight per feature (length `m`), non-negative weights
+    /// carry selection strength; unused features are 0.
+    pub weights: Vec<f64>,
+    /// Ids of the `min(p, m)` features with the largest weights, in
+    /// decreasing weight order (ties broken by id).
+    pub selected: Vec<u32>,
+    /// Objective value after initialization and after each iteration.
+    pub objective_trace: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs DSPM and selects the top-`p` features. See the module docs.
+pub fn dspm(space: &FeatureSpace, delta: &DeltaMatrix, cfg: &DspmConfig) -> DspmResult {
+    run(space, delta, cfg, false)
+}
+
+/// The literal Algorithms 2–3 (materialized `x̄`, un-fused updates).
+/// Numerically identical to [`dspm`]; kept for verification and as the
+/// baseline of the fused-update ablation bench.
+pub fn dspm_reference(space: &FeatureSpace, delta: &DeltaMatrix, cfg: &DspmConfig) -> DspmResult {
+    run(space, delta, cfg, true)
+}
+
+fn run(space: &FeatureSpace, delta: &DeltaMatrix, cfg: &DspmConfig, literal: bool) -> DspmResult {
+    let n = space.num_graphs();
+    let m = space.num_features();
+    assert_eq!(delta.n(), n, "δ matrix size must match the database");
+    if m == 0 || n < 2 {
+        return DspmResult {
+            weights: vec![0.0; m],
+            selected: (0..m.min(cfg.p) as u32).collect(),
+            objective_trace: vec![0.0],
+            iterations: 0,
+        };
+    }
+
+    let threads = cfg.thread_count();
+    // Line 3: c_r = 1/√m.
+    let mut c: Vec<f64> = vec![1.0 / (m as f64).sqrt(); m];
+    let mut c_sq: Vec<f64> = c.iter().map(|x| x * x).collect();
+
+    // Line 8: initial distances and objective.
+    let mut dist = compute_distances(space, &c_sq, threads);
+    let e0 = objective_from(&dist, delta);
+    let mut trace = vec![e0];
+    let mut iterations = 0;
+
+    for _ in 0..cfg.max_iters {
+        // B-matrix (Eq. 8) from the distances of the previous Computeobj.
+        let b = b_matrix(&dist, delta);
+
+        let c_new = if literal {
+            update_c_literal(space, &b, &c, threads)
+        } else {
+            update_c_fused(space, &b, &c, threads)
+        };
+        c = c_new;
+        for (sq, &x) in c_sq.iter_mut().zip(&c) {
+            *sq = x * x;
+        }
+
+        // Line 12 + 14: z = y ∘ c, recompute distances and objective.
+        dist = compute_distances(space, &c_sq, threads);
+        let e = objective_from(&dist, delta);
+        let prev = *trace.last().expect("trace non-empty");
+        trace.push(e);
+        iterations += 1;
+        if prev - e <= cfg.epsilon * e0.max(f64::MIN_POSITIVE) {
+            break;
+        }
+    }
+
+    // Line 15: p features with the largest weights.
+    let selected = select_top(&c, cfg.p);
+    DspmResult {
+        weights: c,
+        selected,
+        objective_trace: trace,
+        iterations,
+    }
+}
+
+/// Ids of the `min(p, m)` largest weights, descending, ties by id.
+pub(crate) fn select_top(weights: &[f64], p: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..weights.len() as u32).collect();
+    ids.sort_by(|&a, &b| {
+        weights[b as usize]
+            .partial_cmp(&weights[a as usize])
+            .expect("weights are finite")
+            .then(a.cmp(&b))
+    });
+    ids.truncate(p.min(weights.len()));
+    ids
+}
+
+/// Pairwise weighted distances `d(z_i, z_j)` (condensed upper triangle):
+/// `d² = Σ_{r ∈ IG_i Δ IG_j} c_r²` — Algorithm 4's inverted-list trick,
+/// realized as a word-wise XOR walk over the bitset rows.
+fn compute_distances(space: &FeatureSpace, c_sq: &[f64], threads: usize) -> Vec<f64> {
+    let n = space.num_graphs();
+    let mut dist = vec![0.0f64; n * n.saturating_sub(1) / 2];
+    if n < 2 {
+        return dist;
+    }
+    let counter = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n) {
+            let tx = tx.clone();
+            let counter = &counter;
+            s.spawn(move |_| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= n - 1 {
+                    break;
+                }
+                let row_i = space.row(i);
+                let row: Vec<f64> = (i + 1..n)
+                    .map(|j| row_i.weighted_sq_xor(space.row(j), c_sq).sqrt())
+                    .collect();
+                let _ = tx.send((i, row));
+            });
+        }
+        drop(tx);
+        for (i, row) in rx {
+            let start = i * (2 * n - i - 1) / 2;
+            dist[start..start + row.len()].copy_from_slice(&row);
+        }
+    })
+    .expect("distance workers never panic");
+    dist
+}
+
+/// `E = Σ_{1≤i,j≤n} (d_ij − δ_ij)²` (Eq. 4; ordered pairs, so twice the
+/// upper-triangle sum — the diagonal contributes zero).
+fn objective_from(dist: &[f64], delta: &DeltaMatrix) -> f64 {
+    2.0 * dist
+        .iter()
+        .zip(delta.condensed())
+        .map(|(&d, &dl)| (d - dl) * (d - dl))
+        .sum::<f64>()
+}
+
+/// Full B-matrix of Eq. 8 (row-major `n × n`).
+fn b_matrix(dist: &[f64], delta: &DeltaMatrix) -> Vec<f64> {
+    let n = delta.n();
+    let mut b = vec![0.0f64; n * n];
+    let mut idx = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = dist[idx];
+            let v = if d != 0.0 { -delta.get(i, j) / d } else { 0.0 };
+            b[i * n + j] = v;
+            b[j * n + i] = v;
+            idx += 1;
+        }
+    }
+    for i in 0..n {
+        let row_sum: f64 = b[i * n..(i + 1) * n].iter().sum();
+        b[i * n + i] = -row_sum; // b_ii = −Σ_{j≠i} b_ij (diagonal was 0)
+    }
+    b
+}
+
+/// Fused Updatexbar + Updatec: `c_r ← c_r · S_r / (s_r (n − s_r))` with
+/// `S_r = Σ_{i,k ∈ IF_r} b_ik` (see module docs for the derivation).
+fn update_c_fused(space: &FeatureSpace, b: &[f64], c: &[f64], threads: usize) -> Vec<f64> {
+    let n = space.num_graphs();
+    let m = space.num_features();
+    let mut out = vec![0.0f64; m];
+    let counter = AtomicUsize::new(0);
+    let chunk = 64usize;
+    let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(m.div_ceil(chunk)).max(1) {
+            let tx = tx.clone();
+            let counter = &counter;
+            s.spawn(move |_| loop {
+                let start = counter.fetch_add(1, Ordering::Relaxed) * chunk;
+                if start >= m {
+                    break;
+                }
+                let end = (start + chunk).min(m);
+                let vals: Vec<f64> = (start..end)
+                    .map(|r| {
+                        let sup = space.if_list(r);
+                        let s_r = sup.len();
+                        if s_r == 0 || s_r == n {
+                            return 0.0; // constant column: no distance signal
+                        }
+                        let mut sum = 0.0;
+                        for &i in sup {
+                            let row = &b[i as usize * n..(i as usize + 1) * n];
+                            for &k in sup {
+                                sum += row[k as usize];
+                            }
+                        }
+                        c[r] * sum / (s_r as f64 * (n - s_r) as f64)
+                    })
+                    .collect();
+                let _ = tx.send((start, vals));
+            });
+        }
+        drop(tx);
+        for (start, vals) in rx {
+            out[start..start + vals.len()].copy_from_slice(&vals);
+        }
+    })
+    .expect("weight workers never panic");
+    out
+}
+
+/// Literal Algorithms 2–3: materialize `x̄` column by column, then apply
+/// Eq. 9. Single-threaded on purpose (it is the measured baseline of the
+/// optimization ablation).
+fn update_c_literal(space: &FeatureSpace, b: &[f64], c: &[f64], _threads: usize) -> Vec<f64> {
+    let n = space.num_graphs();
+    let m = space.num_features();
+    let mut out = vec![0.0f64; m];
+    let mut xbar_col = vec![0.0f64; n];
+    for r in 0..m {
+        let sup = space.if_list(r);
+        let s_r = sup.len();
+        if s_r == 0 || s_r == n {
+            out[r] = 0.0;
+            continue;
+        }
+        // Algorithm 3 restricted to IF_r: x̄_ir = (1/n) Σ_{k ∈ IF_r} b_ik z_kr.
+        for x in xbar_col.iter_mut() {
+            *x = 0.0;
+        }
+        for &k in sup {
+            let z_kr = c[r]; // y_kr = 1 for k ∈ IF_r
+            for i in 0..n {
+                xbar_col[i] += b[i * n + k as usize] * z_kr / n as f64;
+            }
+        }
+        // Algorithm 2 / Eq. 9.
+        let denom = s_r as f64 * (n - s_r) as f64;
+        let mut acc = 0.0;
+        let mut sup_iter = sup.iter().peekable();
+        for (i, &x) in xbar_col.iter().enumerate() {
+            let y_ir = if sup_iter.peek() == Some(&&(i as u32)) {
+                sup_iter.next();
+                1.0
+            } else {
+                0.0
+            };
+            acc += x * (n as f64 * y_ir - s_r as f64);
+        }
+        out[r] = acc / denom;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::DeltaConfig;
+    use gdim_mining::{mine, MinerConfig, Support};
+
+    fn setup(n_db: usize, seed: u64) -> (Vec<gdim_graph::Graph>, FeatureSpace, DeltaMatrix) {
+        let db = gdim_datagen::chem_db(n_db, &gdim_datagen::ChemConfig::default(), seed);
+        let feats = mine(
+            &db,
+            &MinerConfig::new(Support::Relative(0.1)).with_max_edges(4),
+        );
+        let space = FeatureSpace::build(db.len(), feats);
+        let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
+        (db, space, delta)
+    }
+
+    #[test]
+    fn objective_is_monotonically_non_increasing() {
+        let (_, space, delta) = setup(30, 1);
+        let cfg = DspmConfig {
+            epsilon: 0.0,
+            max_iters: 15,
+            ..DspmConfig::new(20)
+        };
+        let res = dspm(&space, &delta, &cfg);
+        for w in res.objective_trace.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9 * w[0].abs().max(1.0),
+                "objective increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(res.iterations >= 1);
+    }
+
+    #[test]
+    fn improves_over_uniform_weights() {
+        let (_, space, delta) = setup(30, 2);
+        let res = dspm(&space, &delta, &DspmConfig::new(20));
+        let first = res.objective_trace[0];
+        let last = *res.objective_trace.last().unwrap();
+        assert!(last < first, "no improvement: {first} -> {last}");
+    }
+
+    #[test]
+    fn fused_update_matches_literal_algorithms() {
+        let (_, space, delta) = setup(25, 3);
+        let cfg = DspmConfig {
+            epsilon: 0.0,
+            max_iters: 5,
+            threads: 2,
+            ..DspmConfig::new(10)
+        };
+        let fast = dspm(&space, &delta, &cfg);
+        let slow = dspm_reference(&space, &delta, &cfg);
+        assert_eq!(fast.iterations, slow.iterations);
+        for (a, b) in fast.weights.iter().zip(&slow.weights) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert_eq!(fast.selected, slow.selected);
+        for (a, b) in fast.objective_trace.iter().zip(&slow.objective_trace) {
+            assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn selects_requested_dimension_count() {
+        let (_, space, delta) = setup(25, 4);
+        for p in [1, 5, 17] {
+            let res = dspm(&space, &delta, &DspmConfig::new(p));
+            assert_eq!(res.selected.len(), p.min(space.num_features()));
+            // Selected ids are distinct.
+            let mut ids = res.selected.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), res.selected.len());
+        }
+        // p larger than m caps at m.
+        let res = dspm(&space, &delta, &DspmConfig::new(10_000));
+        assert_eq!(res.selected.len(), space.num_features());
+    }
+
+    #[test]
+    fn selected_weights_dominate_unselected() {
+        let (_, space, delta) = setup(30, 5);
+        let p = 8;
+        let res = dspm(&space, &delta, &DspmConfig::new(p));
+        let min_selected = res
+            .selected
+            .iter()
+            .map(|&r| res.weights[r as usize])
+            .fold(f64::INFINITY, f64::min);
+        for r in 0..space.num_features() as u32 {
+            if !res.selected.contains(&r) {
+                assert!(res.weights[r as usize] <= min_selected + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_features_get_zero_weight() {
+        // A feature supported by every graph carries no distance signal.
+        let (_, space, delta) = setup(20, 6);
+        let res = dspm(&space, &delta, &DspmConfig::new(5));
+        for r in 0..space.num_features() {
+            let s = space.support_count(r);
+            if s == space.num_graphs() {
+                assert_eq!(res.weights[r], 0.0, "feature {r} has full support");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_feature_set_is_handled() {
+        let db = gdim_datagen::chem_db(5, &gdim_datagen::ChemConfig::default(), 7);
+        let space = FeatureSpace::build(db.len(), Vec::new());
+        let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
+        let res = dspm(&space, &delta, &DspmConfig::new(10));
+        assert!(res.selected.is_empty());
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, space, delta) = setup(20, 8);
+        let a = dspm(&space, &delta, &DspmConfig::new(10));
+        let b = dspm(&space, &delta, &DspmConfig::new(10));
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.objective_trace, b.objective_trace);
+    }
+}

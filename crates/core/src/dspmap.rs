@@ -1,0 +1,394 @@
+//! **DSPMap** — the scalable approximate algorithm (§5.2, Algorithms
+//! 5–7). DSPM needs the full `n × n` dissimilarity/configuration state
+//! (`O(n(n+m))` memory), which the paper reports exhausting a PC at
+//! |DG| ≥ 6k. DSPMap instead:
+//!
+//! 1. **Partition** (Algorithm 7): recursively bisects the database into
+//!    `np = ⌈n/b⌉` parts of size `≤ b`, clustering a small sample into
+//!    two center sets (`Ol`/`Or`), assigning the rest by mean
+//!    binary-vector distance to the centers, and rebalancing to
+//!    `⌊np/2⌋·b` per side.
+//! 2. **Computec** (Algorithm 6): recursively computes weight vectors
+//!    for the two halves, plus an *overlap* DSPM run over `b` graphs
+//!    sampled from one random part of each side (stitching the halves'
+//!    weight scales together), and sums the three vectors.
+//!
+//! Every leaf/overlap DSPM call touches only `b × b` dissimilarity
+//! blocks served by the [`SharedDelta`] cache, so total work is
+//! `O(k·m′·b·n)` — linear in the database size (Theorem 5.3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::delta::SharedDelta;
+use crate::dspm::{dspm, select_top, DspmConfig};
+use crate::featurespace::FeatureSpace;
+
+/// Configuration for [`dspmap`].
+#[derive(Debug, Clone)]
+pub struct DspmapConfig {
+    /// Number of dimensions `p` to select.
+    pub p: usize,
+    /// Partition size `b` (§6 Exp-5 sweeps 20..100; Exp-6 uses `n/20`).
+    pub partition_size: usize,
+    /// Sample size `n_o` for generating the center sets (the paper notes
+    /// it is "usually very small").
+    pub sample_size: usize,
+    /// Relative convergence threshold of the inner DSPM runs.
+    pub epsilon: f64,
+    /// Max iterations of the inner DSPM runs.
+    pub max_iters: usize,
+    /// Worker threads for the inner DSPM runs and δ sub-blocks (0 = all).
+    pub threads: usize,
+    /// RNG seed (partitioning and overlap sampling are randomized).
+    pub seed: u64,
+}
+
+impl DspmapConfig {
+    /// Defaults mirroring [`crate::dspm::DspmConfig::new`] (ε = 1e-6,
+    /// 100 iterations) plus `b = 50`, `n_o = 16`.
+    pub fn new(p: usize) -> Self {
+        DspmapConfig {
+            p,
+            partition_size: 50,
+            sample_size: 16,
+            epsilon: 1e-6,
+            max_iters: 100,
+            threads: 0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the partition size `b`.
+    pub fn with_partition_size(mut self, b: usize) -> Self {
+        self.partition_size = b.max(2);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Output of [`dspmap`].
+#[derive(Debug, Clone)]
+pub struct DspmapResult {
+    /// Summed weight vector over all features.
+    pub weights: Vec<f64>,
+    /// Ids of the `min(p, m)` features with the largest summed weights.
+    pub selected: Vec<u32>,
+    /// The leaf partitions (database ids), in recursion order.
+    pub partitions: Vec<Vec<u32>>,
+    /// Number of inner DSPM invocations (leaves + overlaps = `2·np − 1`).
+    pub dspm_calls: usize,
+}
+
+/// Runs DSPMap over the full feature space, with dissimilarities served
+/// (and cached) by `sdelta`.
+pub fn dspmap(space: &FeatureSpace, sdelta: &SharedDelta<'_>, cfg: &DspmapConfig) -> DspmapResult {
+    let n = space.num_graphs();
+    let m = space.num_features();
+    let b = cfg.partition_size.max(2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Phase 1 (Algorithm 7).
+    let all_ids: Vec<u32> = (0..n as u32).collect();
+    let mut partitions: Vec<Vec<u32>> = Vec::new();
+    partition(space, all_ids, b, cfg.sample_size.max(4), &mut rng, &mut partitions);
+
+    // Phase 2 (Algorithms 5–6).
+    let mut calls = 0usize;
+    let weights = computec(space, sdelta, cfg, &partitions, &mut rng, &mut calls);
+
+    let selected = select_top(&weights, cfg.p.min(m));
+    DspmapResult {
+        weights,
+        selected,
+        partitions,
+        dspm_calls: calls,
+    }
+}
+
+/// Algorithm 7: recursive balanced bisection.
+fn partition(
+    space: &FeatureSpace,
+    ids: Vec<u32>,
+    b: usize,
+    n_o: usize,
+    rng: &mut StdRng,
+    out: &mut Vec<Vec<u32>>,
+) {
+    if ids.len() <= b {
+        out.push(ids);
+        return;
+    }
+    // Line 4: generate the center sets Ol / Or by 2-means over a sample.
+    let mut sample = ids.clone();
+    sample.shuffle(rng);
+    sample.truncate(n_o.min(ids.len()));
+    let points: Vec<Vec<f64>> = sample
+        .iter()
+        .map(|&g| dense_row(space, g))
+        .collect();
+    let km = gdim_linalg::kmeans(&points, 2, 25, rng.next_u64());
+    let mut ol: Vec<u32> = Vec::new();
+    let mut or: Vec<u32> = Vec::new();
+    for (idx, &g) in sample.iter().enumerate() {
+        if km.assignment[idx] == 0 {
+            ol.push(g);
+        } else {
+            or.push(g);
+        }
+    }
+    if ol.is_empty() || or.is_empty() {
+        // Degenerate clustering (identical vectors): split the sample.
+        let mid = sample.len() / 2;
+        ol = sample[..mid.max(1)].to_vec();
+        or = sample[mid.max(1)..].to_vec();
+        if or.is_empty() {
+            or.push(ol.pop().expect("sample has two ids"));
+        }
+    }
+
+    // Lines 5-9: assign remaining graphs to the closer center set.
+    let in_sample: std::collections::BTreeSet<u32> = sample.iter().copied().collect();
+    let mut left: Vec<(u32, f64)> = ol.iter().map(|&g| (g, 0.0)).collect();
+    let mut right: Vec<(u32, f64)> = or.iter().map(|&g| (g, 0.0)).collect();
+    for &g in &ids {
+        if in_sample.contains(&g) {
+            continue;
+        }
+        let dl = center_distance(space, g, &ol);
+        let dr = center_distance(space, g, &or);
+        if dl <= dr {
+            left.push((g, dl));
+        } else {
+            right.push((g, dr));
+        }
+    }
+    // Recompute center distances for the center members themselves so
+    // rebalancing treats every graph uniformly.
+    for (g, d) in left.iter_mut() {
+        *d = center_distance(space, *g, &ol);
+    }
+    for (g, d) in right.iter_mut() {
+        *d = center_distance(space, *g, &or);
+    }
+
+    // Line 10: rebalance to nl = ⌊np/2⌋·b graphs on the left.
+    let np = ids.len().div_ceil(b);
+    let nl = (np / 2) * b;
+    let by_dist_desc =
+        |a: &(u32, f64), c: &(u32, f64)| c.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&c.0));
+    if left.len() > nl {
+        left.sort_by(by_dist_desc);
+        while left.len() > nl {
+            right.push(left.remove(0)); // farthest-from-Ol moves right
+        }
+    } else if left.len() < nl {
+        right.sort_by(by_dist_desc);
+        while left.len() < nl {
+            left.push(right.remove(0)); // farthest-from-Or moves left
+        }
+    }
+
+    let mut left_ids: Vec<u32> = left.into_iter().map(|(g, _)| g).collect();
+    let mut right_ids: Vec<u32> = right.into_iter().map(|(g, _)| g).collect();
+    left_ids.sort_unstable();
+    right_ids.sort_unstable();
+    partition(space, left_ids, b, n_o, rng, out);
+    partition(space, right_ids, b, n_o, rng, out);
+}
+
+/// Graph-to-center-set distance: `d(g, O) = Σ_{g_j ∈ O} d(y_g, y_j) / |O|`
+/// with the normalized binary Euclidean distance.
+fn center_distance(space: &FeatureSpace, g: u32, centers: &[u32]) -> f64 {
+    let m = space.num_features().max(1) as f64;
+    let row = space.row(g as usize);
+    let total: f64 = centers
+        .iter()
+        .map(|&c| (row.xor_count(space.row(c as usize)) as f64 / m).sqrt())
+        .sum();
+    total / centers.len().max(1) as f64
+}
+
+fn dense_row(space: &FeatureSpace, g: u32) -> Vec<f64> {
+    let m = space.num_features();
+    let mut v = vec![0.0; m];
+    for r in space.row(g as usize).iter_ones() {
+        v[r] = 1.0;
+    }
+    v
+}
+
+/// Algorithm 6: recursive weight combination.
+fn computec(
+    space: &FeatureSpace,
+    sdelta: &SharedDelta<'_>,
+    cfg: &DspmapConfig,
+    parts: &[Vec<u32>],
+    rng: &mut StdRng,
+    calls: &mut usize,
+) -> Vec<f64> {
+    if parts.len() == 1 {
+        return dspm_weights(space, sdelta, cfg, &parts[0], calls);
+    }
+    let mid = parts.len().div_ceil(2); // Pl = parts 1..⌈np/2⌉
+    let cl = computec(space, sdelta, cfg, &parts[..mid], rng, calls);
+    let cr = computec(space, sdelta, cfg, &parts[mid..], rng, calls);
+
+    // Overlap: b graphs sampled from one random part per side (line 8).
+    let dgl = &parts[rng.gen_range_usize(mid)];
+    let dgr = &parts[mid + rng.gen_range_usize(parts.len() - mid)];
+    let mut pool: Vec<u32> = dgl.iter().chain(dgr.iter()).copied().collect();
+    pool.shuffle(rng);
+    pool.truncate(cfg.partition_size);
+    pool.sort_unstable();
+    let co = dspm_weights(space, sdelta, cfg, &pool, calls);
+
+    cl.iter()
+        .zip(&cr)
+        .zip(&co)
+        .map(|((a, b), c)| a + b + c)
+        .collect()
+}
+
+/// One inner DSPM run over a sub-database (features restricted by
+/// support intersection, F′ of line 3 — zero-support features simply
+/// receive zero weight).
+fn dspm_weights(
+    space: &FeatureSpace,
+    sdelta: &SharedDelta<'_>,
+    cfg: &DspmapConfig,
+    ids: &[u32],
+    calls: &mut usize,
+) -> Vec<f64> {
+    *calls += 1;
+    let sub_space = space.restrict_graphs(ids);
+    let sub_delta = sdelta.submatrix(ids);
+    let inner = DspmConfig {
+        p: cfg.p,
+        epsilon: cfg.epsilon,
+        max_iters: cfg.max_iters,
+        threads: cfg.threads,
+    };
+    dspm(&sub_space, &sub_delta, &inner).weights
+}
+
+/// Tiny extension trait to keep `rand` usage in one style.
+trait RngExt {
+    fn gen_range_usize(&mut self, upper: usize) -> usize;
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngExt for StdRng {
+    fn gen_range_usize(&mut self, upper: usize) -> usize {
+        use rand::Rng;
+        if upper <= 1 {
+            0
+        } else {
+            self.gen_range(0..upper)
+        }
+    }
+    fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{DeltaConfig, DeltaMatrix};
+    use crate::dspm::DspmConfig;
+    use gdim_mining::{mine, MinerConfig, Support};
+
+    fn setup(n: usize) -> (Vec<gdim_graph::Graph>, FeatureSpace) {
+        let db = gdim_datagen::chem_db(n, &gdim_datagen::ChemConfig::default(), 23);
+        let feats = mine(
+            &db,
+            &MinerConfig::new(Support::Relative(0.1)).with_max_edges(3),
+        );
+        let space = FeatureSpace::build(db.len(), feats);
+        (db, space)
+    }
+
+    #[test]
+    fn partitions_are_a_bounded_disjoint_cover() {
+        let (db, space) = setup(47);
+        let sdelta = SharedDelta::new(&db, DeltaConfig::default());
+        let cfg = DspmapConfig::new(10).with_partition_size(10).with_seed(5);
+        let res = dspmap(&space, &sdelta, &cfg);
+        let mut seen: Vec<u32> = Vec::new();
+        for part in &res.partitions {
+            assert!(!part.is_empty());
+            assert!(part.len() <= 10, "partition larger than b: {}", part.len());
+            seen.extend(part);
+        }
+        seen.sort_unstable();
+        let want: Vec<u32> = (0..47).collect();
+        assert_eq!(seen, want, "partitions must cover every graph exactly once");
+    }
+
+    #[test]
+    fn call_count_matches_recursion_tree() {
+        let (db, space) = setup(40);
+        let sdelta = SharedDelta::new(&db, DeltaConfig::default());
+        let cfg = DspmapConfig::new(10).with_partition_size(10).with_seed(1);
+        let res = dspmap(&space, &sdelta, &cfg);
+        let np = res.partitions.len();
+        assert_eq!(res.dspm_calls, 2 * np - 1, "leaves + overlaps");
+    }
+
+    #[test]
+    fn small_database_degenerates_to_single_dspm() {
+        let (db, space) = setup(12);
+        let sdelta = SharedDelta::new(&db, DeltaConfig::default());
+        let cfg = DspmapConfig::new(8).with_partition_size(20).with_seed(2);
+        let res = dspmap(&space, &sdelta, &cfg);
+        assert_eq!(res.partitions.len(), 1);
+        assert_eq!(res.dspm_calls, 1);
+        // Identical to plain DSPM on the whole database.
+        let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
+        let direct = crate::dspm::dspm(&space, &delta, &DspmConfig::new(8));
+        assert_eq!(res.selected, direct.selected);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (db, space) = setup(35);
+        let sdelta = SharedDelta::new(&db, DeltaConfig::default());
+        let cfg = DspmapConfig::new(10).with_partition_size(12).with_seed(9);
+        let a = dspmap(&space, &sdelta, &cfg);
+        let sdelta2 = SharedDelta::new(&db, DeltaConfig::default());
+        let b = dspmap(&space, &sdelta2, &cfg);
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.partitions, b.partitions);
+    }
+
+    #[test]
+    fn delta_cache_stays_subquadratic() {
+        let (db, space) = setup(60);
+        let sdelta = SharedDelta::new(&db, DeltaConfig::default());
+        let cfg = DspmapConfig::new(10).with_partition_size(10).with_seed(3);
+        let _ = dspmap(&space, &sdelta, &cfg);
+        let full_pairs = 60 * 59 / 2;
+        assert!(
+            sdelta.computed_pairs() < full_pairs / 2,
+            "DSPMap touched {} of {} pairs",
+            sdelta.computed_pairs(),
+            full_pairs
+        );
+    }
+
+    #[test]
+    fn selects_p_features() {
+        let (db, space) = setup(30);
+        let sdelta = SharedDelta::new(&db, DeltaConfig::default());
+        let cfg = DspmapConfig::new(7).with_partition_size(10).with_seed(4);
+        let res = dspmap(&space, &sdelta, &cfg);
+        assert_eq!(res.selected.len(), 7.min(space.num_features()));
+    }
+}

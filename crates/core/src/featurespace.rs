@@ -1,0 +1,250 @@
+//! The feature space `F` of §4–5: mined features, the binary matrix
+//! `[y_ir]` as bitset rows, and the two inverted lists of §5.1.2 —
+//! `IF_r` (graphs containing feature `f_r`) and `IG_i` (features
+//! contained in graph `g_i`). Also maps **unseen query graphs** onto the
+//! space via VF2 with histogram pre-filters and anti-monotone pruning
+//! along the gSpan parent relation.
+
+use gdim_graph::fxhash::FxHashMap;
+use gdim_graph::vf2::is_subgraph_iso;
+use gdim_graph::Graph;
+use gdim_mining::Feature;
+
+use crate::bitset::Bitset;
+
+/// The multidimensional feature space built over a graph database.
+#[derive(Debug, Clone)]
+pub struct FeatureSpace {
+    n_graphs: usize,
+    features: Vec<Feature>,
+    /// `rows[i]` = bitset of features contained in graph `i` (binary `y_i`).
+    rows: Vec<Bitset>,
+    /// `IG_i`: sorted feature ids contained in graph `i`.
+    ig: Vec<Vec<u32>>,
+    /// gSpan parent (code prefix) per feature, for anti-monotone query
+    /// mapping: if the parent is absent from a query, so is the child.
+    parent: Vec<Option<u32>>,
+}
+
+impl FeatureSpace {
+    /// Builds the space from gSpan output (`features[r].support` becomes
+    /// `IF_r` directly — no isomorphism tests are repeated).
+    pub fn build(n_graphs: usize, features: Vec<Feature>) -> Self {
+        let mut rows = vec![Bitset::zeros(features.len()); n_graphs];
+        let mut ig = vec![Vec::new(); n_graphs];
+        for (r, f) in features.iter().enumerate() {
+            for &gid in &f.support {
+                rows[gid as usize].set(r);
+                ig[gid as usize].push(r as u32);
+            }
+        }
+        // Parent lookup by DFS-code prefix. gSpan emits parents before
+        // children, but `min_edges` filtering may drop them; missing
+        // parents simply disable the pruning for that feature.
+        let mut by_code: FxHashMap<&gdim_graph::dfscode::DfsCode, u32> = FxHashMap::default();
+        for (r, f) in features.iter().enumerate() {
+            by_code.insert(&f.code, r as u32);
+        }
+        let parent: Vec<Option<u32>> = features
+            .iter()
+            .map(|f| {
+                if f.code.len() <= 1 {
+                    return None;
+                }
+                let prefix =
+                    gdim_graph::dfscode::DfsCode(f.code.0[..f.code.len() - 1].to_vec());
+                by_code.get(&prefix).copied()
+            })
+            .collect();
+        FeatureSpace {
+            n_graphs,
+            features,
+            rows,
+            ig,
+            parent,
+        }
+    }
+
+    /// Number of graphs `n = |DG|`.
+    #[inline]
+    pub fn num_graphs(&self) -> usize {
+        self.n_graphs
+    }
+
+    /// Number of features `m = |F|`.
+    #[inline]
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The mined features.
+    #[inline]
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Binary vector `y_i` of graph `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &Bitset {
+        &self.rows[i]
+    }
+
+    /// Inverted list `IF_r` (sorted graph ids containing feature `r`).
+    #[inline]
+    pub fn if_list(&self, r: usize) -> &[u32] {
+        &self.features[r].support
+    }
+
+    /// Inverted list `IG_i` (sorted feature ids contained in graph `i`).
+    #[inline]
+    pub fn ig_list(&self, i: usize) -> &[u32] {
+        &self.ig[i]
+    }
+
+    /// `|sup(f_r)|`.
+    #[inline]
+    pub fn support_count(&self, r: usize) -> usize {
+        self.features[r].support.len()
+    }
+
+    /// Maps an unseen query graph onto the full feature space: bit `r`
+    /// is set iff `f_r ⊆ q` (VF2 subgraph-isomorphism, the step the
+    /// paper times as "feature matching time" in Exp-4).
+    ///
+    /// Features are tested in gSpan emission order so each feature's
+    /// parent verdict is already known; a feature whose parent is absent
+    /// is skipped without a VF2 call (anti-monotonicity).
+    pub fn map_query(&self, q: &Graph) -> Bitset {
+        let mut bits = Bitset::zeros(self.features.len());
+        for (r, f) in self.features.iter().enumerate() {
+            if let Some(p) = self.parent[r] {
+                debug_assert!((p as usize) < r, "gSpan emits parents first");
+                if !bits.get(p as usize) {
+                    continue;
+                }
+            }
+            if is_subgraph_iso(&f.graph, q) {
+                bits.set(r);
+            }
+        }
+        bits
+    }
+
+    /// Restricts the space to a subset of graphs (new dense ids follow
+    /// `graph_ids` order) keeping **all** features — used by DSPMap,
+    /// whose partitions re-run DSPM on sub-databases. Features with
+    /// empty restricted support are retained (weight updates handle
+    /// them); callers can check [`FeatureSpace::support_count`].
+    pub fn restrict_graphs(&self, graph_ids: &[u32]) -> FeatureSpace {
+        let remap: FxHashMap<u32, u32> = graph_ids
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new as u32))
+            .collect();
+        let features: Vec<Feature> = self
+            .features
+            .iter()
+            .map(|f| {
+                let mut support: Vec<u32> = f
+                    .support
+                    .iter()
+                    .filter_map(|g| remap.get(g).copied())
+                    .collect();
+                support.sort_unstable();
+                Feature {
+                    graph: f.graph.clone(),
+                    code: f.code.clone(),
+                    support,
+                }
+            })
+            .collect();
+        FeatureSpace::build(graph_ids.len(), features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdim_mining::{mine, MinerConfig, Support};
+
+    fn tiny_db() -> Vec<Graph> {
+        let tri = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0), (0, 2, 0)]).unwrap();
+        let path = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0)]).unwrap();
+        let other = Graph::from_parts(vec![1, 1], [(0, 1, 5)]).unwrap();
+        vec![tri, path, other]
+    }
+
+    fn space() -> (Vec<Graph>, FeatureSpace) {
+        let db = tiny_db();
+        let feats = mine(&db, &MinerConfig::new(Support::Absolute(1)));
+        let space = FeatureSpace::build(db.len(), feats);
+        (db, space)
+    }
+
+    #[test]
+    fn inverted_lists_are_consistent() {
+        let (_, s) = space();
+        for r in 0..s.num_features() {
+            for &gid in s.if_list(r) {
+                assert!(s.row(gid as usize).get(r));
+                assert!(s.ig_list(gid as usize).contains(&(r as u32)));
+            }
+        }
+        for i in 0..s.num_graphs() {
+            assert_eq!(s.row(i).count_ones() as usize, s.ig_list(i).len());
+        }
+    }
+
+    #[test]
+    fn map_query_agrees_with_db_rows() {
+        // Mapping a database graph as a "query" must reproduce its row.
+        let (db, s) = space();
+        for (i, g) in db.iter().enumerate() {
+            assert_eq!(&s.map_query(g), s.row(i), "graph {i}");
+        }
+    }
+
+    #[test]
+    fn map_unseen_query() {
+        let (_, s) = space();
+        // A 4-path contains the edge and the 2-path but not the triangle.
+        let q = Graph::from_parts(vec![0; 4], [(0, 1, 0), (1, 2, 0), (2, 3, 0)]).unwrap();
+        let bits = s.map_query(&q);
+        for (r, f) in s.features().iter().enumerate() {
+            assert_eq!(
+                bits.get(r),
+                is_subgraph_iso(&f.graph, &q),
+                "feature {r}: {:?}",
+                f.graph
+            );
+        }
+        assert!(bits.count_ones() >= 2);
+    }
+
+    #[test]
+    fn restrict_graphs_remaps_supports() {
+        let (_, s) = space();
+        let sub = s.restrict_graphs(&[2, 0]);
+        assert_eq!(sub.num_graphs(), 2);
+        assert_eq!(sub.num_features(), s.num_features());
+        // Graph 2 (the label-1 edge) is now id 0.
+        for r in 0..s.num_features() {
+            let had = s.if_list(r).contains(&2);
+            assert_eq!(sub.if_list(r).contains(&0), had);
+            let had0 = s.if_list(r).contains(&0);
+            assert_eq!(sub.if_list(r).contains(&1), had0);
+        }
+    }
+
+    #[test]
+    fn parent_pruning_never_changes_results() {
+        // Compare map_query against brute-force VF2 over all features on
+        // a query where many parents are absent.
+        let (_, s) = space();
+        let q = Graph::from_parts(vec![1, 1, 1], [(0, 1, 5), (1, 2, 5)]).unwrap();
+        let bits = s.map_query(&q);
+        for (r, f) in s.features().iter().enumerate() {
+            assert_eq!(bits.get(r), is_subgraph_iso(&f.graph, &q));
+        }
+    }
+}

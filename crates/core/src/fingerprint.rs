@@ -1,0 +1,369 @@
+//! The benchmark ranker: an 881-bit dictionary fingerprint with
+//! Tanimoto-score ranking — the substitute for the PubChem fingerprint
+//! the paper uses as its quality benchmark on real data ("the experts
+//! in the chemical domain have provided a dictionary-based binary
+//! fingerprint ... The similarity of two graphs is defined as the
+//! Tanimoto score of their fingerprints", §6).
+//!
+//! The 881 bits (matching PubChem's dimensionality) are laid out as:
+//!
+//! * `[0, 32)`   — element-count keys: 8 atom types × thresholds {1,2,4,8};
+//! * `[32, 38)`  — ring-size keys: a cycle of size 3..=8 exists;
+//! * `[38, 48)`  — functional-fragment keys (the generator's dictionary,
+//!   matched with VF2);
+//! * `[48, 881)` — hashed labeled-path keys: every simple path of 1..=3
+//!   edges, canonicalized by orientation, hashed into the remaining bits
+//!   (Daylight-style folding).
+
+use std::hash::{Hash, Hasher};
+
+use gdim_graph::fxhash::FxHasher;
+use gdim_graph::vf2::is_subgraph_iso;
+use gdim_graph::{Graph, VertexId};
+
+use crate::bitset::Bitset;
+
+/// Total fingerprint width — PubChem's 881.
+pub const FINGERPRINT_BITS: usize = 881;
+
+/// Bit positions of the functional-fragment keys (one per entry of the
+/// fragment vocabulary, in dictionary order). Public so integration
+/// tests can assert the vocabulary stays in sync with
+/// `gdim_datagen::fragment_dictionary`.
+pub const FRAGMENT_BIT_RANGE: std::ops::Range<usize> = 38..58;
+
+const ELEMENT_TYPES: usize = 8;
+const ELEMENT_THRESHOLDS: [u32; 4] = [1, 2, 4, 8];
+const RING_BITS: std::ops::Range<usize> = 32..38;
+const FRAGMENT_BASE: usize = FRAGMENT_BIT_RANGE.start;
+const PATH_BASE: usize = FRAGMENT_BIT_RANGE.end;
+
+/// The fragment vocabulary (kept in sync with
+/// `gdim_datagen::fragment_dictionary`; an integration test at the
+/// workspace root asserts the correspondence).
+fn fragments() -> Vec<Graph> {
+    let ring = |labels: &[u32], bonds: &[u32]| {
+        let n = labels.len() as u32;
+        let edges: Vec<_> = bonds
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as u32, (i as u32 + 1) % n, b))
+            .collect();
+        Graph::from_parts(labels.to_vec(), edges).unwrap()
+    };
+    let (c, n, o, s, p) = (0u32, 1u32, 2u32, 3u32, 4u32);
+    vec![
+        ring(&[c; 6], &[0, 1, 0, 1, 0, 1]),
+        ring(&[c; 6], &[0; 6]),
+        ring(&[c; 5], &[0; 5]),
+        ring(&[n, c, c, c, c, c], &[0, 1, 0, 1, 0, 1]),
+        ring(&[o, c, c, c, c], &[0, 1, 0, 1, 0]),
+        ring(&[s, c, c, c, c], &[0, 1, 0, 1, 0]),
+        Graph::from_parts(vec![c, o, o], [(0, 1, 1), (0, 2, 0)]).unwrap(),
+        Graph::from_parts(vec![c, o, n], [(0, 1, 1), (0, 2, 0)]).unwrap(),
+        Graph::from_parts(vec![n, o, o], [(0, 1, 1), (0, 2, 0)]).unwrap(),
+        Graph::from_parts(vec![c, c, c], [(0, 1, 0), (1, 2, 0)]).unwrap(),
+        ring(&[n, c, n, c, c, c], &[0, 1, 0, 1, 0, 1]),
+        ring(&[n, c, c, c, c], &[0; 5]),
+        ring(&[o, c, c, n, c, c], &[0; 6]),
+        Graph::from_parts(vec![c, o, c], [(0, 1, 0), (1, 2, 0)]).unwrap(),
+        Graph::from_parts(vec![c, s, c], [(0, 1, 0), (1, 2, 0)]).unwrap(),
+        Graph::from_parts(vec![c, n, c], [(0, 1, 0), (1, 2, 0)]).unwrap(),
+        Graph::from_parts(vec![p, o, o, o], [(0, 1, 1), (0, 2, 0), (0, 3, 0)]).unwrap(),
+        Graph::from_parts(vec![c, c], [(0, 1, 1)]).unwrap(),
+        Graph::from_parts(vec![c, n], [(0, 1, 2)]).unwrap(),
+        ring(&[c; 3], &[0; 3]),
+    ]
+}
+
+/// Computes the 881-bit dictionary fingerprint of a graph.
+pub fn fingerprint(g: &Graph) -> Bitset {
+    fingerprint_with(g, &fragments())
+}
+
+/// Like [`fingerprint`], reusing a prebuilt fragment vocabulary (the
+/// index builder avoids re-allocating it per graph).
+pub fn fingerprint_with(g: &Graph, frags: &[Graph]) -> Bitset {
+    let mut bits = Bitset::zeros(FINGERPRINT_BITS);
+
+    // Element-count keys.
+    let mut counts = [0u32; ELEMENT_TYPES];
+    for &l in g.vlabels() {
+        if (l as usize) < ELEMENT_TYPES {
+            counts[l as usize] += 1;
+        }
+    }
+    for (t, &c) in counts.iter().enumerate() {
+        for (bi, &thr) in ELEMENT_THRESHOLDS.iter().enumerate() {
+            if c >= thr {
+                bits.set(t * ELEMENT_THRESHOLDS.len() + bi);
+            }
+        }
+    }
+
+    // Ring-size keys: an edge (u,v) lies on a cycle of length d+1 where
+    // d is the shortest u→v path avoiding that edge.
+    for e in g.edges() {
+        if let Some(d) = distance_avoiding(g, e.u, e.v, (e.u, e.v)) {
+            let ring = d + 1;
+            if (3..=8).contains(&ring) {
+                bits.set(RING_BITS.start + ring - 3);
+            }
+        }
+    }
+
+    // Fragment keys.
+    for (i, f) in frags.iter().enumerate() {
+        if is_subgraph_iso(f, g) {
+            bits.set(FRAGMENT_BASE + i);
+        }
+    }
+
+    // Hashed labeled-path keys (simple paths of 1..=3 edges).
+    let span = FINGERPRINT_BITS - PATH_BASE;
+    let mut stack: Vec<VertexId> = Vec::new();
+    for v in 0..g.vertex_count() as VertexId {
+        stack.push(v);
+        path_walk(g, &mut stack, 3, &mut |path| {
+            let key = path_key(g, path);
+            bits.set(PATH_BASE + (key % span as u64) as usize);
+        });
+        stack.pop();
+    }
+    bits
+}
+
+/// Depth-first enumeration of simple paths extending `stack`, invoking
+/// `emit` for every path with ≥1 edge.
+fn path_walk(
+    g: &Graph,
+    stack: &mut Vec<VertexId>,
+    budget: usize,
+    emit: &mut impl FnMut(&[VertexId]),
+) {
+    if budget == 0 {
+        return;
+    }
+    let last = *stack.last().expect("stack seeded");
+    for nb in g.neighbors(last) {
+        if stack.contains(&nb.to) {
+            continue;
+        }
+        stack.push(nb.to);
+        emit(stack);
+        path_walk(g, stack, budget - 1, emit);
+        stack.pop();
+    }
+}
+
+/// Orientation-canonical hash of a labeled path: the label sequence is
+/// read in both directions and the lexicographically smaller one hashed.
+fn path_key(g: &Graph, path: &[VertexId]) -> u64 {
+    let forward = path_labels(g, path.iter().copied());
+    let backward = path_labels(g, path.iter().rev().copied());
+    let canon = if forward <= backward { forward } else { backward };
+    let mut h = FxHasher::default();
+    canon.hash(&mut h);
+    h.finish()
+}
+
+fn path_labels(g: &Graph, order: impl Iterator<Item = VertexId> + Clone) -> Vec<u32> {
+    let verts: Vec<VertexId> = order.collect();
+    let mut seq = Vec::with_capacity(verts.len() * 2 - 1);
+    for (i, &v) in verts.iter().enumerate() {
+        seq.push(g.vlabel(v));
+        if i + 1 < verts.len() {
+            seq.push(g.edge_label(v, verts[i + 1]).expect("path edge") + 1_000_000);
+        }
+    }
+    seq
+}
+
+/// BFS distance from `from` to `to` ignoring the single edge `skip`.
+fn distance_avoiding(
+    g: &Graph,
+    from: VertexId,
+    to: VertexId,
+    skip: (VertexId, VertexId),
+) -> Option<usize> {
+    let mut dist = vec![usize::MAX; g.vertex_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[from as usize] = 0;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            return Some(dist[v as usize]);
+        }
+        for nb in g.neighbors(v) {
+            let is_skipped = (v, nb.to) == skip || (nb.to, v) == skip;
+            if !is_skipped && dist[nb.to as usize] == usize::MAX {
+                dist[nb.to as usize] = dist[v as usize] + 1;
+                queue.push_back(nb.to);
+            }
+        }
+    }
+    None
+}
+
+/// Tanimoto similarity `|a ∧ b| / |a ∨ b|` (1 when both are empty).
+pub fn tanimoto(a: &Bitset, b: &Bitset) -> f64 {
+    let union = a.or_count(b);
+    if union == 0 {
+        1.0
+    } else {
+        a.and_count(b) as f64 / union as f64
+    }
+}
+
+/// Fingerprints of a whole database, with Tanimoto top-k ranking — the
+/// benchmark ranker of §6.
+#[derive(Debug, Clone)]
+pub struct FingerprintIndex {
+    bits: Vec<Bitset>,
+    frags: Vec<Graph>,
+}
+
+impl FingerprintIndex {
+    /// Fingerprints every database graph.
+    pub fn build(db: &[Graph]) -> Self {
+        let frags = fragments();
+        let bits = db.iter().map(|g| fingerprint_with(g, &frags)).collect();
+        FingerprintIndex { bits, frags }
+    }
+
+    /// Number of indexed graphs.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Fingerprint of database graph `i`.
+    pub fn get(&self, i: usize) -> &Bitset {
+        &self.bits[i]
+    }
+
+    /// Full ranking by descending Tanimoto score (ties by id).
+    pub fn ranking(&self, q: &Graph) -> Vec<(u32, f64)> {
+        let qf = fingerprint_with(q, &self.frags);
+        let mut all: Vec<(u32, f64)> = self
+            .bits
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i as u32, tanimoto(&qf, b)))
+            .collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        all
+    }
+
+    /// Top-k most similar graphs by Tanimoto score.
+    pub fn topk(&self, q: &Graph, k: usize) -> Vec<(u32, f64)> {
+        let mut r = self.ranking(q);
+        r.truncate(k);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn benzene() -> Graph {
+        Graph::from_parts(
+            vec![0; 6],
+            [
+                (0, 1, 0),
+                (1, 2, 1),
+                (2, 3, 0),
+                (3, 4, 1),
+                (4, 5, 0),
+                (5, 0, 1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_graphs_have_tanimoto_one() {
+        let g = benzene();
+        let f = fingerprint(&g);
+        assert_eq!(tanimoto(&f, &f), 1.0);
+    }
+
+    #[test]
+    fn element_bits_reflect_counts() {
+        let g = benzene(); // six carbons
+        let f = fingerprint(&g);
+        // Carbon (type 0) thresholds 1, 2, 4 met; 8 not.
+        assert!(f.get(0) && f.get(1) && f.get(2));
+        assert!(!f.get(3));
+        // No nitrogen bits.
+        assert!(!f.get(4));
+    }
+
+    #[test]
+    fn ring_bit_set_for_six_ring_only() {
+        let f = fingerprint(&benzene());
+        assert!(f.get(RING_BITS.start + 3), "6-ring bit");
+        assert!(!f.get(RING_BITS.start), "no 3-ring");
+        let chain = Graph::from_parts(vec![0; 4], [(0, 1, 0), (1, 2, 0), (2, 3, 0)]).unwrap();
+        let fc = fingerprint(&chain);
+        for b in RING_BITS {
+            assert!(!fc.get(b), "chains have no ring bits");
+        }
+    }
+
+    #[test]
+    fn fragment_bit_for_benzene() {
+        let f = fingerprint(&benzene());
+        assert!(f.get(FRAGMENT_BASE), "benzene is fragment 0");
+        assert!(!f.get(FRAGMENT_BASE + 6), "no carboxyl");
+    }
+
+    #[test]
+    fn similar_graphs_score_higher_than_dissimilar() {
+        let a = benzene();
+        // Benzene with a methyl attached: still very benzene-like.
+        let mut like = gdim_graph::GraphBuilder::with_vertices(vec![0; 7]);
+        for e in a.edges() {
+            like.edge(e.u, e.v, e.label).unwrap();
+        }
+        like.edge(0, 6, 0).unwrap();
+        let b = like.build();
+        // A nitrogen-oxygen chain: very different.
+        let c = Graph::from_parts(vec![1, 2, 1, 2], [(0, 1, 0), (1, 2, 0), (2, 3, 0)]).unwrap();
+        let (fa, fb, fc) = (fingerprint(&a), fingerprint(&b), fingerprint(&c));
+        assert!(tanimoto(&fa, &fb) > tanimoto(&fa, &fc));
+    }
+
+    #[test]
+    fn index_ranks_self_first() {
+        let db = gdim_datagen::chem_db(20, &gdim_datagen::ChemConfig::default(), 31);
+        let idx = FingerprintIndex::build(&db);
+        assert_eq!(idx.len(), 20);
+        for i in [0usize, 7, 19] {
+            let top = idx.topk(&db[i], 3);
+            assert_eq!(top[0].0 as usize, i, "graph {i} should match itself");
+            assert_eq!(top[0].1, 1.0);
+        }
+    }
+
+    #[test]
+    fn tanimoto_empty_graphs() {
+        let empty = Graph::from_parts(vec![], []).unwrap();
+        let f = fingerprint(&empty);
+        assert_eq!(f.count_ones(), 0);
+        assert_eq!(tanimoto(&f, &f), 1.0);
+    }
+
+    #[test]
+    fn path_keys_are_orientation_invariant() {
+        // The same path graph written in both directions fingerprints equally.
+        let a = Graph::from_parts(vec![0, 1, 2], [(0, 1, 0), (1, 2, 1)]).unwrap();
+        let b = Graph::from_parts(vec![2, 1, 0], [(0, 1, 1), (1, 2, 0)]).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

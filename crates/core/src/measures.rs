@@ -1,0 +1,152 @@
+//! The paper's three top-k quality measures (§6, "Measures"), each
+//! comparing an approximate top-k list `A` against the exact ranking
+//! `T`:
+//!
+//! 1. **Precision** `p(k) = |A ∩ T| / k`.
+//! 2. **Kendall's tau (top-k form, after Fagin et al.)**
+//!    `τ(k) = Σ_{r_i ∈ A} |A_{i+1} ∩ T_{t(r_i)+1}| / (k(2n−k−1))`, where
+//!    `t(r_i)` is the true rank of `r_i` and `X_{j}` denotes the suffix
+//!    of list `X` starting at position `j`. With `T` the *full* exact
+//!    ranking this counts concordant ordered pairs of `A`.
+//! 3. **Inverse rank distance** `γ_inv(k) = k / Σ_{r_i ∈ A} |i − t(r_i)|`
+//!    (the inverse Spearman footrule of the paper; we guard the perfect
+//!    case by flooring the denominator at 1, so a perfect list scores `k`).
+//!
+//! All three grow with quality. The paper reports them **relative to a
+//! benchmark ranker** (the PubChem fingerprint on real data, the best
+//! algorithm on synthetic data); the harness in `gdim-bench` performs
+//! that normalization.
+
+/// `p(k) = |A ∩ T_k| / k`: fraction of the approximate top-k that
+/// belongs to the exact top-k. `approx` and `exact_topk` must have the
+/// same length `k`.
+pub fn precision(approx: &[u32], exact_topk: &[u32]) -> f64 {
+    assert_eq!(
+        approx.len(),
+        exact_topk.len(),
+        "precision compares equal-length top-k lists"
+    );
+    let k = approx.len();
+    if k == 0 {
+        return 1.0;
+    }
+    let exact: std::collections::BTreeSet<u32> = exact_topk.iter().copied().collect();
+    let hits = approx.iter().filter(|id| exact.contains(id)).count();
+    hits as f64 / k as f64
+}
+
+/// Top-k Kendall's tau per the paper's formula. `exact_full` is the
+/// exact ranking of the **whole** database (length `n`), so every
+/// element of `A` has a true rank `t(r_i)`.
+pub fn kendall_tau_topk(approx: &[u32], exact_full: &[u32], k: usize) -> f64 {
+    let n = exact_full.len();
+    assert!(k >= 1 && k <= approx.len(), "need at least k results");
+    assert!(n >= k, "full ranking shorter than k");
+    let rank = rank_map(exact_full);
+    let a = &approx[..k];
+    let mut concordant = 0usize;
+    for i in 0..k {
+        let ti = rank[&a[i]];
+        for &rj in &a[i + 1..k] {
+            if rank[&rj] > ti {
+                concordant += 1;
+            }
+        }
+    }
+    concordant as f64 / (k as f64 * (2.0 * n as f64 - k as f64 - 1.0))
+}
+
+/// Inverse rank (footrule) distance `γ_inv(k) = k / max(1, Σ |i − t(r_i)|)`
+/// with 1-based positions; larger is better, a perfect list scores `k`.
+pub fn rank_distance_inv(approx: &[u32], exact_full: &[u32], k: usize) -> f64 {
+    assert!(k >= 1 && k <= approx.len(), "need at least k results");
+    let rank = rank_map(exact_full);
+    let mut total = 0i64;
+    for (i, r) in approx[..k].iter().enumerate() {
+        let pos = i as i64 + 1;
+        let true_pos = rank[r] as i64 + 1;
+        total += (pos - true_pos).abs();
+    }
+    k as f64 / (total.max(1) as f64)
+}
+
+/// Ids of the first `k` entries of a `(id, score)` ranking.
+pub fn topk_ids(ranking: &[(u32, f64)], k: usize) -> Vec<u32> {
+    ranking.iter().take(k).map(|&(id, _)| id).collect()
+}
+
+fn rank_map(exact_full: &[u32]) -> std::collections::HashMap<u32, usize> {
+    exact_full
+        .iter()
+        .enumerate()
+        .map(|(pos, &id)| (id, pos))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_basic() {
+        assert_eq!(precision(&[1, 2, 3, 4], &[1, 2, 3, 4]), 1.0);
+        assert_eq!(precision(&[1, 2, 9, 8], &[1, 2, 3, 4]), 0.5);
+        assert_eq!(precision(&[9, 8, 7, 6], &[1, 2, 3, 4]), 0.0);
+        // Order within the top-k does not matter for precision.
+        assert_eq!(precision(&[4, 3, 2, 1], &[1, 2, 3, 4]), 1.0);
+    }
+
+    #[test]
+    fn kendall_counts_concordant_pairs() {
+        let full: Vec<u32> = (0..10).collect();
+        let k = 4;
+        let n = 10.0;
+        let denom = k as f64 * (2.0 * n - k as f64 - 1.0);
+        // Perfect order: all C(4,2) = 6 pairs concordant.
+        assert!((kendall_tau_topk(&[0, 1, 2, 3], &full, k) - 6.0 / denom).abs() < 1e-12);
+        // Fully reversed: zero concordant pairs.
+        assert_eq!(kendall_tau_topk(&[3, 2, 1, 0], &full, k), 0.0);
+        // One swap (0,1): pairs (1,0) discordant, rest concordant -> 5.
+        assert!((kendall_tau_topk(&[1, 0, 2, 3], &full, k) - 5.0 / denom).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_handles_out_of_topk_members() {
+        // Members deep in the exact ranking still have defined ranks.
+        let full: Vec<u32> = (0..10).collect();
+        let tau = kendall_tau_topk(&[0, 9, 1, 2], &full, 4);
+        // Pairs: (0,9)+(0,1)+(0,2) concordant, (9,1),(9,2) discordant,
+        // (1,2) concordant -> 4 concordant.
+        let denom = 4.0 * (20.0 - 4.0 - 1.0);
+        assert!((tau - 4.0 / denom).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_distance_perfect_and_shifted() {
+        let full: Vec<u32> = (0..10).collect();
+        // Perfect: denominator floored at 1 -> k.
+        assert_eq!(rank_distance_inv(&[0, 1, 2, 3], &full, 4), 4.0);
+        // Uniform shift by two: Σ|i − t| = 8 -> 4/8.
+        assert_eq!(rank_distance_inv(&[2, 3, 4, 5], &full, 4), 0.5);
+    }
+
+    #[test]
+    fn topk_ids_extracts_prefix() {
+        let ranking = vec![(7u32, 0.0), (3, 0.1), (9, 0.5)];
+        assert_eq!(topk_ids(&ranking, 2), vec![7, 3]);
+        assert_eq!(topk_ids(&ranking, 10), vec![7, 3, 9]);
+    }
+
+    #[test]
+    fn measures_reward_better_lists() {
+        let full: Vec<u32> = (0..100).collect();
+        let good = [0u32, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let ok = [0u32, 1, 2, 3, 4, 50, 51, 52, 53, 54];
+        let bad = [90u32, 91, 92, 93, 94, 95, 96, 97, 98, 99];
+        let k = 10;
+        let p = |a: &[u32]| precision(a, &full[..k]);
+        assert!(p(&good) > p(&ok) && p(&ok) > p(&bad));
+        let g = |a: &[u32]| rank_distance_inv(a, &full, k);
+        assert!(g(&good) > g(&ok) && g(&ok) > g(&bad));
+    }
+}

@@ -1,0 +1,346 @@
+//! Top-k graph similarity queries (§2, §6): the **exact** ranker
+//! (MCS-based dissimilarity against every database graph — the paper's
+//! slow baseline) and the **mapped** ranker (map the query with VF2,
+//! sequentially scan the database vectors — the paper's fast path; "we
+//! sequentially scan all vectors in the mapped multidimensional space",
+//! §6).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use gdim_graph::vf2::is_subgraph_iso;
+use gdim_graph::{delta, Dissimilarity, Graph, McsOptions};
+use gdim_mining::Feature;
+
+use crate::bitset::Bitset;
+use crate::featurespace::FeatureSpace;
+
+/// How database graphs and queries are embedded over the selected
+/// features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MappingKind {
+    /// The paper's φ (§4): binary vectors with normalized Euclidean
+    /// distance `d = √(|y_q ⊕ y_g| / p)`.
+    #[default]
+    Binary,
+    /// Ablation variant: distances weighted by the (normalized) DSPM
+    /// weights of the selected features instead of `1/p`.
+    Weighted,
+}
+
+/// The mapped multidimensional database `DM`: one vector per database
+/// graph over the `p` selected feature dimensions.
+#[derive(Debug, Clone)]
+pub struct MappedDatabase {
+    features: Vec<Feature>,
+    vectors: Vec<Bitset>,
+    /// Squared per-dimension weight; uniform `1/p` for [`MappingKind::Binary`].
+    w_sq: Vec<f64>,
+    kind: MappingKind,
+}
+
+impl MappedDatabase {
+    /// Builds the mapped database with the paper's binary φ.
+    pub fn build(space: &FeatureSpace, selected: &[u32], kind: MappingKind) -> Self {
+        assert!(
+            kind == MappingKind::Binary,
+            "use build_weighted for MappingKind::Weighted"
+        );
+        Self::assemble(space, selected, None)
+    }
+
+    /// Builds the weighted-mapping ablation variant: per-dimension
+    /// weights proportional to `weights[r]²`, normalized to sum 1.
+    pub fn build_weighted(space: &FeatureSpace, selected: &[u32], weights: &[f64]) -> Self {
+        Self::assemble(space, selected, Some(weights))
+    }
+
+    fn assemble(space: &FeatureSpace, selected: &[u32], weights: Option<&[f64]>) -> Self {
+        let p = selected.len();
+        let features: Vec<Feature> = selected
+            .iter()
+            .map(|&r| space.features()[r as usize].clone())
+            .collect();
+        let mut vectors = vec![Bitset::zeros(p); space.num_graphs()];
+        for (col, &r) in selected.iter().enumerate() {
+            for &gid in space.if_list(r as usize) {
+                vectors[gid as usize].set(col);
+            }
+        }
+        let (w_sq, kind) = match weights {
+            None => (vec![1.0 / p.max(1) as f64; p], MappingKind::Binary),
+            Some(w) => {
+                let raw: Vec<f64> = selected
+                    .iter()
+                    .map(|&r| {
+                        let x = w[r as usize];
+                        x * x
+                    })
+                    .collect();
+                let total: f64 = raw.iter().sum();
+                let norm = if total > 0.0 {
+                    raw.iter().map(|x| x / total).collect()
+                } else {
+                    vec![1.0 / p.max(1) as f64; p]
+                };
+                (norm, MappingKind::Weighted)
+            }
+        };
+        MappedDatabase {
+            features,
+            vectors,
+            w_sq,
+            kind,
+        }
+    }
+
+    /// Number of dimensions `p`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Number of database vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the database holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The mapping kind in use.
+    #[inline]
+    pub fn kind(&self) -> MappingKind {
+        self.kind
+    }
+
+    /// The selected feature dimensions.
+    #[inline]
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Vector of database graph `i`.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &Bitset {
+        &self.vectors[i]
+    }
+
+    /// Maps an (unseen) query onto the selected dimensions via VF2 —
+    /// the "feature matching time" component of the paper's query cost.
+    pub fn map_query(&self, q: &Graph) -> Bitset {
+        let mut bits = Bitset::zeros(self.p());
+        for (col, f) in self.features.iter().enumerate() {
+            if is_subgraph_iso(&f.graph, q) {
+                bits.set(col);
+            }
+        }
+        bits
+    }
+
+    /// Distance between two vectors in the mapped space.
+    #[inline]
+    pub fn distance(&self, a: &Bitset, b: &Bitset) -> f64 {
+        a.weighted_sq_xor(b, &self.w_sq).sqrt()
+    }
+
+    /// Distance from a query vector to database graph `i`.
+    #[inline]
+    pub fn distance_to(&self, qvec: &Bitset, i: usize) -> f64 {
+        self.distance(qvec, &self.vectors[i])
+    }
+
+    /// Top-k scan: the `k` database graphs closest to `qvec`, as
+    /// `(graph id, distance)` sorted ascending (ties by id — the scan is
+    /// deterministic).
+    pub fn topk(&self, qvec: &Bitset, k: usize) -> Vec<(u32, f64)> {
+        let mut ranked = self.ranking(qvec);
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Full ranking of the database for a query vector.
+    pub fn ranking(&self, qvec: &Bitset) -> Vec<(u32, f64)> {
+        let mut all: Vec<(u32, f64)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, self.distance(qvec, v)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        all
+    }
+}
+
+/// Exact full ranking of `db` for query `q` under the graph
+/// dissimilarity (one MCS search per database graph, parallelized).
+/// Sorted ascending by `(δ, id)`.
+pub fn exact_ranking(
+    db: &[Graph],
+    q: &Graph,
+    kind: Dissimilarity,
+    mcs: &McsOptions,
+    threads: usize,
+) -> Vec<(u32, f64)> {
+    let n = db.len();
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map_or(1, |t| t.get())
+    };
+    let mut vals = vec![0.0f64; n];
+    let counter = AtomicUsize::new(0);
+    let chunk = 8usize;
+    let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n.div_ceil(chunk)).max(1) {
+            let tx = tx.clone();
+            let counter = &counter;
+            s.spawn(move |_| loop {
+                let start = counter.fetch_add(1, Ordering::Relaxed) * chunk;
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let part: Vec<f64> = (start..end).map(|i| delta(kind, q, &db[i], mcs)).collect();
+                let _ = tx.send((start, part));
+            });
+        }
+        drop(tx);
+        for (start, part) in rx {
+            vals[start..start + part.len()].copy_from_slice(&part);
+        }
+    })
+    .expect("exact ranking workers never panic");
+    let mut ranked: Vec<(u32, f64)> = vals
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| (i as u32, d))
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    ranked
+}
+
+/// Exact top-k (§2's query workload): the first `k` entries of
+/// [`exact_ranking`].
+pub fn exact_topk(
+    db: &[Graph],
+    q: &Graph,
+    k: usize,
+    kind: Dissimilarity,
+    mcs: &McsOptions,
+    threads: usize,
+) -> Vec<(u32, f64)> {
+    let mut ranked = exact_ranking(db, q, kind, mcs, threads);
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdim_mining::{mine, MinerConfig, Support};
+
+    fn setup() -> (Vec<Graph>, FeatureSpace) {
+        let db = gdim_datagen::chem_db(25, &gdim_datagen::ChemConfig::default(), 17);
+        let feats = mine(
+            &db,
+            &MinerConfig::new(Support::Relative(0.15)).with_max_edges(3),
+        );
+        let space = FeatureSpace::build(db.len(), feats);
+        (db, space)
+    }
+
+    #[test]
+    fn binary_distance_matches_formula() {
+        let (_, space) = setup();
+        let selected: Vec<u32> = (0..space.num_features().min(16) as u32).collect();
+        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let p = mapped.p() as f64;
+        let a = mapped.vector(0);
+        let b = mapped.vector(1);
+        let want = ((a.xor_count(b) as f64) / p).sqrt();
+        assert!((mapped.distance(a, b) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_graph_query_maps_to_own_row() {
+        let (db, space) = setup();
+        let selected: Vec<u32> = (0..space.num_features().min(20) as u32).collect();
+        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        for i in [0usize, 5, 11] {
+            let qvec = mapped.map_query(&db[i]);
+            assert_eq!(&qvec, mapped.vector(i), "graph {i}");
+            // Therefore the graph itself ranks first (distance 0, min id tie).
+            let top = mapped.topk(&qvec, 1);
+            assert_eq!(top[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn topk_is_sorted_and_sized() {
+        let (db, space) = setup();
+        let selected: Vec<u32> = (0..space.num_features().min(16) as u32).collect();
+        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let qvec = mapped.map_query(&db[3]);
+        let top = mapped.topk(&qvec, 10);
+        assert_eq!(top.len(), 10);
+        for w in top.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Oversized k returns everything.
+        assert_eq!(mapped.topk(&qvec, 10_000).len(), db.len());
+    }
+
+    #[test]
+    fn weighted_mapping_normalizes() {
+        let (_, space) = setup();
+        let m = space.num_features();
+        let weights: Vec<f64> = (0..m).map(|r| (r % 5) as f64).collect();
+        let selected: Vec<u32> = (0..m.min(12) as u32).collect();
+        let mapped = MappedDatabase::build_weighted(&space, &selected, &weights);
+        assert_eq!(mapped.kind(), MappingKind::Weighted);
+        let total: f64 = mapped.w_sq.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Max possible distance is 1.
+        let zero = Bitset::zeros(mapped.p());
+        let mut ones = Bitset::zeros(mapped.p());
+        for i in 0..mapped.p() {
+            ones.set(i);
+        }
+        assert!((mapped.distance(&zero, &ones) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_ranking_puts_self_first_and_is_parallel_consistent() {
+        let (db, _) = setup();
+        let mcs = McsOptions::default();
+        let r1 = exact_ranking(&db, &db[4], Dissimilarity::AvgNorm, &mcs, 1);
+        let r4 = exact_ranking(&db, &db[4], Dissimilarity::AvgNorm, &mcs, 4);
+        assert_eq!(r1, r4);
+        assert_eq!(r1[0].0, 4);
+        assert_eq!(r1[0].1, 0.0);
+        for w in r1.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn exact_topk_truncates() {
+        let (db, _) = setup();
+        let top = exact_topk(
+            &db,
+            &db[0],
+            5,
+            Dissimilarity::AvgNorm,
+            &McsOptions::default(),
+            2,
+        );
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0].0, 0);
+    }
+}

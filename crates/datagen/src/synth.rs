@@ -1,0 +1,179 @@
+//! GraphGen-style synthetic generator — the substitute for GraphGen
+//! [39], parameterized exactly like §6: average edge count, graph
+//! density `D = 2|E| / (|V|(|V|−1))`, and number of distinct labels
+//! ("the average number of edges in each graph is 20, the number of
+//! distinct labels is 20, and the average graph density is 0.2").
+//!
+//! Each graph draws an edge count around the configured average,
+//! derives its vertex count from the density, builds a random spanning
+//! tree (connectivity), and fills in the remaining edges uniformly.
+
+use gdim_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`synth_db`].
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Average number of edges per graph (paper default: 20).
+    pub avg_edges: f64,
+    /// Average density `2|E|/(|V|(|V|−1))` (paper default: 0.2).
+    pub density: f64,
+    /// Number of distinct vertex labels (paper default: 20).
+    pub num_vlabels: u32,
+    /// Number of distinct edge labels (GraphGen workloads label
+    /// vertices; keep 1 for unlabeled edges).
+    pub num_elabels: u32,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            avg_edges: 20.0,
+            density: 0.2,
+            num_vlabels: 20,
+            num_elabels: 1,
+        }
+    }
+}
+
+/// Generates a database of `n` random connected labeled graphs.
+pub fn synth_db(n: usize, cfg: &SynthConfig, seed: u64) -> Vec<Graph> {
+    assert!(cfg.avg_edges >= 1.0, "avg_edges must be at least 1");
+    assert!(
+        cfg.density > 0.0 && cfg.density <= 1.0,
+        "density must be in (0, 1]"
+    );
+    (0..n)
+        .map(|i| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (0xd1b54a32d192ed03u64.wrapping_mul(i as u64 + 1)));
+            one_graph(cfg, &mut rng)
+        })
+        .collect()
+}
+
+fn one_graph(cfg: &SynthConfig, rng: &mut StdRng) -> Graph {
+    // Edge count: uniform within ±20% of the average, at least 1.
+    let lo = (cfg.avg_edges * 0.8).round().max(1.0) as usize;
+    let hi = (cfg.avg_edges * 1.2).round().max(1.0) as usize;
+    let e_target = rng.gen_range(lo..=hi);
+
+    // |V| from D = 2|E| / (|V|(|V|−1)): v(v−1) = 2E/D.
+    let v_float = 0.5 * (1.0 + (1.0 + 8.0 * e_target as f64 / cfg.density).sqrt());
+    let v = (v_float.round() as usize).max(2);
+    // A simple graph holds at most v(v−1)/2 edges; a connected one needs v−1.
+    let e_max = v * (v - 1) / 2;
+    let e_count = e_target.clamp(v - 1, e_max);
+
+    let mut b = GraphBuilder::new();
+    for _ in 0..v {
+        b.vertex(rng.gen_range(0..cfg.num_vlabels));
+    }
+    // Random spanning tree: attach vertex i to a uniform earlier vertex.
+    for i in 1..v as u32 {
+        let parent = rng.gen_range(0..i);
+        let el = rng.gen_range(0..cfg.num_elabels);
+        b.edge(parent, i, el).expect("tree edges are fresh");
+    }
+    // Extra edges, uniformly over free vertex pairs.
+    let mut guard = 0;
+    while b.edge_count() < e_count && guard < 20 * e_count {
+        guard += 1;
+        let u = rng.gen_range(0..v as u32);
+        let w = rng.gen_range(0..v as u32);
+        if u == w || b.has_edge(u, w) {
+            continue;
+        }
+        let el = rng.gen_range(0..cfg.num_elabels);
+        b.edge(u, w, el).expect("checked for duplicates");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_connected_and_near_parameters() {
+        let cfg = SynthConfig::default();
+        let db = synth_db(200, &cfg, 13);
+        assert_eq!(db.len(), 200);
+        let mut sum_e = 0.0;
+        let mut sum_d = 0.0;
+        for g in &db {
+            assert!(g.is_connected());
+            assert!(g.vlabels().iter().all(|&l| l < cfg.num_vlabels));
+            sum_e += g.edge_count() as f64;
+            sum_d += g.density();
+        }
+        let avg_e = sum_e / 200.0;
+        let avg_d = sum_d / 200.0;
+        assert!(
+            (avg_e - cfg.avg_edges).abs() < 2.0,
+            "avg edges {avg_e} vs {}",
+            cfg.avg_edges
+        );
+        assert!(
+            (avg_d - cfg.density).abs() < 0.05,
+            "avg density {avg_d} vs {}",
+            cfg.density
+        );
+    }
+
+    #[test]
+    fn density_controls_vertex_count() {
+        let sparse = SynthConfig {
+            density: 0.1,
+            ..Default::default()
+        };
+        let dense = SynthConfig {
+            density: 0.3,
+            ..Default::default()
+        };
+        let vs = |cfg: &SynthConfig| {
+            synth_db(100, cfg, 5)
+                .iter()
+                .map(|g| g.vertex_count() as f64)
+                .sum::<f64>()
+                / 100.0
+        };
+        // Same edge budget spread over more vertices when sparser.
+        assert!(vs(&sparse) > vs(&dense) + 3.0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = SynthConfig::default();
+        assert_eq!(synth_db(5, &cfg, 1), synth_db(5, &cfg, 1));
+        assert_ne!(synth_db(5, &cfg, 1), synth_db(5, &cfg, 2));
+    }
+
+    #[test]
+    fn tiny_graphs_work() {
+        let cfg = SynthConfig {
+            avg_edges: 2.0,
+            density: 0.5,
+            num_vlabels: 2,
+            num_elabels: 2,
+        };
+        let db = synth_db(20, &cfg, 9);
+        for g in &db {
+            assert!(g.is_connected());
+            assert!(g.edge_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn edge_label_range_respected() {
+        let cfg = SynthConfig {
+            num_elabels: 3,
+            ..Default::default()
+        };
+        let db = synth_db(30, &cfg, 21);
+        for g in &db {
+            assert!(g.edges().iter().all(|e| e.label < 3));
+        }
+    }
+}

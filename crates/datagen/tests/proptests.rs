@@ -1,0 +1,78 @@
+//! Property tests for the dataset generators across their parameter
+//! spaces: structural validity, valence budgets, density control,
+//! determinism.
+
+use proptest::prelude::*;
+
+use gdim_datagen::chem::{ATOM_SYMBOLS, ATOM_VALENCE};
+use gdim_datagen::{chem_db, synth_db, ChemConfig, SynthConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chem_molecules_valid_across_configs(
+        min_v in 6usize..12,
+        span in 0usize..10,
+        frag_prob in 0.0f64..1.0,
+        ring_prob in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ChemConfig {
+            min_vertices: min_v,
+            max_vertices: min_v + span,
+            fragment_prob: frag_prob,
+            ring_closure_prob: ring_prob,
+        };
+        for g in chem_db(6, &cfg, seed) {
+            prop_assert!(g.is_connected());
+            prop_assert!(g.vertex_count() >= 2);
+            prop_assert!(g.edge_count() <= 128, "miner contract");
+            for v in 0..g.vertex_count() as u32 {
+                let label = g.vlabel(v) as usize;
+                prop_assert!(label < ATOM_SYMBOLS.len());
+                let used: u32 = g.neighbors(v).iter().map(|nb| nb.elabel + 1).sum();
+                prop_assert!(
+                    used <= ATOM_VALENCE[label],
+                    "valence violated at {} ({} > {})",
+                    ATOM_SYMBOLS[label], used, ATOM_VALENCE[label]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synth_graphs_valid_across_configs(
+        avg_edges in 4.0f64..30.0,
+        density in 0.05f64..0.5,
+        vlabels in 2u32..30,
+        elabels in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SynthConfig {
+            avg_edges,
+            density,
+            num_vlabels: vlabels,
+            num_elabels: elabels,
+        };
+        for g in synth_db(6, &cfg, seed) {
+            prop_assert!(g.is_connected());
+            prop_assert!(g.edge_count() >= 1);
+            prop_assert!(g.vlabels().iter().all(|&l| l < vlabels));
+            prop_assert!(g.edges().iter().all(|e| e.label < elabels));
+            // Edge count within the generator's sampling window, clamped
+            // to connectivity/simple-graph feasibility.
+            let v = g.vertex_count();
+            prop_assert!(g.edge_count() >= v - 1);
+            prop_assert!(g.edge_count() <= v * (v - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic(seed in any::<u64>()) {
+        let c = ChemConfig::default();
+        prop_assert_eq!(chem_db(3, &c, seed), chem_db(3, &c, seed));
+        let s = SynthConfig::default();
+        prop_assert_eq!(synth_db(3, &s, seed), synth_db(3, &s, seed));
+    }
+}

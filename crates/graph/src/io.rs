@@ -1,0 +1,221 @@
+//! Plain-text graph-database format (the de-facto gSpan format used by
+//! graph-mining tools, including the datasets distributed with gIndex
+//! and FG-Index):
+//!
+//! ```text
+//! t # 0          # graph header with id
+//! v 0 3          # vertex <id> <label>
+//! v 1 5
+//! e 0 1 2        # edge <u> <v> <label>
+//! t # 1
+//! ...
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. `t # -1` (an
+//! end-of-file marker emitted by some tools) terminates parsing.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Errors raised while parsing the text format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed line, with 1-based line number and message.
+    Syntax(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::Syntax(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses a graph database from its text representation.
+pub fn parse_db(text: &str) -> Result<Vec<Graph>, ParseError> {
+    let mut graphs = Vec::new();
+    let mut current: Option<GraphBuilder> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("t") => {
+                // "t # <id>"; id -1 ends the file.
+                let toks: Vec<&str> = parts.collect();
+                if toks.first() == Some(&"#") && toks.get(1) == Some(&"-1") {
+                    break;
+                }
+                if let Some(b) = current.take() {
+                    graphs.push(b.build());
+                }
+                current = Some(GraphBuilder::new());
+            }
+            Some("v") => {
+                let b = current
+                    .as_mut()
+                    .ok_or_else(|| ParseError::Syntax(lineno, "vertex before 't' header".into()))?;
+                let id: usize = next_num(&mut parts, lineno, "vertex id")?;
+                let label: u32 = next_num(&mut parts, lineno, "vertex label")?;
+                if id != b.vertex_count() {
+                    return Err(ParseError::Syntax(
+                        lineno,
+                        format!("vertex ids must be dense; expected {}, got {id}", b.vertex_count()),
+                    ));
+                }
+                b.vertex(label);
+            }
+            Some("e") => {
+                let b = current
+                    .as_mut()
+                    .ok_or_else(|| ParseError::Syntax(lineno, "edge before 't' header".into()))?;
+                let u: u32 = next_num(&mut parts, lineno, "edge source")?;
+                let v: u32 = next_num(&mut parts, lineno, "edge target")?;
+                let label: u32 = next_num(&mut parts, lineno, "edge label")?;
+                b.edge(u, v, label)
+                    .map_err(|e| ParseError::Syntax(lineno, e.to_string()))?;
+            }
+            Some(tok) => {
+                return Err(ParseError::Syntax(lineno, format!("unknown record '{tok}'")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    if let Some(b) = current.take() {
+        graphs.push(b.build());
+    }
+    Ok(graphs)
+}
+
+fn next_num<T: std::str::FromStr>(
+    parts: &mut std::str::SplitWhitespace<'_>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    parts
+        .next()
+        .ok_or_else(|| ParseError::Syntax(lineno, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseError::Syntax(lineno, format!("invalid {what}")))
+}
+
+/// Serializes a graph database to the text format.
+pub fn write_db(graphs: &[Graph]) -> String {
+    let mut out = String::new();
+    for (i, g) in graphs.iter().enumerate() {
+        let _ = writeln!(out, "t # {i}");
+        for (v, &l) in g.vlabels().iter().enumerate() {
+            let _ = writeln!(out, "v {v} {l}");
+        }
+        for e in g.edges() {
+            let _ = writeln!(out, "e {} {} {}", e.u, e.v, e.label);
+        }
+    }
+    out
+}
+
+/// Loads a graph database from a file.
+pub fn load_db(path: impl AsRef<Path>) -> Result<Vec<Graph>, ParseError> {
+    parse_db(&fs::read_to_string(path)?)
+}
+
+/// Saves a graph database to a file.
+pub fn save_db(path: impl AsRef<Path>, graphs: &[Graph]) -> io::Result<()> {
+    fs::write(path, write_db(graphs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+t # 0
+v 0 3
+v 1 5
+e 0 1 2
+
+t # 1
+v 0 1
+";
+
+    #[test]
+    fn parse_basic() {
+        let db = parse_db(SAMPLE).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db[0].vertex_count(), 2);
+        assert_eq!(db[0].edge_count(), 1);
+        assert_eq!(db[0].edge_label(0, 1), Some(2));
+        assert_eq!(db[1].vertex_count(), 1);
+        assert_eq!(db[1].vlabel(0), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = parse_db(SAMPLE).unwrap();
+        let text = write_db(&db);
+        let back = parse_db(&text).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn eof_marker_stops_parsing() {
+        let text = "t # 0\nv 0 1\nt # -1\nt # 9\nv 0 9\n";
+        let db = parse_db(text).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db[0].vlabel(0), 1);
+    }
+
+    #[test]
+    fn rejects_sparse_vertex_ids() {
+        let text = "t # 0\nv 1 1\n";
+        assert!(matches!(
+            parse_db(text),
+            Err(ParseError::Syntax(2, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_edge_without_graph() {
+        assert!(matches!(
+            parse_db("e 0 1 2\n"),
+            Err(ParseError::Syntax(1, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let text = "t # 0\nv 0 1\nv 1 1\ne 0 1 2\ne 1 0 3\n";
+        assert!(matches!(parse_db(text), Err(ParseError::Syntax(5, _))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = parse_db(SAMPLE).unwrap();
+        let dir = std::env::temp_dir().join("gdim_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.txt");
+        save_db(&path, &db).unwrap();
+        let back = load_db(&path).unwrap();
+        assert_eq!(db, back);
+    }
+}

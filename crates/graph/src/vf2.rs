@@ -1,0 +1,386 @@
+//! Subgraph isomorphism (subgraph *monomorphism*) in the style of VF2
+//! [Cordella et al., TPAMI 2004], the algorithm the paper uses for
+//! feature matching at query time (§6, Exp-4).
+//!
+//! Semantics are **non-induced**: an embedding maps pattern vertices
+//! injectively onto target vertices such that every pattern edge maps to
+//! a target edge with the same label and endpoint labels; extra target
+//! edges between mapped vertices are allowed. This matches the
+//! containment relation `f ⊆ g` used throughout the paper (and by gSpan,
+//! whose frequent patterns are counted with the same semantics).
+//!
+//! The matcher orders pattern vertices most-constrained-first (each new
+//! vertex is adjacent to an already-mapped one whenever the pattern is
+//! connected), generates candidates from a mapped anchor's adjacency, and
+//! prunes with label histograms and degree bounds.
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// Whether `pattern` is subgraph-isomorphic to `target` (`pattern ⊆ target`).
+pub fn is_subgraph_iso(pattern: &Graph, target: &Graph) -> bool {
+    Matcher::new(pattern, target).is_some_and(|mut m| {
+        let mut found = false;
+        m.search(&mut |_| {
+            found = true;
+            false // stop at the first embedding
+        });
+        found
+    })
+}
+
+/// The first embedding found, as `map[pattern_vertex] = target_vertex`.
+pub fn find_embedding(pattern: &Graph, target: &Graph) -> Option<Vec<VertexId>> {
+    let mut m = Matcher::new(pattern, target)?;
+    let mut out = None;
+    m.search(&mut |map| {
+        out = Some(map.to_vec());
+        false
+    });
+    out
+}
+
+/// Number of distinct embeddings, stopping early once `cap` is reached
+/// (embedding counts can be exponential; `cap = usize::MAX` for all).
+pub fn count_embeddings(pattern: &Graph, target: &Graph, cap: usize) -> usize {
+    if cap == 0 {
+        return 0;
+    }
+    match Matcher::new(pattern, target) {
+        None => 0,
+        Some(mut m) => {
+            let mut count = 0usize;
+            m.search(&mut |_| {
+                count += 1;
+                count < cap
+            });
+            count
+        }
+    }
+}
+
+/// All embeddings (up to `cap`), each as `map[pattern_vertex] = target_vertex`.
+pub fn embeddings(pattern: &Graph, target: &Graph, cap: usize) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    if cap == 0 {
+        return out;
+    }
+    if let Some(mut m) = Matcher::new(pattern, target) {
+        m.search(&mut |map| {
+            out.push(map.to_vec());
+            out.len() < cap
+        });
+    }
+    out
+}
+
+/// Whether `a` and `b` are isomorphic.
+///
+/// With equal vertex and edge counts, a monomorphism is edge- and
+/// vertex-bijective, hence an isomorphism; one direction suffices.
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    a.vertex_count() == b.vertex_count()
+        && a.edge_count() == b.edge_count()
+        && is_subgraph_iso(a, b)
+}
+
+struct Matcher<'a> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    /// Pattern vertices in matching order.
+    order: Vec<VertexId>,
+    /// For each position in `order`: pattern neighbors already mapped when
+    /// this vertex is matched, as `(pattern_neighbor, edge_label)`.
+    mapped_neighbors: Vec<Vec<(VertexId, u32)>>,
+    map: Vec<VertexId>,
+    used: Vec<bool>,
+}
+
+const UNMAPPED: VertexId = VertexId::MAX;
+
+impl<'a> Matcher<'a> {
+    /// Returns `None` when cheap global invariants already rule out any
+    /// embedding (size or label-histogram violations).
+    fn new(pattern: &'a Graph, target: &'a Graph) -> Option<Self> {
+        if pattern.vertex_count() > target.vertex_count()
+            || pattern.edge_count() > target.edge_count()
+        {
+            return None;
+        }
+        if !histogram_dominates(&pattern.vlabel_counts(), &target.vlabel_counts())
+            || !histogram_dominates(&pattern.elabel_counts(), &target.elabel_counts())
+        {
+            return None;
+        }
+        let order = matching_order(pattern);
+        let mut placed = vec![false; pattern.vertex_count()];
+        let mut mapped_neighbors = Vec::with_capacity(order.len());
+        for &pv in &order {
+            let anchors: Vec<(VertexId, u32)> = pattern
+                .neighbors(pv)
+                .iter()
+                .filter(|n| placed[n.to as usize])
+                .map(|n| (n.to, n.elabel))
+                .collect();
+            placed[pv as usize] = true;
+            mapped_neighbors.push(anchors);
+        }
+        Some(Matcher {
+            pattern,
+            target,
+            order,
+            mapped_neighbors,
+            map: vec![UNMAPPED; pattern.vertex_count()],
+            used: vec![false; target.vertex_count()],
+        })
+    }
+
+    /// Depth-first search over partial mappings. `visit` is called with
+    /// the complete mapping for every embedding; returning `false` stops
+    /// the whole search.
+    fn search(&mut self, visit: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
+        self.step(0, visit)
+    }
+
+    fn step(&mut self, depth: usize, visit: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
+        if depth == self.order.len() {
+            return visit(&self.map);
+        }
+        let pv = self.order[depth];
+        let pl = self.pattern.vlabel(pv);
+        let pdeg = self.pattern.degree(pv);
+        let anchors = std::mem::take(&mut self.mapped_neighbors[depth]);
+
+        let keep_going = if let Some(&(anchor, elabel)) = anchors.first() {
+            // Candidates come from the image of one mapped pattern neighbor.
+            let tv_anchor = self.map[anchor as usize];
+            let mut ok = true;
+            let nbrs = self.target.neighbors(tv_anchor).to_vec();
+            for nb in nbrs {
+                let tv = nb.to;
+                if nb.elabel != elabel
+                    || self.used[tv as usize]
+                    || self.target.vlabel(tv) != pl
+                    || self.target.degree(tv) < pdeg
+                {
+                    continue;
+                }
+                if !self.consistent(&anchors[1..], tv) {
+                    continue;
+                }
+                if !self.extend(depth, pv, tv, visit) {
+                    ok = false;
+                    break;
+                }
+            }
+            ok
+        } else {
+            // First vertex of a (new) component: try every unused target vertex.
+            let mut ok = true;
+            for tv in 0..self.target.vertex_count() as VertexId {
+                if self.used[tv as usize]
+                    || self.target.vlabel(tv) != pl
+                    || self.target.degree(tv) < pdeg
+                {
+                    continue;
+                }
+                if !self.extend(depth, pv, tv, visit) {
+                    ok = false;
+                    break;
+                }
+            }
+            ok
+        };
+        self.mapped_neighbors[depth] = anchors;
+        keep_going
+    }
+
+    /// All remaining mapped pattern neighbors must be connected to `tv`
+    /// by a target edge with the right label.
+    fn consistent(&self, rest: &[(VertexId, u32)], tv: VertexId) -> bool {
+        rest.iter().all(|&(nbr, el)| {
+            self.target.edge_label(self.map[nbr as usize], tv) == Some(el)
+        })
+    }
+
+    fn extend(
+        &mut self,
+        depth: usize,
+        pv: VertexId,
+        tv: VertexId,
+        visit: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> bool {
+        self.map[pv as usize] = tv;
+        self.used[tv as usize] = true;
+        let cont = self.step(depth + 1, visit);
+        self.used[tv as usize] = false;
+        self.map[pv as usize] = UNMAPPED;
+        cont
+    }
+}
+
+/// Pattern-vertex matching order: start at the highest-degree vertex,
+/// then repeatedly pick the unplaced vertex with the most already-placed
+/// neighbors (most-constrained first), tie-breaking by degree then id.
+/// Guarantees connected patterns extend along edges at every step.
+fn matching_order(pattern: &Graph) -> Vec<VertexId> {
+    let n = pattern.vertex_count();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut placed_nbrs = vec![0usize; n];
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&v| !placed[v])
+            .max_by_key(|&v| (placed_nbrs[v], pattern.degree(v as VertexId), usize::MAX - v))
+            .expect("unplaced vertex exists");
+        placed[next] = true;
+        order.push(next as VertexId);
+        for nb in pattern.neighbors(next as VertexId) {
+            placed_nbrs[nb.to as usize] += 1;
+        }
+    }
+    order
+}
+
+/// True when every label's count in `small` is ≤ its count in `large`.
+/// Both histograms are sorted by label.
+fn histogram_dominates(small: &[(u32, u32)], large: &[(u32, u32)]) -> bool {
+    let mut j = 0;
+    for &(label, count) in small {
+        while j < large.len() && large[j].0 < label {
+            j += 1;
+        }
+        if j >= large.len() || large[j].0 != label || large[j].1 < count {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn triangle(l: u32) -> Graph {
+        Graph::from_parts(vec![l; 3], [(0, 1, 0), (1, 2, 0), (0, 2, 0)]).unwrap()
+    }
+
+    fn path(labels: &[u32], elabels: &[u32]) -> Graph {
+        let edges: Vec<_> = elabels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i as u32, i as u32 + 1, l))
+            .collect();
+        Graph::from_parts(labels.to_vec(), edges).unwrap()
+    }
+
+    #[test]
+    fn single_edge_in_triangle() {
+        let p = path(&[1, 1], &[0]);
+        assert!(is_subgraph_iso(&p, &triangle(1)));
+        // 3 edges × 2 orientations = 6 embeddings.
+        assert_eq!(count_embeddings(&p, &triangle(1), usize::MAX), 6);
+    }
+
+    #[test]
+    fn vertex_labels_must_match() {
+        let p = path(&[1, 2], &[0]);
+        assert!(!is_subgraph_iso(&p, &triangle(1)));
+    }
+
+    #[test]
+    fn edge_labels_must_match() {
+        let p = path(&[1, 1], &[9]);
+        assert!(!is_subgraph_iso(&p, &triangle(1)));
+    }
+
+    #[test]
+    fn non_induced_semantics() {
+        // Path 0-1-2 embeds into a triangle even though the triangle has
+        // the extra chord (0,2): non-induced matching.
+        let p = path(&[1, 1, 1], &[0, 0]);
+        assert!(is_subgraph_iso(&p, &triangle(1)));
+    }
+
+    #[test]
+    fn pattern_larger_than_target_fails_fast() {
+        let p = path(&[1, 1, 1, 1], &[0, 0, 0]);
+        let t = path(&[1, 1], &[0]);
+        assert!(!is_subgraph_iso(&p, &t));
+    }
+
+    #[test]
+    fn triangle_not_in_path() {
+        let t = path(&[1, 1, 1, 1], &[0, 0, 0]);
+        assert!(!is_subgraph_iso(&triangle(1), &t));
+    }
+
+    #[test]
+    fn embedding_maps_edges_correctly() {
+        let p = path(&[3, 4, 5], &[7, 8]);
+        let t = Graph::from_parts(
+            vec![5, 4, 3, 9],
+            [(2, 1, 7), (1, 0, 8), (0, 3, 1)],
+        )
+        .unwrap();
+        let m = find_embedding(&p, &t).expect("embedding exists");
+        for e in p.edges() {
+            assert_eq!(
+                t.edge_label(m[e.u as usize], m[e.v as usize]),
+                Some(e.label)
+            );
+        }
+        for (pv, &tv) in m.iter().enumerate() {
+            assert_eq!(p.vlabel(pv as u32), t.vlabel(tv));
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        let p = Graph::from_parts(vec![1, 1, 2, 2], [(0, 1, 0), (2, 3, 5)]).unwrap();
+        let t = Graph::from_parts(
+            vec![1, 1, 2, 2, 7],
+            [(0, 1, 0), (2, 3, 5), (3, 4, 1)],
+        )
+        .unwrap();
+        assert!(is_subgraph_iso(&p, &t));
+        // Components can't overlap: labels differ, so 2 × 2 orientations.
+        assert_eq!(count_embeddings(&p, &t, usize::MAX), 4);
+    }
+
+    #[test]
+    fn isomorphism_detects_equal_and_unequal() {
+        let a = path(&[1, 2, 3], &[5, 6]);
+        let b = path(&[3, 2, 1], &[6, 5]); // same path written backwards
+        assert!(are_isomorphic(&a, &b));
+        let c = path(&[1, 2, 3], &[6, 5]);
+        assert!(!are_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn count_respects_cap() {
+        let p = path(&[1, 1], &[0]);
+        assert_eq!(count_embeddings(&p, &triangle(1), 4), 4);
+        assert_eq!(count_embeddings(&p, &triangle(1), 0), 0);
+    }
+
+    #[test]
+    fn empty_pattern_matches_once() {
+        let p = Graph::from_parts(vec![], []).unwrap();
+        let t = triangle(1);
+        assert_eq!(count_embeddings(&p, &t, usize::MAX), 1);
+        assert!(is_subgraph_iso(&p, &t));
+    }
+
+    #[test]
+    fn embeddings_are_injective() {
+        let p = path(&[1, 1, 1], &[0, 0]);
+        for m in embeddings(&p, &triangle(1), usize::MAX) {
+            let mut seen = m.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), m.len());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests for the graph substrate: canonical-form
+//! invariance, MCS correctness against brute force, VF2 soundness and
+//! completeness, and dissimilarity axioms.
+
+use proptest::prelude::*;
+
+use gdim_graph::dfscode::min_dfs_code;
+use gdim_graph::ged::{ged, GedOptions};
+use gdim_graph::mcs::{mcs_edges, McsOptions};
+use gdim_graph::vf2::{embeddings, is_subgraph_iso};
+use gdim_graph::{delta, Dissimilarity, Graph};
+
+/// Strategy: a random connected labeled graph with `n` vertices,
+/// `extra` non-tree edges, `vl` vertex labels and `el` edge labels.
+fn connected_graph(
+    max_n: usize,
+    max_extra: usize,
+    vl: u32,
+    el: u32,
+) -> impl Strategy<Value = Graph> {
+    (2..=max_n, 0..=max_extra).prop_flat_map(move |(n, extra)| {
+        let vlabels = proptest::collection::vec(0..vl, n);
+        // Tree edge i connects vertex i+1 to a random earlier vertex.
+        let tree = proptest::collection::vec((any::<prop::sample::Index>(), 0..el), n - 1);
+        let extras = proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0..el),
+            extra,
+        );
+        (vlabels, tree, extras).prop_map(move |(vlabels, tree, extras)| {
+            let mut b = gdim_graph::GraphBuilder::with_vertices(vlabels);
+            for (i, (parent, elabel)) in tree.into_iter().enumerate() {
+                let child = (i + 1) as u32;
+                let p = parent.index(i + 1) as u32;
+                let _ = b.edge(p, child, elabel);
+            }
+            for (iu, iv, elabel) in extras {
+                let u = iu.index(n) as u32;
+                let v = iv.index(n) as u32;
+                if u != v && !b.has_edge(u, v) {
+                    let _ = b.edge(u, v, elabel);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Brute-force MCS: the largest edge subset of `g1` embeddable in `g2`.
+fn brute_force_mcs(g1: &Graph, g2: &Graph) -> u32 {
+    let m = g1.edge_count();
+    let mut best = 0u32;
+    for mask in 0u32..(1 << m) {
+        let k = mask.count_ones();
+        if k <= best {
+            continue;
+        }
+        let eids: Vec<u32> = (0..m as u32).filter(|i| mask >> i & 1 == 1).collect();
+        if is_subgraph_iso(&g1.edge_subgraph(&eids), g2) {
+            best = k;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn min_dfs_code_is_permutation_invariant(
+        g in connected_graph(7, 3, 3, 2),
+        seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..g.vertex_count() as u32).collect();
+        perm.shuffle(&mut rng);
+        let permuted = g.permuted(&perm);
+        prop_assert_eq!(min_dfs_code(&g), min_dfs_code(&permuted));
+    }
+
+    #[test]
+    fn min_dfs_code_roundtrip_idempotent(g in connected_graph(7, 3, 3, 2)) {
+        let code = min_dfs_code(&g);
+        prop_assert_eq!(code.len(), g.edge_count());
+        let rebuilt = code.to_graph();
+        prop_assert_eq!(min_dfs_code(&rebuilt), code);
+    }
+
+    #[test]
+    fn mcs_matches_brute_force(
+        g1 in connected_graph(5, 2, 2, 2),
+        g2 in connected_graph(5, 2, 2, 2),
+    ) {
+        prop_assume!(g1.edge_count() <= 8);
+        let opts = McsOptions { containment_precheck: false, ..Default::default() };
+        let out = mcs_edges(&g1, &g2, &opts);
+        prop_assert!(out.exact);
+        prop_assert_eq!(out.edges, brute_force_mcs(&g1, &g2));
+    }
+
+    #[test]
+    fn mcs_is_symmetric_and_bounded(
+        g1 in connected_graph(6, 2, 2, 2),
+        g2 in connected_graph(6, 2, 2, 2),
+    ) {
+        let opts = McsOptions::default();
+        let a = mcs_edges(&g1, &g2, &opts);
+        let b = mcs_edges(&g2, &g1, &opts);
+        prop_assert_eq!(a.edges, b.edges);
+        prop_assert!(a.edges as usize <= g1.edge_count().min(g2.edge_count()));
+    }
+
+    #[test]
+    fn delta_axioms(
+        g1 in connected_graph(6, 2, 2, 2),
+        g2 in connected_graph(6, 2, 2, 2),
+    ) {
+        let opts = McsOptions::default();
+        for kind in [Dissimilarity::MaxNorm, Dissimilarity::AvgNorm] {
+            let d = delta(kind, &g1, &g2, &opts);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert_eq!(d, delta(kind, &g2, &g1, &opts));
+            prop_assert_eq!(delta(kind, &g1, &g1, &opts), 0.0);
+        }
+    }
+
+    #[test]
+    fn vf2_embeddings_are_valid(
+        g in connected_graph(6, 3, 2, 2),
+        t in connected_graph(7, 4, 2, 2),
+    ) {
+        for m in embeddings(&g, &t, 16) {
+            // Injective.
+            let mut s = m.clone();
+            s.sort_unstable();
+            s.dedup();
+            prop_assert_eq!(s.len(), m.len());
+            // Label- and edge-preserving.
+            for (pv, &tv) in m.iter().enumerate() {
+                prop_assert_eq!(g.vlabel(pv as u32), t.vlabel(tv));
+            }
+            for e in g.edges() {
+                prop_assert_eq!(
+                    t.edge_label(m[e.u as usize], m[e.v as usize]),
+                    Some(e.label)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vf2_finds_planted_subgraph(
+        g in connected_graph(7, 3, 2, 2),
+        mask in any::<u32>(),
+    ) {
+        // Any edge-subgraph of g must embed back into g.
+        let m = g.edge_count() as u32;
+        let eids: Vec<u32> = (0..m).filter(|i| mask >> (i % 32) & 1 == 1).collect();
+        prop_assume!(!eids.is_empty());
+        let sub = g.edge_subgraph(&eids);
+        prop_assert!(is_subgraph_iso(&sub, &g));
+        // And the MCS with g is the whole subgraph.
+        let out = mcs_edges(&sub, &g, &McsOptions::default());
+        prop_assert_eq!(out.edges as usize, sub.edge_count());
+    }
+
+    #[test]
+    fn io_roundtrip(g in connected_graph(8, 4, 4, 3)) {
+        let db = vec![g];
+        let text = gdim_graph::io::write_db(&db);
+        let back = gdim_graph::io::parse_db(&text).unwrap();
+        prop_assert_eq!(db, back);
+    }
+
+    #[test]
+    fn ged_metric_axioms(
+        a in connected_graph(5, 1, 2, 2),
+        b in connected_graph(5, 1, 2, 2),
+        c in connected_graph(4, 1, 2, 2),
+    ) {
+        let opts = GedOptions::default();
+        let d = |x: &Graph, y: &Graph| {
+            let out = ged(x, y, &opts);
+            prop_assert!(out.exact, "graphs small enough for exact GED");
+            Ok(out.cost)
+        };
+        // Identity and symmetry.
+        prop_assert_eq!(d(&a, &a)?, 0);
+        prop_assert_eq!(d(&a, &b)?, d(&b, &a)?);
+        // Triangle inequality (uniform costs form a metric).
+        let (ab, bc, ac) = (d(&a, &b)?, d(&b, &c)?, d(&a, &c)?);
+        prop_assert!(ac <= ab + bc, "triangle violated: {ac} > {ab}+{bc}");
+        // Delete-all/insert-all ceiling.
+        let ceiling = (a.vertex_count() + a.edge_count()
+            + b.vertex_count() + b.edge_count()) as u32;
+        prop_assert!(ab <= ceiling);
+    }
+
+    #[test]
+    fn ged_single_relabel_costs_at_most_one(
+        g in connected_graph(6, 2, 3, 2),
+        idx in any::<prop::sample::Index>(),
+    ) {
+        let v = idx.index(g.vertex_count()) as u32;
+        let mut labels = g.vlabels().to_vec();
+        labels[v as usize] = labels[v as usize] ^ 1; // flip to a different label
+        let edges: Vec<_> = g.edges().iter().map(|e| (e.u, e.v, e.label)).collect();
+        let changed = Graph::from_parts(labels, edges).unwrap();
+        let out = ged(&g, &changed, &GedOptions::default());
+        prop_assert!(out.exact);
+        prop_assert!(out.cost <= 1, "one relabel costs at most 1, got {}", out.cost);
+    }
+}

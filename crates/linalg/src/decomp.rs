@@ -1,0 +1,147 @@
+//! Cholesky factorization and SPD linear solves.
+
+use crate::matrix::Mat;
+
+/// Cholesky factor `L` (lower triangular) of an SPD matrix `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+/// Factorizes a symmetric positive-definite matrix. Returns `None` when
+/// a non-positive pivot is encountered (matrix not SPD within roundoff).
+pub fn cholesky(a: &Mat) -> Option<Cholesky> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "cholesky requires a square matrix");
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(Cholesky { l })
+}
+
+impl Cholesky {
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward/backward substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_mat(&self, b: &Mat) -> Mat {
+        let n = self.l.rows();
+        assert_eq!(b.rows(), n);
+        let mut out = Mat::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col);
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+}
+
+/// One-shot SPD solve `A x = b`. Panics when `A` is not SPD; callers
+/// needing graceful failure should use [`cholesky`] directly.
+pub fn solve_spd(a: &Mat, b: &[f64]) -> Vec<f64> {
+    cholesky(a).expect("matrix not SPD").solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Mat {
+        Mat::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+    }
+
+    #[test]
+    fn factor_matches_known_decomposition() {
+        // Classic example with L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let ch = cholesky(&spd3()).unwrap();
+        let l = ch.factor();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap().l;
+        let rebuilt = l.matmul(&l.transpose());
+        assert!(rebuilt.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.mul_vec(&x_true);
+        let x = solve_spd(&a, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_mat_multi_rhs() {
+        let a = spd3();
+        let x_true = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[3.0, -1.0]]);
+        let b = a.matmul(&x_true);
+        let x = cholesky(&a).unwrap().solve_mat(&b);
+        assert!(x.max_abs_diff(&x_true) < 1e-8);
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let not_spd = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(cholesky(&not_spd).is_none());
+    }
+}

@@ -1,0 +1,297 @@
+//! Symmetric eigensolvers: cyclic Jacobi (full decomposition, small
+//! matrices) and subspace iteration (leading or trailing eigenpairs of
+//! large matrices — what the spectral baselines need).
+
+use crate::decomp::cholesky;
+use crate::matrix::Mat;
+
+/// A set of eigenpairs: `values[k]` corresponds to column `k` of
+/// `vectors` (each column unit-norm).
+#[derive(Debug, Clone)]
+pub struct EigenPairs {
+    /// Eigenvalues.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns (`n × k`).
+    pub vectors: Mat,
+}
+
+/// Full eigendecomposition of a symmetric matrix via the cyclic Jacobi
+/// method. O(n³) per sweep; intended for small matrices and as ground
+/// truth for the iterative solvers. Pairs are sorted by **descending**
+/// eigenvalue.
+pub fn jacobi_eigen(a: &Mat, tol: f64, max_sweeps: usize) -> EigenPairs {
+    assert!(a.is_symmetric(1e-9), "jacobi_eigen requires symmetry");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Mat::identity(n);
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::EPSILON {
+                    continue;
+                }
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap());
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Mat::zeros(n, n);
+    for (col, &i) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, col)] = v[(r, i)];
+        }
+    }
+    EigenPairs { values, vectors }
+}
+
+/// Leading `k` eigenpairs (largest eigenvalues) of a symmetric matrix by
+/// subspace (orthogonal) iteration with a deterministic seed basis.
+///
+/// Converges geometrically at rate `|λ_{k+1}/λ_k|`; `iters` around
+/// 100–300 is ample for the graph-Laplacian spectra the baselines build.
+pub fn top_eigenpairs(a: &Mat, k: usize, iters: usize) -> EigenPairs {
+    let n = a.rows();
+    assert!(a.is_symmetric(1e-9), "top_eigenpairs requires symmetry");
+    let k = k.min(n);
+    let mut basis = seed_basis(n, k);
+    orthonormalize(&mut basis);
+    for _ in 0..iters {
+        basis = a.matmul(&basis);
+        orthonormalize(&mut basis);
+    }
+    rayleigh_ritz(a, &basis)
+}
+
+/// Trailing `k` eigenpairs (smallest eigenvalues) of a **positive
+/// definite** symmetric matrix via inverse subspace iteration (one
+/// Cholesky factorization, repeated solves).
+pub fn smallest_eigenpairs_spd(a: &Mat, k: usize, iters: usize) -> Option<EigenPairs> {
+    let n = a.rows();
+    let k = k.min(n);
+    let ch = cholesky(a)?;
+    let mut basis = seed_basis(n, k);
+    orthonormalize(&mut basis);
+    for _ in 0..iters {
+        basis = ch.solve_mat(&basis);
+        orthonormalize(&mut basis);
+    }
+    let mut pairs = rayleigh_ritz(a, &basis);
+    // rayleigh_ritz sorts descending; flip to ascending for "smallest".
+    pairs.values.reverse();
+    let mut flipped = Mat::zeros(n, k);
+    for c in 0..k {
+        for r in 0..n {
+            flipped[(r, c)] = pairs.vectors[(r, k - 1 - c)];
+        }
+    }
+    pairs.vectors = flipped;
+    Some(pairs)
+}
+
+/// Deterministic full-rank seed basis (mixed cosine waves), avoiding an
+/// RNG dependency and making iterative solvers reproducible.
+fn seed_basis(n: usize, k: usize) -> Mat {
+    let mut b = Mat::zeros(n, k);
+    for j in 0..k {
+        for i in 0..n {
+            let x = (i * (j + 1)) as f64 * 0.7368 + (j as f64) * 0.311 + 0.137;
+            b[(i, j)] = x.cos() + if i == j { 1.0 } else { 0.0 };
+        }
+    }
+    b
+}
+
+/// In-place modified Gram-Schmidt on the columns.
+fn orthonormalize(m: &mut Mat) {
+    let (n, k) = (m.rows(), m.cols());
+    for j in 0..k {
+        for prev in 0..j {
+            let proj: f64 = (0..n).map(|i| m[(i, j)] * m[(i, prev)]).sum();
+            for i in 0..n {
+                m[(i, j)] -= proj * m[(i, prev)];
+            }
+        }
+        let norm: f64 = (0..n).map(|i| m[(i, j)] * m[(i, j)]).sum::<f64>().sqrt();
+        if norm > 1e-300 {
+            for i in 0..n {
+                m[(i, j)] /= norm;
+            }
+        } else {
+            // Degenerate column: replace with a unit coordinate vector.
+            for i in 0..n {
+                m[(i, j)] = if i == j % n { 1.0 } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Rayleigh-Ritz projection: eigenpairs of the small matrix `BᵀAB`
+/// lifted back through the basis. Sorted by descending eigenvalue.
+fn rayleigh_ritz(a: &Mat, basis: &Mat) -> EigenPairs {
+    let ab = a.matmul(basis);
+    let small = basis.transpose().matmul(&ab);
+    // Symmetrize against roundoff before Jacobi.
+    let small_sym = small.add(&small.transpose()).scale(0.5);
+    let inner = jacobi_eigen(&small_sym, 1e-14, 64);
+    let vectors = basis.matmul(&inner.vectors);
+    EigenPairs {
+        values: inner.values,
+        vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Mat, pairs: &EigenPairs) -> f64 {
+        // max_k ‖A v_k − λ_k v_k‖∞
+        let n = a.rows();
+        let mut worst: f64 = 0.0;
+        for (k, &lam) in pairs.values.iter().enumerate() {
+            let v: Vec<f64> = (0..n).map(|i| pairs.vectors[(i, k)]).collect();
+            let av = a.mul_vec(&v);
+            for i in 0..n {
+                worst = worst.max((av[i] - lam * v[i]).abs());
+            }
+        }
+        worst
+    }
+
+    fn sym4() -> Mat {
+        Mat::from_rows(&[
+            &[4.0, 1.0, 0.0, 2.0],
+            &[1.0, 3.0, 1.0, 0.0],
+            &[0.0, 1.0, 2.0, 1.0],
+            &[2.0, 0.0, 1.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn jacobi_solves_known_2x2() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = jacobi_eigen(&a, 1e-14, 64);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!(residual(&a, &e) < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_residual_small_on_4x4() {
+        let a = sym4();
+        let e = jacobi_eigen(&a, 1e-14, 64);
+        assert!(residual(&a, &e) < 1e-9);
+        // Trace preserved.
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_orthonormal() {
+        let e = jacobi_eigen(&sym4(), 1e-14, 64);
+        let v = &e.vectors;
+        let gram = v.transpose().matmul(v);
+        assert!(gram.max_abs_diff(&Mat::identity(4)) < 1e-9);
+    }
+
+    #[test]
+    fn subspace_iteration_matches_jacobi() {
+        let a = sym4();
+        let full = jacobi_eigen(&a, 1e-14, 64);
+        let top = top_eigenpairs(&a, 2, 500);
+        for k in 0..2 {
+            assert!(
+                (top.values[k] - full.values[k]).abs() < 1e-6,
+                "λ{k}: {} vs {}",
+                top.values[k],
+                full.values[k]
+            );
+        }
+        assert!(residual(&a, &top) < 1e-5);
+    }
+
+    #[test]
+    fn smallest_eigenpairs_match_jacobi() {
+        let a = sym4(); // SPD (diagonally dominant enough)
+        let full = jacobi_eigen(&a, 1e-14, 64);
+        let small = smallest_eigenpairs_spd(&a, 2, 300).unwrap();
+        let mut want = full.values.clone();
+        want.reverse();
+        for k in 0..2 {
+            assert!((small.values[k] - want[k]).abs() < 1e-6);
+        }
+        assert!(residual(&a, &small) < 1e-5);
+    }
+
+    #[test]
+    fn larger_random_symmetric_consistency() {
+        // Deterministic pseudo-random symmetric 12×12.
+        let n = 12;
+        let mut a = Mat::zeros(n, n);
+        let mut state = 0x12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..=i {
+                let x = next();
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let full = jacobi_eigen(&a, 1e-14, 100);
+        assert!(residual(&a, &full) < 1e-8);
+        let top = top_eigenpairs(&a, 3, 800);
+        // Subspace iteration converges to the largest |λ|; compare against
+        // the top of the |λ|-sorted spectrum.
+        let mut by_abs = full.values.clone();
+        by_abs.sort_by(|x, y| y.abs().partial_cmp(&x.abs()).unwrap());
+        let mut got = top.values.clone();
+        got.sort_by(|x, y| y.abs().partial_cmp(&x.abs()).unwrap());
+        for k in 0..3 {
+            assert!(
+                (got[k].abs() - by_abs[k].abs()).abs() < 1e-4,
+                "k={k}: {} vs {}",
+                got[k],
+                by_abs[k]
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Seeded k-means with k-means++ initialization. Used by DSPMap's
+//! Partition step (clustering sampled binary vectors into the two
+//! center sets `Ol`/`Or`) and by the spectral baselines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Cluster index per input point.
+    pub assignment: Vec<usize>,
+    /// Cluster centroids, row-major `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Lloyd's algorithm with k-means++ seeding.
+///
+/// `points` are equal-length rows; `k ≥ 1`; deterministic for a fixed
+/// `seed`. Empty clusters are re-seeded with the point farthest from its
+/// centroid.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> KmeansResult {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(!points.is_empty(), "kmeans requires at least one point");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+    let k = k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut centroids = plus_plus_init(points, k, &mut rng);
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest(p, &centroids).0;
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &x) in sums[assignment[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the worst-fitting point.
+                let (far, _) = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = nearest(a, &centroids).1;
+                        let db = nearest(b, &centroids).1;
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .expect("non-empty points");
+                centroids[c] = points[far].clone();
+            } else {
+                for (cd, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cd = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sq_dist(p, &centroids[assignment[i]]))
+        .sum();
+    KmeansResult {
+        assignment,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| nearest(p, &centroids).1)
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with a centroid; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in dists.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(p, centroid);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            points.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        let r = kmeans(&points, 2, 50, 7);
+        // All even indices together, all odd together.
+        let c0 = r.assignment[0];
+        for i in (0..20).step_by(2) {
+            assert_eq!(r.assignment[i], c0);
+        }
+        for i in (1..20).step_by(2) {
+            assert_ne!(r.assignment[i], c0);
+        }
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let points: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
+        let a = kmeans(&points, 3, 50, 42);
+        let b = kmeans(&points, 3, 50, 42);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_capped_by_point_count() {
+        let points = vec![vec![1.0], vec![2.0]];
+        let r = kmeans(&points, 5, 10, 0);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn identical_points_fine() {
+        let points = vec![vec![3.0, 3.0]; 8];
+        let r = kmeans(&points, 2, 10, 1);
+        assert_eq!(r.inertia, 0.0);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let points = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let r = kmeans(&points, 1, 10, 3);
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! # gdim-linalg — dense linear-algebra substrate
+//!
+//! The numerical building blocks required by the spectral
+//! feature-selection baselines (MCFS, UDFS, NDFS) and by DSPMap's
+//! partitioning, implemented from scratch (the workspace's allowed
+//! dependency set has no linear-algebra crate):
+//!
+//! * [`Mat`] — dense row-major `f64` matrices with the usual operations;
+//! * [`cholesky`] / [`solve_spd`] — SPD factorization and solves;
+//! * [`jacobi_eigen`] — full symmetric eigendecomposition (small
+//!   matrices, also the ground truth for tests);
+//! * [`top_eigenpairs`] — subspace (orthogonal) iteration for the
+//!   leading eigenpairs of large symmetric matrices;
+//! * [`smallest_eigenpairs_spd`] — inverse subspace iteration via
+//!   Cholesky for the trailing eigenpairs of SPD matrices;
+//! * [`kmeans`] — seeded k-means with k-means++ initialization;
+//! * [`lasso_coordinate_descent`] — ℓ1-regularized least squares.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod decomp;
+mod eigen;
+mod kmeans;
+mod lasso;
+mod matrix;
+
+pub use decomp::{cholesky, solve_spd, Cholesky};
+pub use eigen::{jacobi_eigen, smallest_eigenpairs_spd, top_eigenpairs, EigenPairs};
+pub use kmeans::{kmeans, KmeansResult};
+pub use lasso::lasso_coordinate_descent;
+pub use matrix::Mat;

@@ -1,0 +1,112 @@
+//! Property tests for the linear-algebra substrate: factorization and
+//! solver correctness on random well-conditioned inputs, k-means
+//! invariants, LASSO optimality conditions.
+
+use proptest::prelude::*;
+
+use gdim_linalg::{cholesky, jacobi_eigen, kmeans, lasso_coordinate_descent, Mat};
+
+/// Random SPD matrix `A = MᵀM + I` (well-conditioned by construction).
+fn spd(n: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let m = Mat::from_vec(n, n, data);
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cholesky_reconstructs_and_solves(a in spd(5), x in proptest::collection::vec(-3.0f64..3.0, 5)) {
+        let ch = cholesky(&a).expect("SPD by construction");
+        let l = ch.factor();
+        prop_assert!(l.matmul(&l.transpose()).max_abs_diff(&a) < 1e-8);
+        let b = a.mul_vec(&x);
+        let got = ch.solve(&b);
+        for (g, want) in got.iter().zip(&x) {
+            prop_assert!((g - want).abs() < 1e-6, "{g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_residual_and_trace(a in spd(6)) {
+        let e = jacobi_eigen(&a, 1e-13, 100);
+        // Trace preserved.
+        let trace: f64 = (0..6).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7);
+        // Eigenpairs satisfy A v = λ v.
+        for k in 0..6 {
+            let v: Vec<f64> = (0..6).map(|i| e.vectors[(i, k)]).collect();
+            let av = a.mul_vec(&v);
+            for i in 0..6 {
+                prop_assert!((av[i] - e.values[k] * v[i]).abs() < 1e-6);
+            }
+        }
+        // SPD: all eigenvalues ≥ 1 (A = MᵀM + I).
+        prop_assert!(e.values.iter().all(|&l| l > 0.99));
+    }
+
+    #[test]
+    fn kmeans_invariants(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 3),
+            2..40
+        ),
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let r = kmeans(&points, k, 30, seed);
+        let k_eff = k.min(points.len());
+        prop_assert_eq!(r.assignment.len(), points.len());
+        prop_assert!(r.assignment.iter().all(|&c| c < k_eff));
+        prop_assert!(r.inertia >= 0.0);
+        // Each point is assigned to its nearest centroid.
+        for (i, p) in points.iter().enumerate() {
+            let d = |c: &Vec<f64>| -> f64 {
+                p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let mine = d(&r.centroids[r.assignment[i]]);
+            for c in &r.centroids {
+                prop_assert!(mine <= d(c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lasso_kkt_conditions(
+        data in proptest::collection::vec(-2.0f64..2.0, 6 * 3),
+        y in proptest::collection::vec(-2.0f64..2.0, 6),
+        lambda in 0.01f64..1.0,
+    ) {
+        let x = Mat::from_vec(6, 3, data);
+        let beta = lasso_coordinate_descent(&x, &y, lambda, 5_000, 1e-12);
+        // KKT: |x_jᵀ r| ≤ λ for zero coefficients, = λ·sign for nonzero.
+        let mut r = y.clone();
+        for i in 0..6 {
+            for j in 0..3 {
+                r[i] -= x[(i, j)] * beta[j];
+            }
+        }
+        for j in 0..3 {
+            let col_norm: f64 = (0..6).map(|i| x[(i, j)] * x[(i, j)]).sum();
+            if col_norm < 1e-12 {
+                continue;
+            }
+            let corr: f64 = (0..6).map(|i| x[(i, j)] * r[i]).sum();
+            if beta[j] == 0.0 {
+                prop_assert!(corr.abs() <= lambda + 1e-6, "KKT violated at zero coef");
+            } else {
+                prop_assert!(
+                    (corr - lambda * beta[j].signum()).abs() < 1e-6,
+                    "KKT violated at active coef: corr={corr}, λ={lambda}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # gdim-mining — gSpan frequent subgraph mining
+//!
+//! An implementation of gSpan [Yan & Han, ICDM 2002], the miner the
+//! paper uses to generate the candidate feature set `F` ("the frequent
+//! feature set F is mined by gSpan with a minimum support 5%", §6).
+//!
+//! gSpan enumerates frequent **connected** subgraphs by growing DFS
+//! codes one rightmost extension at a time, pruning any growth path
+//! whose code is not the minimum DFS code of its graph (so every pattern
+//! is generated exactly once) and any pattern whose support drops below
+//! the threshold (anti-monotonicity).
+//!
+//! The output [`Feature`]s carry their support lists `sup(f) = {gi | f ⊆
+//! gi}`, which downstream become the inverted lists `IF` of §5.1.2.
+//!
+//! ```
+//! use gdim_graph::Graph;
+//! use gdim_mining::{mine, MinerConfig, Support};
+//!
+//! let tri = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0), (0, 2, 0)]).unwrap();
+//! let path = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0)]).unwrap();
+//! let db = vec![tri, path];
+//! let features = mine(&db, &MinerConfig::new(Support::Absolute(2)));
+//! // The single edge and the 2-path occur in both graphs; the triangle only in one.
+//! assert_eq!(features.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod miner;
+
+pub use miner::{mine, Feature, MinerConfig, Support};

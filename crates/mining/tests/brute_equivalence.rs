@@ -1,0 +1,94 @@
+//! gSpan must produce exactly the frequent connected patterns that a
+//! brute-force enumerator finds: same pattern set (up to isomorphism),
+//! same support lists.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use gdim_graph::dfscode::canonical_key;
+use gdim_graph::{Graph, GraphBuilder};
+use gdim_mining::{mine, MinerConfig, Support};
+
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=5, 0usize..=2).prop_flat_map(|(n, extra)| {
+        let vlabels = proptest::collection::vec(0u32..2, n);
+        let tree = proptest::collection::vec((any::<prop::sample::Index>(), 0u32..2), n - 1);
+        let extras = proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0u32..2),
+            extra,
+        );
+        (vlabels, tree, extras).prop_map(move |(vlabels, tree, extras)| {
+            let mut b = GraphBuilder::with_vertices(vlabels);
+            for (i, (parent, el)) in tree.into_iter().enumerate() {
+                let _ = b.edge(parent.index(i + 1) as u32, (i + 1) as u32, el);
+            }
+            for (iu, iv, el) in extras {
+                let (u, v) = (iu.index(n) as u32, iv.index(n) as u32);
+                if u != v && !b.has_edge(u, v) {
+                    let _ = b.edge(u, v, el);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// All connected subgraphs (≥1 edge, ≤ max_edges) of every DB graph,
+/// keyed by canonical form, with their sorted support lists.
+fn brute_patterns(db: &[Graph], max_edges: usize) -> BTreeMap<Vec<u64>, Vec<u32>> {
+    let mut sup: BTreeMap<Vec<u64>, Vec<u32>> = BTreeMap::new();
+    for (gid, g) in db.iter().enumerate() {
+        let m = g.edge_count();
+        assert!(m <= 10, "brute force only for tiny graphs");
+        let mut seen_here: std::collections::BTreeSet<Vec<u64>> = Default::default();
+        for mask in 1u32..(1 << m) {
+            let k = mask.count_ones() as usize;
+            if k > max_edges {
+                continue;
+            }
+            let eids: Vec<u32> = (0..m as u32).filter(|i| mask >> i & 1 == 1).collect();
+            let sub = g.edge_subgraph(&eids);
+            if !sub.is_connected() {
+                continue;
+            }
+            seen_here.insert(canonical_key(&sub));
+        }
+        for key in seen_here {
+            sup.entry(key).or_default().push(gid as u32);
+        }
+    }
+    sup
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gspan_equals_brute_force(
+        db in proptest::collection::vec(small_graph(), 1..=4),
+        minsup in 1usize..=3,
+    ) {
+        let max_edges = 4;
+        let cfg = MinerConfig::new(Support::Absolute(minsup)).with_max_edges(max_edges);
+        let mined = mine(&db, &cfg);
+
+        // gSpan side: canonical key -> support.
+        let mut got: BTreeMap<Vec<u64>, Vec<u32>> = BTreeMap::new();
+        for f in &mined {
+            let key = canonical_key(&f.graph);
+            prop_assert!(
+                got.insert(key, f.support.clone()).is_none(),
+                "duplicate pattern emitted"
+            );
+        }
+
+        // Brute-force side, filtered to frequent.
+        let want: BTreeMap<Vec<u64>, Vec<u32>> = brute_patterns(&db, max_edges)
+            .into_iter()
+            .filter(|(_, s)| s.len() >= minsup)
+            .collect();
+
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,91 @@
+//! Chemical-compound similarity search — the paper's motivating
+//! scenario (§1): a compound database where domain experts would
+//! hand-craft a dictionary fingerprint, versus automatically identified
+//! graph dimensions.
+//!
+//! Builds a compound database, indexes it three ways (DSPM dimensions,
+//! the 881-bit dictionary fingerprint, exact MCS ranking) and compares
+//! answers and costs on the same queries.
+//!
+//! ```sh
+//! cargo run --release --example chemical_search
+//! ```
+
+use std::time::Instant;
+
+use gdim::core::measures::{precision, topk_ids};
+use gdim::prelude::*;
+
+fn main() {
+    let n = 200;
+    let k = 10;
+    let db = gdim::datagen::chem_db(n, &gdim::datagen::ChemConfig::default(), 21);
+    let queries = gdim::datagen::chem_db(8, &gdim::datagen::ChemConfig::default(), 777);
+
+    // --- Index 1: automatically identified graph dimensions (DSPM).
+    let t = Instant::now();
+    let features = mine(
+        &db,
+        &MinerConfig::new(Support::Relative(0.05)).with_max_edges(5),
+    );
+    let space = FeatureSpace::build(db.len(), features);
+    let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
+    let result = dspm(&space, &delta, &DspmConfig::new(80));
+    let mapped = MappedDatabase::build(&space, &result.selected, MappingKind::Binary);
+    println!(
+        "DSPM index: {} candidate features -> {} dimensions in {:.1?}",
+        space.num_features(),
+        mapped.p(),
+        t.elapsed()
+    );
+
+    // --- Index 2: the expert-dictionary fingerprint (Tanimoto ranking).
+    let t = Instant::now();
+    let fp = FingerprintIndex::build(&db);
+    println!(
+        "fingerprint index: {} bits per compound in {:.1?}",
+        FINGERPRINT_BITS,
+        t.elapsed()
+    );
+
+    // --- Ground truth: exact MCS-based top-k (slow by nature).
+    println!("\nper-query comparison (k = {k}):");
+    println!(
+        "{:>5} {:>12} {:>12} {:>14} {:>14}",
+        "query", "DSPM p@k", "FP p@k", "DSPM time", "exact time"
+    );
+    let mcs = McsOptions::default();
+    let mut dspm_hits = 0.0;
+    let mut fp_hits = 0.0;
+    for (qi, q) in queries.iter().enumerate() {
+        let t_exact = Instant::now();
+        let exact = exact_ranking(&db, q, Dissimilarity::AvgNorm, &mcs, 0);
+        let exact_time = t_exact.elapsed();
+        let exact_ids = topk_ids(&exact, k);
+
+        let t_dspm = Instant::now();
+        let qvec = mapped.map_query(q);
+        let dspm_ids = topk_ids(&mapped.topk(&qvec, k), k);
+        let dspm_time = t_dspm.elapsed();
+
+        let fp_ids = topk_ids(&fp.topk(q, k), k);
+
+        let p_dspm = precision(&dspm_ids, &exact_ids);
+        let p_fp = precision(&fp_ids, &exact_ids);
+        dspm_hits += p_dspm;
+        fp_hits += p_fp;
+        println!(
+            "{:>5} {:>12.2} {:>12.2} {:>14.2?} {:>14.2?}",
+            qi, p_dspm, p_fp, dspm_time, exact_time
+        );
+    }
+    println!(
+        "\nmean precision@{k}: DSPM {:.2}, fingerprint {:.2} (against exact MCS ranking)",
+        dspm_hits / queries.len() as f64,
+        fp_hits / queries.len() as f64
+    );
+    println!(
+        "The mapped index answers in milliseconds what the exact ranker needs seconds for —
+the paper's 3-5 orders-of-magnitude gap at database scale."
+    );
+}

@@ -1,0 +1,65 @@
+//! # gdim — leveraging graph dimensions in online graph search
+//!
+//! A full reproduction of *"Leveraging Graph Dimensions in Online Graph
+//! Search"* (Yuanyuan Zhu, Jeffrey Xu Yu, Lu Qin; PVLDB 8(1), 2014) as
+//! a reusable Rust library.
+//!
+//! Graph similarity queries are expensive because the underlying
+//! operations (maximum common subgraph, graph edit distance) are
+//! NP-hard. The paper's answer is a **DS-preserved mapping**: choose a
+//! small set of frequent subgraphs as *dimensions*, map every database
+//! graph — and any unseen query — to a binary vector over those
+//! dimensions, and answer top-k similarity queries with cheap Euclidean
+//! distances that approximate the true MCS-based dissimilarity
+//! (*distance-preserving*), also for graphs never seen at index time
+//! (*structure-preserving*).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`graph`] — labeled graphs, VF2, canonical DFS codes, MCS, δ1/δ2;
+//! * [`mining`] — gSpan frequent subgraph mining;
+//! * [`linalg`] — the dense linear-algebra substrate;
+//! * [`datagen`] — chemistry-like and GraphGen-like dataset generators;
+//! * [`core`] — DSPM / DSPMap dimension selection, top-k queries,
+//!   quality measures, fingerprint benchmark;
+//! * [`baselines`] — the seven comparison selectors of the paper's §6.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gdim::prelude::*;
+//!
+//! // A graph database (here: generated molecule-like graphs).
+//! let db = gdim::datagen::chem_db(80, &gdim::datagen::ChemConfig::default(), 7);
+//!
+//! // 1. Mine frequent subgraph features (gSpan).
+//! let features = gdim::mining::mine(
+//!     &db,
+//!     &gdim::mining::MinerConfig::new(gdim::mining::Support::Relative(0.1)).with_max_edges(4),
+//! );
+//! let space = FeatureSpace::build(db.len(), features);
+//!
+//! // 2. Pairwise dissimilarities (δ2 of Eq. 2) and DSPM dimension selection.
+//! let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
+//! let result = dspm(&space, &delta, &DspmConfig::new(50));
+//!
+//! // 3. Map the database and answer a top-k query.
+//! let mapped = MappedDatabase::build(&space, &result.selected, MappingKind::Binary);
+//! let query = &db[3];
+//! let hits = mapped.topk(&mapped.map_query(query), 5);
+//! assert_eq!(hits[0].0, 3); // the query graph itself ranks first
+//! ```
+
+pub use gdim_baselines as baselines;
+pub use gdim_core as core;
+pub use gdim_datagen as datagen;
+pub use gdim_graph as graph;
+pub use gdim_linalg as linalg;
+pub use gdim_mining as mining;
+
+/// One-stop imports: the core pipeline types plus the graph substrate.
+pub mod prelude {
+    pub use gdim_core::prelude::*;
+    pub use gdim_graph::{Dissimilarity, Graph, GraphBuilder, McsOptions};
+    pub use gdim_mining::{mine, Feature, MinerConfig, Support};
+}
