@@ -48,7 +48,9 @@ pub fn mcfs_select(space: &FeatureSpace, cfg: &McfsConfig) -> Vec<u32> {
     let m = space.num_features();
     let x = data_matrix(space);
     let w = knn_graph(&x, cfg.knn);
-    let kdim = cfg.clusters.clamp(1, space.num_graphs().saturating_sub(2).max(1));
+    let kdim = cfg
+        .clusters
+        .clamp(1, space.num_graphs().saturating_sub(2).max(1));
     let y = spectral_embedding(&w, kdim, 300);
 
     let mut scores = vec![0.0f64; m];

@@ -47,8 +47,8 @@ pub fn mici_select(space: &FeatureSpace, cfg: &MiciConfig) -> Vec<u32> {
                 best = Some(kept);
                 break;
             }
-            Some(b) if (kept.len() as i64 - p as i64).abs()
-                >= (b.len() as i64 - p as i64).abs() => {}
+            Some(b)
+                if (kept.len() as i64 - p as i64).abs() >= (b.len() as i64 - p as i64).abs() => {}
             _ => best = Some(kept),
         }
     }
@@ -97,9 +97,7 @@ fn cluster_once(m: usize, sim: &[f64], k_init: usize) -> Vec<u32> {
         k = k.min(alive_count.saturating_sub(1));
         if k == 0 {
             // Singletons remain: keep them all.
-            kept.extend(
-                (0..m as u32).filter(|&r| alive[r as usize]),
-            );
+            kept.extend((0..m as u32).filter(|&r| alive[r as usize]));
             break;
         }
         // Feature whose k-th nearest alive neighbor is closest.
@@ -139,9 +137,7 @@ fn pairwise_lambda2(space: &FeatureSpace) -> Vec<f64> {
     let n = space.num_graphs() as f64;
     // Binary columns: mean = s/n, var = mean(1−mean),
     // E[xy] = |sup_a ∩ sup_b| / n.
-    let means: Vec<f64> = (0..m)
-        .map(|r| space.support_count(r) as f64 / n)
-        .collect();
+    let means: Vec<f64> = (0..m).map(|r| space.support_count(r) as f64 / n).collect();
     let vars: Vec<f64> = means.iter().map(|&mu| mu * (1.0 - mu)).collect();
     let mut sim = vec![0.0f64; m * m];
     for a in 0..m {

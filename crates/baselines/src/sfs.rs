@@ -41,10 +41,7 @@ pub fn sfs_select(space: &FeatureSpace, delta: &DeltaMatrix, cfg: &SfsConfig) ->
     for step in 0..p {
         let size = (step + 1) as f64;
         let mut best: Option<(f64, u32)> = None;
-        for r in 0..m {
-            if in_set[r] {
-                continue;
-            }
+        for (r, _) in in_set.iter().enumerate().filter(|(_, &used)| !used) {
             let row = space.if_list(r);
             let mut contains = vec![false; n];
             for &g in row {
@@ -54,8 +51,8 @@ pub fn sfs_select(space: &FeatureSpace, delta: &DeltaMatrix, cfg: &SfsConfig) ->
             let mut idx = 0usize;
             for i in 0..n {
                 let ci = contains[i];
-                for j in i + 1..n {
-                    let h = ham[idx] + u32::from(ci != contains[j]);
+                for &cj in &contains[i + 1..n] {
+                    let h = ham[idx] + u32::from(ci != cj);
                     let d = (h as f64 / size).sqrt();
                     let diff = d - deltas[idx];
                     err += diff * diff;

@@ -67,8 +67,8 @@ pub fn udfs_select(space: &FeatureSpace, cfg: &UdfsConfig) -> Vec<u32> {
         for j in 0..m {
             a[(j, j)] += cfg.gamma * d[j] + 1e-9;
         }
-        let pairs = smallest_eigenpairs_spd(&a, kdim, 150)
-            .expect("A is positive definite by construction");
+        let pairs =
+            smallest_eigenpairs_spd(&a, kdim, 150).expect("A is positive definite by construction");
         w = pairs.vectors;
         for (dj, norm) in d.iter_mut().zip(row_norms(&w)) {
             *dj = 1.0 / (2.0 * norm).max(1e-9);

@@ -65,7 +65,17 @@ fn bench_query(c: &mut Criterion) {
             node_budget: 16_384,
             ..Default::default()
         };
-        b.iter(|| exact_topk(&db, &queries[0], 20, Dissimilarity::AvgNorm, &mcs, 0)[0].0)
+        b.iter(|| {
+            exact_topk(
+                &db,
+                &queries[0],
+                20,
+                Dissimilarity::AvgNorm,
+                &mcs,
+                &gdim_exec::ExecConfig::default(),
+            )[0]
+            .0
+        })
     });
     group.finish();
 }

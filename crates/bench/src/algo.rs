@@ -6,12 +6,10 @@
 use std::time::{Duration, Instant};
 
 use gdim_baselines::{
-    mcfs_select, mici_select, ndfs_select, original_select, sample_select, sfs_select,
-    udfs_select, McfsConfig, MiciConfig, NdfsConfig, SfsConfig, UdfsConfig,
+    mcfs_select, mici_select, ndfs_select, original_select, sample_select, sfs_select, udfs_select,
+    McfsConfig, MiciConfig, NdfsConfig, SfsConfig, UdfsConfig,
 };
-use gdim_core::{
-    dspm, dspmap, DeltaMatrix, DspmConfig, DspmapConfig, FeatureSpace, SharedDelta,
-};
+use gdim_core::{dspm, dspmap, DeltaMatrix, DspmConfig, DspmapConfig, FeatureSpace, SharedDelta};
 use gdim_graph::Graph;
 
 /// The competing selection algorithms.
@@ -116,9 +114,7 @@ pub fn dspmap_select(
 ) -> (Vec<u32>, Duration) {
     let t = Instant::now();
     let sdelta = SharedDelta::new(db, crate::context::matrix_delta_config());
-    let cfg = DspmapConfig::new(p)
-        .with_partition_size(b)
-        .with_seed(seed);
+    let cfg = DspmapConfig::new(p).with_partition_size(b).with_seed(seed);
     let res = dspmap(space, &sdelta, &cfg);
     (res.selected, t.elapsed())
 }
@@ -131,8 +127,7 @@ mod tests {
     #[test]
     fn every_algorithm_produces_a_selection() {
         let prep = prepare(Dataset::chem(20, 2, 3), 0.2, 3);
-        let delta =
-            DeltaMatrix::compute(&prep.dataset.db, &crate::context::matrix_delta_config());
+        let delta = DeltaMatrix::compute(&prep.dataset.db, &crate::context::matrix_delta_config());
         let p = prep.space.num_features().min(6);
         for algo in Algo::ALL {
             let d = algo.needs_delta().then_some(&delta);

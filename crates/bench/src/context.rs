@@ -103,10 +103,16 @@ pub fn exact_rankings(db: &[Graph], queries: &[Graph]) -> Vec<Vec<u32>> {
     queries
         .iter()
         .map(|q| {
-            gdim_core::exact_ranking(db, q, Default::default(), &truth_mcs(), 0)
-                .into_iter()
-                .map(|(id, _)| id)
-                .collect()
+            gdim_core::exact_ranking(
+                db,
+                q,
+                Default::default(),
+                &truth_mcs(),
+                &gdim_exec::ExecConfig::default(),
+            )
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
         })
         .collect()
 }

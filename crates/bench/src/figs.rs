@@ -55,7 +55,12 @@ pub fn fig1(ctx: &Context) {
             d_orig.push(md_orig.distance(md_orig.vector(i), md_orig.vector(j)));
         }
     }
-    print_distribution("Fig 1(a): database pairs", &hist(&d_true), &hist(&d_dspm), &hist(&d_orig));
+    print_distribution(
+        "Fig 1(a): database pairs",
+        &hist(&d_true),
+        &hist(&d_dspm),
+        &hist(&d_orig),
+    );
 
     // (b) query-database pairs (δ computed on the fly).
     let queries = &prep.dataset.queries;
@@ -67,12 +72,22 @@ pub fn fig1(ctx: &Context) {
         let vq_dspm = md_dspm.map_query(q);
         let vq_orig = md_orig.map_query(q);
         for i in 0..n {
-            q_true.push(graph_delta(Dissimilarity::AvgNorm, q, &prep.dataset.db[i], &mcs));
+            q_true.push(graph_delta(
+                Dissimilarity::AvgNorm,
+                q,
+                &prep.dataset.db[i],
+                &mcs,
+            ));
             q_dspm.push(md_dspm.distance_to(&vq_dspm, i));
             q_orig.push(md_orig.distance_to(&vq_orig, i));
         }
     }
-    print_distribution("Fig 1(b): query-database pairs", &hist(&q_true), &hist(&q_dspm), &hist(&q_orig));
+    print_distribution(
+        "Fig 1(b): query-database pairs",
+        &hist(&q_true),
+        &hist(&q_dspm),
+        &hist(&q_orig),
+    );
     println!(
         "shape check: DSPM histogram should track δ; Original collapses toward small distances\n"
     );
@@ -84,12 +99,7 @@ fn print_distribution(title: &str, truth: &[f64], dspm_h: &[f64], orig_h: &[f64]
     for (b, ((x, y), z)) in truth.iter().zip(dspm_h).zip(orig_h).enumerate() {
         let lo = b as f64 / truth.len() as f64;
         let hi = (b + 1) as f64 / truth.len() as f64;
-        t.row(vec![
-            format!("[{lo:.1},{hi:.1})"),
-            f3(*x),
-            f3(*y),
-            f3(*z),
-        ]);
+        t.row(vec![format!("[{lo:.1},{hi:.1})"), f3(*x), f3(*y), f3(*z)]);
     }
     t.print();
 }
@@ -198,7 +208,12 @@ fn effectiveness(
             &|e: &crate::eval::EvalResult| e.rank_dist.clone(),
             &norm_r,
         ),
-    ] as [(&str, &dyn Fn(&crate::eval::EvalResult) -> Vec<f64>, &Vec<f64>); 3]
+    ]
+        as [(
+            &str,
+            &dyn Fn(&crate::eval::EvalResult) -> Vec<f64>,
+            &Vec<f64>,
+        ); 3]
     {
         println!("-- {title} --");
         let mut header: Vec<String> = vec!["algo".into()];
@@ -233,7 +248,14 @@ pub fn fig4(ctx: &Context) {
     println!("== Fig 4: effectiveness on real dataset (chem) ==");
     let prep = ctx.chem();
     let fp = FingerprintIndex::build(&prep.dataset.db);
-    effectiveness(ctx, prep, ctx.chem_delta(), ctx.chem_truth(), Some(&fp), false);
+    effectiveness(
+        ctx,
+        prep,
+        ctx.chem_delta(),
+        ctx.chem_truth(),
+        Some(&fp),
+        false,
+    );
     println!("shape check: DSPM highest on all three measures; SFS worst; Sample low\n");
 }
 
@@ -255,22 +277,26 @@ pub fn fig6(ctx: &Context) {
     let nq = ctx.scale.query_count().min(25);
 
     let sweep = |configs: Vec<(String, SynthConfig)>| {
-        let mut tp = Table::new(&{
-            let mut h = vec!["algo".to_string()];
-            h.extend(configs.iter().map(|(name, _)| name.clone()));
-            h
-        }
-        .iter()
-        .map(|s| s.as_str())
-        .collect::<Vec<_>>());
-        let mut tt = Table::new(&{
-            let mut h = vec!["algo".to_string()];
-            h.extend(configs.iter().map(|(name, _)| name.clone()));
-            h
-        }
-        .iter()
-        .map(|s| s.as_str())
-        .collect::<Vec<_>>());
+        let mut tp = Table::new(
+            &{
+                let mut h = vec!["algo".to_string()];
+                h.extend(configs.iter().map(|(name, _)| name.clone()));
+                h
+            }
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>(),
+        );
+        let mut tt = Table::new(
+            &{
+                let mut h = vec!["algo".to_string()];
+                h.extend(configs.iter().map(|(name, _)| name.clone()));
+                h
+            }
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>(),
+        );
 
         let mut prec: Vec<Vec<f64>> = vec![Vec::new(); Algo::ALL.len()];
         let mut times: Vec<Vec<std::time::Duration>> = vec![Vec::new(); Algo::ALL.len()];
@@ -290,13 +316,8 @@ pub fn fig6(ctx: &Context) {
             for (ai, algo) in Algo::ALL.iter().enumerate() {
                 let d = algo.needs_delta().then_some(&delta);
                 let (sel, indexing) = algo.select(&prep.space, d, p, ctx.seed);
-                let eval = evaluate_selection(
-                    &prep.space,
-                    &sel,
-                    &prep.dataset.queries,
-                    &truth,
-                    &[k],
-                );
+                let eval =
+                    evaluate_selection(&prep.space, &sel, &prep.dataset.queries, &truth, &[k]);
                 prec[ai].push(eval.precision[0]);
                 times[ai].push(indexing);
             }
@@ -309,13 +330,17 @@ pub fn fig6(ctx: &Context) {
         for (ai, algo) in Algo::ALL.iter().enumerate() {
             let mut cells = vec![algo.name().to_string()];
             for ci in 0..ncfg {
-                cells.push(f3(if best[ci] > 0.0 { prec[ai][ci] / best[ci] } else { 0.0 }));
+                cells.push(f3(if best[ci] > 0.0 {
+                    prec[ai][ci] / best[ci]
+                } else {
+                    0.0
+                }));
             }
             tp.row(cells);
             if algo.has_indexing_phase() {
                 let mut cells = vec![algo.name().to_string()];
-                for ci in 0..ncfg {
-                    cells.push(dur(times[ai][ci]));
+                for t in times[ai].iter().take(ncfg) {
+                    cells.push(dur(*t));
                 }
                 tt.row(cells);
             }
@@ -389,7 +414,14 @@ pub fn fig7(ctx: &Context) {
             .filter(|q| (lo..hi.max(lo + 1) + 1).contains(&q.vertex_count()))
             .collect();
         if qs.is_empty() {
-            t.row(vec![format!("{lo}-{hi}"), "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            t.row(vec![
+                format!("{lo}-{hi}"),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let timed = |md: &MappedDatabase| {
@@ -407,7 +439,14 @@ pub fn fig7(ctx: &Context) {
             qs.iter().take(ctx.scale.exact_query_count()).collect();
         let t0 = Instant::now();
         for q in &exact_sample {
-            let _ = gdim_core::exact_topk(db, q, k, Dissimilarity::AvgNorm, &mcs, 0);
+            let _ = gdim_core::exact_topk(
+                db,
+                q,
+                k,
+                Dissimilarity::AvgNorm,
+                &mcs,
+                &gdim_exec::ExecConfig::default(),
+            );
         }
         let exact_t = t0.elapsed() / exact_sample.len().max(1) as u32;
         let speedup = exact_t.as_secs_f64() / dspm_t.as_secs_f64().max(1e-12);
@@ -442,7 +481,13 @@ pub fn fig8(ctx: &Context) {
     let dspm_time = t0.elapsed();
     let dspm_eval = evaluate_selection(space, &sel_dspm, queries, truth, &[k]);
 
-    let mut t = Table::new(&["b", "DSPMap prec", "DSPM prec", "DSPMap indexing", "DSPM indexing"]);
+    let mut t = Table::new(&[
+        "b",
+        "DSPMap prec",
+        "DSPM prec",
+        "DSPMap indexing",
+        "DSPM indexing",
+    ]);
     for &b in &ctx.scale.partition_sweep() {
         let (sel, map_time) = dspmap_select(db, space, p, b, ctx.seed);
         let eval = evaluate_selection(space, &sel, queries, truth, &[k]);
@@ -520,7 +565,14 @@ pub fn fig9(ctx: &Context) {
         let ex_n = ctx.scale.exact_query_count().min(queries.len());
         let t0 = Instant::now();
         for q in &queries[..ex_n] {
-            let _ = gdim_core::exact_topk(db, q, k, Dissimilarity::AvgNorm, &McsOptions::default(), 0);
+            let _ = gdim_core::exact_topk(
+                db,
+                q,
+                k,
+                Dissimilarity::AvgNorm,
+                &McsOptions::default(),
+                &gdim_exec::ExecConfig::default(),
+            );
         }
         let exact_q = t0.elapsed() / ex_n.max(1) as u32;
 
@@ -557,14 +609,16 @@ pub fn ablation(ctx: &Context) {
     let eb = crate::eval::evaluate_mapped(&binary, queries, truth, &ks);
     let ew = crate::eval::evaluate_mapped(&weighted, queries, truth, &ks);
     println!("-- binary (paper) vs weighted mapping: precision --");
-    let mut t = Table::new(&{
-        let mut h = vec!["mapping".to_string()];
-        h.extend(ks.iter().map(|k| format!("k={k}")));
-        h
-    }
-    .iter()
-    .map(|s| s.as_str())
-    .collect::<Vec<_>>());
+    let mut t = Table::new(
+        &{
+            let mut h = vec!["mapping".to_string()];
+            h.extend(ks.iter().map(|k| format!("k={k}")));
+            h
+        }
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>(),
+    );
     t.row({
         let mut c = vec!["binary".to_string()];
         c.extend(eb.precision.iter().map(|x| f3(*x)));
@@ -589,7 +643,10 @@ pub fn ablation(ctx: &Context) {
     let t0 = Instant::now();
     let slow = gdim_core::dspm::dspm_reference(space, delta, &cfg);
     let literal = t0.elapsed();
-    assert_eq!(fast.selected, slow.selected, "optimizations must not change results");
+    assert_eq!(
+        fast.selected, slow.selected,
+        "optimizations must not change results"
+    );
     println!("-- DSPM update optimization (5 iterations) --");
     let mut t = Table::new(&["variant", "time"]);
     t.row(vec!["fused inverted-list update".into(), dur(fused)]);
@@ -599,10 +656,19 @@ pub fn ablation(ctx: &Context) {
     // Anytime-MCS budget sweep: δ quality vs budget.
     println!("-- anytime MCS budget (δ on 200 chem pairs vs exact) --");
     let db = &prep.dataset.db;
-    let pairs: Vec<(usize, usize)> = (0..200).map(|i| (i % db.len(), (i * 7 + 3) % db.len())).collect();
+    let pairs: Vec<(usize, usize)> = (0..200)
+        .map(|i| (i % db.len(), (i * 7 + 3) % db.len()))
+        .collect();
     let exact: Vec<f64> = pairs
         .iter()
-        .map(|&(i, j)| graph_delta(Dissimilarity::AvgNorm, &db[i], &db[j], &McsOptions::default()))
+        .map(|&(i, j)| {
+            graph_delta(
+                Dissimilarity::AvgNorm,
+                &db[i],
+                &db[j],
+                &McsOptions::default(),
+            )
+        })
         .collect();
     let mut t = Table::new(&["budget", "mean |Δδ|", "time"]);
     for budget in [256u64, 1024, 4096, 65536] {
@@ -616,8 +682,12 @@ pub fn ablation(ctx: &Context) {
             .map(|&(i, j)| graph_delta(Dissimilarity::AvgNorm, &db[i], &db[j], &opts))
             .collect();
         let el = t0.elapsed();
-        let err: f64 =
-            exact.iter().zip(&got).map(|(a, b)| (a - b).abs()).sum::<f64>() / pairs.len() as f64;
+        let err: f64 = exact
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / pairs.len() as f64;
         t.row(vec![budget.to_string(), format!("{err:.4}"), dur(el)]);
     }
     t.print();

@@ -61,7 +61,10 @@ impl<'a> ContainmentFilter<'a> {
                 matches.push(i as u32);
             }
         }
-        ContainmentAnswer { matches, candidates }
+        ContainmentAnswer {
+            matches,
+            candidates,
+        }
     }
 
     /// Brute-force reference (VF2 on every graph), for tests and
@@ -75,10 +78,7 @@ impl<'a> ContainmentFilter<'a> {
 
 /// Whether `a` has every bit of `b` (`b ⊆ a` as sets).
 fn dominates(a: &Bitset, b: &Bitset) -> bool {
-    a.words()
-        .iter()
-        .zip(b.words())
-        .all(|(x, y)| x & y == *y)
+    a.words().iter().zip(b.words()).all(|(x, y)| x & y == *y)
 }
 
 /// K-means clustering of the database in the mapped space. Returns the

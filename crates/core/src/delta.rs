@@ -1,13 +1,11 @@
 //! The pairwise dissimilarity engine: computes `δ_ij` for all graph
 //! pairs of `DG` (the input of the least-squares objective, Eq. 4),
-//! parallelized across threads with `crossbeam::scope`. A shared,
+//! fanned out row-by-row on the shared [`gdim_exec`] runtime. A shared,
 //! lock-protected on-demand cache ([`SharedDelta`]) backs DSPMap, whose
 //! recursive partitions only ever need sub-blocks of the full matrix —
 //! that is exactly why its cost stays linear in `n`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-
+use gdim_exec::ExecConfig;
 use gdim_graph::fxhash::FxHashMap;
 use gdim_graph::{delta, Dissimilarity, Graph, McsOptions};
 use parking_lot::RwLock;
@@ -19,8 +17,8 @@ pub struct DeltaConfig {
     pub kind: Dissimilarity,
     /// MCS search options (budget, pre-checks).
     pub mcs: McsOptions,
-    /// Worker threads; 0 means "all available cores".
-    pub threads: usize,
+    /// Parallelism budget for matrix/sub-block fills.
+    pub exec: ExecConfig,
 }
 
 impl Default for DeltaConfig {
@@ -38,17 +36,7 @@ impl Default for DeltaConfig {
                 node_budget: 16_384,
                 ..Default::default()
             },
-            threads: 0,
-        }
-    }
-}
-
-impl DeltaConfig {
-    pub(crate) fn thread_count(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |p| p.get())
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -62,38 +50,30 @@ pub struct DeltaMatrix {
 }
 
 impl DeltaMatrix {
-    /// Computes δ for every pair of `db` in parallel.
+    /// Computes δ for every pair of `db` in parallel. Row `i` of the
+    /// upper triangle is one task; [`gdim_exec::flat_map_tasks`]
+    /// reassembles rows in index order, which is exactly the condensed
+    /// layout — so the result is byte-identical for any thread budget.
     pub fn compute(db: &[Graph], cfg: &DeltaConfig) -> Self {
         let n = db.len();
-        let mut vals = vec![0.0f64; n * n.saturating_sub(1) / 2];
         if n < 2 {
-            return DeltaMatrix { n, vals };
+            return DeltaMatrix {
+                n,
+                vals: Vec::new(),
+            };
         }
-        let threads = cfg.thread_count().min(n.max(1));
-        let row_counter = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
-        crossbeam::scope(|s| {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let row_counter = &row_counter;
-                s.spawn(move |_| loop {
-                    let i = row_counter.fetch_add(1, Ordering::Relaxed);
-                    if i >= n - 1 {
-                        break;
-                    }
-                    let row: Vec<f64> = (i + 1..n)
-                        .map(|j| delta(cfg.kind, &db[i], &db[j], &cfg.mcs))
-                        .collect();
-                    let _ = tx.send((i, row));
-                });
-            }
-            drop(tx);
-            for (i, row) in rx {
-                let start = Self::row_start(n, i);
-                vals[start..start + row.len()].copy_from_slice(&row);
-            }
-        })
-        .expect("delta workers never panic");
+        let vals = gdim_exec::fill_tasks(
+            &cfg.exec,
+            n - 1,
+            n * (n - 1) / 2,
+            0.0,
+            |i| Self::row_start(n, i),
+            |i| {
+                (i + 1..n)
+                    .map(|j| delta(cfg.kind, &db[i], &db[j], &cfg.mcs))
+                    .collect()
+            },
+        );
         DeltaMatrix { n, vals }
     }
 
@@ -205,39 +185,28 @@ impl<'a> SharedDelta<'a> {
         missing.sort_unstable();
         missing.dedup();
         if !missing.is_empty() {
-            let threads = self.cfg.thread_count().min(missing.len());
-            let chunk = missing.len().div_ceil(threads);
-            let mut results: Vec<Vec<(u64, f64)>> = Vec::new();
-            crossbeam::scope(|s| {
-                let handles: Vec<_> = missing
-                    .chunks(chunk)
-                    .map(|pairs| {
-                        s.spawn(move |_| {
-                            pairs
-                                .iter()
-                                .map(|&(i, j)| {
-                                    let v = delta(
-                                        self.cfg.kind,
-                                        &self.db[i as usize],
-                                        &self.db[j as usize],
-                                        &self.cfg.mcs,
-                                    );
-                                    (Self::key(i, j), v)
-                                })
-                                .collect::<Vec<_>>()
-                        })
+            // Chunk so every configured worker gets work even for small
+            // sub-blocks, capped at 8 pairs per task so heterogeneous
+            // MCS costs still load-balance on large ones.
+            let workers = self.cfg.exec.effective_threads(missing.len());
+            let chunk = missing.len().div_ceil(workers).clamp(1, 8);
+            let computed = gdim_exec::map_chunks(&self.cfg.exec, missing.len(), chunk, |range| {
+                missing[range]
+                    .iter()
+                    .map(|&(i, j)| {
+                        let v = delta(
+                            self.cfg.kind,
+                            &self.db[i as usize],
+                            &self.db[j as usize],
+                            &self.cfg.mcs,
+                        );
+                        (Self::key(i, j), v)
                     })
-                    .collect();
-                for h in handles {
-                    results.push(h.join().expect("delta workers never panic"));
-                }
-            })
-            .expect("scope");
+                    .collect()
+            });
             let mut cache = self.cache.write();
-            for chunk in results {
-                for (k, v) in chunk {
-                    cache.insert(k, v);
-                }
+            for (k, v) in computed {
+                cache.insert(k, v);
             }
         }
         let cache = self.cache.read();
@@ -267,8 +236,7 @@ mod tests {
     fn db() -> Vec<Graph> {
         let tri = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0), (0, 2, 0)]).unwrap();
         let p3 = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0)]).unwrap();
-        let p4 =
-            Graph::from_parts(vec![0; 4], [(0, 1, 0), (1, 2, 0), (2, 3, 0)]).unwrap();
+        let p4 = Graph::from_parts(vec![0; 4], [(0, 1, 0), (1, 2, 0), (2, 3, 0)]).unwrap();
         let alien = Graph::from_parts(vec![9, 9], [(0, 1, 7)]).unwrap();
         vec![tri, p3, p4, alien]
     }
@@ -277,7 +245,7 @@ mod tests {
     fn matrix_matches_direct_computation() {
         let db = db();
         let cfg = DeltaConfig {
-            threads: 2,
+            exec: ExecConfig::new(2),
             ..Default::default()
         };
         let m = DeltaMatrix::compute(&db, &cfg);

@@ -23,8 +23,7 @@
 //! the literal Algorithms 2–3 in tests and kept as
 //! [`dspm_reference`] for the ablation bench).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use gdim_exec::ExecConfig;
 
 use crate::delta::DeltaMatrix;
 use crate::featurespace::FeatureSpace;
@@ -41,8 +40,8 @@ pub struct DspmConfig {
     pub epsilon: f64,
     /// Maximum number of majorization iterations.
     pub max_iters: usize,
-    /// Worker threads; 0 means "all available cores".
-    pub threads: usize,
+    /// Parallelism budget for the distance/weight update fan-outs.
+    pub exec: ExecConfig,
 }
 
 impl DspmConfig {
@@ -56,15 +55,7 @@ impl DspmConfig {
             p,
             epsilon: 1e-6,
             max_iters: 100,
-            threads: 0,
-        }
-    }
-
-    fn thread_count(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |t| t.get())
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -109,13 +100,13 @@ fn run(space: &FeatureSpace, delta: &DeltaMatrix, cfg: &DspmConfig, literal: boo
         };
     }
 
-    let threads = cfg.thread_count();
+    let exec = &cfg.exec;
     // Line 3: c_r = 1/√m.
     let mut c: Vec<f64> = vec![1.0 / (m as f64).sqrt(); m];
     let mut c_sq: Vec<f64> = c.iter().map(|x| x * x).collect();
 
     // Line 8: initial distances and objective.
-    let mut dist = compute_distances(space, &c_sq, threads);
+    let mut dist = compute_distances(space, &c_sq, exec);
     let e0 = objective_from(&dist, delta);
     let mut trace = vec![e0];
     let mut iterations = 0;
@@ -125,9 +116,9 @@ fn run(space: &FeatureSpace, delta: &DeltaMatrix, cfg: &DspmConfig, literal: boo
         let b = b_matrix(&dist, delta);
 
         let c_new = if literal {
-            update_c_literal(space, &b, &c, threads)
+            update_c_literal(space, &b, &c)
         } else {
-            update_c_fused(space, &b, &c, threads)
+            update_c_fused(space, &b, &c, exec)
         };
         c = c_new;
         for (sq, &x) in c_sq.iter_mut().zip(&c) {
@@ -135,7 +126,7 @@ fn run(space: &FeatureSpace, delta: &DeltaMatrix, cfg: &DspmConfig, literal: boo
         }
 
         // Line 12 + 14: z = y ∘ c, recompute distances and objective.
-        dist = compute_distances(space, &c_sq, threads);
+        dist = compute_distances(space, &c_sq, exec);
         let e = objective_from(&dist, delta);
         let prev = *trace.last().expect("trace non-empty");
         trace.push(e);
@@ -170,39 +161,26 @@ pub(crate) fn select_top(weights: &[f64], p: usize) -> Vec<u32> {
 
 /// Pairwise weighted distances `d(z_i, z_j)` (condensed upper triangle):
 /// `d² = Σ_{r ∈ IG_i Δ IG_j} c_r²` — Algorithm 4's inverted-list trick,
-/// realized as a word-wise XOR walk over the bitset rows.
-fn compute_distances(space: &FeatureSpace, c_sq: &[f64], threads: usize) -> Vec<f64> {
+/// realized as a word-wise XOR walk over the bitset rows, one task per
+/// triangle row on the shared exec runtime.
+fn compute_distances(space: &FeatureSpace, c_sq: &[f64], exec: &ExecConfig) -> Vec<f64> {
     let n = space.num_graphs();
-    let mut dist = vec![0.0f64; n * n.saturating_sub(1) / 2];
     if n < 2 {
-        return dist;
+        return Vec::new();
     }
-    let counter = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
-    crossbeam::scope(|s| {
-        for _ in 0..threads.min(n) {
-            let tx = tx.clone();
-            let counter = &counter;
-            s.spawn(move |_| loop {
-                let i = counter.fetch_add(1, Ordering::Relaxed);
-                if i >= n - 1 {
-                    break;
-                }
-                let row_i = space.row(i);
-                let row: Vec<f64> = (i + 1..n)
-                    .map(|j| row_i.weighted_sq_xor(space.row(j), c_sq).sqrt())
-                    .collect();
-                let _ = tx.send((i, row));
-            });
-        }
-        drop(tx);
-        for (i, row) in rx {
-            let start = i * (2 * n - i - 1) / 2;
-            dist[start..start + row.len()].copy_from_slice(&row);
-        }
-    })
-    .expect("distance workers never panic");
-    dist
+    gdim_exec::fill_tasks(
+        exec,
+        n - 1,
+        n * (n - 1) / 2,
+        0.0,
+        |i| i * (2 * n - i - 1) / 2,
+        |i| {
+            let row_i = space.row(i);
+            (i + 1..n)
+                .map(|j| row_i.weighted_sq_xor(space.row(j), c_sq).sqrt())
+                .collect()
+        },
+    )
 }
 
 /// `E = Σ_{1≤i,j≤n} (d_ij − δ_ij)²` (Eq. 4; ordered pairs, so twice the
@@ -238,56 +216,35 @@ fn b_matrix(dist: &[f64], delta: &DeltaMatrix) -> Vec<f64> {
 
 /// Fused Updatexbar + Updatec: `c_r ← c_r · S_r / (s_r (n − s_r))` with
 /// `S_r = Σ_{i,k ∈ IF_r} b_ik` (see module docs for the derivation).
-fn update_c_fused(space: &FeatureSpace, b: &[f64], c: &[f64], threads: usize) -> Vec<f64> {
+/// Features are fanned out in 64-wide chunks on the shared exec runtime.
+fn update_c_fused(space: &FeatureSpace, b: &[f64], c: &[f64], exec: &ExecConfig) -> Vec<f64> {
     let n = space.num_graphs();
     let m = space.num_features();
-    let mut out = vec![0.0f64; m];
-    let counter = AtomicUsize::new(0);
-    let chunk = 64usize;
-    let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
-    crossbeam::scope(|s| {
-        for _ in 0..threads.min(m.div_ceil(chunk)).max(1) {
-            let tx = tx.clone();
-            let counter = &counter;
-            s.spawn(move |_| loop {
-                let start = counter.fetch_add(1, Ordering::Relaxed) * chunk;
-                if start >= m {
-                    break;
+    gdim_exec::map_chunks(exec, m, 64, |range| {
+        range
+            .map(|r| {
+                let sup = space.if_list(r);
+                let s_r = sup.len();
+                if s_r == 0 || s_r == n {
+                    return 0.0; // constant column: no distance signal
                 }
-                let end = (start + chunk).min(m);
-                let vals: Vec<f64> = (start..end)
-                    .map(|r| {
-                        let sup = space.if_list(r);
-                        let s_r = sup.len();
-                        if s_r == 0 || s_r == n {
-                            return 0.0; // constant column: no distance signal
-                        }
-                        let mut sum = 0.0;
-                        for &i in sup {
-                            let row = &b[i as usize * n..(i as usize + 1) * n];
-                            for &k in sup {
-                                sum += row[k as usize];
-                            }
-                        }
-                        c[r] * sum / (s_r as f64 * (n - s_r) as f64)
-                    })
-                    .collect();
-                let _ = tx.send((start, vals));
-            });
-        }
-        drop(tx);
-        for (start, vals) in rx {
-            out[start..start + vals.len()].copy_from_slice(&vals);
-        }
+                let mut sum = 0.0;
+                for &i in sup {
+                    let row = &b[i as usize * n..(i as usize + 1) * n];
+                    for &k in sup {
+                        sum += row[k as usize];
+                    }
+                }
+                c[r] * sum / (s_r as f64 * (n - s_r) as f64)
+            })
+            .collect()
     })
-    .expect("weight workers never panic");
-    out
 }
 
 /// Literal Algorithms 2–3: materialize `x̄` column by column, then apply
 /// Eq. 9. Single-threaded on purpose (it is the measured baseline of the
 /// optimization ablation).
-fn update_c_literal(space: &FeatureSpace, b: &[f64], c: &[f64], _threads: usize) -> Vec<f64> {
+fn update_c_literal(space: &FeatureSpace, b: &[f64], c: &[f64]) -> Vec<f64> {
     let n = space.num_graphs();
     let m = space.num_features();
     let mut out = vec![0.0f64; m];
@@ -379,7 +336,7 @@ mod tests {
         let cfg = DspmConfig {
             epsilon: 0.0,
             max_iters: 5,
-            threads: 2,
+            exec: ExecConfig::new(2),
             ..DspmConfig::new(10)
         };
         let fast = dspm(&space, &delta, &cfg);

@@ -17,6 +17,7 @@
 //! blocks served by the [`SharedDelta`] cache, so total work is
 //! `O(k·m′·b·n)` — linear in the database size (Theorem 5.3).
 
+use gdim_exec::ExecConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -39,8 +40,8 @@ pub struct DspmapConfig {
     pub epsilon: f64,
     /// Max iterations of the inner DSPM runs.
     pub max_iters: usize,
-    /// Worker threads for the inner DSPM runs and δ sub-blocks (0 = all).
-    pub threads: usize,
+    /// Parallelism budget for the inner DSPM runs and δ sub-blocks.
+    pub exec: ExecConfig,
     /// RNG seed (partitioning and overlap sampling are randomized).
     pub seed: u64,
 }
@@ -55,7 +56,7 @@ impl DspmapConfig {
             sample_size: 16,
             epsilon: 1e-6,
             max_iters: 100,
-            threads: 0,
+            exec: ExecConfig::default(),
             seed: 0,
         }
     }
@@ -97,7 +98,14 @@ pub fn dspmap(space: &FeatureSpace, sdelta: &SharedDelta<'_>, cfg: &DspmapConfig
     // Phase 1 (Algorithm 7).
     let all_ids: Vec<u32> = (0..n as u32).collect();
     let mut partitions: Vec<Vec<u32>> = Vec::new();
-    partition(space, all_ids, b, cfg.sample_size.max(4), &mut rng, &mut partitions);
+    partition(
+        space,
+        all_ids,
+        b,
+        cfg.sample_size.max(4),
+        &mut rng,
+        &mut partitions,
+    );
 
     // Phase 2 (Algorithms 5–6).
     let mut calls = 0usize;
@@ -129,10 +137,7 @@ fn partition(
     let mut sample = ids.clone();
     sample.shuffle(rng);
     sample.truncate(n_o.min(ids.len()));
-    let points: Vec<Vec<f64>> = sample
-        .iter()
-        .map(|&g| dense_row(space, g))
-        .collect();
+    let points: Vec<Vec<f64>> = sample.iter().map(|&g| dense_row(space, g)).collect();
     let km = gdim_linalg::kmeans(&points, 2, 25, rng.next_u64());
     let mut ol: Vec<u32> = Vec::new();
     let mut or: Vec<u32> = Vec::new();
@@ -273,7 +278,7 @@ fn dspm_weights(
         p: cfg.p,
         epsilon: cfg.epsilon,
         max_iters: cfg.max_iters,
-        threads: cfg.threads,
+        exec: cfg.exec,
     };
     dspm(&sub_space, &sub_delta, &inner).weights
 }

@@ -51,8 +51,7 @@ impl FeatureSpace {
                 if f.code.len() <= 1 {
                     return None;
                 }
-                let prefix =
-                    gdim_graph::dfscode::DfsCode(f.code.0[..f.code.len() - 1].to_vec());
+                let prefix = gdim_graph::dfscode::DfsCode(f.code.0[..f.code.len() - 1].to_vec());
                 by_code.get(&prefix).copied()
             })
             .collect();

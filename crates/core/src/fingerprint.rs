@@ -161,7 +161,11 @@ fn path_walk(
 fn path_key(g: &Graph, path: &[VertexId]) -> u64 {
     let forward = path_labels(g, path.iter().copied());
     let backward = path_labels(g, path.iter().rev().copied());
-    let canon = if forward <= backward { forward } else { backward };
+    let canon = if forward <= backward {
+        forward
+    } else {
+        backward
+    };
     let mut h = FxHasher::default();
     canon.hash(&mut h);
     h.finish()

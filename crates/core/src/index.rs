@@ -17,6 +17,7 @@
 
 use std::time::{Duration, Instant};
 
+use gdim_exec::ExecConfig;
 use gdim_graph::Graph;
 use gdim_mining::{mine, MinerConfig, Support};
 
@@ -58,8 +59,11 @@ pub struct IndexOptions {
     pub max_pattern_edges: usize,
     /// Selection strategy.
     pub strategy: SelectionStrategy,
-    /// δ computation configuration (dissimilarity kind, MCS budget,
-    /// threads).
+    /// δ computation configuration (dissimilarity kind, MCS budget).
+    /// Its embedded [`DeltaConfig::exec`] is the **single parallelism
+    /// budget** for the whole build and the index's query entry points
+    /// (δ matrix, DSPM/DSPMap, exact ranking, batch query mapping) —
+    /// set it via [`IndexOptions::with_threads`] / [`IndexOptions::with_exec`].
     pub delta: DeltaConfig,
     /// RNG seed (DSPMap partitioning).
     pub seed: u64,
@@ -96,6 +100,19 @@ impl IndexOptions {
         self.strategy = s;
         self
     }
+
+    /// Sets the worker-thread budget (`0` = all cores) for every
+    /// parallel phase of the build and the built index's queries.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.delta.exec = ExecConfig::new(threads);
+        self
+    }
+
+    /// Sets the full parallelism budget.
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.delta.exec = exec;
+        self
+    }
 }
 
 /// Build-phase statistics, for observability.
@@ -124,12 +141,16 @@ pub struct GraphIndex {
     mapped: MappedDatabase,
     selected: Vec<u32>,
     weights: Vec<f64>,
+    exec: ExecConfig,
     stats: IndexStats,
 }
 
 impl GraphIndex {
-    /// Runs the full pipeline over `db`.
+    /// Runs the full pipeline over `db`. Every parallel phase draws on
+    /// the single [`IndexOptions::exec`] budget.
     pub fn build(db: Vec<Graph>, opts: IndexOptions) -> GraphIndex {
+        let exec = opts.delta.exec;
+        let delta_cfg = opts.delta.clone();
         let t0 = Instant::now();
         let features = mine(
             &db,
@@ -152,14 +173,14 @@ impl GraphIndex {
                 _ => (db.len() / 20).max(10),
             };
             let t1 = Instant::now();
-            let sdelta = SharedDelta::new(&db, opts.delta.clone());
+            let sdelta = SharedDelta::new(&db, delta_cfg);
             let cfg = DspmapConfig {
                 p,
                 partition_size: b,
                 sample_size: 16,
                 epsilon: 1e-6,
                 max_iters: 100,
-                threads: opts.delta.threads,
+                exec,
                 seed: opts.seed,
             };
             let res = dspmap(&space, &sdelta, &cfg);
@@ -173,10 +194,17 @@ impl GraphIndex {
             )
         } else {
             let t1 = Instant::now();
-            let delta = DeltaMatrix::compute(&db, &opts.delta);
+            let delta = DeltaMatrix::compute(&db, &delta_cfg);
             let delta_time = t1.elapsed();
             let t2 = Instant::now();
-            let res = dspm(&space, &delta, &DspmConfig::new(p));
+            let res = dspm(
+                &space,
+                &delta,
+                &DspmConfig {
+                    exec,
+                    ..DspmConfig::new(p)
+                },
+            );
             let pairs = db.len() * db.len().saturating_sub(1) / 2;
             (res.selected, res.weights, pairs, delta_time, t2.elapsed())
         };
@@ -197,6 +225,7 @@ impl GraphIndex {
             mapped,
             selected,
             weights,
+            exec,
             stats,
         }
     }
@@ -246,6 +275,12 @@ impl GraphIndex {
         &self.weights
     }
 
+    /// The parallelism budget the index was built with (also used by
+    /// its query entry points).
+    pub fn exec(&self) -> &ExecConfig {
+        &self.exec
+    }
+
     /// Maps a query graph onto the index's dimensions.
     pub fn map_query(&self, q: &Graph) -> Bitset {
         self.mapped.map_query(q)
@@ -256,7 +291,18 @@ impl GraphIndex {
         self.mapped.topk(&self.mapped.map_query(q), k)
     }
 
-    /// Exact top-k by graph dissimilarity — the slow reference ranker.
+    /// Batch top-k: maps all queries on the index's exec budget, then
+    /// scans. Output order matches `queries` for any thread budget.
+    pub fn topk_batch(&self, queries: &[Graph], k: usize) -> Vec<Vec<(u32, f64)>> {
+        self.mapped
+            .map_queries(queries, &self.exec)
+            .iter()
+            .map(|qvec| self.mapped.topk(qvec, k))
+            .collect()
+    }
+
+    /// Exact top-k by graph dissimilarity — the slow reference ranker —
+    /// on the index's exec budget.
     pub fn exact_topk(&self, q: &Graph, k: usize) -> Vec<(u32, f64)> {
         crate::query::exact_topk(
             &self.db,
@@ -264,7 +310,7 @@ impl GraphIndex {
             k,
             self.stats_delta_kind(),
             &gdim_graph::McsOptions::default(),
-            0,
+            &self.exec,
         )
     }
 
@@ -325,7 +371,7 @@ mod tests {
     }
 
     #[test]
-    fn exact_and_mapped_agree_on_self_query(){
+    fn exact_and_mapped_agree_on_self_query() {
         let index = GraphIndex::build(db(15, 9), IndexOptions::default().with_dimensions(20));
         let q = index.graph(4).clone();
         assert_eq!(index.exact_topk(&q, 1)[0].0, 4);

@@ -40,6 +40,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use gdim_exec as exec;
+
 pub mod applications;
 pub mod bitset;
 pub mod correlation;
@@ -56,15 +58,16 @@ pub mod query;
 pub mod prelude {
     pub use crate::applications::{cluster_mapped, ContainmentFilter};
     pub use crate::bitset::Bitset;
-    pub use crate::index::{GraphIndex, IndexOptions, SelectionStrategy};
     pub use crate::correlation::{correlation_score, jaccard};
     pub use crate::delta::{DeltaConfig, DeltaMatrix, SharedDelta};
     pub use crate::dspm::{dspm, DspmConfig, DspmResult};
     pub use crate::dspmap::{dspmap, DspmapConfig};
     pub use crate::featurespace::FeatureSpace;
     pub use crate::fingerprint::{FingerprintIndex, FINGERPRINT_BITS};
+    pub use crate::index::{GraphIndex, IndexOptions, SelectionStrategy};
     pub use crate::measures::{kendall_tau_topk, precision, rank_distance_inv};
     pub use crate::query::{exact_ranking, exact_topk, MappedDatabase, MappingKind};
+    pub use gdim_exec::ExecConfig;
     pub use gdim_graph::{Dissimilarity, Graph, McsOptions};
 }
 

@@ -5,9 +5,7 @@
 //! sequentially scan all vectors in the mapped multidimensional space",
 //! §6).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-
+use gdim_exec::ExecConfig;
 use gdim_graph::vf2::is_subgraph_iso;
 use gdim_graph::{delta, Dissimilarity, Graph, McsOptions};
 use gdim_mining::Feature;
@@ -142,6 +140,13 @@ impl MappedDatabase {
         bits
     }
 
+    /// Maps a batch of queries, fanning the per-query VF2 feature
+    /// matching out on the shared exec runtime. Output order matches
+    /// `queries`, identically for every thread budget.
+    pub fn map_queries(&self, queries: &[Graph], exec: &ExecConfig) -> Vec<Bitset> {
+        gdim_exec::map_tasks(exec, queries.len(), |i| self.map_query(&queries[i]))
+    }
+
     /// Distance between two vectors in the mapped space.
     #[inline]
     pub fn distance(&self, a: &Bitset, b: &Bitset) -> f64 {
@@ -177,45 +182,19 @@ impl MappedDatabase {
 }
 
 /// Exact full ranking of `db` for query `q` under the graph
-/// dissimilarity (one MCS search per database graph, parallelized).
-/// Sorted ascending by `(δ, id)`.
+/// dissimilarity (one MCS search per database graph, fanned out in
+/// 8-wide chunks on the shared exec runtime). Sorted ascending by
+/// `(δ, id)`; byte-identical for every thread budget.
 pub fn exact_ranking(
     db: &[Graph],
     q: &Graph,
     kind: Dissimilarity,
     mcs: &McsOptions,
-    threads: usize,
+    exec: &ExecConfig,
 ) -> Vec<(u32, f64)> {
-    let n = db.len();
-    let threads = if threads > 0 {
-        threads
-    } else {
-        std::thread::available_parallelism().map_or(1, |t| t.get())
-    };
-    let mut vals = vec![0.0f64; n];
-    let counter = AtomicUsize::new(0);
-    let chunk = 8usize;
-    let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
-    crossbeam::scope(|s| {
-        for _ in 0..threads.min(n.div_ceil(chunk)).max(1) {
-            let tx = tx.clone();
-            let counter = &counter;
-            s.spawn(move |_| loop {
-                let start = counter.fetch_add(1, Ordering::Relaxed) * chunk;
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                let part: Vec<f64> = (start..end).map(|i| delta(kind, q, &db[i], mcs)).collect();
-                let _ = tx.send((start, part));
-            });
-        }
-        drop(tx);
-        for (start, part) in rx {
-            vals[start..start + part.len()].copy_from_slice(&part);
-        }
-    })
-    .expect("exact ranking workers never panic");
+    let vals = gdim_exec::map_chunks(exec, db.len(), 8, |range| {
+        range.map(|i| delta(kind, q, &db[i], mcs)).collect()
+    });
     let mut ranked: Vec<(u32, f64)> = vals
         .into_iter()
         .enumerate()
@@ -233,9 +212,9 @@ pub fn exact_topk(
     k: usize,
     kind: Dissimilarity,
     mcs: &McsOptions,
-    threads: usize,
+    exec: &ExecConfig,
 ) -> Vec<(u32, f64)> {
-    let mut ranked = exact_ranking(db, q, kind, mcs, threads);
+    let mut ranked = exact_ranking(db, q, kind, mcs, exec);
     ranked.truncate(k);
     ranked
 }
@@ -319,13 +298,40 @@ mod tests {
     fn exact_ranking_puts_self_first_and_is_parallel_consistent() {
         let (db, _) = setup();
         let mcs = McsOptions::default();
-        let r1 = exact_ranking(&db, &db[4], Dissimilarity::AvgNorm, &mcs, 1);
-        let r4 = exact_ranking(&db, &db[4], Dissimilarity::AvgNorm, &mcs, 4);
+        let r1 = exact_ranking(
+            &db,
+            &db[4],
+            Dissimilarity::AvgNorm,
+            &mcs,
+            &ExecConfig::serial(),
+        );
+        let r4 = exact_ranking(
+            &db,
+            &db[4],
+            Dissimilarity::AvgNorm,
+            &mcs,
+            &ExecConfig::new(4),
+        );
         assert_eq!(r1, r4);
         assert_eq!(r1[0].0, 4);
         assert_eq!(r1[0].1, 0.0);
         for w in r1.windows(2) {
             assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn batch_query_mapping_matches_serial_for_any_thread_budget() {
+        let (db, space) = setup();
+        let selected: Vec<u32> = (0..space.num_features().min(16) as u32).collect();
+        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let serial: Vec<Bitset> = db.iter().map(|q| mapped.map_query(q)).collect();
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                mapped.map_queries(&db, &ExecConfig::new(threads)),
+                serial,
+                "threads = {threads}"
+            );
         }
     }
 
@@ -338,7 +344,7 @@ mod tests {
             5,
             Dissimilarity::AvgNorm,
             &McsOptions::default(),
-            2,
+            &ExecConfig::new(2),
         );
         assert_eq!(top.len(), 5);
         assert_eq!(top[0].0, 0);

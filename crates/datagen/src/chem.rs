@@ -58,7 +58,8 @@ pub fn chem_db(n: usize, cfg: &ChemConfig, seed: u64) -> Vec<Graph> {
     let fragments = fragment_dictionary();
     (0..n)
         .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1)));
             molecule(cfg, &fragments, &mut rng)
         })
         .collect()
@@ -279,14 +280,12 @@ fn molecule(cfg: &ChemConfig, fragments: &[Graph], rng: &mut StdRng) -> Graph {
             let label = weighted_atom(rng);
             let atom = g.add_atom(label);
             // Mostly single bonds; occasional double when valences allow.
-            let order = if rng.gen_bool(0.15)
-                && g.free[host as usize] >= 2
-                && g.free[atom as usize] >= 2
-            {
-                1
-            } else {
-                0
-            };
+            let order =
+                if rng.gen_bool(0.15) && g.free[host as usize] >= 2 && g.free[atom as usize] >= 2 {
+                    1
+                } else {
+                    0
+                };
             g.add_bond(host, atom, order)
         };
         if grew {

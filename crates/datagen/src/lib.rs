@@ -35,8 +35,8 @@ use rand::{Rng, SeedableRng};
 pub fn connected_edge_subgraph(g: &Graph, keep_fraction: f64, seed: u64) -> Graph {
     assert!(g.edge_count() > 0, "need at least one edge");
     let mut rng = StdRng::seed_from_u64(seed);
-    let target = ((g.edge_count() as f64 * keep_fraction).round() as usize)
-        .clamp(1, g.edge_count());
+    let target =
+        ((g.edge_count() as f64 * keep_fraction).round() as usize).clamp(1, g.edge_count());
     // Grow a connected edge set from a random start edge.
     let start = rng.gen_range(0..g.edge_count());
     let mut chosen: Vec<u32> = vec![start as u32];

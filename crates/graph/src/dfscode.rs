@@ -45,14 +45,13 @@ impl DfsEdge {
 /// gSpan edge order `≺` (DFS lexicographic order, neighborhood rules),
 /// with full label tuples as tie-breakers.
 pub fn edge_cmp(a: &DfsEdge, b: &DfsEdge) -> Ordering {
-    let labels =
-        |e: &DfsEdge| (e.from_label, e.elabel, e.to_label);
+    let labels = |e: &DfsEdge| (e.from_label, e.elabel, e.to_label);
     match (a.is_forward(), b.is_forward()) {
-        (true, true) => a
-            .to
-            .cmp(&b.to)
-            .then(b.from.cmp(&a.from)) // larger `from` is smaller
-            .then(labels(a).cmp(&labels(b))),
+        (true, true) => {
+            a.to.cmp(&b.to)
+                .then(b.from.cmp(&a.from)) // larger `from` is smaller
+                .then(labels(a).cmp(&labels(b)))
+        }
         (false, false) => a
             .from
             .cmp(&b.from)
@@ -210,7 +209,10 @@ impl Embedding {
 /// Panics if the graph is disconnected or has no edges (the canonical
 /// form of those is not defined by gSpan; see [`canonical_key`]).
 pub fn min_dfs_code(g: &Graph) -> DfsCode {
-    assert!(g.edge_count() > 0, "min_dfs_code requires at least one edge");
+    assert!(
+        g.edge_count() > 0,
+        "min_dfs_code requires at least one edge"
+    );
     assert!(g.is_connected(), "min_dfs_code requires a connected graph");
 
     let ne = g.edge_count();
@@ -355,8 +357,7 @@ fn forward_from(
             }
             let to_label = g.vlabel(nb.to);
             if let Some(t) = tree {
-                let ok = nb.elabel > t.elabel
-                    || (nb.elabel == t.elabel && to_label >= t.to_label);
+                let ok = nb.elabel > t.elabel || (nb.elabel == t.elabel && to_label >= t.to_label);
                 if !ok {
                     continue;
                 }
@@ -490,10 +491,7 @@ mod tests {
         // Triangle vs path with same label multiset.
         let tri = Graph::from_parts(vec![1; 3], [(0, 1, 0), (1, 2, 0), (0, 2, 0)]).unwrap();
         let p = path(&[1, 1, 1], &[0, 0]);
-        assert_ne!(
-            min_dfs_code(&tri),
-            DfsCode(min_dfs_code(&p).0.clone())
-        );
+        assert_ne!(min_dfs_code(&tri), DfsCode(min_dfs_code(&p).0.clone()));
     }
 
     #[test]

@@ -102,8 +102,7 @@ pub fn ged(g1: &Graph, g2: &Graph, opts: &GedOptions) -> GedOutcome {
 pub fn ged_dissimilarity(g1: &Graph, g2: &Graph, opts: &GedOptions) -> f64 {
     let out = ged(g1, g2, opts);
     let c = &opts.costs;
-    let ceiling = c.vertex_indel as f64
-        * (g1.vertex_count() + g2.vertex_count()) as f64
+    let ceiling = c.vertex_indel as f64 * (g1.vertex_count() + g2.vertex_count()) as f64
         + c.edge_indel as f64 * (g1.edge_count() + g2.edge_count()) as f64;
     if ceiling == 0.0 {
         0.0
@@ -341,7 +340,7 @@ impl<'x> Solver<'x> {
 /// for free, mismatched pairs cost `sub` each, the size difference
 /// costs `indel` each — admissible because any true completion must do
 /// at least this much.
-fn multiset_bound(a: &mut Vec<u32>, b: &mut Vec<u32>, sub: u32, indel: u32) -> u32 {
+fn multiset_bound(a: &mut [u32], b: &mut [u32], sub: u32, indel: u32) -> u32 {
     a.sort_unstable();
     b.sort_unstable();
     // Count common labels (multiset intersection).
@@ -440,7 +439,10 @@ mod tests {
         assert!((0.0..=1.0).contains(&d));
         assert_eq!(ged_dissimilarity(&a, &a, &GedOptions::default()), 0.0);
         let empty = Graph::from_parts(vec![], []).unwrap();
-        assert_eq!(ged_dissimilarity(&empty, &empty, &GedOptions::default()), 0.0);
+        assert_eq!(
+            ged_dissimilarity(&empty, &empty, &GedOptions::default()),
+            0.0
+        );
     }
 
     #[test]
@@ -448,7 +450,14 @@ mod tests {
         let a = path(&[1; 6], &[0; 5]);
         let b = Graph::from_parts(
             vec![1; 6],
-            [(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0), (4, 5, 0), (0, 5, 0)],
+            [
+                (0, 1, 0),
+                (1, 2, 0),
+                (2, 3, 0),
+                (3, 4, 0),
+                (4, 5, 0),
+                (0, 5, 0),
+            ],
         )
         .unwrap();
         let tight = ged(

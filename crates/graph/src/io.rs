@@ -79,7 +79,10 @@ pub fn parse_db(text: &str) -> Result<Vec<Graph>, ParseError> {
                 if id != b.vertex_count() {
                     return Err(ParseError::Syntax(
                         lineno,
-                        format!("vertex ids must be dense; expected {}, got {id}", b.vertex_count()),
+                        format!(
+                            "vertex ids must be dense; expected {}, got {id}",
+                            b.vertex_count()
+                        ),
                     ));
                 }
                 b.vertex(label);
@@ -95,7 +98,10 @@ pub fn parse_db(text: &str) -> Result<Vec<Graph>, ParseError> {
                     .map_err(|e| ParseError::Syntax(lineno, e.to_string()))?;
             }
             Some(tok) => {
-                return Err(ParseError::Syntax(lineno, format!("unknown record '{tok}'")));
+                return Err(ParseError::Syntax(
+                    lineno,
+                    format!("unknown record '{tok}'"),
+                ));
             }
             None => unreachable!("empty lines are skipped"),
         }
@@ -188,10 +194,7 @@ v 0 1
     #[test]
     fn rejects_sparse_vertex_ids() {
         let text = "t # 0\nv 1 1\n";
-        assert!(matches!(
-            parse_db(text),
-            Err(ParseError::Syntax(2, _))
-        ));
+        assert!(matches!(parse_db(text), Err(ParseError::Syntax(2, _))));
     }
 
     #[test]

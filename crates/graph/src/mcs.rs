@@ -618,11 +618,7 @@ mod tests {
         // g1: two disjoint labeled edges (1-1:a, 2-2:b) joined via label-9
         // bridge; g2 has the same two edges far apart. The best common
         // subgraph is disconnected with 2 edges.
-        let g1 = Graph::from_parts(
-            vec![1, 1, 2, 2],
-            [(0, 1, 0), (1, 2, 9), (2, 3, 1)],
-        )
-        .unwrap();
+        let g1 = Graph::from_parts(vec![1, 1, 2, 2], [(0, 1, 0), (1, 2, 9), (2, 3, 1)]).unwrap();
         let g2 = Graph::from_parts(
             vec![1, 1, 5, 2, 2],
             [(0, 1, 0), (1, 2, 7), (2, 3, 7), (3, 4, 1)],
@@ -669,7 +665,10 @@ mod tests {
         let a = path(&[1, 2, 3, 1], &[0, 1, 0]);
         let b = triangle(1);
         let opts = McsOptions::default();
-        assert_eq!(mcs_edges(&a, &b, &opts).edges, mcs_edges(&b, &a, &opts).edges);
+        assert_eq!(
+            mcs_edges(&a, &b, &opts).edges,
+            mcs_edges(&b, &a, &opts).edges
+        );
     }
 
     #[test]

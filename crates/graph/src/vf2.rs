@@ -198,9 +198,8 @@ impl<'a> Matcher<'a> {
     /// All remaining mapped pattern neighbors must be connected to `tv`
     /// by a target edge with the right label.
     fn consistent(&self, rest: &[(VertexId, u32)], tv: VertexId) -> bool {
-        rest.iter().all(|&(nbr, el)| {
-            self.target.edge_label(self.map[nbr as usize], tv) == Some(el)
-        })
+        rest.iter()
+            .all(|&(nbr, el)| self.target.edge_label(self.map[nbr as usize], tv) == Some(el))
     }
 
     fn extend(
@@ -231,7 +230,13 @@ fn matching_order(pattern: &Graph) -> Vec<VertexId> {
     for _ in 0..n {
         let next = (0..n)
             .filter(|&v| !placed[v])
-            .max_by_key(|&v| (placed_nbrs[v], pattern.degree(v as VertexId), usize::MAX - v))
+            .max_by_key(|&v| {
+                (
+                    placed_nbrs[v],
+                    pattern.degree(v as VertexId),
+                    usize::MAX - v,
+                )
+            })
             .expect("unplaced vertex exists");
         placed[next] = true;
         order.push(next as VertexId);
@@ -319,11 +324,7 @@ mod tests {
     #[test]
     fn embedding_maps_edges_correctly() {
         let p = path(&[3, 4, 5], &[7, 8]);
-        let t = Graph::from_parts(
-            vec![5, 4, 3, 9],
-            [(2, 1, 7), (1, 0, 8), (0, 3, 1)],
-        )
-        .unwrap();
+        let t = Graph::from_parts(vec![5, 4, 3, 9], [(2, 1, 7), (1, 0, 8), (0, 3, 1)]).unwrap();
         let m = find_embedding(&p, &t).expect("embedding exists");
         for e in p.edges() {
             assert_eq!(
@@ -339,11 +340,7 @@ mod tests {
     #[test]
     fn disconnected_pattern() {
         let p = Graph::from_parts(vec![1, 1, 2, 2], [(0, 1, 0), (2, 3, 5)]).unwrap();
-        let t = Graph::from_parts(
-            vec![1, 1, 2, 2, 7],
-            [(0, 1, 0), (2, 3, 5), (3, 4, 1)],
-        )
-        .unwrap();
+        let t = Graph::from_parts(vec![1, 1, 2, 2, 7], [(0, 1, 0), (2, 3, 5), (3, 4, 1)]).unwrap();
         assert!(is_subgraph_iso(&p, &t));
         // Components can't overlap: labels differ, so 2 × 2 orientations.
         assert_eq!(count_embeddings(&p, &t, usize::MAX), 4);

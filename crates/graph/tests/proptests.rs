@@ -23,7 +23,11 @@ fn connected_graph(
         // Tree edge i connects vertex i+1 to a random earlier vertex.
         let tree = proptest::collection::vec((any::<prop::sample::Index>(), 0..el), n - 1);
         let extras = proptest::collection::vec(
-            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0..el),
+            (
+                any::<prop::sample::Index>(),
+                any::<prop::sample::Index>(),
+                0..el,
+            ),
             extra,
         );
         (vlabels, tree, extras).prop_map(move |(vlabels, tree, extras)| {
@@ -204,7 +208,7 @@ proptest! {
     ) {
         let v = idx.index(g.vertex_count()) as u32;
         let mut labels = g.vlabels().to_vec();
-        labels[v as usize] = labels[v as usize] ^ 1; // flip to a different label
+        labels[v as usize] ^= 1; // flip to a different label
         let edges: Vec<_> = g.edges().iter().map(|e| (e.u, e.v, e.label)).collect();
         let changed = Graph::from_parts(labels, edges).unwrap();
         let out = ged(&g, &changed, &GedOptions::default());

@@ -253,8 +253,8 @@ mod tests {
         let small = smallest_eigenpairs_spd(&a, 2, 300).unwrap();
         let mut want = full.values.clone();
         want.reverse();
-        for k in 0..2 {
-            assert!((small.values[k] - want[k]).abs() < 1e-6);
+        for (got, want) in small.values.iter().zip(&want).take(2) {
+            assert!((got - want).abs() < 1e-6);
         }
         assert!(residual(&a, &small) < 1e-5);
     }
@@ -266,7 +266,9 @@ mod tests {
         let mut a = Mat::zeros(n, n);
         let mut state = 0x12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {

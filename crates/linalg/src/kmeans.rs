@@ -96,10 +96,7 @@ fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
     while centroids.len() < k {
-        let dists: Vec<f64> = points
-            .iter()
-            .map(|p| nearest(p, &centroids).1)
-            .collect();
+        let dists: Vec<f64> = points.iter().map(|p| nearest(p, &centroids).1).collect();
         let total: f64 = dists.iter().sum();
         if total <= 0.0 {
             // All points coincide with a centroid; duplicate one.

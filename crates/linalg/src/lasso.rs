@@ -77,12 +77,7 @@ mod tests {
     #[test]
     fn zero_lambda_recovers_least_squares() {
         // y = 2·x0 − 3·x1 exactly, well-conditioned design.
-        let x = Mat::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[2.0, -1.0],
-        ]);
+        let x = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]]);
         let beta_true = [2.0, -3.0];
         let y: Vec<f64> = (0..4)
             .map(|i| x[(i, 0)] * beta_true[0] + x[(i, 1)] * beta_true[1])
@@ -104,12 +99,7 @@ mod tests {
     fn lasso_selects_relevant_feature() {
         // y depends only on x0; x1 is noise-free junk. Moderate lambda
         // must zero out x1 but keep x0.
-        let x = Mat::from_rows(&[
-            &[1.0, 0.1],
-            &[2.0, -0.1],
-            &[3.0, 0.05],
-            &[4.0, -0.02],
-        ]);
+        let x = Mat::from_rows(&[&[1.0, 0.1], &[2.0, -0.1], &[3.0, 0.05], &[4.0, -0.02]]);
         let y = vec![2.0, 4.0, 6.0, 8.0];
         let beta = lasso_coordinate_descent(&x, &y, 0.5, 2000, 1e-12);
         assert!(beta[0] > 1.5, "relevant coefficient kept: {beta:?}");

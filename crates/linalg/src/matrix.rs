@@ -39,7 +39,11 @@ impl Mat {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Mat { rows: r, cols: c, data }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds from a flat row-major buffer.
@@ -118,9 +122,7 @@ impl Mat {
     /// Matrix-vector product.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len());
-        (0..self.rows)
-            .map(|i| dot(self.row(i), v))
-            .collect()
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
     }
 
     /// `self + other`.
@@ -137,7 +139,11 @@ impl Mat {
 
     /// `self * s` element-wise.
     pub fn scale(&self, s: f64) -> Mat {
-        Mat::from_vec(self.rows, self.cols, self.data.iter().map(|x| x * s).collect())
+        Mat::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|x| x * s).collect(),
+        )
     }
 
     /// Maximum absolute element difference to another matrix.
@@ -153,9 +159,7 @@ impl Mat {
     /// Whether the matrix is symmetric within `tol`.
     pub fn is_symmetric(&self, tol: f64) -> bool {
         self.rows == self.cols
-            && (0..self.rows).all(|i| {
-                (0..i).all(|j| (self[(i, j)] - self[(j, i)]).abs() <= tol)
-            })
+            && (0..self.rows).all(|i| (0..i).all(|j| (self[(i, j)] - self[(j, i)]).abs() <= tol))
     }
 }
 

@@ -243,7 +243,9 @@ impl<'a> Miner<'a> {
                         elabel: nb.elabel,
                         to_label: g.vlabel(anc_v),
                     };
-                    exts.entry(edge).or_default().push(emb.extended(None, nb.eid));
+                    exts.entry(edge)
+                        .or_default()
+                        .push(emb.extended(None, nb.eid));
                 }
             }
 
@@ -428,8 +430,7 @@ mod tests {
             path(&[0, 0], &[0]),
         ];
         let feats = mine(&db, &MinerConfig::new(Support::Absolute(1)));
-        let by_size =
-            |k: usize| feats.iter().filter(move |f| f.graph.edge_count() == k);
+        let by_size = |k: usize| feats.iter().filter(move |f| f.graph.edge_count() == k);
         let max_sup_2: usize = by_size(2).map(|f| f.support_count()).max().unwrap();
         let sup_1: usize = by_size(1).map(|f| f.support_count()).max().unwrap();
         assert!(sup_1 >= max_sup_2);
@@ -439,8 +440,11 @@ mod tests {
     fn patterns_embed_in_their_supporters() {
         let db = vec![
             triangle(1),
-            Graph::from_parts(vec![1, 1, 1, 2], [(0, 1, 0), (1, 2, 0), (0, 2, 0), (2, 3, 1)])
-                .unwrap(),
+            Graph::from_parts(
+                vec![1, 1, 1, 2],
+                [(0, 1, 0), (1, 2, 0), (0, 2, 0), (2, 3, 1)],
+            )
+            .unwrap(),
             path(&[1, 2], &[1]),
         ];
         let feats = mine(&db, &MinerConfig::new(Support::Absolute(1)));
@@ -455,7 +459,10 @@ mod tests {
             // And absent from non-supporters.
             for gid in 0..db.len() as u32 {
                 if !f.support.contains(&gid) {
-                    assert!(!gdim_graph::vf2::is_subgraph_iso(&f.graph, &db[gid as usize]));
+                    assert!(!gdim_graph::vf2::is_subgraph_iso(
+                        &f.graph,
+                        &db[gid as usize]
+                    ));
                 }
             }
         }

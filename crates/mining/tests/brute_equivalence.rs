@@ -15,7 +15,11 @@ fn small_graph() -> impl Strategy<Value = Graph> {
         let vlabels = proptest::collection::vec(0u32..2, n);
         let tree = proptest::collection::vec((any::<prop::sample::Index>(), 0u32..2), n - 1);
         let extras = proptest::collection::vec(
-            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0u32..2),
+            (
+                any::<prop::sample::Index>(),
+                any::<prop::sample::Index>(),
+                0u32..2,
+            ),
             extra,
         );
         (vlabels, tree, extras).prop_map(move |(vlabels, tree, extras)| {

@@ -59,7 +59,7 @@ fn main() {
     let mut fp_hits = 0.0;
     for (qi, q) in queries.iter().enumerate() {
         let t_exact = Instant::now();
-        let exact = exact_ranking(&db, q, Dissimilarity::AvgNorm, &mcs, 0);
+        let exact = exact_ranking(&db, q, Dissimilarity::AvgNorm, &mcs, &ExecConfig::default());
         let exact_time = t_exact.elapsed();
         let exact_ids = topk_ids(&exact, k);
 

@@ -46,9 +46,7 @@ fn main() {
     }
 
     let sample = gdim::baselines::sample_select(&space, p, 3);
-    println!(
-        "\ncorrelation score (sum of pairwise support Jaccard, lower = more diverse):"
-    );
+    println!("\ncorrelation score (sum of pairwise support Jaccard, lower = more diverse):");
     println!("  DSPM:   {:.1}", correlation_score(&space, &res.selected));
     println!("  Sample: {:.1}", correlation_score(&space, &sample));
 

@@ -44,7 +44,10 @@ fn main() {
         query.edge_count()
     );
     let qvec = mapped.map_query(query);
-    println!("query contains {} of the selected dimensions", qvec.count_ones());
+    println!(
+        "query contains {} of the selected dimensions",
+        qvec.count_ones()
+    );
 
     let top = mapped.topk(&qvec, 5);
     println!("top-5 by mapped distance:");

@@ -55,9 +55,7 @@ fn main() {
     // How close are the two selections?
     let set: std::collections::BTreeSet<u32> = dspm_res.selected.iter().copied().collect();
     let overlap = res.selected.iter().filter(|r| set.contains(r)).count();
-    println!(
-        "\nselection overlap: {overlap}/{p} dimensions shared with plain DSPM"
-    );
+    println!("\nselection overlap: {overlap}/{p} dimensions shared with plain DSPM");
 
     // And do they answer queries the same way?
     let queries = gdim::datagen::chem_db(10, &gdim::datagen::ChemConfig::default(), 555);

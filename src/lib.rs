@@ -19,6 +19,8 @@
 //! * [`graph`] — labeled graphs, VF2, canonical DFS codes, MCS, δ1/δ2;
 //! * [`mining`] — gSpan frequent subgraph mining;
 //! * [`linalg`] — the dense linear-algebra substrate;
+//! * [`exec`] — the shared parallel-execution runtime (`ExecConfig`,
+//!   deterministic chunked fan-out) every parallel kernel runs on;
 //! * [`datagen`] — chemistry-like and GraphGen-like dataset generators;
 //! * [`core`] — DSPM / DSPMap dimension selection, top-k queries,
 //!   quality measures, fingerprint benchmark;
@@ -53,6 +55,7 @@
 pub use gdim_baselines as baselines;
 pub use gdim_core as core;
 pub use gdim_datagen as datagen;
+pub use gdim_exec as exec;
 pub use gdim_graph as graph;
 pub use gdim_linalg as linalg;
 pub use gdim_mining as mining;

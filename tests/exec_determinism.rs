@@ -1,0 +1,133 @@
+//! Cross-crate determinism contract of the shared exec runtime: every
+//! parallel kernel must produce **byte-identical** results for any
+//! thread budget. This is what lets callers tune `ExecConfig` freely
+//! without re-validating outputs.
+
+use gdim::core::dspm::dspm;
+use gdim::prelude::*;
+
+fn db(n: usize, seed: u64) -> Vec<Graph> {
+    gdim::datagen::chem_db(n, &gdim::datagen::ChemConfig::default(), seed)
+}
+
+/// End-to-end: `GraphIndex::build → topk` over DSPM is identical for
+/// `threads = 1` and `threads = N`.
+#[test]
+fn index_build_and_topk_identical_across_thread_budgets() {
+    let build = |threads: usize| {
+        GraphIndex::build(
+            db(30, 11),
+            IndexOptions::default()
+                .with_dimensions(20)
+                .with_strategy(SelectionStrategy::Dspm)
+                .with_threads(threads),
+        )
+    };
+    let serial = build(1);
+    for threads in [2usize, 8] {
+        let parallel = build(threads);
+        assert_eq!(
+            serial.dimensions(),
+            parallel.dimensions(),
+            "threads = {threads}"
+        );
+        assert_eq!(serial.weights(), parallel.weights(), "threads = {threads}");
+        for qi in [0usize, 7, 19] {
+            let q = serial.graph(qi).clone();
+            assert_eq!(
+                serial.topk(&q, 10),
+                parallel.topk(&q, 10),
+                "threads = {threads}, query {qi}"
+            );
+        }
+    }
+}
+
+/// Same contract through the DSPMap path (SharedDelta sub-blocks).
+#[test]
+fn dspmap_index_identical_across_thread_budgets() {
+    let build = |threads: usize| {
+        GraphIndex::build(
+            db(40, 13),
+            IndexOptions::default()
+                .with_dimensions(15)
+                .with_strategy(SelectionStrategy::Dspmap { partition_size: 10 })
+                .with_threads(threads),
+        )
+    };
+    let serial = build(1);
+    let parallel = build(8);
+    assert_eq!(serial.dimensions(), parallel.dimensions());
+    assert_eq!(serial.weights(), parallel.weights());
+    let q = serial.graph(3).clone();
+    assert_eq!(serial.topk(&q, 5), parallel.topk(&q, 5));
+    assert_eq!(
+        serial.topk_batch(&db(4, 99), 5),
+        parallel.topk_batch(&db(4, 99), 5)
+    );
+}
+
+/// δ-matrix bytes are independent of the thread budget.
+#[test]
+fn delta_matrix_bytes_identical_across_thread_budgets() {
+    let graphs = db(25, 17);
+    let cfg = |threads: usize| DeltaConfig {
+        exec: ExecConfig::new(threads),
+        ..DeltaConfig::default()
+    };
+    let serial = DeltaMatrix::compute(&graphs, &cfg(1));
+    for threads in [2usize, 8] {
+        let parallel = DeltaMatrix::compute(&graphs, &cfg(threads));
+        assert_eq!(
+            serial.condensed(),
+            parallel.condensed(),
+            "threads = {threads}"
+        );
+    }
+}
+
+/// Exact ranking and DSPM weights are independent of the thread budget.
+#[test]
+fn exact_ranking_and_dspm_identical_across_thread_budgets() {
+    let graphs = db(20, 19);
+    let mcs = McsOptions::default();
+    let serial = exact_ranking(
+        &graphs,
+        &graphs[2],
+        Dissimilarity::AvgNorm,
+        &mcs,
+        &ExecConfig::serial(),
+    );
+    for threads in [2usize, 8] {
+        let parallel = exact_ranking(
+            &graphs,
+            &graphs[2],
+            Dissimilarity::AvgNorm,
+            &mcs,
+            &ExecConfig::new(threads),
+        );
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+
+    let feats = mine(
+        &graphs,
+        &MinerConfig::new(Support::Relative(0.15)).with_max_edges(3),
+    );
+    let space = FeatureSpace::build(graphs.len(), feats);
+    let delta = DeltaMatrix::compute(&graphs, &DeltaConfig::default());
+    let run = |threads: usize| {
+        dspm(
+            &space,
+            &delta,
+            &DspmConfig {
+                exec: ExecConfig::new(threads),
+                ..DspmConfig::new(10)
+            },
+        )
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.weights, parallel.weights);
+    assert_eq!(serial.selected, parallel.selected);
+    assert_eq!(serial.objective_trace, parallel.objective_trace);
+}

@@ -40,12 +40,7 @@ fn build_pipeline(n: usize, seed: u64) -> Pipeline {
     }
 }
 
-fn mean_precision(
-    pl: &Pipeline,
-    selection: &[u32],
-    truth: &[Vec<u32>],
-    k: usize,
-) -> f64 {
+fn mean_precision(pl: &Pipeline, selection: &[u32], truth: &[Vec<u32>], k: usize) -> f64 {
     let mapped = MappedDatabase::build(&pl.space, selection, MappingKind::Binary);
     let mut total = 0.0;
     for (q, exact) in pl.queries.iter().zip(truth) {
@@ -63,10 +58,16 @@ fn ground_truth(pl: &Pipeline) -> Vec<Vec<u32>> {
     pl.queries
         .iter()
         .map(|q| {
-            exact_ranking(&pl.db, q, Dissimilarity::AvgNorm, &mcs, 0)
-                .into_iter()
-                .map(|(id, _)| id)
-                .collect()
+            exact_ranking(
+                &pl.db,
+                q,
+                Dissimilarity::AvgNorm,
+                &mcs,
+                &ExecConfig::default(),
+            )
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
         })
         .collect()
 }

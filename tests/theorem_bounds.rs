@@ -13,7 +13,11 @@ fn graph(max_n: usize, extra: usize, vl: u32, el: u32) -> impl Strategy<Value = 
         let vlabels = proptest::collection::vec(0..vl, n);
         let tree = proptest::collection::vec((any::<prop::sample::Index>(), 0..el), n - 1);
         let extras = proptest::collection::vec(
-            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0..el),
+            (
+                any::<prop::sample::Index>(),
+                any::<prop::sample::Index>(),
+                0..el,
+            ),
             ex,
         );
         (vlabels, tree, extras).prop_map(move |(vlabels, tree, extras)| {

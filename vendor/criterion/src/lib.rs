@@ -1,0 +1,215 @@
+//! Vendored, dependency-free stand-in for the subset of `criterion`
+//! this workspace uses (see `vendor/README.md`). Bench targets compile
+//! and run against it: each benchmark executes a small fixed number of
+//! timed iterations and prints a single median line — enough to smoke
+//! the bench surface and get coarse numbers, without the statistical
+//! machinery of real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque "prevent the optimizer from deleting this" hint.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Iteration driver handed to every benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of samples and records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then `samples` timed calls.
+        black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.median = times[times.len() / 2];
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The top-level benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+const SHIM_SAMPLES: usize = 3;
+
+fn report(group: Option<&str>, id: &str, median: Duration) {
+    match group {
+        Some(g) => println!("bench {g}/{id}: median {median:?} (vendored criterion shim)"),
+        None => println!("bench {id}: median {median:?} (vendored criterion shim)"),
+    }
+}
+
+impl Criterion {
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: SHIM_SAMPLES,
+            median: Duration::ZERO,
+        };
+        f(&mut b);
+        report(None, &id.id, b.median);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            samples: SHIM_SAMPLES,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (honoured loosely: the shim caps samples).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 5);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            median: Duration::ZERO,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.id, b.median);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            median: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, b.median);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64));
+        });
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}
