@@ -15,7 +15,7 @@
 //!
 //! All selectors consume the same [`FeatureSpace`](gdim_core::FeatureSpace)
 //! and return feature-id lists compatible with
-//! [`MappedDatabase::build`](gdim_core::MappedDatabase::build), so the
+//! [`MappedDatabase::new`](gdim_core::MappedDatabase::new), so the
 //! bench harness treats every algorithm identically.
 //!
 //! The spectral trio (MCFS/UDFS/NDFS) follows the published update rules

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gdim_core::dspm::{dspm, dspm_reference, DspmConfig};
-use gdim_core::{DeltaConfig, DeltaMatrix, FeatureSpace, MappedDatabase, MappingKind};
+use gdim_core::{DeltaConfig, DeltaMatrix, FeatureSpace, MappedDatabase, Mapping};
 use gdim_datagen::{chem_db, ChemConfig};
 use gdim_graph::vf2::is_subgraph_iso;
 use gdim_graph::McsOptions;
@@ -73,8 +73,9 @@ fn bench_ablation(c: &mut Criterion) {
 
     // Distance evaluation: binary vs weighted.
     let res = dspm(&space, &delta, &DspmConfig::new(40));
-    let binary = MappedDatabase::build(&space, &res.selected, MappingKind::Binary);
-    let weighted = MappedDatabase::build_weighted(&space, &res.selected, &res.weights);
+    let binary = MappedDatabase::new(&space, &res.selected, Mapping::Binary).unwrap();
+    let weighted =
+        MappedDatabase::new(&space, &res.selected, Mapping::Weighted(&res.weights)).unwrap();
     let qv = binary.map_query(&queries[0]);
     group.bench_function("scan_binary", |b| b.iter(|| binary.topk(&qv, 10)[0].0));
     group.bench_function("scan_weighted", |b| b.iter(|| weighted.topk(&qv, 10)[0].0));

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdim_core::{
-    dspm, exact_topk, DeltaConfig, DeltaMatrix, DspmConfig, FeatureSpace, MappedDatabase,
-    MappingKind,
+    dspm, exact_topk, DeltaConfig, DeltaMatrix, DspmConfig, FeatureSpace, MappedDatabase, Mapping,
 };
 use gdim_datagen::{chem_db, ChemConfig};
 use gdim_graph::{Dissimilarity, McsOptions};
@@ -33,7 +32,7 @@ fn bench_query(c: &mut Criterion) {
     group.sample_size(10);
     for p in [50usize, 150] {
         let sel = dspm(&space, &delta, &DspmConfig::new(p)).selected;
-        let mapped = MappedDatabase::build(&space, &sel, MappingKind::Binary);
+        let mapped = MappedDatabase::new(&space, &sel, Mapping::Binary).unwrap();
         group.bench_with_input(BenchmarkId::new("mapped_topk_p", p), &p, |b, _| {
             b.iter(|| {
                 let mut acc = 0u32;
@@ -47,7 +46,7 @@ fn bench_query(c: &mut Criterion) {
     }
     // Original = all features: the 3-5x slower mapped path of Fig. 7(a).
     let all: Vec<u32> = (0..space.num_features() as u32).collect();
-    let original = MappedDatabase::build(&space, &all, MappingKind::Binary);
+    let original = MappedDatabase::new(&space, &all, Mapping::Binary).unwrap();
     group.bench_function("mapped_topk_original", |b| {
         b.iter(|| {
             let mut acc = 0u32;

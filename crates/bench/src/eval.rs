@@ -7,7 +7,7 @@
 use std::time::{Duration, Instant};
 
 use gdim_core::{
-    kendall_tau_topk, precision, rank_distance_inv, FeatureSpace, MappedDatabase, MappingKind,
+    kendall_tau_topk, precision, rank_distance_inv, FeatureSpace, MappedDatabase, Mapping,
 };
 use gdim_graph::Graph;
 
@@ -36,7 +36,8 @@ pub fn evaluate_selection(
     truth: &[Vec<u32>],
     ks: &[usize],
 ) -> EvalResult {
-    let mapped = MappedDatabase::build(space, selection, MappingKind::Binary);
+    let mapped = MappedDatabase::new(space, selection, Mapping::Binary)
+        .expect("selection ids come from the same space");
     evaluate_mapped(&mapped, queries, truth, ks)
 }
 

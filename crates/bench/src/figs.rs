@@ -5,9 +5,7 @@
 
 use std::time::Instant;
 
-use gdim_core::{
-    correlation_score, dspm, DspmConfig, FingerprintIndex, MappedDatabase, MappingKind,
-};
+use gdim_core::{correlation_score, dspm, DspmConfig, FingerprintIndex, MappedDatabase, Mapping};
 use gdim_datagen::SynthConfig;
 use gdim_graph::{delta as graph_delta, Dissimilarity, McsOptions};
 
@@ -29,8 +27,10 @@ pub fn fig1(ctx: &Context) {
 
     let sel_dspm = dspm(space, delta, &DspmConfig::new(p)).selected;
     let sel_orig: Vec<u32> = (0..space.num_features() as u32).collect();
-    let md_dspm = MappedDatabase::build(space, &sel_dspm, MappingKind::Binary);
-    let md_orig = MappedDatabase::build(space, &sel_orig, MappingKind::Binary);
+    let md_dspm =
+        MappedDatabase::new(space, &sel_dspm, Mapping::Binary).expect("dspm selection in range");
+    let md_orig =
+        MappedDatabase::new(space, &sel_orig, Mapping::Binary).expect("full selection in range");
 
     let bins = 10usize;
     let hist = |vals: &[f64]| -> Vec<f64> {
@@ -399,8 +399,10 @@ pub fn fig7(ctx: &Context) {
 
     let sel_dspm = dspm(space, delta, &DspmConfig::new(p)).selected;
     let sel_orig: Vec<u32> = (0..space.num_features() as u32).collect();
-    let md_dspm = MappedDatabase::build(space, &sel_dspm, MappingKind::Binary);
-    let md_orig = MappedDatabase::build(space, &sel_orig, MappingKind::Binary);
+    let md_dspm =
+        MappedDatabase::new(space, &sel_dspm, Mapping::Binary).expect("dspm selection in range");
+    let md_orig =
+        MappedDatabase::new(space, &sel_orig, Mapping::Binary).expect("full selection in range");
 
     // Bin queries by vertex count, as the paper does (10-12 .. 18-20).
     let bins: [(usize, usize); 5] = [(10, 12), (12, 14), (14, 16), (16, 18), (18, 20)];
@@ -555,7 +557,8 @@ pub fn fig9(ctx: &Context) {
         let sample_eval = evaluate_selection(space, &sample_sel, queries, truth.as_slice(), &[k]);
 
         // Mapped vs exact query time.
-        let md = MappedDatabase::build(space, &map_sel, MappingKind::Binary);
+        let md = MappedDatabase::new(space, &map_sel, Mapping::Binary)
+            .expect("dspmap selection in range");
         let t0 = Instant::now();
         for q in queries {
             let v = md.map_query(q);
@@ -604,8 +607,10 @@ pub fn ablation(ctx: &Context) {
     let p = ctx.scale.default_p().min(space.num_features());
 
     let res = dspm(space, delta, &DspmConfig::new(p));
-    let binary = MappedDatabase::build(space, &res.selected, MappingKind::Binary);
-    let weighted = MappedDatabase::build_weighted(space, &res.selected, &res.weights);
+    let binary = MappedDatabase::new(space, &res.selected, Mapping::Binary)
+        .expect("dspm selection in range");
+    let weighted = MappedDatabase::new(space, &res.selected, Mapping::Weighted(&res.weights))
+        .expect("dspm weights cover the space");
     let eb = crate::eval::evaluate_mapped(&binary, queries, truth, &ks);
     let ew = crate::eval::evaluate_mapped(&weighted, queries, truth, &ks);
     println!("-- binary (paper) vs weighted mapping: precision --");

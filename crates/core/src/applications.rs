@@ -99,7 +99,7 @@ pub fn cluster_mapped(mapped: &MappedDatabase, k: usize, seed: u64) -> Vec<usize
 mod tests {
     use super::*;
     use crate::featurespace::FeatureSpace;
-    use crate::query::MappingKind;
+    use crate::query::Mapping;
     use gdim_mining::{mine, MinerConfig, Support};
 
     fn setup() -> (Vec<Graph>, FeatureSpace) {
@@ -116,7 +116,7 @@ mod tests {
     fn containment_filter_is_sound_and_complete() {
         let (db, space) = setup();
         let selected: Vec<u32> = (0..space.num_features() as u32).collect();
-        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
         let filter = ContainmentFilter::new(&db, &mapped);
         // Queries: subgraphs of database graphs (guaranteed non-empty
         // answers) and fresh graphs.
@@ -135,7 +135,7 @@ mod tests {
     fn filter_actually_prunes() {
         let (db, space) = setup();
         let selected: Vec<u32> = (0..space.num_features() as u32).collect();
-        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
         let filter = ContainmentFilter::new(&db, &mapped);
         // A moderately specific query should prune a good share of the db.
         let q = gdim_datagen::connected_edge_subgraph(&db[3], 0.8, 99);
@@ -152,7 +152,7 @@ mod tests {
     fn clustering_produces_k_groups() {
         let (_, space) = setup();
         let selected: Vec<u32> = (0..space.num_features() as u32).collect();
-        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
         let assign = cluster_mapped(&mapped, 4, 7);
         assert_eq!(assign.len(), mapped.len());
         let distinct: std::collections::BTreeSet<usize> = assign.iter().copied().collect();

@@ -1,0 +1,118 @@
+//! The crate-wide error type. Every fallible entry point of the
+//! serving surface — mapped-database construction, index accessors,
+//! search requests, index persistence — returns [`GdimError`] instead
+//! of panicking, so a long-running server can reject one bad request
+//! (or one corrupt index file) and keep serving the rest.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the query and persistence paths of `gdim-core`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GdimError {
+    /// A graph id addressed a graph outside the database.
+    GraphOutOfRange {
+        /// The requested graph id.
+        id: usize,
+        /// Number of graphs in the database.
+        len: usize,
+    },
+    /// A selected dimension id addressed a feature outside the space.
+    DimensionOutOfRange {
+        /// The offending feature id.
+        id: u32,
+        /// Number of features in the space.
+        num_features: usize,
+    },
+    /// A weight vector did not cover the feature space it was paired
+    /// with (weighted mappings need one weight per mined feature).
+    WeightsMismatch {
+        /// Expected length (`FeatureSpace::num_features`).
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// Underlying I/O failure while saving or loading an index.
+    Io(io::Error),
+    /// A persisted index file failed structural validation.
+    Corrupt(String),
+    /// A persisted index was written by an unknown format version.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Newest version this build can read.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for GdimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdimError::GraphOutOfRange { id, len } => {
+                write!(f, "graph id {id} out of range for database of {len} graphs")
+            }
+            GdimError::DimensionOutOfRange { id, num_features } => {
+                write!(
+                    f,
+                    "dimension id {id} out of range for feature space of {num_features} features"
+                )
+            }
+            GdimError::WeightsMismatch { expected, got } => {
+                write!(f, "weight vector has {got} entries, expected {expected}")
+            }
+            GdimError::Io(e) => write!(f, "index i/o error: {e}"),
+            GdimError::Corrupt(msg) => write!(f, "corrupt index data: {msg}"),
+            GdimError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "index format version {found} not supported (newest readable: {supported})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GdimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GdimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GdimError {
+    fn from(e: io::Error) -> Self {
+        GdimError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = GdimError::GraphOutOfRange { id: 9, len: 3 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+        let e = GdimError::UnsupportedVersion {
+            found: 7,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('7'));
+        let e = GdimError::WeightsMismatch {
+            expected: 10,
+            got: 4,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "nope");
+        let e: GdimError = inner.into();
+        assert!(matches!(e, GdimError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,32 +1,44 @@
 //! High-level index API: the one-type entry point a downstream
 //! application uses. [`GraphIndex::build`] runs the whole paper
 //! pipeline (gSpan mining → δ matrix or DSPMap blocks → dimension
-//! selection → mapped database) behind a single builder, and the
-//! resulting index answers top-k similarity queries, serializes to the
-//! workspace text format, and exposes its dimensions for inspection.
+//! selection → mapped database) behind a single builder. The built
+//! index is a **serving surface**: it answers typed
+//! [`SearchRequest`](crate::search::SearchRequest)s through
+//! [`GraphIndex::search`] / [`GraphIndex::search_batch`] (see
+//! [`crate::search`] for the ranker spectrum), and it persists to a
+//! versioned binary format ([`GraphIndex::save`] / [`GraphIndex::load`])
+//! so a server builds once and serves from disk.
 //!
 //! ```
 //! use gdim_core::index::{GraphIndex, IndexOptions};
+//! use gdim_core::search::SearchRequest;
 //!
 //! let db = gdim_datagen::chem_db(60, &gdim_datagen::ChemConfig::default(), 7);
 //! let index = GraphIndex::build(db, IndexOptions::default().with_dimensions(40));
-//! let query = index.graph(3).clone();
-//! let hits = index.topk(&query, 5);
-//! assert_eq!(hits[0].0, 3);
+//! let query = index.graph(3).unwrap().clone();
+//! let resp = index.search(&query, &SearchRequest::topk(5)).unwrap();
+//! assert_eq!(resp.hits[0].id.get(), 3);
+//!
+//! // Build once, serve from disk: the round trip preserves answers.
+//! let bytes = index.to_bytes();
+//! let reloaded = GraphIndex::from_bytes(&bytes).unwrap();
+//! assert_eq!(reloaded.search(&query, &SearchRequest::topk(5)).unwrap().hits, resp.hits);
 //! ```
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use gdim_exec::ExecConfig;
-use gdim_graph::Graph;
+use gdim_graph::{Dissimilarity, Graph};
 use gdim_mining::{mine, MinerConfig, Support};
 
 use crate::bitset::Bitset;
 use crate::delta::{DeltaConfig, DeltaMatrix, SharedDelta};
 use crate::dspm::{dspm, DspmConfig};
 use crate::dspmap::{dspmap, DspmapConfig};
+use crate::error::GdimError;
 use crate::featurespace::FeatureSpace;
-use crate::query::{MappedDatabase, MappingKind};
+use crate::query::{weighted_w_sq, MappedDatabase, Mapping};
 
 /// How dimensions are computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,23 +146,65 @@ pub struct IndexStats {
     pub selection_time: Duration,
 }
 
-/// A built graph-similarity index over an owned database.
+/// A built graph-similarity index over an owned database: the
+/// serving-layer entry point (see the [module docs](self)).
 pub struct GraphIndex {
     db: Vec<Graph>,
     space: FeatureSpace,
     mapped: MappedDatabase,
     selected: Vec<u32>,
     weights: Vec<f64>,
-    exec: ExecConfig,
+    /// Normalized squared per-dimension weights for
+    /// [`MappingKind::Weighted`](crate::query::MappingKind::Weighted) requests, derived from `weights`.
+    w_sq_weighted: Vec<f64>,
+    /// The δ configuration the index was built with — searches re-rank
+    /// with the **same** dissimilarity and MCS budget.
+    delta: DeltaConfig,
     stats: IndexStats,
+}
+
+impl std::fmt::Debug for GraphIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphIndex")
+            .field("graphs", &self.db.len())
+            .field("features", &self.space.num_features())
+            .field("dimensions", &self.selected.len())
+            .field("dissimilarity", &self.delta.kind)
+            .field("mapping", &self.mapped.kind())
+            .finish_non_exhaustive()
+    }
 }
 
 impl GraphIndex {
     /// Runs the full pipeline over `db`. Every parallel phase draws on
-    /// the single [`IndexOptions::exec`] budget.
+    /// the single [`IndexOptions::delta`] exec budget.
     pub fn build(db: Vec<Graph>, opts: IndexOptions) -> GraphIndex {
         let exec = opts.delta.exec;
         let delta_cfg = opts.delta.clone();
+        if db.is_empty() {
+            // An empty database still yields a servable (empty) index.
+            let space = FeatureSpace::build(0, Vec::new());
+            let mapped =
+                MappedDatabase::new(&space, &[], Mapping::Binary).expect("empty mapping is valid");
+            return GraphIndex {
+                db,
+                space,
+                mapped,
+                selected: Vec::new(),
+                weights: Vec::new(),
+                w_sq_weighted: Vec::new(),
+                delta: delta_cfg,
+                stats: IndexStats {
+                    mined_features: 0,
+                    dimensions: 0,
+                    used_dspmap: false,
+                    delta_pairs: 0,
+                    mining_time: Duration::ZERO,
+                    delta_time: Duration::ZERO,
+                    selection_time: Duration::ZERO,
+                },
+            };
+        }
         let t0 = Instant::now();
         let features = mine(
             &db,
@@ -173,7 +227,7 @@ impl GraphIndex {
                 _ => (db.len() / 20).max(10),
             };
             let t1 = Instant::now();
-            let sdelta = SharedDelta::new(&db, delta_cfg);
+            let sdelta = SharedDelta::new(&db, delta_cfg.clone());
             let cfg = DspmapConfig {
                 p,
                 partition_size: b,
@@ -209,7 +263,9 @@ impl GraphIndex {
             (res.selected, res.weights, pairs, delta_time, t2.elapsed())
         };
 
-        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary)
+            .expect("selected dimensions come from the space itself");
+        let w_sq_weighted = weighted_w_sq(&selected, &weights);
         let stats = IndexStats {
             mined_features: m,
             dimensions: selected.len(),
@@ -225,9 +281,45 @@ impl GraphIndex {
             mapped,
             selected,
             weights,
-            exec,
+            w_sq_weighted,
+            delta: delta_cfg,
             stats,
         }
+    }
+
+    /// Reassembles an index from persisted parts, rebuilding the
+    /// derived state (feature space, binary mapped vectors, weighted
+    /// scan weights) deterministically. An index always stores binary
+    /// vectors — [`MappingKind::Weighted`](crate::query::MappingKind::Weighted) requests are served from the
+    /// derived DSPM weights, never baked into the vectors. Shared by
+    /// [`GraphIndex::from_bytes`].
+    pub(crate) fn from_parts(
+        db: Vec<Graph>,
+        features: Vec<gdim_mining::Feature>,
+        selected: Vec<u32>,
+        weights: Vec<f64>,
+        delta: DeltaConfig,
+        stats: IndexStats,
+    ) -> Result<GraphIndex, GdimError> {
+        let space = FeatureSpace::build(db.len(), features);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary)?;
+        if weights.len() != space.num_features() {
+            return Err(GdimError::WeightsMismatch {
+                expected: space.num_features(),
+                got: weights.len(),
+            });
+        }
+        let w_sq_weighted = weighted_w_sq(&selected, &weights);
+        Ok(GraphIndex {
+            db,
+            space,
+            mapped,
+            selected,
+            weights,
+            w_sq_weighted,
+            delta,
+            stats,
+        })
     }
 
     /// Number of indexed graphs.
@@ -245,9 +337,13 @@ impl GraphIndex {
         &self.db
     }
 
-    /// One indexed graph.
-    pub fn graph(&self, i: usize) -> &Graph {
-        &self.db[i]
+    /// One indexed graph, or [`GdimError::GraphOutOfRange`] — the
+    /// serving path never panics on a bad id.
+    pub fn graph(&self, i: usize) -> Result<&Graph, GdimError> {
+        self.db.get(i).ok_or(GdimError::GraphOutOfRange {
+            id: i,
+            len: self.db.len(),
+        })
     }
 
     /// Build statistics.
@@ -275,10 +371,35 @@ impl GraphIndex {
         &self.weights
     }
 
+    /// The δ-engine configuration the index was built with; its
+    /// dissimilarity kind and MCS budget drive every exact re-ranking.
+    pub fn delta_config(&self) -> &DeltaConfig {
+        &self.delta
+    }
+
+    /// The graph dissimilarity the index was built with (and re-ranks
+    /// with).
+    pub fn dissimilarity(&self) -> Dissimilarity {
+        self.delta.kind
+    }
+
     /// The parallelism budget the index was built with (also used by
     /// its query entry points).
     pub fn exec(&self) -> &ExecConfig {
-        &self.exec
+        &self.delta.exec
+    }
+
+    /// Replaces the parallelism budget (e.g. after
+    /// [`GraphIndex::load`], which cannot know the serving machine's
+    /// core count at save time).
+    pub fn set_exec(&mut self, exec: ExecConfig) {
+        self.delta.exec = exec;
+    }
+
+    /// Normalized squared per-dimension weights serving
+    /// [`MappingKind::Weighted`](crate::query::MappingKind::Weighted) requests.
+    pub(crate) fn weighted_w_sq(&self) -> &[f64] {
+        &self.w_sq_weighted
     }
 
     /// Maps a query graph onto the index's dimensions.
@@ -286,44 +407,35 @@ impl GraphIndex {
         self.mapped.map_query(q)
     }
 
-    /// Top-k similarity query: `(graph id, mapped distance)` ascending.
-    pub fn topk(&self, q: &Graph, k: usize) -> Vec<(u32, f64)> {
-        self.mapped.topk(&self.mapped.map_query(q), k)
+    /// Serializes the index to the versioned binary format (see
+    /// [`crate::persist`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::persist::encode(self)
     }
 
-    /// Batch top-k: maps all queries on the index's exec budget, then
-    /// scans. Output order matches `queries` for any thread budget.
-    pub fn topk_batch(&self, queries: &[Graph], k: usize) -> Vec<Vec<(u32, f64)>> {
-        self.mapped
-            .map_queries(queries, &self.exec)
-            .iter()
-            .map(|qvec| self.mapped.topk(qvec, k))
-            .collect()
+    /// Deserializes an index produced by [`GraphIndex::to_bytes`],
+    /// rebuilding all derived state. The exec budget defaults to
+    /// [`ExecConfig::default`]; override with [`GraphIndex::set_exec`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<GraphIndex, GdimError> {
+        crate::persist::decode(bytes)
     }
 
-    /// Exact top-k by graph dissimilarity — the slow reference ranker —
-    /// on the index's exec budget.
-    pub fn exact_topk(&self, q: &Graph, k: usize) -> Vec<(u32, f64)> {
-        crate::query::exact_topk(
-            &self.db,
-            q,
-            k,
-            self.stats_delta_kind(),
-            &gdim_graph::McsOptions::default(),
-            &self.exec,
-        )
+    /// Writes the index to a file (binary format, version-tagged).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), GdimError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
     }
 
-    fn stats_delta_kind(&self) -> gdim_graph::Dissimilarity {
-        // The index stores the kind inside the mapped config implicitly;
-        // δ2 is the paper's default and what `DeltaConfig::default` uses.
-        gdim_graph::Dissimilarity::AvgNorm
+    /// Reads an index saved by [`GraphIndex::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<GraphIndex, GdimError> {
+        GraphIndex::from_bytes(&std::fs::read(path)?)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::{Ranker, SearchRequest};
 
     fn db(n: usize, seed: u64) -> Vec<Graph> {
         gdim_datagen::chem_db(n, &gdim_datagen::ChemConfig::default(), seed)
@@ -335,10 +447,10 @@ mod tests {
         assert_eq!(index.len(), 40);
         assert!(index.stats().mined_features > 0);
         assert_eq!(index.dimensions().len(), index.stats().dimensions);
-        let q = index.graph(7).clone();
-        let hits = index.topk(&q, 3);
-        assert_eq!(hits[0].0, 7);
-        assert_eq!(hits[0].1, 0.0);
+        let q = index.graph(7).unwrap().clone();
+        let resp = index.search(&q, &SearchRequest::topk(3)).unwrap();
+        assert_eq!(resp.hits[0].id.get(), 7);
+        assert_eq!(resp.hits[0].distance, 0.0);
     }
 
     #[test]
@@ -366,15 +478,69 @@ mod tests {
             .with_strategy(SelectionStrategy::Dspmap { partition_size: 8 });
         let index = GraphIndex::build(db(25, 7), opts);
         assert!(index.stats().used_dspmap);
-        let q = index.graph(0).clone();
-        assert_eq!(index.topk(&q, 1)[0].0, 0);
+        let q = index.graph(0).unwrap().clone();
+        let resp = index.search(&q, &SearchRequest::topk(1)).unwrap();
+        assert_eq!(resp.hits[0].id.get(), 0);
     }
 
     #[test]
     fn exact_and_mapped_agree_on_self_query() {
         let index = GraphIndex::build(db(15, 9), IndexOptions::default().with_dimensions(20));
-        let q = index.graph(4).clone();
-        assert_eq!(index.exact_topk(&q, 1)[0].0, 4);
-        assert_eq!(index.topk(&q, 1)[0].0, 4);
+        let q = index.graph(4).unwrap().clone();
+        for ranker in [Ranker::Mapped, Ranker::Exact] {
+            let resp = index
+                .search(&q, &SearchRequest::topk(1).with_ranker(ranker))
+                .unwrap();
+            assert_eq!(resp.hits[0].id.get(), 4, "{ranker:?}");
+        }
+    }
+
+    #[test]
+    fn exact_reranking_uses_the_configured_dissimilarity() {
+        // Build with δ1 (MaxNorm): the index must re-rank with δ1, not
+        // the hardcoded default δ2.
+        let mut opts = IndexOptions::default().with_dimensions(15);
+        opts.delta.kind = Dissimilarity::MaxNorm;
+        let index = GraphIndex::build(db(12, 21), opts);
+        assert_eq!(index.dissimilarity(), Dissimilarity::MaxNorm);
+        let q = index.graph(5).unwrap().clone();
+        let resp = index
+            .search(&q, &SearchRequest::topk(12).with_ranker(Ranker::Exact))
+            .unwrap();
+        let want = crate::query::exact_ranking(
+            index.graphs(),
+            &q,
+            Dissimilarity::MaxNorm,
+            &index.delta_config().mcs,
+            index.exec(),
+        );
+        let got: Vec<(u32, f64)> = resp.hits.iter().map(|h| (h.id.get(), h.distance)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn out_of_range_graph_is_an_error_not_a_panic() {
+        let index = GraphIndex::build(db(5, 23), IndexOptions::default().with_dimensions(10));
+        match index.graph(99) {
+            Err(GdimError::GraphOutOfRange { id: 99, len: 5 }) => {}
+            other => panic!("expected GraphOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_database_builds_and_serves() {
+        let index = GraphIndex::build(Vec::new(), IndexOptions::default());
+        assert!(index.is_empty());
+        let q = db(1, 1).remove(0);
+        for ranker in [
+            Ranker::Mapped,
+            Ranker::Exact,
+            Ranker::Refined { candidates: 3 },
+        ] {
+            let resp = index
+                .search(&q, &SearchRequest::topk(5).with_ranker(ranker))
+                .unwrap();
+            assert!(resp.hits.is_empty(), "{ranker:?}");
+        }
     }
 }

@@ -13,10 +13,16 @@
 //! 2. Build a [`FeatureSpace`] (binary matrix + inverted lists `IF`/`IG`,
 //!    §5.1.2).
 //! 3. Compute the pairwise dissimilarity matrix ([`delta`], §2).
-//! 4. Run [`dspm`] (Algorithms 1–4) — or [`dspmap`] (Algorithms 5–7) for
-//!    large databases — to select the `p` dimensions.
+//! 4. Run [`dspm`](dspm()) (Algorithms 1–4) — or [`dspmap`](dspmap())
+//!    (Algorithms 5–7) for large databases — to select the `p` dimensions.
 //! 5. Build a [`MappedDatabase`] and answer top-k similarity queries by
 //!    mapping the query with VF2 and scanning the vectors ([`query`]).
+//!
+//! The serving surface over that pipeline is [`index::GraphIndex`]:
+//! typed [`search::SearchRequest`] / [`search::SearchResponse`] top-k
+//! search with pluggable rankers (mapped scan, exact MCS, two-phase
+//! filter-then-verify), [`error::GdimError`] instead of panics on the
+//! query path, and versioned binary persistence ([`persist`]).
 //!
 //! Quality is evaluated with the paper's three measures
 //! ([`measures`]: precision, top-k Kendall's tau, inverse rank
@@ -32,7 +38,7 @@
 //! let space = FeatureSpace::build(db.len(), features);
 //! let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
 //! let result = dspm(&space, &delta, &DspmConfig::new(32));
-//! let mapped = MappedDatabase::build(&space, &result.selected, MappingKind::Binary);
+//! let mapped = MappedDatabase::new(&space, &result.selected, Mapping::Binary).unwrap();
 //! let hits = mapped.topk(&mapped.map_query(&db[0]), 5);
 //! assert_eq!(hits[0].0, 0); // the graph itself is its own best match
 //! ```
@@ -48,11 +54,14 @@ pub mod correlation;
 pub mod delta;
 pub mod dspm;
 pub mod dspmap;
+pub mod error;
 pub mod featurespace;
 pub mod fingerprint;
 pub mod index;
 pub mod measures;
+pub mod persist;
 pub mod query;
+pub mod search;
 
 /// One-stop imports for downstream users.
 pub mod prelude {
@@ -62,11 +71,13 @@ pub mod prelude {
     pub use crate::delta::{DeltaConfig, DeltaMatrix, SharedDelta};
     pub use crate::dspm::{dspm, DspmConfig, DspmResult};
     pub use crate::dspmap::{dspmap, DspmapConfig};
+    pub use crate::error::GdimError;
     pub use crate::featurespace::FeatureSpace;
     pub use crate::fingerprint::{FingerprintIndex, FINGERPRINT_BITS};
     pub use crate::index::{GraphIndex, IndexOptions, SelectionStrategy};
     pub use crate::measures::{kendall_tau_topk, precision, rank_distance_inv};
-    pub use crate::query::{exact_ranking, exact_topk, MappedDatabase, MappingKind};
+    pub use crate::query::{exact_ranking, exact_topk, MappedDatabase, Mapping, MappingKind};
+    pub use crate::search::{GraphId, Hit, Ranker, SearchRequest, SearchResponse, SearchStats};
     pub use gdim_exec::ExecConfig;
     pub use gdim_graph::{Dissimilarity, Graph, McsOptions};
 }

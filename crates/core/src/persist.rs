@@ -1,0 +1,496 @@
+//! Versioned binary persistence for [`GraphIndex`]: build once, serve
+//! from disk.
+//!
+//! Layout (all integers little-endian, lengths as `u64`):
+//!
+//! ```text
+//! magic    8 B   b"GDIMIDX\0"
+//! version  u32   1
+//! δ kind   u8    0 = δ1 (MaxNorm), 1 = δ2 (AvgNorm)
+//! precheck u8    MCS containment pre-check flag
+//! budget   u64   MCS node budget
+//! reserved u8    must be 0 in v1 (an index stores binary vectors;
+//!                weighted requests are served from derived weights)
+//! stats    mined_features u64 · dimensions u64 · used_dspmap u8 ·
+//!          delta_pairs u64 · three phase times as nanos u64
+//! db       n u64, then per graph: |V| u64 · vlabels u32* ·
+//!          |E| u64 · (u, v, label) u32³ per edge
+//! features m u64, then per feature: pattern graph (as above) ·
+//!          code len u64 · (from, to, l_from, l_e, l_to) u32⁵ per edge ·
+//!          support len u64 · graph ids u32*
+//! selected p u64 · feature ids u32*
+//! weights  len u64 · IEEE-754 bit patterns u64*
+//! ```
+//!
+//! Derived state (feature space, mapped vectors, weighted scan
+//! weights) is **not** persisted: it is rebuilt deterministically on
+//! load, which keeps the format small and makes a reloaded index
+//! answer byte-identically to the one that was saved. The exec budget
+//! is deliberately not persisted either — core counts belong to the
+//! serving machine, not the index file
+//! ([`GraphIndex::set_exec`](crate::index::GraphIndex::set_exec)).
+//!
+//! Every structural defect surfaces as [`GdimError::Corrupt`] (or
+//! [`GdimError::UnsupportedVersion`] for a future format), never a
+//! panic.
+
+use gdim_graph::dfscode::{DfsCode, DfsEdge};
+use gdim_graph::{Dissimilarity, Graph, McsOptions};
+use gdim_mining::Feature;
+
+use crate::delta::DeltaConfig;
+use crate::error::GdimError;
+use crate::index::{GraphIndex, IndexStats};
+
+pub(crate) const MAGIC: [u8; 8] = *b"GDIMIDX\0";
+pub(crate) const VERSION: u32 = 1;
+
+// ---------------------------------------------------------------- write
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_len(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_graph(buf: &mut Vec<u8>, g: &Graph) {
+    put_len(buf, g.vertex_count());
+    for &l in g.vlabels() {
+        put_u32(buf, l);
+    }
+    put_len(buf, g.edge_count());
+    for e in g.edges() {
+        put_u32(buf, e.u);
+        put_u32(buf, e.v);
+        put_u32(buf, e.label);
+    }
+}
+
+fn put_feature(buf: &mut Vec<u8>, f: &Feature) {
+    put_graph(buf, &f.graph);
+    put_len(buf, f.code.len());
+    for e in &f.code.0 {
+        put_u32(buf, e.from);
+        put_u32(buf, e.to);
+        put_u32(buf, e.from_label);
+        put_u32(buf, e.elabel);
+        put_u32(buf, e.to_label);
+    }
+    put_len(buf, f.support.len());
+    for &gid in &f.support {
+        put_u32(buf, gid);
+    }
+}
+
+/// Serializes an index (format documented in the module docs).
+pub(crate) fn encode(index: &GraphIndex) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    put_u32(&mut buf, VERSION);
+
+    let cfg = index.delta_config();
+    put_u8(
+        &mut buf,
+        match cfg.kind {
+            Dissimilarity::MaxNorm => 0,
+            Dissimilarity::AvgNorm => 1,
+        },
+    );
+    put_u8(&mut buf, cfg.mcs.containment_precheck as u8);
+    put_u64(&mut buf, cfg.mcs.node_budget);
+    // Reserved byte. A built index always stores binary vectors — the
+    // weighted mapping is served from the same vectors via the derived
+    // DSPM weights, never baked into the mapped database — so v1 has
+    // nothing to record here.
+    put_u8(&mut buf, 0);
+
+    let stats = index.stats();
+    put_len(&mut buf, stats.mined_features);
+    put_len(&mut buf, stats.dimensions);
+    put_u8(&mut buf, stats.used_dspmap as u8);
+    put_len(&mut buf, stats.delta_pairs);
+    for t in [stats.mining_time, stats.delta_time, stats.selection_time] {
+        put_u64(&mut buf, t.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    put_len(&mut buf, index.len());
+    for g in index.graphs() {
+        put_graph(&mut buf, g);
+    }
+    let features = index.feature_space().features();
+    put_len(&mut buf, features.len());
+    for f in features {
+        put_feature(&mut buf, f);
+    }
+    put_len(&mut buf, index.dimensions().len());
+    for &r in index.dimensions() {
+        put_u32(&mut buf, r);
+    }
+    put_len(&mut buf, index.weights().len());
+    for &w in index.weights() {
+        put_f64(&mut buf, w);
+    }
+    buf
+}
+
+// ----------------------------------------------------------------- read
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], GdimError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                GdimError::Corrupt(format!(
+                    "truncated: wanted {n} bytes at offset {}, file has {}",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, GdimError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, GdimError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, GdimError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, GdimError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length prefix, sanity-capped so a corrupt file cannot request
+    /// an absurd element count (each counted element is ≥ 1 byte).
+    fn len(&mut self) -> Result<usize, GdimError> {
+        let v = self.u64()?;
+        if v > self.buf.len() as u64 {
+            return Err(GdimError::Corrupt(format!(
+                "length {v} exceeds file size {}",
+                self.buf.len()
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// Pre-allocation for `count` decoded elements, capped: the `len()`
+    /// guard bounds the *count* by the file size, but an in-memory
+    /// element can be ~100× its encoded size (a [`Feature`] is three
+    /// vectors), so trusting the count verbatim would let a corrupt
+    /// file demand an allocation far larger than itself before the
+    /// first element fails to parse. Growth past the cap is amortized.
+    fn vec_for<T>(count: usize) -> Vec<T> {
+        Vec::with_capacity(count.min(4096))
+    }
+
+    fn flag(&mut self) -> Result<bool, GdimError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(GdimError::Corrupt(format!("flag byte {other} not 0/1"))),
+        }
+    }
+
+    fn graph(&mut self) -> Result<Graph, GdimError> {
+        let nv = self.len()?;
+        let mut vlabels = Self::vec_for(nv);
+        for _ in 0..nv {
+            vlabels.push(self.u32()?);
+        }
+        let ne = self.len()?;
+        let mut edges = Self::vec_for(ne);
+        for _ in 0..ne {
+            edges.push((self.u32()?, self.u32()?, self.u32()?));
+        }
+        Graph::from_parts(vlabels, edges)
+            .map_err(|e| GdimError::Corrupt(format!("invalid graph: {e}")))
+    }
+
+    fn feature(&mut self) -> Result<Feature, GdimError> {
+        let graph = self.graph()?;
+        let code_len = self.len()?;
+        let mut code = Self::vec_for(code_len);
+        for _ in 0..code_len {
+            code.push(DfsEdge {
+                from: self.u32()?,
+                to: self.u32()?,
+                from_label: self.u32()?,
+                elabel: self.u32()?,
+                to_label: self.u32()?,
+            });
+        }
+        let sup_len = self.len()?;
+        let mut support = Self::vec_for(sup_len);
+        for _ in 0..sup_len {
+            support.push(self.u32()?);
+        }
+        Ok(Feature {
+            graph,
+            code: DfsCode(code),
+            support,
+        })
+    }
+}
+
+/// Deserializes an index written by [`encode`], rebuilding derived
+/// state deterministically.
+pub(crate) fn decode(bytes: &[u8]) -> Result<GraphIndex, GdimError> {
+    let mut r = Reader::new(bytes);
+    if r.take(8)? != MAGIC {
+        return Err(GdimError::Corrupt("bad magic (not a gdim index)".into()));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(GdimError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let kind = match r.u8()? {
+        0 => Dissimilarity::MaxNorm,
+        1 => Dissimilarity::AvgNorm,
+        other => {
+            return Err(GdimError::Corrupt(format!(
+                "dissimilarity tag {other} unknown"
+            )))
+        }
+    };
+    let containment_precheck = r.flag()?;
+    let node_budget = r.u64()?;
+    match r.u8()? {
+        0 => {}
+        other => {
+            return Err(GdimError::Corrupt(format!(
+                "reserved byte is {other}, expected 0"
+            )))
+        }
+    }
+    // Stats are plain counters, not element counts: they must bypass
+    // the allocation-guarding `len()` cap (`delta_pairs` is quadratic
+    // in `n` and legitimately exceeds the file size at scale).
+    let stats = IndexStats {
+        mined_features: r.u64()? as usize,
+        dimensions: r.u64()? as usize,
+        used_dspmap: r.flag()?,
+        delta_pairs: r.u64()? as usize,
+        mining_time: std::time::Duration::from_nanos(r.u64()?),
+        delta_time: std::time::Duration::from_nanos(r.u64()?),
+        selection_time: std::time::Duration::from_nanos(r.u64()?),
+    };
+
+    let n = r.len()?;
+    let mut db = Reader::vec_for(n);
+    for _ in 0..n {
+        db.push(r.graph()?);
+    }
+    let m = r.len()?;
+    let mut features = Reader::vec_for(m);
+    for _ in 0..m {
+        let f = r.feature()?;
+        if let Some(&bad) = f.support.iter().find(|&&gid| gid as usize >= n) {
+            return Err(GdimError::Corrupt(format!(
+                "feature support references graph {bad} of {n}"
+            )));
+        }
+        features.push(f);
+    }
+    let p = r.len()?;
+    let mut selected = Reader::vec_for(p);
+    for _ in 0..p {
+        selected.push(r.u32()?);
+    }
+    let wn = r.len()?;
+    let mut weights = Reader::vec_for(wn);
+    for _ in 0..wn {
+        weights.push(r.f64()?);
+    }
+    if r.pos != bytes.len() {
+        return Err(GdimError::Corrupt(format!(
+            "{} trailing bytes after index payload",
+            bytes.len() - r.pos
+        )));
+    }
+
+    let delta = DeltaConfig {
+        kind,
+        mcs: McsOptions {
+            node_budget,
+            containment_precheck,
+        },
+        ..DeltaConfig::default()
+    };
+    GraphIndex::from_parts(db, features, selected, weights, delta, stats)
+        // Structurally valid bytes can still describe an inconsistent
+        // index (selected id outside the space, wrong weights length);
+        // from a file, that is corruption too.
+        .map_err(|e| GdimError::Corrupt(format!("inconsistent index payload: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexOptions;
+    use crate::search::{Ranker, SearchRequest};
+
+    fn index(n: usize, seed: u64) -> GraphIndex {
+        let db = gdim_datagen::chem_db(n, &gdim_datagen::ChemConfig::default(), seed);
+        GraphIndex::build(db, IndexOptions::default().with_dimensions(20))
+    }
+
+    #[test]
+    fn bytes_roundtrip_is_lossless_and_stable() {
+        let idx = index(18, 5);
+        let bytes = idx.to_bytes();
+        let back = GraphIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.graphs(), idx.graphs());
+        assert_eq!(back.dimensions(), idx.dimensions());
+        assert_eq!(back.weights(), idx.weights());
+        assert_eq!(back.dissimilarity(), idx.dissimilarity());
+        assert_eq!(back.stats().mined_features, idx.stats().mined_features);
+        // Re-encoding the reload reproduces the bytes exactly.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn reloaded_index_answers_identically() {
+        let idx = index(16, 7);
+        let back = GraphIndex::from_bytes(&idx.to_bytes()).unwrap();
+        let queries = gdim_datagen::chem_db(3, &gdim_datagen::ChemConfig::default(), 99);
+        for q in &queries {
+            for ranker in [
+                Ranker::Mapped,
+                Ranker::Exact,
+                Ranker::Refined { candidates: 6 },
+            ] {
+                let req = SearchRequest::topk(5).with_ranker(ranker);
+                assert_eq!(
+                    idx.search(q, &req).unwrap().hits,
+                    back.search(q, &req).unwrap().hits,
+                    "{ranker:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let idx = index(6, 9);
+        let mut bytes = idx.to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            GraphIndex::from_bytes(&bytes),
+            Err(GdimError::Corrupt(_))
+        ));
+        let mut bytes = idx.to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            GraphIndex::from_bytes(&bytes),
+            Err(GdimError::UnsupportedVersion {
+                found: 99,
+                supported: VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_corrupt() {
+        let idx = index(6, 11);
+        let bytes = idx.to_bytes();
+        for cut in [0, 4, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    GraphIndex::from_bytes(&bytes[..cut]),
+                    Err(GdimError::Corrupt(_))
+                ),
+                "cut at {cut}"
+            );
+        }
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(matches!(
+            GraphIndex::from_bytes(&longer),
+            Err(GdimError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn quadratic_delta_pairs_stat_survives_reload() {
+        // delta_pairs = n(n-1)/2 exceeds the file size at realistic
+        // database scale; the decoder must not apply the element-count
+        // sanity cap to plain counters. Patch the persisted stat to a
+        // value far beyond the file length and reload.
+        let idx = index(6, 13);
+        let mut bytes = idx.to_bytes();
+        // Layout: magic 8 + version 4 + kind 1 + precheck 1 + budget 8
+        // + mapping 1 = 23; mined_features u64 @23, dimensions u64 @31,
+        // used_dspmap u8 @39, delta_pairs u64 @40.
+        let huge: u64 = 1_999_000;
+        assert!(huge > bytes.len() as u64);
+        bytes[40..48].copy_from_slice(&huge.to_le_bytes());
+        let back = GraphIndex::from_bytes(&bytes).expect("counters bypass the length cap");
+        assert_eq!(back.stats().delta_pairs, huge as usize);
+    }
+
+    #[test]
+    fn inconsistent_payload_surfaces_as_corrupt() {
+        // Structurally parseable bytes whose selected ids point outside
+        // the feature space must be Corrupt, not DimensionOutOfRange —
+        // callers quarantine index files by matching on Corrupt.
+        let idx = index(8, 15);
+        let p = idx.dimensions().len();
+        let wn = idx.weights().len();
+        assert!(p > 0);
+        let mut bytes = idx.to_bytes();
+        // The selected ids are the p u32s immediately before the
+        // weights block (8-byte count + 8 bytes per weight) at the end.
+        let sel_start = bytes.len() - (8 + 8 * wn) - 4 * p;
+        bytes[sel_start..sel_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        match GraphIndex::from_bytes(&bytes) {
+            Err(GdimError::Corrupt(msg)) => {
+                assert!(msg.contains("inconsistent"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let idx = GraphIndex::build(Vec::new(), IndexOptions::default());
+        let back = GraphIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.to_bytes(), idx.to_bytes());
+    }
+}

@@ -11,6 +11,7 @@ use gdim_graph::{delta, Dissimilarity, Graph, McsOptions};
 use gdim_mining::Feature;
 
 use crate::bitset::Bitset;
+use crate::error::GdimError;
 use crate::featurespace::FeatureSpace;
 
 /// How database graphs and queries are embedded over the selected
@@ -26,6 +27,40 @@ pub enum MappingKind {
     Weighted,
 }
 
+/// How to weight the selected dimensions when building a
+/// [`MappedDatabase`] — the argument of [`MappedDatabase::new`], which
+/// replaced the former panicking `build` / `build_weighted` pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Mapping<'a> {
+    /// The paper's binary φ: uniform per-dimension weight `1/p`.
+    #[default]
+    Binary,
+    /// The weighted ablation: per-dimension weights proportional to the
+    /// squared DSPM weight of each selected feature, normalized to sum
+    /// to 1. The slice must hold one weight per feature of the space.
+    Weighted(&'a [f64]),
+}
+
+/// Normalized squared per-dimension weights for the weighted mapping:
+/// `w_sq[col] ∝ weights[selected[col]]²`, summing to 1 (uniform `1/p`
+/// when every weight is zero).
+pub(crate) fn weighted_w_sq(selected: &[u32], weights: &[f64]) -> Vec<f64> {
+    let p = selected.len();
+    let raw: Vec<f64> = selected
+        .iter()
+        .map(|&r| {
+            let x = weights[r as usize];
+            x * x
+        })
+        .collect();
+    let total: f64 = raw.iter().sum();
+    if total > 0.0 {
+        raw.iter().map(|x| x / total).collect()
+    } else {
+        vec![1.0 / p.max(1) as f64; p]
+    }
+}
+
 /// The mapped multidimensional database `DM`: one vector per database
 /// graph over the `p` selected feature dimensions.
 #[derive(Debug, Clone)]
@@ -38,22 +73,34 @@ pub struct MappedDatabase {
 }
 
 impl MappedDatabase {
-    /// Builds the mapped database with the paper's binary φ.
-    pub fn build(space: &FeatureSpace, selected: &[u32], kind: MappingKind) -> Self {
-        assert!(
-            kind == MappingKind::Binary,
-            "use build_weighted for MappingKind::Weighted"
-        );
-        Self::assemble(space, selected, None)
-    }
-
-    /// Builds the weighted-mapping ablation variant: per-dimension
-    /// weights proportional to `weights[r]²`, normalized to sum 1.
-    pub fn build_weighted(space: &FeatureSpace, selected: &[u32], weights: &[f64]) -> Self {
-        Self::assemble(space, selected, Some(weights))
-    }
-
-    fn assemble(space: &FeatureSpace, selected: &[u32], weights: Option<&[f64]>) -> Self {
+    /// Builds the mapped database over the selected feature dimensions.
+    ///
+    /// Replaces the former `build` / `build_weighted` pair (which
+    /// asserted on a wrong [`MappingKind`]): the [`Mapping`] argument
+    /// selects the weighting, and invalid inputs surface as
+    /// [`GdimError`] instead of panicking — out-of-range dimension ids
+    /// as [`GdimError::DimensionOutOfRange`], a weight slice that does
+    /// not cover the space as [`GdimError::WeightsMismatch`].
+    pub fn new(
+        space: &FeatureSpace,
+        selected: &[u32],
+        mapping: Mapping<'_>,
+    ) -> Result<Self, GdimError> {
+        let m = space.num_features();
+        if let Some(&bad) = selected.iter().find(|&&r| r as usize >= m) {
+            return Err(GdimError::DimensionOutOfRange {
+                id: bad,
+                num_features: m,
+            });
+        }
+        if let Mapping::Weighted(w) = mapping {
+            if w.len() != m {
+                return Err(GdimError::WeightsMismatch {
+                    expected: m,
+                    got: w.len(),
+                });
+            }
+        }
         let p = selected.len();
         let features: Vec<Feature> = selected
             .iter()
@@ -65,31 +112,16 @@ impl MappedDatabase {
                 vectors[gid as usize].set(col);
             }
         }
-        let (w_sq, kind) = match weights {
-            None => (vec![1.0 / p.max(1) as f64; p], MappingKind::Binary),
-            Some(w) => {
-                let raw: Vec<f64> = selected
-                    .iter()
-                    .map(|&r| {
-                        let x = w[r as usize];
-                        x * x
-                    })
-                    .collect();
-                let total: f64 = raw.iter().sum();
-                let norm = if total > 0.0 {
-                    raw.iter().map(|x| x / total).collect()
-                } else {
-                    vec![1.0 / p.max(1) as f64; p]
-                };
-                (norm, MappingKind::Weighted)
-            }
+        let (w_sq, kind) = match mapping {
+            Mapping::Binary => (vec![1.0 / p.max(1) as f64; p], MappingKind::Binary),
+            Mapping::Weighted(w) => (weighted_w_sq(selected, w), MappingKind::Weighted),
         };
-        MappedDatabase {
+        Ok(MappedDatabase {
             features,
             vectors,
             w_sq,
             kind,
-        }
+        })
     }
 
     /// Number of dimensions `p`.
@@ -160,25 +192,41 @@ impl MappedDatabase {
     }
 
     /// Top-k scan: the `k` database graphs closest to `qvec`, as
-    /// `(graph id, distance)` sorted ascending (ties by id — the scan is
-    /// deterministic).
+    /// `(graph id, distance)` sorted ascending. Tie-breaking is
+    /// deterministic — stable order by `(distance, id)` — so batch and
+    /// single-query paths agree for every thread budget.
     pub fn topk(&self, qvec: &Bitset, k: usize) -> Vec<(u32, f64)> {
         let mut ranked = self.ranking(qvec);
         ranked.truncate(k);
         ranked
     }
 
-    /// Full ranking of the database for a query vector.
+    /// Full ranking of the database for a query vector, ascending by
+    /// `(distance, id)`.
     pub fn ranking(&self, qvec: &Bitset) -> Vec<(u32, f64)> {
+        self.ranking_with(qvec, &self.w_sq)
+    }
+
+    /// Full ranking under caller-supplied squared per-dimension weights
+    /// (`w_sq.len() ≥ p`) — the hook [`GraphIndex`](crate::index::GraphIndex)
+    /// uses to serve both the binary and the weighted mapped distance
+    /// from one set of vectors. Ascending by `(distance, id)`.
+    pub fn ranking_with(&self, qvec: &Bitset, w_sq: &[f64]) -> Vec<(u32, f64)> {
         let mut all: Vec<(u32, f64)> = self
             .vectors
             .iter()
             .enumerate()
-            .map(|(i, v)| (i as u32, self.distance(qvec, v)))
+            .map(|(i, v)| (i as u32, qvec.weighted_sq_xor(v, w_sq).sqrt()))
             .collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        sort_ranking(&mut all);
         all
     }
+}
+
+/// Sorts `(id, distance)` pairs ascending by `(distance, id)` with a
+/// total order (no NaN panic on the query path).
+pub(crate) fn sort_ranking(ranked: &mut [(u32, f64)]) {
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
 }
 
 /// Exact full ranking of `db` for query `q` under the graph
@@ -200,7 +248,7 @@ pub fn exact_ranking(
         .enumerate()
         .map(|(i, d)| (i as u32, d))
         .collect();
-    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    sort_ranking(&mut ranked);
     ranked
 }
 
@@ -238,7 +286,7 @@ mod tests {
     fn binary_distance_matches_formula() {
         let (_, space) = setup();
         let selected: Vec<u32> = (0..space.num_features().min(16) as u32).collect();
-        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
         let p = mapped.p() as f64;
         let a = mapped.vector(0);
         let b = mapped.vector(1);
@@ -250,7 +298,7 @@ mod tests {
     fn db_graph_query_maps_to_own_row() {
         let (db, space) = setup();
         let selected: Vec<u32> = (0..space.num_features().min(20) as u32).collect();
-        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
         for i in [0usize, 5, 11] {
             let qvec = mapped.map_query(&db[i]);
             assert_eq!(&qvec, mapped.vector(i), "graph {i}");
@@ -264,7 +312,7 @@ mod tests {
     fn topk_is_sorted_and_sized() {
         let (db, space) = setup();
         let selected: Vec<u32> = (0..space.num_features().min(16) as u32).collect();
-        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
         let qvec = mapped.map_query(&db[3]);
         let top = mapped.topk(&qvec, 10);
         assert_eq!(top.len(), 10);
@@ -281,7 +329,7 @@ mod tests {
         let m = space.num_features();
         let weights: Vec<f64> = (0..m).map(|r| (r % 5) as f64).collect();
         let selected: Vec<u32> = (0..m.min(12) as u32).collect();
-        let mapped = MappedDatabase::build_weighted(&space, &selected, &weights);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Weighted(&weights)).unwrap();
         assert_eq!(mapped.kind(), MappingKind::Weighted);
         let total: f64 = mapped.w_sq.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -324,7 +372,7 @@ mod tests {
     fn batch_query_mapping_matches_serial_for_any_thread_budget() {
         let (db, space) = setup();
         let selected: Vec<u32> = (0..space.num_features().min(16) as u32).collect();
-        let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
         let serial: Vec<Bitset> = db.iter().map(|q| mapped.map_query(q)).collect();
         for threads in [1usize, 2, 8] {
             assert_eq!(
@@ -333,6 +381,56 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn constructor_rejects_invalid_inputs() {
+        let (_, space) = setup();
+        let m = space.num_features();
+        let bad = [0u32, m as u32];
+        match MappedDatabase::new(&space, &bad, Mapping::Binary) {
+            Err(crate::error::GdimError::DimensionOutOfRange { id, num_features }) => {
+                assert_eq!(id, m as u32);
+                assert_eq!(num_features, m);
+            }
+            other => panic!("expected DimensionOutOfRange, got {other:?}"),
+        }
+        let short = vec![1.0; m.saturating_sub(1)];
+        match MappedDatabase::new(&space, &[0], Mapping::Weighted(&short)) {
+            Err(crate::error::GdimError::WeightsMismatch { expected, got }) => {
+                assert_eq!(expected, m);
+                assert_eq!(got, m - 1);
+            }
+            other => panic!("expected WeightsMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        // Two graphs with identical rows tie at every distance; the
+        // smaller id must always come first.
+        let (db, space) = setup();
+        let selected: Vec<u32> = (0..space.num_features().min(16) as u32).collect();
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
+        let ranked = mapped.ranking(&mapped.map_query(&db[3]));
+        for w in ranked.windows(2) {
+            assert!(
+                w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                "tie between {} and {} not broken by id",
+                w[0].0,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_with_uniform_weights_matches_binary() {
+        let (db, space) = setup();
+        let selected: Vec<u32> = (0..space.num_features().min(16) as u32).collect();
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
+        let qvec = mapped.map_query(&db[1]);
+        let uniform = vec![1.0 / mapped.p() as f64; mapped.p()];
+        assert_eq!(mapped.ranking(&qvec), mapped.ranking_with(&qvec, &uniform));
     }
 
     #[test]

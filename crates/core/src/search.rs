@@ -1,0 +1,559 @@
+//! The serving-layer search API: typed request/response top-k search
+//! over a built [`GraphIndex`].
+//!
+//! The paper's workload is *online*: build the DS-preserved mapping
+//! once, then answer a stream of top-k queries (§6 answers each query
+//! by mapping + sequential scan). This module shapes that workload as
+//! explicit values — a [`SearchRequest`] selects `k`, a [`Ranker`], the
+//! [`MappingKind`] and an optional MCS budget; a [`SearchResponse`]
+//! carries typed [`Hit`]s plus [`SearchStats`] observability (candidates
+//! scanned, MCS calls, wall time) so a server can meter every answer.
+//!
+//! Three rankers cover the quality/cost spectrum:
+//!
+//! * [`Ranker::Mapped`] — the paper's fast path: VF2 feature matching,
+//!   then a sequential scan of the mapped vectors. No MCS calls.
+//! * [`Ranker::Exact`] — the slow reference: one MCS-based dissimilarity
+//!   per database graph.
+//! * [`Ranker::Refined`] — filter-then-verify (the pattern surveyed in
+//!   *Big Graph Search*, Ma et al.): candidate generation in the cheap
+//!   mapped space, exact re-ranking of only the top-`c` candidates.
+//!   With `candidates ≥ n` it degenerates to [`Ranker::Exact`]; with a
+//!   small `c` it buys near-exact answers for `c` MCS calls instead of
+//!   `n`.
+//!
+//! ```
+//! use gdim_core::index::{GraphIndex, IndexOptions};
+//! use gdim_core::search::{Ranker, SearchRequest};
+//!
+//! let db = gdim_datagen::chem_db(40, &gdim_datagen::ChemConfig::default(), 7);
+//! let index = GraphIndex::build(db, IndexOptions::default().with_dimensions(30));
+//! let query = index.graph(3).unwrap().clone();
+//!
+//! let fast = index.search(&query, &SearchRequest::topk(5)).unwrap();
+//! assert_eq!(fast.hits[0].id.get(), 3); // the graph itself ranks first
+//! assert_eq!(fast.stats.mcs_calls, 0);
+//!
+//! let refined = SearchRequest::topk(5).with_ranker(Ranker::Refined { candidates: 10 });
+//! let verified = index.search(&query, &refined).unwrap();
+//! assert_eq!(verified.stats.mcs_calls, 10);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use gdim_graph::{delta, Graph, McsOptions};
+
+use crate::error::GdimError;
+use crate::index::GraphIndex;
+use crate::query::{sort_ranking, MappingKind};
+
+/// Typed id of an indexed graph (its position in the database the
+/// index was built over).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphId(pub u32);
+
+impl GraphId {
+    /// The raw id.
+    #[inline]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` index into the database.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for GraphId {
+    fn from(id: u32) -> Self {
+        GraphId(id)
+    }
+}
+
+impl std::fmt::Display for GraphId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// One search answer: a database graph and its distance under the
+/// ranker that produced it (mapped Euclidean distance for
+/// [`Ranker::Mapped`], graph dissimilarity δ for [`Ranker::Exact`] and
+/// [`Ranker::Refined`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// The matched database graph.
+    pub id: GraphId,
+    /// Distance to the query, ascending within a response.
+    pub distance: f64,
+}
+
+/// Which ranking strategy answers the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ranker {
+    /// The paper's fast path: sequential scan in the mapped space.
+    #[default]
+    Mapped,
+    /// The MCS-based reference ranker: one δ evaluation per database
+    /// graph. Slow by nature; the quality ceiling.
+    Exact,
+    /// Two-phase filter-then-verify: take the top-`candidates` graphs
+    /// by mapped distance, re-rank exactly those with the exact
+    /// dissimilarity. Exact-quality answers whenever the true top-k
+    /// survives the candidate cut, at `candidates` MCS calls instead of
+    /// `n`.
+    ///
+    /// `candidates` is the verification budget **and** an answer cap: a
+    /// response carries at most `min(k, candidates)` hits, because only
+    /// verified candidates are ever returned (their δ distances are not
+    /// comparable to unverified mapped distances). Ask for `candidates
+    /// ≥ k` — typically a small multiple of `k` — to fill a top-k page.
+    Refined {
+        /// Candidate-set size `c` for the verification phase (clamped
+        /// to the database size).
+        candidates: usize,
+    },
+}
+
+/// A typed top-k search request.
+///
+/// `..Default::default()` gives the paper's configuration: `k = 10`,
+/// [`Ranker::Mapped`], [`MappingKind::Binary`], the index's own MCS
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchRequest {
+    /// Number of answers wanted. `k = 0` yields an empty (well-formed)
+    /// response; `k > n` is clamped to the database size. With
+    /// [`Ranker::Refined`], the candidate budget also caps the answer
+    /// count at `min(k, candidates)` — see [`Ranker::Refined`].
+    pub k: usize,
+    /// Ranking strategy.
+    pub ranker: Ranker,
+    /// Distance weighting of the mapped scan ([`MappingKind::Weighted`]
+    /// reuses the index's DSPM weights; ignored by [`Ranker::Exact`]).
+    pub mapping: MappingKind,
+    /// Optional MCS node-budget override for the exact/refined phases
+    /// (`None` = the budget the index's δ engine was configured with).
+    pub budget: Option<u64>,
+}
+
+impl Default for SearchRequest {
+    fn default() -> Self {
+        SearchRequest {
+            k: 10,
+            ranker: Ranker::Mapped,
+            mapping: MappingKind::Binary,
+            budget: None,
+        }
+    }
+}
+
+impl SearchRequest {
+    /// A mapped-ranker request for the top `k` answers.
+    pub fn topk(k: usize) -> Self {
+        SearchRequest {
+            k,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the ranker.
+    pub fn with_ranker(mut self, ranker: Ranker) -> Self {
+        self.ranker = ranker;
+        self
+    }
+
+    /// Sets the mapped-distance weighting.
+    pub fn with_mapping(mut self, mapping: MappingKind) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Sets the MCS node-budget override.
+    pub fn with_budget(mut self, node_budget: u64) -> Self {
+        self.budget = Some(node_budget);
+        self
+    }
+}
+
+/// Per-request observability counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Database vectors scanned in the mapped space (0 for
+    /// [`Ranker::Exact`], which never maps the query).
+    pub candidates_scanned: usize,
+    /// Exact (MCS-based) dissimilarity evaluations performed.
+    pub mcs_calls: usize,
+    /// Time spent matching features into the query (VF2) — the paper's
+    /// "feature matching time" share of the query cost.
+    pub match_time: Duration,
+    /// End-to-end time answering the request.
+    pub wall_time: Duration,
+}
+
+/// A search answer: hits ascending by `(distance, id)` plus the stats
+/// of the work performed.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// The top-k hits, ascending by `(distance, id)`.
+    pub hits: Vec<Hit>,
+    /// What the request cost.
+    pub stats: SearchStats,
+}
+
+impl SearchResponse {
+    /// The hit ids in rank order.
+    pub fn ids(&self) -> Vec<GraphId> {
+        self.hits.iter().map(|h| h.id).collect()
+    }
+
+    /// The best hit, if any.
+    pub fn top(&self) -> Option<&Hit> {
+        self.hits.first()
+    }
+}
+
+impl GraphIndex {
+    /// Answers one typed search request.
+    ///
+    /// Never panics: edge cases (`k == 0`, `k > n`, an empty database,
+    /// a candidate budget larger than `n`) yield well-formed responses,
+    /// and failures surface as [`GdimError`]. The exact/refined phases
+    /// fan out on the index's [`ExecConfig`](gdim_exec::ExecConfig)
+    /// budget and are byte-identical for any thread count.
+    pub fn search(&self, query: &Graph, req: &SearchRequest) -> Result<SearchResponse, GdimError> {
+        let t0 = Instant::now();
+        let mut resp = if matches!(req.ranker, Ranker::Exact) {
+            // Exact never maps the query.
+            self.exact_response(query, req)
+        } else {
+            let tm = Instant::now();
+            let qvec = self.mapped().map_query(query);
+            let match_time = tm.elapsed();
+            let mut r = self.premapped_response(query, &qvec, req);
+            r.stats.match_time = match_time;
+            r
+        };
+        resp.stats.wall_time = t0.elapsed();
+        Ok(resp)
+    }
+
+    /// Answers one request for a whole batch of queries, fanning the
+    /// per-query VF2 feature matching out on the index's exec budget.
+    /// Output order matches `queries` for any thread budget, and every
+    /// response's **hits** equal the corresponding [`GraphIndex::search`]
+    /// answer. Timing stats are metered per batch: the shared mapping
+    /// phase is attributed evenly, so each response's `match_time` is
+    /// the batch average and its `wall_time` includes that share plus
+    /// the query's own ranking work.
+    pub fn search_batch(
+        &self,
+        queries: &[Graph],
+        req: &SearchRequest,
+    ) -> Result<Vec<SearchResponse>, GdimError> {
+        if matches!(req.ranker, Ranker::Exact) {
+            // Exact never maps queries; its inner ranking is already
+            // parallel over the database.
+            return queries.iter().map(|q| self.search(q, req)).collect();
+        }
+        let t0 = Instant::now();
+        let qvecs = self.mapped().map_queries(queries, self.exec());
+        let match_time = t0.elapsed() / queries.len().max(1) as u32;
+        Ok(queries
+            .iter()
+            .zip(&qvecs)
+            .map(|(q, qvec)| {
+                let ti = Instant::now();
+                let mut resp = self.premapped_response(q, qvec, req);
+                resp.stats.match_time = match_time;
+                resp.stats.wall_time = ti.elapsed() + match_time;
+                resp
+            })
+            .collect())
+    }
+
+    /// The single [`Ranker::Exact`] implementation (no mapped scan; the
+    /// caller stamps `wall_time`).
+    fn exact_response(&self, query: &Graph, req: &SearchRequest) -> SearchResponse {
+        let n = self.len();
+        let ranked = crate::query::exact_ranking(
+            self.graphs(),
+            query,
+            self.dissimilarity(),
+            &self.mcs_for(req),
+            self.exec(),
+        );
+        SearchResponse {
+            hits: Self::hits(ranked, req.k.min(n)),
+            stats: SearchStats {
+                candidates_scanned: 0,
+                mcs_calls: n,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The single [`Ranker::Mapped`] / [`Ranker::Refined`]
+    /// implementation, for a query whose mapped vector is already known
+    /// (the caller stamps `match_time` and `wall_time`). An exact
+    /// request is delegated to [`GraphIndex::exact_response`] so every
+    /// ranker has exactly one implementation and one stats contract.
+    fn premapped_response(
+        &self,
+        query: &Graph,
+        qvec: &crate::bitset::Bitset,
+        req: &SearchRequest,
+    ) -> SearchResponse {
+        let n = self.len();
+        let (ranked, mcs_calls) = match req.ranker {
+            Ranker::Exact => return self.exact_response(query, req),
+            Ranker::Mapped => (self.scan_premapped(qvec, req.mapping), 0),
+            Ranker::Refined { candidates } => {
+                let c = candidates.min(n);
+                let mapped = self.scan_premapped(qvec, req.mapping);
+                (self.refine(query, &mapped, c, &self.mcs_for(req)), c)
+            }
+        };
+        SearchResponse {
+            hits: Self::hits(ranked, req.k.min(n)),
+            stats: SearchStats {
+                candidates_scanned: n,
+                mcs_calls,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Truncates a full ranking into typed hits.
+    fn hits(ranked: Vec<(u32, f64)>, k: usize) -> Vec<Hit> {
+        ranked
+            .into_iter()
+            .take(k)
+            .map(|(id, distance)| Hit {
+                id: GraphId(id),
+                distance,
+            })
+            .collect()
+    }
+
+    /// The verification phase of [`Ranker::Refined`]: exact δ for the
+    /// top `c` entries of a mapped ranking, fanned out in 8-wide chunks
+    /// on the index's exec budget (byte-identical for any thread
+    /// count), re-sorted ascending by `(δ, id)`.
+    fn refine(
+        &self,
+        query: &Graph,
+        mapped_ranking: &[(u32, f64)],
+        c: usize,
+        mcs: &McsOptions,
+    ) -> Vec<(u32, f64)> {
+        let kind = self.dissimilarity();
+        let cand_ids: Vec<u32> = mapped_ranking.iter().take(c).map(|&(id, _)| id).collect();
+        let vals = gdim_exec::map_chunks(self.exec(), cand_ids.len(), 8, |range| {
+            range
+                .map(|x| {
+                    let g = &self.graphs()[cand_ids[x] as usize];
+                    delta(kind, query, g, mcs)
+                })
+                .collect()
+        });
+        let mut ranked: Vec<(u32, f64)> = cand_ids.into_iter().zip(vals).collect();
+        sort_ranking(&mut ranked);
+        ranked
+    }
+
+    fn scan_premapped(
+        &self,
+        qvec: &crate::bitset::Bitset,
+        mapping: MappingKind,
+    ) -> Vec<(u32, f64)> {
+        match mapping {
+            MappingKind::Binary => self.mapped().ranking(qvec),
+            MappingKind::Weighted => self.mapped().ranking_with(qvec, self.weighted_w_sq()),
+        }
+    }
+
+    fn mcs_for(&self, req: &SearchRequest) -> McsOptions {
+        let base = self.delta_config().mcs;
+        match req.budget {
+            None => base,
+            Some(node_budget) => McsOptions {
+                node_budget,
+                ..base
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{GraphIndex, IndexOptions};
+
+    fn index(n: usize, seed: u64) -> GraphIndex {
+        let db = gdim_datagen::chem_db(n, &gdim_datagen::ChemConfig::default(), seed);
+        GraphIndex::build(db, IndexOptions::default().with_dimensions(25))
+    }
+
+    #[test]
+    fn mapped_ranker_matches_low_level_scan() {
+        let idx = index(25, 3);
+        let q = idx.graph(4).unwrap().clone();
+        let resp = idx.search(&q, &SearchRequest::topk(6)).unwrap();
+        let low: Vec<(u32, f64)> = idx.mapped().topk(&idx.mapped().map_query(&q), 6);
+        assert_eq!(resp.hits.len(), 6);
+        for (hit, (id, d)) in resp.hits.iter().zip(low) {
+            assert_eq!(hit.id.get(), id);
+            assert_eq!(hit.distance, d);
+        }
+        assert_eq!(resp.stats.mcs_calls, 0);
+        assert_eq!(resp.stats.candidates_scanned, 25);
+    }
+
+    #[test]
+    fn exact_ranker_matches_reference_ranking() {
+        let idx = index(12, 5);
+        let q = idx.graph(2).unwrap().clone();
+        let req = SearchRequest::topk(4).with_ranker(Ranker::Exact);
+        let resp = idx.search(&q, &req).unwrap();
+        let reference = crate::query::exact_topk(
+            idx.graphs(),
+            &q,
+            4,
+            idx.dissimilarity(),
+            &idx.delta_config().mcs,
+            idx.exec(),
+        );
+        let got: Vec<(u32, f64)> = resp.hits.iter().map(|h| (h.id.get(), h.distance)).collect();
+        assert_eq!(got, reference);
+        assert_eq!(resp.stats.mcs_calls, 12);
+    }
+
+    #[test]
+    fn refined_with_full_candidates_equals_exact() {
+        let idx = index(14, 7);
+        for qi in [0usize, 5, 9] {
+            let q = idx.graph(qi).unwrap().clone();
+            let exact = idx
+                .search(&q, &SearchRequest::topk(5).with_ranker(Ranker::Exact))
+                .unwrap();
+            let refined = idx
+                .search(
+                    &q,
+                    &SearchRequest::topk(5).with_ranker(Ranker::Refined {
+                        candidates: usize::MAX,
+                    }),
+                )
+                .unwrap();
+            assert_eq!(refined.hits, exact.hits, "query {qi}");
+            assert_eq!(refined.stats.mcs_calls, idx.len());
+        }
+    }
+
+    #[test]
+    fn refined_counts_only_candidate_mcs_calls() {
+        let idx = index(20, 9);
+        let q = idx.graph(0).unwrap().clone();
+        let req = SearchRequest::topk(3).with_ranker(Ranker::Refined { candidates: 7 });
+        let resp = idx.search(&q, &req).unwrap();
+        assert_eq!(resp.stats.mcs_calls, 7);
+        assert_eq!(resp.hits.len(), 3);
+        // Self-query survives the candidate cut and re-ranks first.
+        assert_eq!(resp.hits[0].id.get(), 0);
+        assert_eq!(resp.hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn refined_candidate_budget_caps_the_answer_count() {
+        // Only verified candidates are returned: candidates < k yields
+        // min(k, candidates) hits (the documented contract), never a
+        // mix of verified and unverified distances.
+        let idx = index(20, 9);
+        let q = idx.graph(0).unwrap().clone();
+        let req = SearchRequest::topk(10).with_ranker(Ranker::Refined { candidates: 4 });
+        let resp = idx.search(&q, &req).unwrap();
+        assert_eq!(resp.hits.len(), 4);
+        assert_eq!(resp.stats.mcs_calls, 4);
+    }
+
+    #[test]
+    fn k_edge_cases_are_well_formed() {
+        let idx = index(10, 11);
+        let q = idx.graph(1).unwrap().clone();
+        let empty = idx.search(&q, &SearchRequest::topk(0)).unwrap();
+        assert!(empty.hits.is_empty());
+        let all = idx.search(&q, &SearchRequest::topk(10_000)).unwrap();
+        assert_eq!(all.hits.len(), 10);
+        for r in [Ranker::Exact, Ranker::Refined { candidates: 4 }] {
+            let resp = idx
+                .search(&q, &SearchRequest::topk(10_000).with_ranker(r))
+                .unwrap();
+            assert!(resp.hits.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn weighted_mapping_serves_from_the_same_index() {
+        let idx = index(20, 13);
+        let q = idx.graph(6).unwrap().clone();
+        let bin = idx.search(&q, &SearchRequest::topk(5)).unwrap();
+        let wgt = idx
+            .search(
+                &q,
+                &SearchRequest::topk(5).with_mapping(MappingKind::Weighted),
+            )
+            .unwrap();
+        // Both place the graph itself first at distance 0.
+        assert_eq!(bin.hits[0].id, wgt.hits[0].id);
+        assert_eq!(wgt.hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn batch_matches_single_for_any_thread_budget() {
+        let db = gdim_datagen::chem_db(22, &gdim_datagen::ChemConfig::default(), 17);
+        let queries = gdim_datagen::chem_db(5, &gdim_datagen::ChemConfig::default(), 99);
+        let reqs = [
+            SearchRequest::topk(4),
+            SearchRequest::topk(4).with_ranker(Ranker::Refined { candidates: 6 }),
+        ];
+        for threads in [1usize, 2, 8] {
+            let idx = GraphIndex::build(
+                db.clone(),
+                IndexOptions::default()
+                    .with_dimensions(20)
+                    .with_threads(threads),
+            );
+            for req in &reqs {
+                let batch = idx.search_batch(&queries, req).unwrap();
+                assert_eq!(batch.len(), queries.len());
+                for (q, resp) in queries.iter().zip(&batch) {
+                    let single = idx.search(q, req).unwrap();
+                    assert_eq!(single.hits, resp.hits, "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_override_reaches_the_exact_phase() {
+        let idx = index(10, 19);
+        let q = idx.graph(3).unwrap().clone();
+        let req = SearchRequest::topk(3)
+            .with_ranker(Ranker::Exact)
+            .with_budget(64);
+        // A tiny budget still yields a well-formed, complete response.
+        let resp = idx.search(&q, &req).unwrap();
+        assert_eq!(resp.hits.len(), 3);
+        assert_eq!(resp.stats.mcs_calls, 10);
+    }
+
+    #[test]
+    fn graph_id_formats_and_converts() {
+        let id = GraphId::from(7u32);
+        assert_eq!(id.to_string(), "g7");
+        assert_eq!(id.get(), 7);
+        assert_eq!(id.index(), 7usize);
+    }
+}

@@ -1,5 +1,5 @@
 //! GraphGen-style synthetic generator — the substitute for GraphGen
-//! [39], parameterized exactly like §6: average edge count, graph
+//! \[39\], parameterized exactly like §6: average edge count, graph
 //! density `D = 2|E| / (|V|(|V|−1))`, and number of distinct labels
 //! ("the average number of edges in each graph is 20, the number of
 //! distinct labels is 20, and the average graph density is 0.2").

@@ -13,7 +13,7 @@
 //! * [`mcs`] — maximum common subgraph (edge count) via anytime
 //!   branch-and-bound, the NP-hard kernel inside both dissimilarities.
 //! * [`dissimilarity`] — the paper's δ1 (Eq. 1) and δ2 (Eq. 2).
-//! * [`ged`] — graph edit distance (A*, anytime), the other NP-hard
+//! * [`ged`](mod@ged) — graph edit distance (A*, anytime), the other NP-hard
 //!   operation §1 names, offered as an alternative dissimilarity.
 //!
 //! The crate is deliberately free of heavyweight dependencies; the only

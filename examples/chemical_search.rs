@@ -3,39 +3,41 @@
 //! hand-craft a dictionary fingerprint, versus automatically identified
 //! graph dimensions.
 //!
-//! Builds a compound database, indexes it three ways (DSPM dimensions,
-//! the 881-bit dictionary fingerprint, exact MCS ranking) and compares
-//! answers and costs on the same queries.
+//! Serves the same queries through the three rankers of the search API
+//! (mapped scan, two-phase refined, exact MCS) plus the 881-bit
+//! dictionary fingerprint, and compares answer quality and cost: the
+//! refined ranker recovers exact-level precision at a small fraction of
+//! the exact ranker's MCS calls — the filter-then-verify economics that
+//! make exact-quality answers affordable online.
 //!
 //! ```sh
 //! cargo run --release --example chemical_search
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gdim::core::measures::{precision, topk_ids};
 use gdim::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GdimError> {
     let n = 200;
     let k = 10;
+    let c = 25; // refined candidate budget: c MCS calls instead of n
     let db = gdim::datagen::chem_db(n, &gdim::datagen::ChemConfig::default(), 21);
     let queries = gdim::datagen::chem_db(8, &gdim::datagen::ChemConfig::default(), 777);
 
     // --- Index 1: automatically identified graph dimensions (DSPM).
     let t = Instant::now();
-    let features = mine(
-        &db,
-        &MinerConfig::new(Support::Relative(0.05)).with_max_edges(5),
+    let index = GraphIndex::build(
+        db.clone(),
+        IndexOptions::default()
+            .with_dimensions(80)
+            .with_min_support(Support::Relative(0.05)),
     );
-    let space = FeatureSpace::build(db.len(), features);
-    let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
-    let result = dspm(&space, &delta, &DspmConfig::new(80));
-    let mapped = MappedDatabase::build(&space, &result.selected, MappingKind::Binary);
     println!(
         "DSPM index: {} candidate features -> {} dimensions in {:.1?}",
-        space.num_features(),
-        mapped.p(),
+        index.stats().mined_features,
+        index.stats().dimensions,
         t.elapsed()
     );
 
@@ -48,44 +50,58 @@ fn main() {
         t.elapsed()
     );
 
-    // --- Ground truth: exact MCS-based top-k (slow by nature).
-    println!("\nper-query comparison (k = {k}):");
+    let mapped_req = SearchRequest::topk(k);
+    let refined_req = SearchRequest::topk(k).with_ranker(Ranker::Refined { candidates: c });
+    let exact_req = SearchRequest::topk(k).with_ranker(Ranker::Exact);
+
+    println!("\nper-query precision vs the exact ranking (k = {k}, refined c = {c}):");
     println!(
-        "{:>5} {:>12} {:>12} {:>14} {:>14}",
-        "query", "DSPM p@k", "FP p@k", "DSPM time", "exact time"
+        "{:>5} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "query", "mapped p@k", "refined p@k", "FP p@k", "refined time", "exact time"
     );
-    let mcs = McsOptions::default();
-    let mut dspm_hits = 0.0;
-    let mut fp_hits = 0.0;
+    let mut sums = [0.0f64; 3];
+    let mut refined_time = Duration::ZERO;
+    let mut exact_time = Duration::ZERO;
     for (qi, q) in queries.iter().enumerate() {
-        let t_exact = Instant::now();
-        let exact = exact_ranking(&db, q, Dissimilarity::AvgNorm, &mcs, &ExecConfig::default());
-        let exact_time = t_exact.elapsed();
-        let exact_ids = topk_ids(&exact, k);
+        let exact = index.search(q, &exact_req)?;
+        let exact_ids: Vec<u32> = exact.hits.iter().map(|h| h.id.get()).collect();
+        exact_time += exact.stats.wall_time;
 
-        let t_dspm = Instant::now();
-        let qvec = mapped.map_query(q);
-        let dspm_ids = topk_ids(&mapped.topk(&qvec, k), k);
-        let dspm_time = t_dspm.elapsed();
-
+        let mapped = index.search(q, &mapped_req)?;
+        let refined = index.search(q, &refined_req)?;
+        refined_time += refined.stats.wall_time;
         let fp_ids = topk_ids(&fp.topk(q, k), k);
 
-        let p_dspm = precision(&dspm_ids, &exact_ids);
-        let p_fp = precision(&fp_ids, &exact_ids);
-        dspm_hits += p_dspm;
-        fp_hits += p_fp;
+        let ps = [
+            precision(
+                &mapped.hits.iter().map(|h| h.id.get()).collect::<Vec<_>>(),
+                &exact_ids,
+            ),
+            precision(
+                &refined.hits.iter().map(|h| h.id.get()).collect::<Vec<_>>(),
+                &exact_ids,
+            ),
+            precision(&fp_ids, &exact_ids),
+        ];
+        for (s, p) in sums.iter_mut().zip(ps) {
+            *s += p;
+        }
         println!(
-            "{:>5} {:>12.2} {:>12.2} {:>14.2?} {:>14.2?}",
-            qi, p_dspm, p_fp, dspm_time, exact_time
+            "{:>5} {:>12.2} {:>12.2} {:>12.2} {:>14.2?} {:>14.2?}",
+            qi, ps[0], ps[1], ps[2], refined.stats.wall_time, exact.stats.wall_time
         );
     }
+    let nq = queries.len() as f64;
     println!(
-        "\nmean precision@{k}: DSPM {:.2}, fingerprint {:.2} (against exact MCS ranking)",
-        dspm_hits / queries.len() as f64,
-        fp_hits / queries.len() as f64
+        "\nmean precision@{k}: mapped {:.2}, refined {:.2}, fingerprint {:.2}",
+        sums[0] / nq,
+        sums[1] / nq,
+        sums[2] / nq
     );
     println!(
-        "The mapped index answers in milliseconds what the exact ranker needs seconds for —
-the paper's 3-5 orders-of-magnitude gap at database scale."
+        "refined spends {c} MCS calls/query vs {n} for exact ({:.1?} vs {:.1?} total) —\n\
+         candidate generation in the mapped space, verification only where it matters.",
+        refined_time, exact_time
     );
+    Ok(())
 }

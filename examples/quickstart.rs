@@ -1,6 +1,7 @@
-//! Quickstart: the full DS-preserved-mapping pipeline on a small
-//! generated database — mine features, select dimensions with DSPM,
-//! map the database, answer a top-k similarity query.
+//! Quickstart: the serving-layer workflow — build a [`GraphIndex`]
+//! over a generated database, answer typed search requests with the
+//! mapped, refined and exact rankers, and round-trip the index through
+//! its binary persistence format.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,63 +9,82 @@
 
 use gdim::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GdimError> {
     // A graph database DG: 120 molecule-like labeled graphs.
     let db = gdim::datagen::chem_db(120, &gdim::datagen::ChemConfig::default(), 7);
     println!("database: {} graphs", db.len());
 
-    // 1. Mine the candidate feature set F with gSpan (τ = 10%).
-    let features = mine(
-        &db,
-        &MinerConfig::new(Support::Relative(0.1)).with_max_edges(4),
+    // Build once: gSpan mining → δ matrix → DSPM dimension selection →
+    // mapped database, all behind one builder.
+    let index = GraphIndex::build(
+        db,
+        IndexOptions::default()
+            .with_dimensions(60)
+            .with_min_support(Support::Relative(0.1)),
     );
-    println!("gSpan mined {} frequent subgraphs", features.len());
-    let space = FeatureSpace::build(db.len(), features);
-
-    // 2. Pairwise dissimilarities δ2 (Eq. 2) for the selection objective.
-    let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
-    println!("mean pairwise dissimilarity: {:.3}", delta.mean());
-
-    // 3. DSPM: select p = 60 dimensions (Algorithms 1-4).
-    let result = dspm(&space, &delta, &DspmConfig::new(60));
+    let s = index.stats();
     println!(
-        "DSPM: {} iterations, objective {:.1} -> {:.1}, selected {} dimensions",
-        result.iterations,
-        result.objective_trace.first().unwrap(),
-        result.objective_trace.last().unwrap(),
-        result.selected.len(),
+        "index: {} mined features -> {} dimensions (mining {:.1?}, delta {:.1?}, selection {:.1?})",
+        s.mined_features, s.dimensions, s.mining_time, s.delta_time, s.selection_time
     );
 
-    // 4. Map the database and query it with an unseen graph.
-    let mapped = MappedDatabase::build(&space, &result.selected, MappingKind::Binary);
+    // Serve: an unseen query graph, three rankers.
     let query = &gdim::datagen::chem_db(1, &gdim::datagen::ChemConfig::default(), 999)[0];
     println!(
         "query: |V| = {}, |E| = {}",
         query.vertex_count(),
         query.edge_count()
     );
-    let qvec = mapped.map_query(query);
-    println!(
-        "query contains {} of the selected dimensions",
-        qvec.count_ones()
-    );
 
-    let top = mapped.topk(&qvec, 5);
-    println!("top-5 by mapped distance:");
-    for (rank, (id, dist)) in top.iter().enumerate() {
-        // Cross-check with the true dissimilarity.
-        let true_delta = gdim::graph::delta(
-            Dissimilarity::AvgNorm,
-            query,
-            &db[*id as usize],
-            &McsOptions::default(),
-        );
+    let fast = index.search(query, &SearchRequest::topk(5))?;
+    let refined = index.search(
+        query,
+        &SearchRequest::topk(5).with_ranker(Ranker::Refined { candidates: 20 }),
+    )?;
+    let exact = index.search(query, &SearchRequest::topk(5).with_ranker(Ranker::Exact))?;
+
+    println!(
+        "\n{:<28} {:>10} {:>10} {:>12}",
+        "ranker", "top hit", "MCS calls", "wall time"
+    );
+    for (name, resp) in [
+        ("Mapped (paper fast path)", &fast),
+        ("Refined (filter+verify)", &refined),
+        ("Exact (MCS reference)", &exact),
+    ] {
         println!(
-            "  #{:<2} graph {:<3} mapped d = {:.3}   true δ = {:.3}",
-            rank + 1,
-            id,
-            dist,
-            true_delta
+            "{:<28} {:>10} {:>10} {:>12.2?}",
+            name,
+            resp.top().map(|h| h.id.to_string()).unwrap_or_default(),
+            resp.stats.mcs_calls,
+            resp.stats.wall_time
         );
     }
+
+    println!("\ntop-5 mapped vs refined distances:");
+    for (rank, (m, r)) in fast.hits.iter().zip(&refined.hits).enumerate() {
+        println!(
+            "  #{:<2} mapped: {} d = {:.3}   refined: {} δ = {:.3}",
+            rank + 1,
+            m.id,
+            m.distance,
+            r.id,
+            r.distance
+        );
+    }
+
+    // Persist: build once, serve from disk. The reloaded index answers
+    // byte-identically.
+    let path = std::env::temp_dir().join("gdim-quickstart.idx");
+    index.save(&path)?;
+    let reloaded = GraphIndex::load(&path)?;
+    let again = reloaded.search(query, &SearchRequest::topk(5))?;
+    assert_eq!(again.hits, fast.hits);
+    println!(
+        "\nsaved {} bytes to {} and reloaded: answers identical",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        path.display()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
 }

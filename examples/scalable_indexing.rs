@@ -59,8 +59,10 @@ fn main() {
 
     // And do they answer queries the same way?
     let queries = gdim::datagen::chem_db(10, &gdim::datagen::ChemConfig::default(), 555);
-    let md_map = MappedDatabase::build(&space, &res.selected, MappingKind::Binary);
-    let md_full = MappedDatabase::build(&space, &dspm_res.selected, MappingKind::Binary);
+    let md_map = MappedDatabase::new(&space, &res.selected, Mapping::Binary)
+        .expect("dspmap selection in range");
+    let md_full = MappedDatabase::new(&space, &dspm_res.selected, Mapping::Binary)
+        .expect("dspm selection in range");
     let k = 10;
     let mut agree = 0.0;
     for q in &queries {
@@ -81,4 +83,32 @@ fn main() {
         queries.len(),
         100.0 * agree / queries.len() as f64
     );
+
+    // The same strategy through the serving layer: build a DSPMap-backed
+    // index, persist it, and serve from the reloaded copy.
+    let db2 = gdim::datagen::chem_db(n, &gdim::datagen::ChemConfig::default(), 33);
+    let index = GraphIndex::build(
+        db2,
+        IndexOptions::default()
+            .with_dimensions(p)
+            .with_strategy(SelectionStrategy::Dspmap { partition_size: b }),
+    );
+    let path = std::env::temp_dir().join("gdim-scalable.idx");
+    index.save(&path).expect("save index");
+    let served = GraphIndex::load(&path).expect("load index");
+    let resp = served
+        .search(&queries[0], &SearchRequest::topk(k))
+        .expect("serve from reloaded index");
+    assert_eq!(
+        resp.hits,
+        index
+            .search(&queries[0], &SearchRequest::topk(k))
+            .unwrap()
+            .hits
+    );
+    println!(
+        "\nserving layer: DSPMap index persisted ({} bytes) and reloaded; answers identical",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+    std::fs::remove_file(&path).ok();
 }

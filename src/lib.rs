@@ -28,28 +28,36 @@
 //!
 //! ## Quickstart
 //!
+//! Build a [`GraphIndex`](core::index::GraphIndex) once, then serve
+//! typed [`SearchRequest`](core::search::SearchRequest)s from it — the
+//! paper's online workload:
+//!
 //! ```
 //! use gdim::prelude::*;
 //!
 //! // A graph database (here: generated molecule-like graphs).
 //! let db = gdim::datagen::chem_db(80, &gdim::datagen::ChemConfig::default(), 7);
 //!
-//! // 1. Mine frequent subgraph features (gSpan).
-//! let features = gdim::mining::mine(
-//!     &db,
-//!     &gdim::mining::MinerConfig::new(gdim::mining::Support::Relative(0.1)).with_max_edges(4),
-//! );
-//! let space = FeatureSpace::build(db.len(), features);
+//! // Build: gSpan mining → δ matrix / DSPMap → DSPM dimension
+//! // selection → mapped database, behind one builder.
+//! let index = GraphIndex::build(db, IndexOptions::default().with_dimensions(50));
 //!
-//! // 2. Pairwise dissimilarities (δ2 of Eq. 2) and DSPM dimension selection.
-//! let delta = DeltaMatrix::compute(&db, &DeltaConfig::default());
-//! let result = dspm(&space, &delta, &DspmConfig::new(50));
+//! // Serve: the fast mapped ranker (map the query with VF2, scan the
+//! // vectors)...
+//! let query = index.graph(3)?.clone();
+//! let fast = index.search(&query, &SearchRequest::topk(5))?;
+//! assert_eq!(fast.hits[0].id.get(), 3); // the query graph itself ranks first
 //!
-//! // 3. Map the database and answer a top-k query.
-//! let mapped = MappedDatabase::build(&space, &result.selected, MappingKind::Binary);
-//! let query = &db[3];
-//! let hits = mapped.topk(&mapped.map_query(query), 5);
-//! assert_eq!(hits[0].0, 3); // the query graph itself ranks first
+//! // ...or filter-then-verify: re-rank the top mapped candidates with
+//! // the exact MCS dissimilarity (near-exact answers, few MCS calls).
+//! let refined = SearchRequest::topk(5).with_ranker(Ranker::Refined { candidates: 20 });
+//! let verified = index.search(&query, &refined)?;
+//! assert_eq!(verified.stats.mcs_calls, 20);
+//!
+//! // Persist: build once, serve from disk.
+//! let reloaded = GraphIndex::from_bytes(&index.to_bytes())?;
+//! assert_eq!(reloaded.search(&query, &SearchRequest::topk(5))?.hits, fast.hits);
+//! # Ok::<(), GdimError>(())
 //! ```
 
 pub use gdim_baselines as baselines;

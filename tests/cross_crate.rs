@@ -64,7 +64,8 @@ fn query_mapping_agrees_between_full_space_and_mapped_database() {
     );
     let space = FeatureSpace::build(db.len(), features);
     let selected: Vec<u32> = (0..space.num_features() as u32).step_by(3).collect();
-    let mapped = MappedDatabase::build(&space, &selected, MappingKind::Binary);
+    let mapped =
+        MappedDatabase::new(&space, &selected, Mapping::Binary).expect("selection in range");
     let queries = gdim::datagen::chem_db(5, &gdim::datagen::ChemConfig::default(), 123);
     for q in &queries {
         let full = space.map_query(q);

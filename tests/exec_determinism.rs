@@ -10,10 +10,10 @@ fn db(n: usize, seed: u64) -> Vec<Graph> {
     gdim::datagen::chem_db(n, &gdim::datagen::ChemConfig::default(), seed)
 }
 
-/// End-to-end: `GraphIndex::build → topk` over DSPM is identical for
+/// End-to-end: `GraphIndex::build → search` over DSPM is identical for
 /// `threads = 1` and `threads = N`.
 #[test]
-fn index_build_and_topk_identical_across_thread_budgets() {
+fn index_build_and_search_identical_across_thread_budgets() {
     let build = |threads: usize| {
         GraphIndex::build(
             db(30, 11),
@@ -24,6 +24,11 @@ fn index_build_and_topk_identical_across_thread_budgets() {
         )
     };
     let serial = build(1);
+    let reqs = [
+        SearchRequest::topk(10),
+        SearchRequest::topk(10).with_ranker(Ranker::Refined { candidates: 12 }),
+        SearchRequest::topk(10).with_ranker(Ranker::Exact),
+    ];
     for threads in [2usize, 8] {
         let parallel = build(threads);
         assert_eq!(
@@ -33,12 +38,15 @@ fn index_build_and_topk_identical_across_thread_budgets() {
         );
         assert_eq!(serial.weights(), parallel.weights(), "threads = {threads}");
         for qi in [0usize, 7, 19] {
-            let q = serial.graph(qi).clone();
-            assert_eq!(
-                serial.topk(&q, 10),
-                parallel.topk(&q, 10),
-                "threads = {threads}, query {qi}"
-            );
+            let q = serial.graph(qi).unwrap().clone();
+            for req in &reqs {
+                assert_eq!(
+                    serial.search(&q, req).unwrap().hits,
+                    parallel.search(&q, req).unwrap().hits,
+                    "threads = {threads}, query {qi}, {:?}",
+                    req.ranker
+                );
+            }
         }
     }
 }
@@ -59,11 +67,20 @@ fn dspmap_index_identical_across_thread_budgets() {
     let parallel = build(8);
     assert_eq!(serial.dimensions(), parallel.dimensions());
     assert_eq!(serial.weights(), parallel.weights());
-    let q = serial.graph(3).clone();
-    assert_eq!(serial.topk(&q, 5), parallel.topk(&q, 5));
+    let q = serial.graph(3).unwrap().clone();
+    let req = SearchRequest::topk(5);
     assert_eq!(
-        serial.topk_batch(&db(4, 99), 5),
-        parallel.topk_batch(&db(4, 99), 5)
+        serial.search(&q, &req).unwrap().hits,
+        parallel.search(&q, &req).unwrap().hits
+    );
+    let batch = db(4, 99);
+    let hits =
+        |resps: Vec<gdim::core::search::SearchResponse>| -> Vec<Vec<gdim::core::search::Hit>> {
+            resps.into_iter().map(|r| r.hits).collect()
+        };
+    assert_eq!(
+        hits(serial.search_batch(&batch, &req).unwrap()),
+        hits(parallel.search_batch(&batch, &req).unwrap())
     );
 }
 

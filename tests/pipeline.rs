@@ -41,7 +41,8 @@ fn build_pipeline(n: usize, seed: u64) -> Pipeline {
 }
 
 fn mean_precision(pl: &Pipeline, selection: &[u32], truth: &[Vec<u32>], k: usize) -> f64 {
-    let mapped = MappedDatabase::build(&pl.space, selection, MappingKind::Binary);
+    let mapped =
+        MappedDatabase::new(&pl.space, selection, Mapping::Binary).expect("selection in range");
     let mut total = 0.0;
     for (q, exact) in pl.queries.iter().zip(truth) {
         let ids = topk_ids(&mapped.topk(&mapped.map_query(q), k), k);
@@ -137,7 +138,7 @@ fn database_graphs_retrieve_themselves() {
     let pl = build_pipeline(50, 11);
     let p = 40.min(pl.space.num_features());
     let sel = dspm(&pl.space, &pl.delta, &DspmConfig::new(p)).selected;
-    let mapped = MappedDatabase::build(&pl.space, &sel, MappingKind::Binary);
+    let mapped = MappedDatabase::new(&pl.space, &sel, Mapping::Binary).expect("selection in range");
     for i in (0..pl.db.len()).step_by(7) {
         let qvec = mapped.map_query(&pl.db[i]);
         let top = mapped.topk(&qvec, 1);
@@ -174,7 +175,8 @@ fn every_baseline_plugs_into_the_query_engine() {
         ),
     ];
     for (name, sel) in selections {
-        let mapped = MappedDatabase::build(&pl.space, &sel, MappingKind::Binary);
+        let mapped =
+            MappedDatabase::new(&pl.space, &sel, Mapping::Binary).expect("selection in range");
         let qvec = mapped.map_query(&pl.queries[0]);
         let top = mapped.topk(&qvec, 5);
         assert_eq!(top.len(), 5, "{name}: top-k underfilled");
@@ -210,8 +212,9 @@ fn weighted_mapping_ablation_runs() {
     let pl = build_pipeline(40, 19);
     let p = 25.min(pl.space.num_features());
     let res = dspm(&pl.space, &pl.delta, &DspmConfig::new(p));
-    let weighted = MappedDatabase::build_weighted(&pl.space, &res.selected, &res.weights);
-    let binary = MappedDatabase::build(&pl.space, &res.selected, MappingKind::Binary);
+    let weighted =
+        MappedDatabase::new(&pl.space, &res.selected, Mapping::Weighted(&res.weights)).unwrap();
+    let binary = MappedDatabase::new(&pl.space, &res.selected, Mapping::Binary).unwrap();
     let q = &pl.queries[0];
     let (vw, vb) = (weighted.map_query(q), binary.map_query(q));
     assert_eq!(vw, vb, "query mapping is independent of the weighting");

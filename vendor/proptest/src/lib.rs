@@ -319,7 +319,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Accepted size arguments for [`vec`].
+    /// Accepted size arguments for [`vec`](vec()).
     pub trait IntoSizeRange {
         /// Inclusive `(min, max)` bounds.
         fn bounds(self) -> (usize, usize);
