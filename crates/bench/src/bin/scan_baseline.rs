@@ -1,0 +1,103 @@
+//! `scan_baseline` — records the committed `BENCH_scan.json` snapshot:
+//! the naive full-sort scan vs. the bounded SoA kernel on synthetic
+//! vector stores (n ∈ {1k, 10k, 100k}, p = 256, top-10), and unpruned
+//! vs. containment-pruned query mapping on a chem workload. Medians of
+//! repeated timed runs, written as plain JSON so future PRs can track
+//! the trajectory.
+//!
+//! ```text
+//! cargo run --release -p gdim-bench --bin scan_baseline [out.json]
+//! ```
+
+use std::time::Instant;
+
+use gdim_bench::scanwork::{naive_fullsort_topk, synth};
+use gdim_core::{GraphIndex, IndexOptions};
+use gdim_datagen::{chem_db, ChemConfig};
+
+/// Median wall time (ns) of `reps` runs of `f`.
+fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
+    let mut times: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scan.json".to_string());
+    let mut rows = Vec::new();
+    for n in [1_000usize, 10_000, 100_000] {
+        let (store, q) = synth(n, 256, 42);
+        let reps = if n >= 100_000 { 21 } else { 51 };
+        let naive = median_ns(reps, || naive_fullsort_topk(&store, &q, 10));
+        let kernel = median_ns(reps, || store.topk_binary(q.words(), 10));
+        let w_sq = vec![1.0 / 256.0; 256];
+        let weighted = median_ns(reps, || store.topk_weighted(q.words(), 10, &w_sq));
+        let (_, wstats) = store.topk_weighted(q.words(), 10, &w_sq);
+        let speedup = naive as f64 / kernel.max(1) as f64;
+        eprintln!(
+            "n={n}: naive {naive} ns, kernel {kernel} ns ({speedup:.1}x), weighted {weighted} ns \
+             (early-abandoned {}/{n}, {} of {} words read)",
+            wstats.early_abandoned,
+            wstats.words_scanned,
+            n * store.stride()
+        );
+        rows.push(format!(
+            "    {{\"n\": {n}, \"p\": 256, \"k\": 10, \"naive_fullsort_ns\": {naive}, \
+             \"kernel_binary_ns\": {kernel}, \"kernel_weighted_ns\": {weighted}, \
+             \"binary_speedup\": {speedup:.2}, \"weighted_early_abandoned\": {}, \
+             \"weighted_words_scanned\": {}, \"total_words\": {}}}",
+            wstats.early_abandoned,
+            wstats.words_scanned,
+            n * store.stride()
+        ));
+    }
+
+    let db = chem_db(60, &ChemConfig::default(), 13);
+    let index = GraphIndex::build(db, IndexOptions::default().with_dimensions(60));
+    let queries = chem_db(4, &ChemConfig::default(), 99);
+    let unpruned = median_ns(31, || {
+        queries
+            .iter()
+            .map(|q| index.mapped().map_query_unpruned(q).count_ones())
+            .sum::<u32>()
+    });
+    let pruned = median_ns(31, || {
+        queries
+            .iter()
+            .map(|q| index.map_query(q).count_ones())
+            .sum::<u32>()
+    });
+    let (mut vf2_calls, mut vf2_pruned) = (0usize, 0usize);
+    for q in &queries {
+        let (_, s) = index.map_query_with_stats(q);
+        vf2_calls += s.vf2_calls;
+        vf2_pruned += s.vf2_pruned;
+    }
+    let map_speedup = unpruned as f64 / pruned.max(1) as f64;
+    eprintln!(
+        "map_query (p={}, 4 queries): unpruned {unpruned} ns, pruned {pruned} ns \
+         ({map_speedup:.2}x), vf2 {vf2_calls} ran / {vf2_pruned} pruned",
+        index.dimensions().len()
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"synthetic 256-bit vectors (25% density), binary top-10; chem \
+         map_query p={}\",\n  \"binary_scan\": [\n{}\n  ],\n  \"map_query\": {{\"queries\": 4, \
+         \"dimensions\": {}, \"unpruned_ns\": {unpruned}, \"pruned_ns\": {pruned}, \
+         \"speedup\": {map_speedup:.2}, \"vf2_calls\": {vf2_calls}, \"vf2_pruned\": \
+         {vf2_pruned}}}\n}}\n",
+        index.dimensions().len(),
+        rows.join(",\n"),
+        index.dimensions().len()
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

@@ -49,10 +49,11 @@ pub fn fig1(ctx: &Context) {
     let mut d_dspm = Vec::new();
     let mut d_orig = Vec::new();
     for i in 0..n {
+        let (vi_dspm, vi_orig) = (md_dspm.vector(i), md_orig.vector(i));
         for j in i + 1..n {
             d_true.push(delta.get(i, j));
-            d_dspm.push(md_dspm.distance(md_dspm.vector(i), md_dspm.vector(j)));
-            d_orig.push(md_orig.distance(md_orig.vector(i), md_orig.vector(j)));
+            d_dspm.push(md_dspm.distance(&vi_dspm, &md_dspm.vector(j)));
+            d_orig.push(md_orig.distance(&vi_orig, &md_orig.vector(j)));
         }
     }
     print_distribution(

@@ -20,4 +20,5 @@ pub mod context;
 pub mod eval;
 pub mod figs;
 pub mod scale;
+pub mod scanwork;
 pub mod table;

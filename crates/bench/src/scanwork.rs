@@ -1,0 +1,70 @@
+//! Shared workload of the scan microbenchmarks: the synthetic vector
+//! stores and the naive full-sort baseline used by **both**
+//! `benches/scan.rs` (criterion) and the `scan_baseline` binary (which
+//! records the committed `BENCH_scan.json` snapshot) — one definition,
+//! so the two measurements can never drift apart.
+
+use gdim_core::scan::VectorStore;
+use gdim_core::Bitset;
+
+/// Deterministic splitmix64 — no RNG dependency in the hot setup.
+pub fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `n` synthetic `bits`-bit vectors with ~25% density, plus a query.
+pub fn synth(n: usize, bits: usize, seed: u64) -> (VectorStore, Bitset) {
+    let mut state = seed;
+    let mut store = VectorStore::zeros(n, bits);
+    for i in 0..n {
+        for b in 0..bits {
+            if splitmix(&mut state) % 4 == 0 {
+                store.set(i, b);
+            }
+        }
+    }
+    let mut q = Bitset::zeros(bits);
+    for b in 0..bits {
+        if splitmix(&mut state) % 4 == 0 {
+            q.set(b);
+        }
+    }
+    (store, q)
+}
+
+/// The pre-PR-3 baseline scan: materialize every `(id, distance)`,
+/// sort all `n` entries, truncate to `k`.
+pub fn naive_fullsort_topk(store: &VectorStore, q: &Bitset, k: usize) -> Vec<(u32, f64)> {
+    let p = store.bits().max(1) as f64;
+    let mut all: Vec<(u32, f64)> = (0..store.len())
+        .map(|i| {
+            let h: u32 = q
+                .words()
+                .iter()
+                .zip(store.row(i))
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            (i as u32, (h as f64 / p).sqrt())
+        })
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_baseline_agrees_with_the_kernel() {
+        let (store, q) = synth(500, 256, 7);
+        let naive = naive_fullsort_topk(&store, &q, 10);
+        let (fast, _) = store.topk_binary(q.words(), 10);
+        assert_eq!(naive, fast);
+    }
+}

@@ -15,7 +15,6 @@
 use gdim_graph::vf2::is_subgraph_iso;
 use gdim_graph::Graph;
 
-use crate::bitset::Bitset;
 use crate::query::MappedDatabase;
 
 /// Subgraph-containment search over a mapped database.
@@ -53,7 +52,7 @@ impl<'a> ContainmentFilter<'a> {
         let mut matches = Vec::new();
         let mut candidates = 0usize;
         for i in 0..self.db.len() {
-            if !dominates(self.mapped.vector(i), &qvec) {
+            if !dominates(self.mapped.store().row(i), qvec.words()) {
                 continue; // filtered: g misses a dimension contained in q
             }
             candidates += 1;
@@ -76,9 +75,9 @@ impl<'a> ContainmentFilter<'a> {
     }
 }
 
-/// Whether `a` has every bit of `b` (`b ⊆ a` as sets).
-fn dominates(a: &Bitset, b: &Bitset) -> bool {
-    a.words().iter().zip(b.words()).all(|(x, y)| x & y == *y)
+/// Whether word row `a` has every bit of `b` (`b ⊆ a` as sets).
+fn dominates(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & y == *y)
 }
 
 /// K-means clustering of the database in the mapped space. Returns the
@@ -98,6 +97,7 @@ pub fn cluster_mapped(mapped: &MappedDatabase, k: usize, seed: u64) -> Vec<usize
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitset::Bitset;
     use crate::featurespace::FeatureSpace;
     use crate::query::Mapping;
     use gdim_mining::{mine, MinerConfig, Support};
@@ -167,9 +167,9 @@ mod tests {
         a.set(1);
         a.set(65);
         b.set(65);
-        assert!(dominates(&a, &b));
-        assert!(!dominates(&b, &a));
+        assert!(dominates(a.words(), b.words()));
+        assert!(!dominates(b.words(), a.words()));
         b.set(2);
-        assert!(!dominates(&a, &b));
+        assert!(!dominates(a.words(), b.words()));
     }
 }

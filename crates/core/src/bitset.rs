@@ -19,6 +19,28 @@ impl Bitset {
         }
     }
 
+    /// Builds a bitset directly from its word representation — the
+    /// constructor the flat [`VectorStore`](crate::scan::VectorStore)
+    /// uses to materialize a row as a standalone vector. `words` must
+    /// hold exactly `len.div_ceil(64)` words; bits past `len` in the
+    /// last word are cleared so equality and hashing stay canonical.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count must match len");
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        Bitset { len, words }
+    }
+
+    /// Number of backing words (`len.div_ceil(64)`), the row stride of
+    /// a word-matrix layout over same-length vectors.
+    #[inline]
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
     /// Number of bits.
     #[inline]
     pub fn len(&self) -> usize {
@@ -106,25 +128,41 @@ impl Bitset {
 
     /// Weighted squared distance: `Σ_{i ∈ self ⊕ other} w[i]²`, the
     /// kernel of the weighted-mapping ablation and of `Computeobj`.
+    /// Word-blocked: zero XOR words are skipped wholesale and each
+    /// non-zero word walks its own 64-weight block, so the common
+    /// sparse-difference case never touches most of `w_sq`.
     pub fn weighted_sq_xor(&self, other: &Bitset, w_sq: &[f64]) -> f64 {
         debug_assert_eq!(self.len, other.len);
         debug_assert!(w_sq.len() >= self.len);
-        let mut total = 0.0;
-        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
-            let mut x = a ^ b;
-            while x != 0 {
-                let bit = x.trailing_zeros() as usize;
-                x &= x - 1;
-                total += w_sq[wi * 64 + bit];
-            }
-        }
-        total
+        weighted_sq_xor_words(&self.words, &other.words, w_sq)
     }
 
     /// Raw words (read-only).
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+}
+
+/// The word-level accumulation behind [`Bitset::weighted_sq_xor`],
+/// shared with the flat scan kernel so both paths add the same weights
+/// in the same order and therefore produce bit-identical sums. `w_sq`
+/// must cover every bit index addressable by the shorter word slice.
+#[inline]
+pub(crate) fn weighted_sq_xor_words(a: &[u64], b: &[u64], w_sq: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for (wi, (x, y)) in a.iter().zip(b).enumerate() {
+        let mut x = x ^ y;
+        if x == 0 {
+            continue;
+        }
+        let block = &w_sq[wi * 64..];
+        while x != 0 {
+            let bit = x.trailing_zeros() as usize;
+            x &= x - 1;
+            total += block[bit];
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -181,6 +219,21 @@ mod tests {
         let w_sq = [1.0, 10.0, 100.0, 1000.0, 0.25];
         // Symmetric difference = {0, 4}.
         assert_eq!(a.weighted_sq_xor(&b, &w_sq), 1.25);
+    }
+
+    #[test]
+    fn from_words_roundtrips_and_masks_the_tail() {
+        let mut b = Bitset::zeros(130);
+        for i in [0, 63, 64, 129] {
+            b.set(i);
+        }
+        assert_eq!(b.word_len(), 3);
+        let rebuilt = Bitset::from_words(b.words().to_vec(), 130);
+        assert_eq!(rebuilt, b);
+        // Garbage above `len` in the last word is cleared.
+        let dirty = Bitset::from_words(vec![0, 0, u64::MAX], 130);
+        assert_eq!(dirty.count_ones(), 2);
+        assert!(dirty.get(128) && dirty.get(129));
     }
 
     #[test]

@@ -4,13 +4,237 @@
 //! contained in graph `g_i`). Also maps **unseen query graphs** onto the
 //! space via VF2 with histogram pre-filters and anti-monotone pruning
 //! along the gSpan parent relation.
+//!
+//! Two pruning structures keep the VF2 "feature matching time" (the
+//! paper's Exp-4 cost component) down:
+//!
+//! * [`GraphInvariants`] — free per-feature invariants (vertex/edge
+//!   counts, label multisets) checked before any VF2 call: if a
+//!   feature needs a label the query lacks, no isomorphism test runs.
+//! * [`ContainmentDag`] — the containment partial order `f ⊆ f′` over
+//!   a *selected* feature set, computed once at index-build time with
+//!   VF2 on the tiny feature graphs. At query time features are
+//!   matched in topological order; once `f ⊄ q` is known, every
+//!   selected supergraph of `f` is skipped without a VF2 call
+//!   (anti-monotonicity, generalizing the gSpan parent pruning to
+//!   feature subsets where the gSpan parent was not selected).
 
-use gdim_graph::fxhash::FxHashMap;
+use gdim_graph::fxhash::{FxHashMap, FxHashSet};
 use gdim_graph::vf2::is_subgraph_iso;
 use gdim_graph::Graph;
 use gdim_mining::Feature;
 
 use crate::bitset::Bitset;
+
+/// Cheap order-respecting graph invariants: if `sub ⊆ sup` then every
+/// invariant of `sub` is dominated by `sup`'s, so a failed dominance
+/// check disproves containment for free — no VF2 call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphInvariants {
+    /// `|V|`.
+    pub vertices: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Vertex-label histogram, sorted by label.
+    pub vlabels: Vec<(u32, u32)>,
+    /// Edge-label histogram, sorted by label.
+    pub elabels: Vec<(u32, u32)>,
+}
+
+impl GraphInvariants {
+    /// The invariants of `g`.
+    pub fn of(g: &Graph) -> Self {
+        GraphInvariants {
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            vlabels: g.vlabel_counts(),
+            elabels: g.elabel_counts(),
+        }
+    }
+
+    /// Whether a graph with these invariants *can* contain one with
+    /// `sub`'s (necessary, not sufficient): counts dominate and both
+    /// label multisets include `sub`'s.
+    pub fn may_contain(&self, sub: &GraphInvariants) -> bool {
+        sub.vertices <= self.vertices
+            && sub.edges <= self.edges
+            && multiset_includes(&self.vlabels, &sub.vlabels)
+            && multiset_includes(&self.elabels, &sub.elabels)
+    }
+}
+
+/// Whether the sorted histogram `sup` includes `sub` (every label with
+/// at least the same count).
+fn multiset_includes(sup: &[(u32, u32)], sub: &[(u32, u32)]) -> bool {
+    let mut it = sup.iter();
+    'outer: for &(label, count) in sub {
+        for &(l, c) in it.by_ref() {
+            if l == label {
+                if c < count {
+                    return false;
+                }
+                continue 'outer;
+            }
+            if l > label {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Per-query counters of the feature-matching leg: how many VF2
+/// subgraph-isomorphism tests actually ran and how many were avoided
+/// by the containment DAG and the invariant prescreen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// VF2 calls performed.
+    pub vf2_calls: usize,
+    /// VF2 calls skipped (absent sub-feature or failed invariant).
+    pub vf2_pruned: usize,
+}
+
+/// The containment partial order `f_i ⊆ f_j` over a feature set,
+/// precomputed once so query mapping can skip VF2 calls: a feature
+/// whose (necessarily smaller) contained feature is already known
+/// absent from the query cannot be present either.
+///
+/// Built at index-build time and **rebuilt deterministically on
+/// load** — it is derived state, never persisted (see
+/// [`crate::persist`]). Construction prescreens candidate pairs with
+/// [`GraphInvariants`] and the anti-monotone support-list relation
+/// (`f_i ⊆ f_j ⟹ sup(f_j) ⊆ sup(f_i)`) before running VF2 on the tiny
+/// feature graphs, and stores the transitive reduction (a parent
+/// implied by another parent adds no pruning power).
+#[derive(Debug, Clone, Default)]
+pub struct ContainmentDag {
+    /// Column evaluation order: ascending `(edges, vertices, column)`,
+    /// so every feature is evaluated after all features it contains.
+    order: Vec<u32>,
+    /// `parents[j]` = columns whose feature is contained in feature
+    /// `j` (transitively reduced).
+    parents: Vec<Vec<u32>>,
+    /// Invariants per column, for the free query prescreen.
+    invariants: Vec<GraphInvariants>,
+}
+
+impl ContainmentDag {
+    /// Builds the DAG over `features` (one VF2 containment test per
+    /// invariant- and support-plausible ordered pair).
+    pub fn build(features: &[Feature]) -> Self {
+        let invariants: Vec<GraphInvariants> = features
+            .iter()
+            .map(|f| GraphInvariants::of(&f.graph))
+            .collect();
+        let mut order: Vec<u32> = (0..features.len() as u32).collect();
+        order.sort_by_key(|&c| {
+            let f = &features[c as usize];
+            (f.graph.edge_count(), f.graph.vertex_count(), c)
+        });
+        // `(i, j)` ∈ contains ⟺ f_i ⊆ f_j, over pairs that survive the
+        // prescreens (i strictly before j in evaluation order).
+        let mut contains: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); features.len()];
+        for (pos, &j) in order.iter().enumerate() {
+            let fj = &features[j as usize];
+            let mut direct: Vec<u32> = Vec::new();
+            for &i in &order[..pos] {
+                let fi = &features[i as usize];
+                if !invariants[j as usize].may_contain(&invariants[i as usize]) {
+                    continue;
+                }
+                // Anti-monotone on the database: every graph containing
+                // f_j must contain any f_i ⊆ f_j.
+                if !sorted_subset(&fj.support, &fi.support) {
+                    continue;
+                }
+                if is_subgraph_iso(&fi.graph, &fj.graph) {
+                    contains.insert((i, j));
+                    direct.push(i);
+                }
+            }
+            // Transitive reduction: drop a parent contained in another
+            // parent — its absence is already implied.
+            let reduced: Vec<u32> = direct
+                .iter()
+                .copied()
+                .filter(|&i| !parents_cover(&contains, &direct, i))
+                .collect();
+            parents[j as usize] = reduced;
+        }
+        ContainmentDag {
+            order,
+            parents,
+            invariants,
+        }
+    }
+
+    /// Maps a query onto `features` (the same slice the DAG was built
+    /// over): bit `r` set iff `f_r ⊆ q`, bit-identical to testing
+    /// every feature with VF2, with the DAG and the invariant
+    /// prescreen skipping calls whose answer is already forced.
+    pub fn map_query(&self, features: &[Feature], q: &Graph) -> (Bitset, MatchStats) {
+        debug_assert_eq!(features.len(), self.parents.len());
+        let qinv = GraphInvariants::of(q);
+        let mut bits = Bitset::zeros(features.len());
+        let mut stats = MatchStats::default();
+        'cols: for &col in &self.order {
+            let c = col as usize;
+            for &parent in &self.parents[c] {
+                if !bits.get(parent as usize) {
+                    stats.vf2_pruned += 1;
+                    continue 'cols;
+                }
+            }
+            if !qinv.may_contain(&self.invariants[c]) {
+                stats.vf2_pruned += 1;
+                continue;
+            }
+            stats.vf2_calls += 1;
+            if is_subgraph_iso(&features[c].graph, q) {
+                bits.set(c);
+            }
+        }
+        (bits, stats)
+    }
+
+    /// Direct (transitively reduced) contained-feature columns of
+    /// column `j`.
+    pub fn parents(&self, j: usize) -> &[u32] {
+        &self.parents[j]
+    }
+
+    /// Total containment edges kept after transitive reduction.
+    pub fn edge_count(&self) -> usize {
+        self.parents.iter().map(Vec::len).sum()
+    }
+}
+
+/// Whether another member of `direct` contains column `i` (making the
+/// edge from `i` transitively implied).
+fn parents_cover(contains: &FxHashSet<(u32, u32)>, direct: &[u32], i: u32) -> bool {
+    direct
+        .iter()
+        .any(|&other| other != i && contains.contains(&(i, other)))
+}
+
+/// Whether sorted id list `sub` is a subset of sorted id list `sup`.
+fn sorted_subset(sub: &[u32], sup: &[u32]) -> bool {
+    let mut it = sup.iter();
+    'outer: for &x in sub {
+        for &y in it.by_ref() {
+            if y == x {
+                continue 'outer;
+            }
+            if y > x {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
 
 /// The multidimensional feature space built over a graph database.
 #[derive(Debug, Clone)]
@@ -24,6 +248,8 @@ pub struct FeatureSpace {
     /// gSpan parent (code prefix) per feature, for anti-monotone query
     /// mapping: if the parent is absent from a query, so is the child.
     parent: Vec<Option<u32>>,
+    /// Per-feature invariants for the free query-mapping prescreen.
+    invariants: Vec<GraphInvariants>,
 }
 
 impl FeatureSpace {
@@ -55,12 +281,17 @@ impl FeatureSpace {
                 by_code.get(&prefix).copied()
             })
             .collect();
+        let invariants = features
+            .iter()
+            .map(|f| GraphInvariants::of(&f.graph))
+            .collect();
         FeatureSpace {
             n_graphs,
             features,
             rows,
             ig,
             parent,
+            invariants,
         }
     }
 
@@ -112,8 +343,11 @@ impl FeatureSpace {
     ///
     /// Features are tested in gSpan emission order so each feature's
     /// parent verdict is already known; a feature whose parent is absent
-    /// is skipped without a VF2 call (anti-monotonicity).
+    /// is skipped without a VF2 call (anti-monotonicity), and the free
+    /// [`GraphInvariants`] prescreen rejects features whose counts or
+    /// label multisets the query cannot cover before any VF2 runs.
     pub fn map_query(&self, q: &Graph) -> Bitset {
+        let qinv = GraphInvariants::of(q);
         let mut bits = Bitset::zeros(self.features.len());
         for (r, f) in self.features.iter().enumerate() {
             if let Some(p) = self.parent[r] {
@@ -121,6 +355,9 @@ impl FeatureSpace {
                 if !bits.get(p as usize) {
                     continue;
                 }
+            }
+            if !qinv.may_contain(&self.invariants[r]) {
+                continue;
             }
             if is_subgraph_iso(&f.graph, q) {
                 bits.set(r);
@@ -233,6 +470,75 @@ mod tests {
             let had0 = s.if_list(r).contains(&0);
             assert_eq!(sub.if_list(r).contains(&1), had0);
         }
+    }
+
+    #[test]
+    fn invariants_dominance_is_sound() {
+        let tri = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0), (0, 2, 0)]).unwrap();
+        let path = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0)]).unwrap();
+        let other = Graph::from_parts(vec![1, 1], [(0, 1, 5)]).unwrap();
+        let (ti, pi, oi) = (
+            GraphInvariants::of(&tri),
+            GraphInvariants::of(&path),
+            GraphInvariants::of(&other),
+        );
+        assert!(ti.may_contain(&pi)); // path ⊆ triangle is plausible
+        assert!(!pi.may_contain(&ti)); // fewer edges cannot contain more
+        assert!(!ti.may_contain(&oi)); // label 1 vertices absent from tri
+        assert!(ti.may_contain(&ti));
+    }
+
+    #[test]
+    fn containment_dag_maps_bit_identically_to_brute_force() {
+        let db = gdim_datagen::chem_db(20, &gdim_datagen::ChemConfig::default(), 5);
+        let feats = mine(
+            &db,
+            &MinerConfig::new(Support::Relative(0.2)).with_max_edges(4),
+        );
+        assert!(feats.len() > 4);
+        let dag = ContainmentDag::build(&feats);
+        let queries = gdim_datagen::chem_db(4, &gdim_datagen::ChemConfig::default(), 77);
+        for q in db.iter().take(3).chain(&queries) {
+            let (bits, stats) = dag.map_query(&feats, q);
+            for (r, f) in feats.iter().enumerate() {
+                assert_eq!(bits.get(r), is_subgraph_iso(&f.graph, q), "feature {r}");
+            }
+            assert_eq!(stats.vf2_calls + stats.vf2_pruned, feats.len());
+        }
+    }
+
+    #[test]
+    fn containment_dag_edges_point_from_subfeatures() {
+        // Hand-built features: edge ⊆ path ⊆ triangle, plus an
+        // unrelated labeled edge. Use supports consistent with the
+        // anti-monotone relation (sup shrinks as features grow).
+        let edge = Graph::from_parts(vec![0; 2], [(0, 1, 0)]).unwrap();
+        let path = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0)]).unwrap();
+        let tri = Graph::from_parts(vec![0; 3], [(0, 1, 0), (1, 2, 0), (0, 2, 0)]).unwrap();
+        let other = Graph::from_parts(vec![1, 1], [(0, 1, 5)]).unwrap();
+        let feats: Vec<Feature> = [
+            (tri, vec![0]),
+            (edge, vec![0, 1, 2]),
+            (other, vec![3]),
+            (path, vec![0, 1]),
+        ]
+        .into_iter()
+        .map(|(graph, support)| {
+            let code = gdim_graph::dfscode::min_dfs_code(&graph);
+            Feature {
+                graph,
+                code,
+                support,
+            }
+        })
+        .collect();
+        let dag = ContainmentDag::build(&feats);
+        // Triangle's only direct parent is the path (edge is implied).
+        assert_eq!(dag.parents(0), &[3]);
+        assert_eq!(dag.parents(1), &[] as &[u32]);
+        assert_eq!(dag.parents(2), &[] as &[u32]);
+        assert_eq!(dag.parents(3), &[1]);
+        assert_eq!(dag.edge_count(), 2);
     }
 
     #[test]

@@ -265,6 +265,10 @@ impl GraphIndex {
 
         let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary)
             .expect("selected dimensions come from the space itself");
+        // Warm the lazy feature containment DAG now: a serving index
+        // should pay the one-time pairwise containment cost at build
+        // time, not on its first query.
+        mapped.containment_dag();
         let w_sq_weighted = weighted_w_sq(&selected, &weights);
         let stats = IndexStats {
             mined_features: m,
@@ -288,8 +292,9 @@ impl GraphIndex {
     }
 
     /// Reassembles an index from persisted parts, rebuilding the
-    /// derived state (feature space, binary mapped vectors, weighted
-    /// scan weights) deterministically. An index always stores binary
+    /// derived state (feature space, the flat scan store of binary
+    /// mapped vectors, the feature containment DAG, weighted scan
+    /// weights) deterministically. An index always stores binary
     /// vectors — [`MappingKind::Weighted`](crate::query::MappingKind::Weighted) requests are served from the
     /// derived DSPM weights, never baked into the vectors. Shared by
     /// [`GraphIndex::from_bytes`].
@@ -303,6 +308,7 @@ impl GraphIndex {
     ) -> Result<GraphIndex, GdimError> {
         let space = FeatureSpace::build(db.len(), features);
         let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary)?;
+        mapped.containment_dag();
         if weights.len() != space.num_features() {
             return Err(GdimError::WeightsMismatch {
                 expected: space.num_features(),
@@ -402,9 +408,16 @@ impl GraphIndex {
         &self.w_sq_weighted
     }
 
-    /// Maps a query graph onto the index's dimensions.
+    /// Maps a query graph onto the index's dimensions (containment-DAG
+    /// pruned; see [`MappedDatabase::map_query`]).
     pub fn map_query(&self, q: &Graph) -> Bitset {
         self.mapped.map_query(q)
+    }
+
+    /// [`GraphIndex::map_query`] plus the pruning counters — how many
+    /// VF2 feature tests ran versus were skipped.
+    pub fn map_query_with_stats(&self, q: &Graph) -> (Bitset, crate::featurespace::MatchStats) {
+        self.mapped.map_query_with_stats(q)
     }
 
     /// Serializes the index to the versioned binary format (see

@@ -61,6 +61,7 @@ pub mod index;
 pub mod measures;
 pub mod persist;
 pub mod query;
+pub mod scan;
 pub mod search;
 
 /// One-stop imports for downstream users.
@@ -72,11 +73,12 @@ pub mod prelude {
     pub use crate::dspm::{dspm, DspmConfig, DspmResult};
     pub use crate::dspmap::{dspmap, DspmapConfig};
     pub use crate::error::GdimError;
-    pub use crate::featurespace::FeatureSpace;
+    pub use crate::featurespace::{ContainmentDag, FeatureSpace, GraphInvariants, MatchStats};
     pub use crate::fingerprint::{FingerprintIndex, FINGERPRINT_BITS};
     pub use crate::index::{GraphIndex, IndexOptions, SelectionStrategy};
     pub use crate::measures::{kendall_tau_topk, precision, rank_distance_inv};
     pub use crate::query::{exact_ranking, exact_topk, MappedDatabase, Mapping, MappingKind};
+    pub use crate::scan::{ScanStats, TopK, VectorStore};
     pub use crate::search::{GraphId, Hit, Ranker, SearchRequest, SearchResponse, SearchStats};
     pub use gdim_exec::ExecConfig;
     pub use gdim_graph::{Dissimilarity, Graph, McsOptions};

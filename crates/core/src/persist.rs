@@ -22,10 +22,14 @@
 //! weights  len u64 · IEEE-754 bit patterns u64*
 //! ```
 //!
-//! Derived state (feature space, mapped vectors, weighted scan
-//! weights) is **not** persisted: it is rebuilt deterministically on
-//! load, which keeps the format small and makes a reloaded index
-//! answer byte-identically to the one that was saved. The exec budget
+//! Derived state — the feature space, the flat
+//! [`VectorStore`](crate::scan::VectorStore) of mapped vectors, the
+//! feature [`ContainmentDag`](crate::featurespace::ContainmentDag)
+//! that prunes query-time VF2 calls, and the weighted scan weights —
+//! is **not** persisted: it is rebuilt deterministically on load
+//! (same v1 format, no version bump), which keeps the format small
+//! and makes a reloaded index answer byte-identically to the one that
+//! was saved. The exec budget
 //! is deliberately not persisted either — core counts belong to the
 //! serving machine, not the index file
 //! ([`GraphIndex::set_exec`](crate::index::GraphIndex::set_exec)).

@@ -4,15 +4,29 @@
 //! sequentially scan the database vectors — the paper's fast path; "we
 //! sequentially scan all vectors in the mapped multidimensional space",
 //! §6).
+//!
+//! The mapped path is served by two optimized legs:
+//!
+//! * **matching** — [`MappedDatabase::map_query`] prunes VF2 calls
+//!   with a precomputed feature [`ContainmentDag`] plus a free
+//!   invariant prescreen (bit-identical to the brute-force loop,
+//!   which survives as [`MappedDatabase::map_query_unpruned`]);
+//! * **scanning** — the flat [`VectorStore`] kernel behind
+//!   [`MappedDatabase::topk`], with bounded top-k
+//!   selection and early abandon. The naive full-sort
+//!   [`MappedDatabase::ranking`] / [`MappedDatabase::ranking_with`]
+//!   remain as the reference implementations the equivalence tests
+//!   (and benches) compare the kernel against.
 
 use gdim_exec::ExecConfig;
 use gdim_graph::vf2::is_subgraph_iso;
 use gdim_graph::{delta, Dissimilarity, Graph, McsOptions};
 use gdim_mining::Feature;
 
-use crate::bitset::Bitset;
+use crate::bitset::{weighted_sq_xor_words, Bitset};
 use crate::error::GdimError;
-use crate::featurespace::FeatureSpace;
+use crate::featurespace::{ContainmentDag, FeatureSpace, MatchStats};
+use crate::scan::{ScanStats, VectorStore};
 
 /// How database graphs and queries are embedded over the selected
 /// features.
@@ -62,14 +76,22 @@ pub(crate) fn weighted_w_sq(selected: &[u32], weights: &[f64]) -> Vec<f64> {
 }
 
 /// The mapped multidimensional database `DM`: one vector per database
-/// graph over the `p` selected feature dimensions.
+/// graph over the `p` selected feature dimensions, stored as a flat
+/// row-major word matrix ([`VectorStore`]) so the sequential scan is
+/// one linear memory walk.
 #[derive(Debug, Clone)]
 pub struct MappedDatabase {
     features: Vec<Feature>,
-    vectors: Vec<Bitset>,
+    store: VectorStore,
     /// Squared per-dimension weight; uniform `1/p` for [`MappingKind::Binary`].
     w_sq: Vec<f64>,
     kind: MappingKind,
+    /// Containment partial order over `features`, pruning query-time
+    /// VF2 calls. Built lazily on the first mapped query (derived and
+    /// deterministic, so laziness is unobservable in answers) — a
+    /// database constructed only to compare vectors never pays the
+    /// O(p²) pairwise containment prescreen.
+    dag: std::sync::OnceLock<ContainmentDag>,
 }
 
 impl MappedDatabase {
@@ -106,10 +128,10 @@ impl MappedDatabase {
             .iter()
             .map(|&r| space.features()[r as usize].clone())
             .collect();
-        let mut vectors = vec![Bitset::zeros(p); space.num_graphs()];
+        let mut store = VectorStore::zeros(space.num_graphs(), p);
         for (col, &r) in selected.iter().enumerate() {
             for &gid in space.if_list(r as usize) {
-                vectors[gid as usize].set(col);
+                store.set(gid as usize, col);
             }
         }
         let (w_sq, kind) = match mapping {
@@ -118,9 +140,10 @@ impl MappedDatabase {
         };
         Ok(MappedDatabase {
             features,
-            vectors,
+            store,
             w_sq,
             kind,
+            dag: std::sync::OnceLock::new(),
         })
     }
 
@@ -133,13 +156,13 @@ impl MappedDatabase {
     /// Number of database vectors.
     #[inline]
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.store.len()
     }
 
     /// Whether the database holds no vectors.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.store.is_empty()
     }
 
     /// The mapping kind in use.
@@ -154,15 +177,44 @@ impl MappedDatabase {
         &self.features
     }
 
-    /// Vector of database graph `i`.
+    /// The flat vector storage backing the scan.
     #[inline]
-    pub fn vector(&self, i: usize) -> &Bitset {
-        &self.vectors[i]
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// The feature containment DAG pruning query mapping, built on
+    /// first use.
+    pub fn containment_dag(&self) -> &ContainmentDag {
+        self.dag
+            .get_or_init(|| ContainmentDag::build(&self.features))
+    }
+
+    /// Vector of database graph `i`, materialized from its store row.
+    #[inline]
+    pub fn vector(&self, i: usize) -> Bitset {
+        self.store.vector(i)
     }
 
     /// Maps an (unseen) query onto the selected dimensions via VF2 —
-    /// the "feature matching time" component of the paper's query cost.
+    /// the "feature matching time" component of the paper's query
+    /// cost — skipping calls the [`ContainmentDag`] and the invariant
+    /// prescreen prove unnecessary. Bit-identical to
+    /// [`MappedDatabase::map_query_unpruned`].
     pub fn map_query(&self, q: &Graph) -> Bitset {
+        self.map_query_with_stats(q).0
+    }
+
+    /// [`MappedDatabase::map_query`] plus the [`MatchStats`] recording
+    /// how many VF2 calls ran and how many were pruned.
+    pub fn map_query_with_stats(&self, q: &Graph) -> (Bitset, MatchStats) {
+        self.containment_dag().map_query(&self.features, q)
+    }
+
+    /// The unpruned reference mapping: one VF2 test per selected
+    /// feature. Kept for the equivalence tests and the pruning
+    /// benches; serving paths use [`MappedDatabase::map_query`].
+    pub fn map_query_unpruned(&self, q: &Graph) -> Bitset {
         let mut bits = Bitset::zeros(self.p());
         for (col, f) in self.features.iter().enumerate() {
             if is_subgraph_iso(&f.graph, q) {
@@ -179,46 +231,117 @@ impl MappedDatabase {
         gdim_exec::map_tasks(exec, queries.len(), |i| self.map_query(&queries[i]))
     }
 
-    /// Distance between two vectors in the mapped space.
+    /// Distance between two vectors in the mapped space: `√(h/p)` over
+    /// the integer XOR popcount for the binary mapping, the weighted
+    /// accumulation otherwise.
     #[inline]
     pub fn distance(&self, a: &Bitset, b: &Bitset) -> f64 {
-        a.weighted_sq_xor(b, &self.w_sq).sqrt()
+        match self.kind {
+            MappingKind::Binary => (a.xor_count(b) as f64 / self.p().max(1) as f64).sqrt(),
+            MappingKind::Weighted => a.weighted_sq_xor(b, &self.w_sq).sqrt(),
+        }
     }
 
     /// Distance from a query vector to database graph `i`.
     #[inline]
     pub fn distance_to(&self, qvec: &Bitset, i: usize) -> f64 {
-        self.distance(qvec, &self.vectors[i])
+        match self.kind {
+            MappingKind::Binary => {
+                let h: u32 = qvec
+                    .words()
+                    .iter()
+                    .zip(self.store.row(i))
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                (h as f64 / self.p().max(1) as f64).sqrt()
+            }
+            MappingKind::Weighted => {
+                weighted_sq_xor_words(qvec.words(), self.store.row(i), &self.w_sq).sqrt()
+            }
+        }
     }
 
     /// Top-k scan: the `k` database graphs closest to `qvec`, as
     /// `(graph id, distance)` sorted ascending. Tie-breaking is
     /// deterministic — stable order by `(distance, id)` — so batch and
-    /// single-query paths agree for every thread budget.
+    /// single-query paths agree for every thread budget. Served by the
+    /// bounded scan kernel ([`MappedDatabase::scan_topk`]); the former
+    /// full-sort materialization survives as
+    /// [`MappedDatabase::ranking`] for reference.
     pub fn topk(&self, qvec: &Bitset, k: usize) -> Vec<(u32, f64)> {
-        let mut ranked = self.ranking(qvec);
-        ranked.truncate(k);
-        ranked
+        self.scan_topk(qvec, k).0
+    }
+
+    /// The bounded top-k scan under the database's own mapping, with
+    /// the per-scan work counters.
+    pub fn scan_topk(&self, qvec: &Bitset, k: usize) -> (Vec<(u32, f64)>, ScanStats) {
+        match self.kind {
+            MappingKind::Binary => self.store.topk_binary(qvec.words(), k),
+            MappingKind::Weighted => self.store.topk_weighted(qvec.words(), k, &self.w_sq),
+        }
+    }
+
+    /// The bounded top-k scan under caller-supplied squared
+    /// per-dimension weights (`w_sq.len() ≥ p`) — the hook
+    /// [`GraphIndex`](crate::index::GraphIndex) uses to serve the
+    /// weighted mapped distance from the same binary vectors.
+    pub fn scan_topk_with(
+        &self,
+        qvec: &Bitset,
+        k: usize,
+        w_sq: &[f64],
+    ) -> (Vec<(u32, f64)>, ScanStats) {
+        self.store.topk_weighted(qvec.words(), k, w_sq)
     }
 
     /// Full ranking of the database for a query vector, ascending by
-    /// `(distance, id)`.
+    /// `(distance, id)` — the naive full-sort **reference
+    /// implementation** the scan kernel is tested against (selection
+    /// and order must agree element-for-element).
     pub fn ranking(&self, qvec: &Bitset) -> Vec<(u32, f64)> {
-        self.ranking_with(qvec, &self.w_sq)
+        match self.kind {
+            MappingKind::Binary => {
+                let p = self.p().max(1) as f64;
+                let mut all: Vec<(u32, f64)> = (0..self.len())
+                    .map(|i| {
+                        let h: u32 = qvec
+                            .words()
+                            .iter()
+                            .zip(self.store.row(i))
+                            .map(|(a, b)| (a ^ b).count_ones())
+                            .sum();
+                        (i as u32, h as f64)
+                    })
+                    .collect();
+                sort_ranking(&mut all);
+                for e in &mut all {
+                    e.1 = (e.1 / p).sqrt();
+                }
+                all
+            }
+            MappingKind::Weighted => self.ranking_with(qvec, &self.w_sq),
+        }
     }
 
     /// Full ranking under caller-supplied squared per-dimension weights
-    /// (`w_sq.len() ≥ p`) — the hook [`GraphIndex`](crate::index::GraphIndex)
-    /// uses to serve both the binary and the weighted mapped distance
-    /// from one set of vectors. Ascending by `(distance, id)`.
+    /// (`w_sq.len() ≥ p`), ascending by `(distance, id)` — the naive
+    /// reference for the weighted scan kernel. Sorts on the squared
+    /// distances (the √ is monotone) and takes the root once per
+    /// entry, exactly as the kernel does, so the two paths agree
+    /// bit-for-bit.
     pub fn ranking_with(&self, qvec: &Bitset, w_sq: &[f64]) -> Vec<(u32, f64)> {
-        let mut all: Vec<(u32, f64)> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i as u32, qvec.weighted_sq_xor(v, w_sq).sqrt()))
+        let mut all: Vec<(u32, f64)> = (0..self.len())
+            .map(|i| {
+                (
+                    i as u32,
+                    weighted_sq_xor_words(qvec.words(), self.store.row(i), w_sq),
+                )
+            })
             .collect();
         sort_ranking(&mut all);
+        for e in &mut all {
+            e.1 = e.1.sqrt();
+        }
         all
     }
 }
@@ -290,8 +413,8 @@ mod tests {
         let p = mapped.p() as f64;
         let a = mapped.vector(0);
         let b = mapped.vector(1);
-        let want = ((a.xor_count(b) as f64) / p).sqrt();
-        assert!((mapped.distance(a, b) - want).abs() < 1e-12);
+        let want = ((a.xor_count(&b) as f64) / p).sqrt();
+        assert!((mapped.distance(&a, &b) - want).abs() < 1e-12);
     }
 
     #[test]
@@ -301,7 +424,7 @@ mod tests {
         let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
         for i in [0usize, 5, 11] {
             let qvec = mapped.map_query(&db[i]);
-            assert_eq!(&qvec, mapped.vector(i), "graph {i}");
+            assert_eq!(qvec, mapped.vector(i), "graph {i}");
             // Therefore the graph itself ranks first (distance 0, min id tie).
             let top = mapped.topk(&qvec, 1);
             assert_eq!(top[0].1, 0.0);
@@ -421,6 +544,56 @@ mod tests {
                 w[1].0
             );
         }
+    }
+
+    #[test]
+    fn pruned_query_mapping_is_bit_identical_to_unpruned() {
+        // The containment-DAG + invariant-prescreened mapping must set
+        // exactly the bits of the brute-force per-feature VF2 loop —
+        // for database graphs and unseen queries alike.
+        let (db, space) = setup();
+        let selected: Vec<u32> = (0..space.num_features() as u32).collect();
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
+        let unseen = gdim_datagen::chem_db(5, &gdim_datagen::ChemConfig::default(), 321);
+        let mut pruned_total = 0usize;
+        for q in db.iter().take(5).chain(&unseen) {
+            let (bits, stats) = mapped.map_query_with_stats(q);
+            assert_eq!(bits, mapped.map_query_unpruned(q));
+            assert_eq!(stats.vf2_calls + stats.vf2_pruned, mapped.p());
+            pruned_total += stats.vf2_pruned;
+        }
+        assert!(pruned_total > 0, "chem features should contain each other");
+    }
+
+    #[test]
+    fn bounded_topk_equals_truncated_reference_ranking() {
+        let (db, space) = setup();
+        let selected: Vec<u32> = (0..space.num_features().min(20) as u32).collect();
+        for mapping in [
+            Mapping::Binary,
+            Mapping::Weighted(&vec![0.7; space.num_features()]),
+        ] {
+            let mapped = MappedDatabase::new(&space, &selected, mapping).unwrap();
+            let qvec = mapped.map_query(&db[2]);
+            let reference = mapped.ranking(&qvec);
+            for k in [0usize, 1, 5, db.len(), db.len() + 5] {
+                let kk = k.min(db.len());
+                assert_eq!(mapped.topk(&qvec, k), &reference[..kk], "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_stats_account_for_every_vector() {
+        let (db, space) = setup();
+        let selected: Vec<u32> = (0..space.num_features().min(16) as u32).collect();
+        let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary).unwrap();
+        let qvec = mapped.map_query(&db[0]);
+        let (_, stats) = mapped.scan_topk(&qvec, 3);
+        assert_eq!(stats.vectors_scanned + stats.early_abandoned, db.len());
+        let (hits, stats) = mapped.scan_topk(&qvec, 0);
+        assert!(hits.is_empty());
+        assert_eq!(stats, crate::scan::ScanStats::default());
     }
 
     #[test]

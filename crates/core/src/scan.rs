@@ -1,0 +1,482 @@
+//! The flat sequential-scan kernel of the online query path.
+//!
+//! The paper answers a top-k query by mapping the query onto the `p`
+//! selected dimensions and then *sequentially scanning* all database
+//! vectors (§6: "we sequentially scan all vectors in the mapped
+//! multidimensional space"). This module makes that scan as cheap as
+//! the layout allows:
+//!
+//! * [`VectorStore`] — one contiguous row-major word matrix (structure
+//!   of arrays): row `i` is the `stride` words of vector `i`, so a
+//!   full scan is a single linear walk over one allocation instead of
+//!   a pointer chase through `n` heap-allocated [`Bitset`] values.
+//! * [`TopK`] — a bounded selector (fixed-size max-heap keyed by
+//!   `(distance, id)`) replacing the full `n`-entry sort: `O(n + k log
+//!   k)` instead of `O(n log n)`, and its worst kept entry is the
+//!   *bound* the kernels prune against.
+//! * [`VectorStore::topk_binary`] — the binary fast path: ranks by the
+//!   integer XOR popcount `h = |y_q ⊕ y_g|` and defers the `√(h/p)`
+//!   normalization to the final `k` hits, which is sound because
+//!   `h ↦ √(h/p)` is strictly monotone (for any realistic `p`, two
+//!   distinct popcounts never collide after the square root).
+//! * [`VectorStore::topk_weighted`] — the weighted path: word-blocked
+//!   accumulation of the per-dimension squared weights (the same
+//!   addition order as the naive
+//!   [`weighted_sq_xor`](crate::bitset::Bitset::weighted_sq_xor), so
+//!   sums are bit-identical), with **early abandon**: once a row's
+//!   running squared distance exceeds the current k-th bound it can
+//!   never enter the answer, so its remaining words are skipped.
+//!
+//! Both kernels report [`ScanStats`] (vectors fully scanned, rows
+//! abandoned early, words touched) so the serving layer can prove the
+//! savings per request. The store is **derived state**: it is rebuilt
+//! deterministically from the feature space on index load and is never
+//! persisted (see [`crate::persist`]).
+
+use crate::bitset::{weighted_sq_xor_words, Bitset};
+
+/// A flat row-major word matrix holding `n` fixed-length binary
+/// vectors: the scan-friendly storage of the mapped database `DM`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorStore {
+    n: usize,
+    bits: usize,
+    stride: usize,
+    words: Vec<u64>,
+}
+
+/// Work counters for one scan, the observability half of the kernel
+/// contract (surfaced per request through
+/// [`SearchStats`](crate::search::SearchStats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Vectors whose distance was fully evaluated (early-abandoned
+    /// rows are **not** counted here — see
+    /// [`ScanStats::early_abandoned`]).
+    pub vectors_scanned: usize,
+    /// Vectors abandoned before their last word because the running
+    /// distance already exceeded the k-th bound.
+    pub early_abandoned: usize,
+    /// Total 64-bit words read across all rows.
+    pub words_scanned: usize,
+}
+
+impl VectorStore {
+    /// An all-zero store of `n` vectors of `bits` bits each.
+    pub fn zeros(n: usize, bits: usize) -> Self {
+        let stride = bits.div_ceil(64);
+        VectorStore {
+            n,
+            bits,
+            stride,
+            words: vec![0; n * stride],
+        }
+    }
+
+    /// Builds a store from same-length bitset rows.
+    ///
+    /// # Panics
+    /// If the rows disagree on length.
+    pub fn from_bitsets(rows: &[Bitset]) -> Self {
+        let bits = rows.first().map_or(0, Bitset::len);
+        let mut store = VectorStore::zeros(rows.len(), bits);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), bits, "row {i} length mismatch");
+            let start = i * store.stride;
+            store.words[start..start + store.stride].copy_from_slice(row.words());
+        }
+        store
+    }
+
+    /// Sets bit `bit` of row `row`.
+    #[inline]
+    pub fn set(&mut self, row: usize, bit: usize) {
+        debug_assert!(row < self.n && bit < self.bits);
+        self.words[row * self.stride + bit / 64] |= 1 << (bit % 64);
+    }
+
+    /// Number of vectors `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the store holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Bits per vector (`p`).
+    #[inline]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The words of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Row `i` materialized as a standalone [`Bitset`].
+    pub fn vector(&self, i: usize) -> Bitset {
+        Bitset::from_words(self.row(i).to_vec(), self.bits)
+    }
+
+    /// Binary top-k scan: the `k` rows with the smallest Hamming
+    /// distance to `query`, as `(id, √(h/p))` ascending by `(distance,
+    /// id)`. Ranks on the integer popcount `h` and takes the square
+    /// root only for the returned hits. The popcount loop is kept
+    /// branch-free (integer XOR popcounts are too cheap for a
+    /// data-dependent per-word abandon branch to pay for itself — that
+    /// trade belongs to the weighted path); the k-th bound instead
+    /// rejects rows before they touch the selector heap.
+    pub fn topk_binary(&self, query: &[u64], k: usize) -> (Vec<(u32, f64)>, ScanStats) {
+        debug_assert_eq!(query.len(), self.stride);
+        let mut stats = ScanStats::default();
+        let k = k.min(self.n);
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+        let mut sel: TopK<u32> = TopK::new(k);
+        if self.stride == 0 {
+            // p = 0: every distance is 0; ids break the ties.
+            for i in 0..self.n {
+                stats.vectors_scanned += 1;
+                sel.offer(0, i as u32);
+            }
+            return (Self::binary_hits(sel, self.bits), stats);
+        }
+        // The k-th bound, kept in a local and refreshed only when an
+        // offer is kept, so the hot loop never reads the heap.
+        let mut bound: Option<u32> = None;
+        for (i, row) in self.words.chunks_exact(self.stride).enumerate() {
+            let mut h = 0u32;
+            for (a, b) in query.iter().zip(row) {
+                h += (a ^ b).count_ones();
+            }
+            if let Some(bound) = bound {
+                if h > bound {
+                    continue; // cannot enter the top-k; skip the heap
+                }
+            }
+            if sel.offer(h, i as u32) {
+                bound = sel.bound().map(|&(b, _)| b);
+            }
+        }
+        stats.vectors_scanned = self.n;
+        stats.words_scanned = self.n * self.stride;
+        (Self::binary_hits(sel, self.bits), stats)
+    }
+
+    /// Final normalization of the binary selection: `h ↦ √(h/p)` on
+    /// the `k` kept hits only.
+    fn binary_hits(sel: TopK<u32>, bits: usize) -> Vec<(u32, f64)> {
+        let p = bits.max(1) as f64;
+        sel.into_sorted()
+            .into_iter()
+            .map(|(h, id)| (id, (h as f64 / p).sqrt()))
+            .collect()
+    }
+
+    /// Weighted top-k scan: the `k` rows with the smallest weighted
+    /// distance `√(Σ_{i ∈ q ⊕ g} w_sq[i])` to `query`, ascending by
+    /// `(distance, id)`. Accumulates word-blocked in exactly the order
+    /// of [`Bitset::weighted_sq_xor`] (bit-identical sums) and
+    /// **early-abandons** a row as soon as its running squared
+    /// distance strictly exceeds the current k-th bound — sound
+    /// because the per-word weight contributions are non-negative, so
+    /// the remaining words can only grow the distance.
+    pub fn topk_weighted(
+        &self,
+        query: &[u64],
+        k: usize,
+        w_sq: &[f64],
+    ) -> (Vec<(u32, f64)>, ScanStats) {
+        debug_assert_eq!(query.len(), self.stride);
+        debug_assert!(w_sq.len() >= self.bits);
+        let mut stats = ScanStats::default();
+        let k = k.min(self.n);
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+        let mut sel: TopK<OrdF64> = TopK::new(k);
+        if self.stride == 0 {
+            for i in 0..self.n {
+                stats.vectors_scanned += 1;
+                sel.offer(OrdF64(0.0), i as u32);
+            }
+            return (Self::weighted_hits(sel), stats);
+        }
+        let mut bound: Option<f64> = None;
+        let last = self.stride - 1;
+        for (i, row) in self.words.chunks_exact(self.stride).enumerate() {
+            let mut total = 0.0f64;
+            if let Some(bound) = bound {
+                let mut touched = self.stride;
+                for (w, (a, b)) in query.iter().zip(row).enumerate() {
+                    let mut x = a ^ b;
+                    if x != 0 {
+                        let block = &w_sq[w * 64..];
+                        while x != 0 {
+                            let bit = x.trailing_zeros() as usize;
+                            x &= x - 1;
+                            total += block[bit];
+                        }
+                    }
+                    if total > bound && w < last {
+                        touched = w + 1;
+                        break;
+                    }
+                }
+                stats.words_scanned += touched;
+                if touched < self.stride {
+                    stats.early_abandoned += 1;
+                    continue;
+                }
+            } else {
+                // Selector not yet full: no bound to check between
+                // words, so the shared full-row kernel applies (same
+                // accumulation order — bit-identical sums).
+                total = weighted_sq_xor_words(query, row, w_sq);
+                stats.words_scanned += self.stride;
+            }
+            stats.vectors_scanned += 1;
+            if sel.offer(OrdF64(total), i as u32) {
+                bound = sel.bound().map(|&(OrdF64(b), _)| b);
+            }
+        }
+        (Self::weighted_hits(sel), stats)
+    }
+
+    /// Final normalization of the weighted selection: `sq ↦ √sq` on
+    /// the `k` kept hits only.
+    fn weighted_hits(sel: TopK<OrdF64>) -> Vec<(u32, f64)> {
+        sel.into_sorted()
+            .into_iter()
+            .map(|(OrdF64(sq), id)| (id, sq.sqrt()))
+            .collect()
+    }
+
+    /// Naive reference for [`VectorStore::topk_weighted`]: every row's
+    /// full squared distance, in row order, with no selection — the
+    /// baseline the equivalence tests and benches compare against.
+    pub fn weighted_sq_distances(&self, query: &[u64], w_sq: &[f64]) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| weighted_sq_xor_words(query, self.row(i), w_sq))
+            .collect()
+    }
+}
+
+/// A total-order `f64` key (via [`f64::total_cmp`]) for the bounded
+/// selector — the same comparator the naive reference sort uses, so
+/// kernel and reference break ties identically.
+#[derive(Debug, Clone, Copy)]
+pub struct OrdF64(pub f64);
+
+impl PartialEq for OrdF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Bounded top-k selection over `(key, id)` pairs: a fixed-size
+/// max-heap that keeps the `k` smallest pairs seen so far. An offer
+/// that cannot beat the current worst kept pair is rejected in `O(1)`,
+/// so selecting `k` from `n` costs `O(n + k log k)` comparisons
+/// instead of the `O(n log n)` full sort it replaces.
+#[derive(Debug, Clone)]
+pub struct TopK<K: Ord + Copy> {
+    k: usize,
+    heap: std::collections::BinaryHeap<(K, u32)>,
+}
+
+impl<K: Ord + Copy> TopK<K> {
+    /// A selector keeping the `k` smallest `(key, id)` pairs.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// The worst pair currently kept, available once the selector is
+    /// full — the pruning bound: any candidate strictly above this key
+    /// can never be selected.
+    #[inline]
+    pub fn bound(&self) -> Option<&(K, u32)> {
+        if self.heap.len() == self.k {
+            self.heap.peek()
+        } else {
+            None
+        }
+    }
+
+    /// Offers a pair; returns whether it was kept.
+    #[inline]
+    pub fn offer(&mut self, key: K, id: u32) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push((key, id));
+            return true;
+        }
+        let worst = *self.heap.peek().expect("full selector is non-empty");
+        if (key, id) < worst {
+            self.heap.pop();
+            self.heap.push((key, id));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The kept pairs, ascending by `(key, id)`.
+    pub fn into_sorted(self) -> Vec<(K, u32)> {
+        self.heap.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_from_bits(rows: &[&[usize]], bits: usize) -> VectorStore {
+        let mut s = VectorStore::zeros(rows.len(), bits);
+        for (i, row) in rows.iter().enumerate() {
+            for &b in *row {
+                s.set(i, b);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn topk_selector_keeps_k_smallest_with_id_ties() {
+        let mut sel: TopK<u32> = TopK::new(3);
+        for (key, id) in [(5, 0), (1, 9), (5, 1), (1, 2), (7, 3), (0, 4)] {
+            sel.offer(key, id);
+        }
+        assert_eq!(sel.into_sorted(), vec![(0, 4), (1, 2), (1, 9)]);
+    }
+
+    #[test]
+    fn zero_k_selector_rejects_everything() {
+        let mut sel: TopK<u32> = TopK::new(0);
+        assert!(!sel.offer(1, 1));
+        assert!(sel.into_sorted().is_empty());
+        assert!(TopK::<u32>::new(0).bound().is_none());
+    }
+
+    #[test]
+    fn binary_scan_matches_hand_computed_distances() {
+        // 130 bits → 3 words per row, so the multi-word path runs.
+        let s = store_from_bits(&[&[0, 65, 129], &[0], &[1, 2, 3, 64, 128], &[]], 130);
+        let q = Bitset::from_words(vec![1, 0, 0], 130); // bit 0 set
+        let (hits, stats) = s.topk_binary(q.words(), 4);
+        // Hamming distances to q: row0 = 2, row1 = 0, row2 = 6, row3 = 1.
+        let p = 130f64;
+        assert_eq!(hits[0], (1, 0.0));
+        assert_eq!(hits[1], (3, (1.0 / p).sqrt()));
+        assert_eq!(hits[2], (0, (2.0 / p).sqrt()));
+        assert_eq!(hits[3], (2, (6.0 / p).sqrt()));
+        assert_eq!(stats.vectors_scanned + stats.early_abandoned, 4);
+    }
+
+    #[test]
+    fn binary_scan_bounded_k_equals_truncated_full_scan() {
+        let rows: Vec<Vec<usize>> = (0..40).map(|i| (0..i % 13).collect()).collect();
+        let refs: Vec<&[usize]> = rows.iter().map(Vec::as_slice).collect();
+        let s = store_from_bits(&refs, 200);
+        let q = Bitset::zeros(200);
+        let (full, _) = s.topk_binary(q.words(), 40);
+        for k in [0usize, 1, 7, 40, 45] {
+            let (hits, _) = s.topk_binary(q.words(), k);
+            assert_eq!(hits, &full[..k.min(40)], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn weighted_scan_abandons_rows_under_a_tight_bound() {
+        // Row 0 is the query itself (bound 0 after one offer); every
+        // other row differs in word 0, so each is abandoned there
+        // instead of walking all 4 words.
+        let far: Vec<usize> = (0..200).collect();
+        let s = store_from_bits(&[&[], &far, &far, &far], 220);
+        let q = Bitset::zeros(220);
+        let w_sq = vec![1.0; 220];
+        let (hits, stats) = s.topk_weighted(q.words(), 1, &w_sq);
+        assert_eq!(hits, vec![(0, 0.0)]);
+        assert_eq!(stats.early_abandoned, 3);
+        assert_eq!(stats.vectors_scanned, 1);
+        // Row 0 read fully (4 words); rows 1–3 abandoned after word 0.
+        assert_eq!(stats.words_scanned, 4 + 3);
+    }
+
+    #[test]
+    fn weighted_scan_equals_naive_sums_bit_for_bit() {
+        let rows: Vec<Vec<usize>> = (0..25)
+            .map(|i| (0..150).filter(|b| (b * 7 + i) % 5 == 0).collect())
+            .collect();
+        let refs: Vec<&[usize]> = rows.iter().map(Vec::as_slice).collect();
+        let s = store_from_bits(&refs, 150);
+        let mut q = Bitset::zeros(150);
+        for b in (0..150).step_by(3) {
+            q.set(b);
+        }
+        let w_sq: Vec<f64> = (0..150).map(|b| 1.0 / (b + 1) as f64).collect();
+        let naive = s.weighted_sq_distances(q.words(), &w_sq);
+        let (hits, _) = s.topk_weighted(q.words(), 25, &w_sq);
+        for (id, d) in hits {
+            assert_eq!(d, naive[id as usize].sqrt(), "row {id}");
+        }
+    }
+
+    #[test]
+    fn empty_store_and_zero_bits_are_well_formed() {
+        let s = VectorStore::zeros(0, 100);
+        assert!(s.is_empty());
+        assert!(s.topk_binary(&[0; 2], 5).0.is_empty());
+        // p = 0: every distance is 0, ids break the ties.
+        let z = VectorStore::zeros(3, 0);
+        let (hits, _) = z.topk_binary(&[], 3);
+        assert_eq!(hits, vec![(0, 0.0), (1, 0.0), (2, 0.0)]);
+        let (hits, _) = z.topk_weighted(&[], 2, &[]);
+        assert_eq!(hits, vec![(0, 0.0), (1, 0.0)]);
+    }
+
+    #[test]
+    fn from_bitsets_roundtrips_rows() {
+        let mut a = Bitset::zeros(70);
+        a.set(3);
+        a.set(69);
+        let b = Bitset::zeros(70);
+        let s = VectorStore::from_bitsets(&[a.clone(), b.clone()]);
+        assert_eq!(s.vector(0), a);
+        assert_eq!(s.vector(1), b);
+        assert_eq!(s.stride(), 2);
+        assert_eq!(s.bits(), 70);
+    }
+}

@@ -178,12 +178,25 @@ impl SearchRequest {
     }
 }
 
-/// Per-request observability counters.
+/// Per-request observability counters. The scan counters prove what
+/// the kernels saved: `candidates_scanned + early_abandoned` equals
+/// the database size whenever a scan ran, and `vf2_calls +
+/// vf2_pruned` equals the number of selected dimensions.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
-    /// Database vectors scanned in the mapped space (0 for
-    /// [`Ranker::Exact`], which never maps the query).
+    /// Database vectors whose mapped distance was **fully** evaluated
+    /// (0 for [`Ranker::Exact`], which never maps the query).
+    /// Early-abandoned vectors are counted separately.
     pub candidates_scanned: usize,
+    /// Vectors the scan abandoned early because their running distance
+    /// already exceeded the k-th bound.
+    pub early_abandoned: usize,
+    /// 64-bit words read by the scan kernel.
+    pub words_scanned: usize,
+    /// VF2 subgraph-isomorphism tests run while mapping the query.
+    pub vf2_calls: usize,
+    /// VF2 tests skipped by the containment DAG / invariant prescreen.
+    pub vf2_pruned: usize,
     /// Exact (MCS-based) dissimilarity evaluations performed.
     pub mcs_calls: usize,
     /// Time spent matching features into the query (VF2) — the paper's
@@ -230,9 +243,11 @@ impl GraphIndex {
             self.exact_response(query, req)
         } else {
             let tm = Instant::now();
-            let qvec = self.mapped().map_query(query);
+            let (qvec, match_stats) = self.mapped().map_query_with_stats(query);
             let match_time = tm.elapsed();
             let mut r = self.premapped_response(query, &qvec, req);
+            r.stats.vf2_calls = match_stats.vf2_calls;
+            r.stats.vf2_pruned = match_stats.vf2_pruned;
             r.stats.match_time = match_time;
             r
         };
@@ -240,14 +255,19 @@ impl GraphIndex {
         Ok(resp)
     }
 
-    /// Answers one request for a whole batch of queries, fanning the
-    /// per-query VF2 feature matching out on the index's exec budget.
-    /// Output order matches `queries` for any thread budget, and every
-    /// response's **hits** equal the corresponding [`GraphIndex::search`]
-    /// answer. Timing stats are metered per batch: the shared mapping
-    /// phase is attributed evenly, so each response's `match_time` is
-    /// the batch average and its `wall_time` includes that share plus
-    /// the query's own ranking work.
+    /// Answers one request for a whole batch of queries, fanning **both
+    /// hot legs** out on the index's exec budget: the per-query VF2
+    /// feature matching, and — for [`Ranker::Mapped`] /
+    /// [`Ranker::Refined`] — the per-query vector scans (one scan per
+    /// task, so a batch parallelizes the scan itself, not just the
+    /// mapping; the refined verification keeps its own inner
+    /// database-side fan-out). Output order matches `queries` for any
+    /// thread budget, and every response's **hits** equal the
+    /// corresponding [`GraphIndex::search`] answer. Timing stats are
+    /// metered per batch: the shared mapping phase is attributed
+    /// evenly, so each response's `match_time` is the batch average and
+    /// its `wall_time` includes that share plus the query's own ranking
+    /// work.
     pub fn search_batch(
         &self,
         queries: &[Graph],
@@ -259,19 +279,47 @@ impl GraphIndex {
             return queries.iter().map(|q| self.search(q, req)).collect();
         }
         let t0 = Instant::now();
-        let qvecs = self.mapped().map_queries(queries, self.exec());
+        let mapped: Vec<(crate::bitset::Bitset, crate::featurespace::MatchStats)> =
+            gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
+                self.mapped().map_query_with_stats(&queries[i])
+            });
         let match_time = t0.elapsed() / queries.len().max(1) as u32;
-        Ok(queries
-            .iter()
-            .zip(&qvecs)
-            .map(|(q, qvec)| {
-                let ti = Instant::now();
-                let mut resp = self.premapped_response(q, qvec, req);
-                resp.stats.match_time = match_time;
-                resp.stats.wall_time = ti.elapsed() + match_time;
-                resp
-            })
-            .collect())
+        let finish = |mut resp: SearchResponse, i: usize, ti: Instant| {
+            resp.stats.vf2_calls = mapped[i].1.vf2_calls;
+            resp.stats.vf2_pruned = mapped[i].1.vf2_pruned;
+            resp.stats.match_time = match_time;
+            resp.stats.wall_time = ti.elapsed() + match_time;
+            resp
+        };
+        match req.ranker {
+            Ranker::Mapped => {
+                // One scan per task: the exec-chunked batch scan.
+                Ok(gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
+                    let ti = Instant::now();
+                    let resp = self.premapped_response(&queries[i], &mapped[i].0, req);
+                    finish(resp, i, ti)
+                }))
+            }
+            _ => {
+                // Refined: parallelize the scans over queries, then
+                // verify serially — the MCS re-ranking fans out over
+                // the database internally, and nesting two thread
+                // pools would oversubscribe.
+                let scans = gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
+                    self.scan_premapped(&mapped[i].0, req)
+                });
+                Ok(queries
+                    .iter()
+                    .zip(scans)
+                    .enumerate()
+                    .map(|(i, (q, scan))| {
+                        let ti = Instant::now();
+                        let resp = self.response_from_scan(q, scan, req);
+                        finish(resp, i, ti)
+                    })
+                    .collect())
+            }
+        }
     }
 
     /// The single [`Ranker::Exact`] implementation (no mapped scan; the
@@ -297,7 +345,7 @@ impl GraphIndex {
 
     /// The single [`Ranker::Mapped`] / [`Ranker::Refined`]
     /// implementation, for a query whose mapped vector is already known
-    /// (the caller stamps `match_time` and `wall_time`). An exact
+    /// (the caller stamps the match stats and the times). An exact
     /// request is delegated to [`GraphIndex::exact_response`] so every
     /// ranker has exactly one implementation and one stats contract.
     fn premapped_response(
@@ -306,20 +354,53 @@ impl GraphIndex {
         qvec: &crate::bitset::Bitset,
         req: &SearchRequest,
     ) -> SearchResponse {
+        if matches!(req.ranker, Ranker::Exact) {
+            return self.exact_response(query, req);
+        }
+        let scan = self.scan_premapped(qvec, req);
+        self.response_from_scan(query, scan, req)
+    }
+
+    /// The scan leg: a bounded top-k (or top-`candidates`, for
+    /// [`Ranker::Refined`]) kernel scan under the requested mapping.
+    fn scan_premapped(
+        &self,
+        qvec: &crate::bitset::Bitset,
+        req: &SearchRequest,
+    ) -> (Vec<(u32, f64)>, crate::scan::ScanStats) {
+        let n = self.len();
+        let k = match req.ranker {
+            Ranker::Refined { candidates } => candidates.min(n),
+            _ => req.k.min(n),
+        };
+        match req.mapping {
+            MappingKind::Binary => self.mapped().scan_topk(qvec, k),
+            MappingKind::Weighted => self.mapped().scan_topk_with(qvec, k, self.weighted_w_sq()),
+        }
+    }
+
+    /// Assembles the response from a finished scan, running the
+    /// refined verification phase when requested.
+    fn response_from_scan(
+        &self,
+        query: &Graph,
+        (scanned, scan_stats): (Vec<(u32, f64)>, crate::scan::ScanStats),
+        req: &SearchRequest,
+    ) -> SearchResponse {
         let n = self.len();
         let (ranked, mcs_calls) = match req.ranker {
-            Ranker::Exact => return self.exact_response(query, req),
-            Ranker::Mapped => (self.scan_premapped(qvec, req.mapping), 0),
             Ranker::Refined { candidates } => {
                 let c = candidates.min(n);
-                let mapped = self.scan_premapped(qvec, req.mapping);
-                (self.refine(query, &mapped, c, &self.mcs_for(req)), c)
+                (self.refine(query, &scanned, c, &self.mcs_for(req)), c)
             }
+            _ => (scanned, 0),
         };
         SearchResponse {
             hits: Self::hits(ranked, req.k.min(n)),
             stats: SearchStats {
-                candidates_scanned: n,
+                candidates_scanned: scan_stats.vectors_scanned,
+                early_abandoned: scan_stats.early_abandoned,
+                words_scanned: scan_stats.words_scanned,
                 mcs_calls,
                 ..Default::default()
             },
@@ -362,17 +443,6 @@ impl GraphIndex {
         let mut ranked: Vec<(u32, f64)> = cand_ids.into_iter().zip(vals).collect();
         sort_ranking(&mut ranked);
         ranked
-    }
-
-    fn scan_premapped(
-        &self,
-        qvec: &crate::bitset::Bitset,
-        mapping: MappingKind,
-    ) -> Vec<(u32, f64)> {
-        match mapping {
-            MappingKind::Binary => self.mapped().ranking(qvec),
-            MappingKind::Weighted => self.mapped().ranking_with(qvec, self.weighted_w_sq()),
-        }
     }
 
     fn mcs_for(&self, req: &SearchRequest) -> McsOptions {
@@ -492,6 +562,65 @@ mod tests {
                 .unwrap();
             assert!(resp.hits.len() <= 10);
         }
+    }
+
+    #[test]
+    fn candidates_scanned_shrinks_under_a_tight_bound() {
+        // A self-query with k = 1 pins the k-th bound to distance 0
+        // almost immediately; on a multi-word weighted scan every row
+        // that differs within its first word is then abandoned early,
+        // so candidates_scanned counts only the fully-evaluated rows.
+        let db = gdim_datagen::chem_db(40, &gdim_datagen::ChemConfig::default(), 31);
+        let idx = GraphIndex::build(db, IndexOptions::default().with_dimensions(100));
+        assert!(
+            idx.mapped().store().stride() >= 2,
+            "need a multi-word scan for early abandon"
+        );
+        let q = idx.graph(0).unwrap().clone();
+        let req = SearchRequest::topk(1).with_mapping(MappingKind::Weighted);
+        let resp = idx.search(&q, &req).unwrap();
+        let n = idx.len();
+        assert_eq!(
+            resp.stats.candidates_scanned + resp.stats.early_abandoned,
+            n
+        );
+        assert!(
+            resp.stats.early_abandoned > 0,
+            "tight bound should abandon some rows"
+        );
+        assert!(resp.stats.candidates_scanned < n);
+        // Wide k cannot abandon anything: every row is fully scanned.
+        let wide = idx
+            .search(
+                &q,
+                &SearchRequest::topk(n).with_mapping(MappingKind::Weighted),
+            )
+            .unwrap();
+        assert_eq!(wide.stats.candidates_scanned, n);
+        assert_eq!(wide.stats.early_abandoned, 0);
+        // Fewer words are read under the tight bound.
+        assert!(resp.stats.words_scanned < wide.stats.words_scanned);
+    }
+
+    #[test]
+    fn match_stats_prove_vf2_pruning() {
+        let idx = index(30, 41);
+        let q = idx.graph(3).unwrap().clone();
+        let resp = idx.search(&q, &SearchRequest::topk(5)).unwrap();
+        assert_eq!(
+            resp.stats.vf2_calls + resp.stats.vf2_pruned,
+            idx.dimensions().len()
+        );
+        assert!(
+            resp.stats.vf2_pruned > 0,
+            "chem features nest; some must prune"
+        );
+        // The exact ranker never maps the query.
+        let exact = idx
+            .search(&q, &SearchRequest::topk(5).with_ranker(Ranker::Exact))
+            .unwrap();
+        assert_eq!(exact.stats.vf2_calls, 0);
+        assert_eq!(exact.stats.words_scanned, 0);
     }
 
     #[test]
