@@ -1,13 +1,27 @@
 //! `scan_baseline` — records the committed `BENCH_scan.json` snapshot:
 //! the naive full-sort scan vs. the bounded SoA kernel on synthetic
-//! vector stores (n ∈ {1k, 10k, 100k}, p = 256, top-10), and unpruned
-//! vs. containment-pruned query mapping on a chem workload. Medians of
-//! repeated timed runs, written as plain JSON so future PRs can track
-//! the trajectory.
+//! vector stores (default n ∈ {1k, 10k, 100k}, p = 256, top-10), and
+//! unpruned vs. containment-pruned query mapping on a chem workload.
+//! Medians of repeated timed runs, written as plain JSON so future PRs
+//! can track the trajectory.
 //!
 //! ```text
-//! cargo run --release -p gdim-bench --bin scan_baseline [out.json]
+//! cargo run --release -p gdim-bench --bin scan_baseline -- \
+//!     [--out PATH] [--n N[,N...]] [--seed S] \
+//!     [--baseline PATH] [--min-frac F]
 //! ```
+//!
+//! * `--out PATH` — where to write the JSON (default `BENCH_scan.json`;
+//!   a bare positional argument still works for compatibility).
+//! * `--n N[,N...]` — store sizes to measure (default `1000,10000,100000`),
+//!   so CI can run a small deterministic workload without editing source.
+//! * `--seed S` — splitmix seed for the synthetic vectors (default 42).
+//! * `--baseline PATH` — **perf-regression gate**: read a committed
+//!   snapshot and exit non-zero if, for any store size measured by both
+//!   runs, the fresh kernel-vs-naive speedup falls below `min-frac`
+//!   of the committed one. The ratio compares kernel to naive *on the
+//!   same machine*, so the gate is robust to absolute runner speed;
+//!   `--min-frac` (default 0.25) leaves generous headroom for noise.
 
 use std::time::Instant;
 
@@ -28,13 +42,79 @@ fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
     times[times.len() / 2]
 }
 
+struct Args {
+    out: String,
+    sizes: Vec<usize>,
+    seed: u64,
+    baseline: Option<String>,
+    min_frac: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_scan.json".to_string(),
+        sizes: vec![1_000, 10_000, 100_000],
+        seed: 42,
+        baseline: None,
+        min_frac: 0.25,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--n" => {
+                args.sizes = value("--n")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--n takes integers"))
+                    .collect();
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed takes an integer"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--min-frac" => {
+                args.min_frac = value("--min-frac")
+                    .parse()
+                    .expect("--min-frac takes a float");
+            }
+            other if !other.starts_with('-') && args.out == "BENCH_scan.json" => {
+                // Back-compat: a bare positional argument is the out path.
+                args.out = other.to_string();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// Extracts `(n, binary_speedup)` pairs from a snapshot produced by
+/// this binary (line-oriented; one `binary_scan` row per line).
+fn parse_speedups(json: &str) -> Vec<(usize, f64)> {
+    fn field(line: &str, key: &str) -> Option<f64> {
+        let at = line.find(key)?;
+        let rest = line[at + key.len()..].trim_start().strip_prefix(':')?;
+        let val: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        val.parse().ok()
+    }
+    json.lines()
+        .filter_map(|line| {
+            Some((
+                field(line, "\"n\"")? as usize,
+                field(line, "\"binary_speedup\"")?,
+            ))
+        })
+        .collect()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_scan.json".to_string());
+    let args = parse_args();
     let mut rows = Vec::new();
-    for n in [1_000usize, 10_000, 100_000] {
-        let (store, q) = synth(n, 256, 42);
+    let mut fresh: Vec<(usize, f64)> = Vec::new();
+    for &n in &args.sizes {
+        let (store, q) = synth(n, 256, args.seed);
         let reps = if n >= 100_000 { 21 } else { 51 };
         let naive = median_ns(reps, || naive_fullsort_topk(&store, &q, 10));
         let kernel = median_ns(reps, || store.topk_binary(q.words(), 10));
@@ -42,6 +122,7 @@ fn main() {
         let weighted = median_ns(reps, || store.topk_weighted(q.words(), 10, &w_sq));
         let (_, wstats) = store.topk_weighted(q.words(), 10, &w_sq);
         let speedup = naive as f64 / kernel.max(1) as f64;
+        fresh.push((n, speedup));
         eprintln!(
             "n={n}: naive {naive} ns, kernel {kernel} ns ({speedup:.1}x), weighted {weighted} ns \
              (early-abandoned {}/{n}, {} of {} words read)",
@@ -98,6 +179,35 @@ fn main() {
         rows.join(",\n"),
         index.dimensions().len()
     );
-    std::fs::write(&out_path, &json).expect("write baseline json");
-    eprintln!("wrote {out_path}");
+    std::fs::write(&args.out, &json).expect("write baseline json");
+    eprintln!("wrote {}", args.out);
+
+    // The bench-smoke regression gate (see the module docs).
+    if let Some(path) = &args.baseline {
+        let committed =
+            parse_speedups(&std::fs::read_to_string(path).expect("read committed baseline"));
+        let mut checked = 0usize;
+        let mut failed = false;
+        for &(n, got) in &fresh {
+            let Some(&(_, want)) = committed.iter().find(|&&(bn, _)| bn == n) else {
+                continue;
+            };
+            let floor = want * args.min_frac;
+            let verdict = if got < floor { "FAIL" } else { "ok" };
+            eprintln!(
+                "bench-smoke n={n}: fresh {got:.2}x vs committed {want:.2}x \
+                 (floor {floor:.2}x) .. {verdict}"
+            );
+            failed |= got < floor;
+            checked += 1;
+        }
+        if checked == 0 {
+            eprintln!("bench-smoke: no store size overlaps {path} — nothing was actually gated");
+            std::process::exit(1);
+        }
+        if failed {
+            eprintln!("bench-smoke: kernel speedup regressed below the committed threshold");
+            std::process::exit(1);
+        }
+    }
 }

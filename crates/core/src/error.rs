@@ -44,6 +44,14 @@ pub enum GdimError {
         /// Newest version this build can read.
         supported: u32,
     },
+    /// A background rebuild snapshot no longer matches the live index:
+    /// inserts or removes landed after the rebuild was spawned, so
+    /// installing it would silently drop them. Spawn a fresh rebuild
+    /// instead.
+    StaleRebuild {
+        /// Mutations (inserts + removes) applied since the snapshot.
+        missed: u64,
+    },
 }
 
 impl fmt::Display for GdimError {
@@ -67,6 +75,12 @@ impl fmt::Display for GdimError {
                 write!(
                     f,
                     "index format version {found} not supported (newest readable: {supported})"
+                )
+            }
+            GdimError::StaleRebuild { missed } => {
+                write!(
+                    f,
+                    "rebuild snapshot is stale: {missed} mutation(s) landed after it was spawned"
                 )
             }
         }

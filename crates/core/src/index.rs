@@ -24,11 +24,32 @@
 //! let reloaded = GraphIndex::from_bytes(&bytes).unwrap();
 //! assert_eq!(reloaded.search(&query, &SearchRequest::topk(5)).unwrap().hits, resp.hits);
 //! ```
+//!
+//! # Live updates
+//!
+//! The index is **dynamic**: the database may change while queries are
+//! in flight.
+//!
+//! * [`GraphIndex::insert`] maps the new graph against the *existing*
+//!   feature space (containment-DAG-pruned VF2, no re-mining) and
+//!   appends its vector to the scan store in place.
+//! * [`GraphIndex::remove`] tombstones an entry — ids stay stable, and
+//!   every ranker skips dead rows.
+//! * Both leave the selected dimensions slightly stale; once the
+//!   configured [`RebuildPolicy`] is exceeded ([`GraphIndex::is_stale`])
+//!   a **full re-mine/re-select** over the live graphs restores batch
+//!   quality: synchronously via [`GraphIndex::rebuild`], or off-thread
+//!   via [`GraphIndex::spawn_rebuild`] + [`GraphIndex::install`]
+//!   (cancellable, and installation refuses a snapshot that missed
+//!   later mutations). Each installed rebuild bumps
+//!   [`GraphIndex::epoch`]; a query always answers against exactly one
+//!   epoch and reports it in its stats.
 
 use std::path::Path;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use gdim_exec::ExecConfig;
+use gdim_exec::{BackgroundTask, CancelToken, ExecConfig};
 use gdim_graph::{Dissimilarity, Graph};
 use gdim_mining::{mine, MinerConfig, Support};
 
@@ -37,8 +58,10 @@ use crate::delta::{DeltaConfig, DeltaMatrix, SharedDelta};
 use crate::dspm::{dspm, DspmConfig};
 use crate::dspmap::{dspmap, DspmapConfig};
 use crate::error::GdimError;
-use crate::featurespace::FeatureSpace;
+use crate::featurespace::{ContainmentDag, FeatureSpace};
 use crate::query::{weighted_w_sq, MappedDatabase, Mapping};
+use crate::scan::Tombstones;
+use crate::search::GraphId;
 
 /// How dimensions are computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +83,35 @@ pub enum SelectionStrategy {
     },
 }
 
+/// Staleness policy of a dynamic index: how much online churn is
+/// tolerated before [`GraphIndex::is_stale`] asks for a full
+/// re-mine/re-select rebuild.
+///
+/// Inserts are served from the *existing* feature space (features the
+/// new graphs would have made frequent are invisible until a rebuild)
+/// and removes leave tombstoned rows in the scan store, so both forms
+/// of churn degrade quality/throughput gradually — the policy bounds
+/// that degradation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildPolicy {
+    /// Rebuild once this many inserts accumulated since the last
+    /// rebuild (`1` = rebuild after every insert; `usize::MAX`
+    /// effectively disables the trigger).
+    pub max_inserts: usize,
+    /// Rebuild once the tombstoned fraction of the database strictly
+    /// exceeds this (`0.0` = any remove makes the index stale).
+    pub max_tombstone_frac: f64,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        RebuildPolicy {
+            max_inserts: 1024,
+            max_tombstone_frac: 0.25,
+        }
+    }
+}
+
 /// Options for [`GraphIndex::build`].
 #[derive(Debug, Clone)]
 pub struct IndexOptions {
@@ -79,6 +131,10 @@ pub struct IndexOptions {
     pub delta: DeltaConfig,
     /// RNG seed (DSPMap partitioning).
     pub seed: u64,
+    /// Staleness tolerance for online inserts/removes (see
+    /// [`RebuildPolicy`]). The whole `IndexOptions` value is retained
+    /// by the built index, so a rebuild re-runs the identical pipeline.
+    pub rebuild: RebuildPolicy,
 }
 
 impl Default for IndexOptions {
@@ -90,6 +146,7 @@ impl Default for IndexOptions {
             strategy: SelectionStrategy::Auto { threshold: 2000 },
             delta: DeltaConfig::default(),
             seed: 0,
+            rebuild: RebuildPolicy::default(),
         }
     }
 }
@@ -125,6 +182,12 @@ impl IndexOptions {
         self.delta.exec = exec;
         self
     }
+
+    /// Sets the staleness tolerance for online inserts/removes.
+    pub fn with_rebuild_policy(mut self, rebuild: RebuildPolicy) -> Self {
+        self.rebuild = rebuild;
+        self
+    }
 }
 
 /// Build-phase statistics, for observability.
@@ -157,19 +220,38 @@ pub struct GraphIndex {
     /// Normalized squared per-dimension weights for
     /// [`MappingKind::Weighted`](crate::query::MappingKind::Weighted) requests, derived from `weights`.
     w_sq_weighted: Vec<f64>,
-    /// The δ configuration the index was built with — searches re-rank
-    /// with the **same** dissimilarity and MCS budget.
-    delta: DeltaConfig,
+    /// The full build configuration. Rebuilds re-run the identical
+    /// pipeline from it; its δ part drives every exact re-ranking.
+    opts: IndexOptions,
     stats: IndexStats,
+    /// Rebuild generation: 0 for a fresh build, +1 per installed
+    /// rebuild. A request is answered entirely within one epoch and
+    /// reports it in [`SearchStats::epoch`](crate::search::SearchStats::epoch).
+    epoch: u64,
+    /// Liveness of every row; removed graphs stay addressable (ids are
+    /// stable) but dead to every ranker until the next rebuild.
+    tombstones: Tombstones,
+    /// Inserts accumulated since the last rebuild (one half of the
+    /// [`RebuildPolicy`] staleness test).
+    inserts_since_rebuild: usize,
+    /// Monotone mutation counter (inserts + removes), the freshness
+    /// basis for background rebuild snapshots.
+    mutations: u64,
+    /// Containment DAG over the **full** feature space, pruning the
+    /// per-feature VF2 of [`GraphIndex::insert`]. Lazy: indexes that
+    /// never insert never pay the pairwise containment build.
+    full_dag: OnceLock<ContainmentDag>,
 }
 
 impl std::fmt::Debug for GraphIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GraphIndex")
             .field("graphs", &self.db.len())
+            .field("tombstones", &self.tombstones.dead_count())
+            .field("epoch", &self.epoch)
             .field("features", &self.space.num_features())
             .field("dimensions", &self.selected.len())
-            .field("dissimilarity", &self.delta.kind)
+            .field("dissimilarity", &self.opts.delta.kind)
             .field("mapping", &self.mapped.kind())
             .finish_non_exhaustive()
     }
@@ -179,22 +261,38 @@ impl GraphIndex {
     /// Runs the full pipeline over `db`. Every parallel phase draws on
     /// the single [`IndexOptions::delta`] exec budget.
     pub fn build(db: Vec<Graph>, opts: IndexOptions) -> GraphIndex {
+        Self::build_cancellable(db, opts, &CancelToken::new())
+            .expect("a fresh token is never cancelled")
+    }
+
+    /// [`GraphIndex::build`] with cooperative cancellation, polled at
+    /// the pipeline's phase boundaries (before mining, before
+    /// δ/selection, before mapping): returns `None` once `cancel` is
+    /// observed, discarding the partial work. This is the job a
+    /// background rebuild runs ([`GraphIndex::spawn_rebuild`]).
+    pub fn build_cancellable(
+        db: Vec<Graph>,
+        opts: IndexOptions,
+        cancel: &CancelToken,
+    ) -> Option<GraphIndex> {
         let exec = opts.delta.exec;
         let delta_cfg = opts.delta.clone();
+        if cancel.is_cancelled() {
+            return None;
+        }
         if db.is_empty() {
             // An empty database still yields a servable (empty) index.
             let space = FeatureSpace::build(0, Vec::new());
             let mapped =
                 MappedDatabase::new(&space, &[], Mapping::Binary).expect("empty mapping is valid");
-            return GraphIndex {
+            return Some(Self::assemble(
                 db,
                 space,
                 mapped,
-                selected: Vec::new(),
-                weights: Vec::new(),
-                w_sq_weighted: Vec::new(),
-                delta: delta_cfg,
-                stats: IndexStats {
+                Vec::new(),
+                Vec::new(),
+                opts,
+                IndexStats {
                     mined_features: 0,
                     dimensions: 0,
                     used_dspmap: false,
@@ -203,7 +301,7 @@ impl GraphIndex {
                     delta_time: Duration::ZERO,
                     selection_time: Duration::ZERO,
                 },
-            };
+            ));
         }
         let t0 = Instant::now();
         let features = mine(
@@ -211,6 +309,9 @@ impl GraphIndex {
             &MinerConfig::new(opts.min_support).with_max_edges(opts.max_pattern_edges),
         );
         let mining_time = t0.elapsed();
+        if cancel.is_cancelled() {
+            return None;
+        }
         let space = FeatureSpace::build(db.len(), features);
         let m = space.num_features();
         let p = opts.dimensions.min(m);
@@ -262,6 +363,9 @@ impl GraphIndex {
             let pairs = db.len() * db.len().saturating_sub(1) / 2;
             (res.selected, res.weights, pairs, delta_time, t2.elapsed())
         };
+        if cancel.is_cancelled() {
+            return None;
+        }
 
         let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary)
             .expect("selected dimensions come from the space itself");
@@ -269,7 +373,6 @@ impl GraphIndex {
         // should pay the one-time pairwise containment cost at build
         // time, not on its first query.
         mapped.containment_dag();
-        let w_sq_weighted = weighted_w_sq(&selected, &weights);
         let stats = IndexStats {
             mined_features: m,
             dimensions: selected.len(),
@@ -279,6 +382,24 @@ impl GraphIndex {
             delta_time,
             selection_time,
         };
+        Some(Self::assemble(
+            db, space, mapped, selected, weights, opts, stats,
+        ))
+    }
+
+    /// The one constructor every path funnels through: a fresh
+    /// (epoch-0, fully live) index.
+    fn assemble(
+        db: Vec<Graph>,
+        space: FeatureSpace,
+        mapped: MappedDatabase,
+        selected: Vec<u32>,
+        weights: Vec<f64>,
+        opts: IndexOptions,
+        stats: IndexStats,
+    ) -> GraphIndex {
+        let w_sq_weighted = weighted_w_sq(&selected, &weights);
+        let tombstones = Tombstones::all_live(db.len());
         GraphIndex {
             db,
             space,
@@ -286,8 +407,13 @@ impl GraphIndex {
             selected,
             weights,
             w_sq_weighted,
-            delta: delta_cfg,
+            opts,
             stats,
+            epoch: 0,
+            tombstones,
+            inserts_since_rebuild: 0,
+            mutations: 0,
+            full_dag: OnceLock::new(),
         }
     }
 
@@ -298,13 +424,17 @@ impl GraphIndex {
     /// vectors — [`MappingKind::Weighted`](crate::query::MappingKind::Weighted) requests are served from the
     /// derived DSPM weights, never baked into the vectors. Shared by
     /// [`GraphIndex::from_bytes`].
+    #[allow(clippy::too_many_arguments)] // private assembly seam of the persist decoder
     pub(crate) fn from_parts(
         db: Vec<Graph>,
         features: Vec<gdim_mining::Feature>,
         selected: Vec<u32>,
         weights: Vec<f64>,
-        delta: DeltaConfig,
+        opts: IndexOptions,
         stats: IndexStats,
+        epoch: u64,
+        tombstones: Tombstones,
+        inserts_since_rebuild: usize,
     ) -> Result<GraphIndex, GdimError> {
         let space = FeatureSpace::build(db.len(), features);
         let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary)?;
@@ -315,36 +445,57 @@ impl GraphIndex {
                 got: weights.len(),
             });
         }
-        let w_sq_weighted = weighted_w_sq(&selected, &weights);
-        Ok(GraphIndex {
-            db,
-            space,
-            mapped,
-            selected,
-            weights,
-            w_sq_weighted,
-            delta,
-            stats,
-        })
+        if tombstones.len() != db.len() {
+            return Err(GdimError::Corrupt(format!(
+                "tombstone mask covers {} rows, database has {}",
+                tombstones.len(),
+                db.len()
+            )));
+        }
+        let mut index = Self::assemble(db, space, mapped, selected, weights, opts, stats);
+        index.epoch = epoch;
+        index.tombstones = tombstones;
+        index.inserts_since_rebuild = inserts_since_rebuild;
+        Ok(index)
     }
 
-    /// Number of indexed graphs.
+    /// Number of indexed rows, **including** tombstoned ones (ids stay
+    /// addressable until the next rebuild compacts them away) — see
+    /// [`GraphIndex::live_len`] for the serving size.
     pub fn len(&self) -> usize {
         self.db.len()
     }
 
-    /// Whether the index is empty.
+    /// Whether the index holds no rows at all.
     pub fn is_empty(&self) -> bool {
         self.db.is_empty()
     }
 
-    /// The indexed graphs.
+    /// Number of live (non-tombstoned) graphs — the maximum hit count
+    /// any search can return.
+    pub fn live_len(&self) -> usize {
+        self.tombstones.live_count()
+    }
+
+    /// Number of tombstoned (removed but not yet compacted) rows.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.dead_count()
+    }
+
+    /// The row liveness mask (all live on a fresh build).
+    pub fn tombstones(&self) -> &Tombstones {
+        &self.tombstones
+    }
+
+    /// The indexed graphs, including tombstoned rows (row `i` is graph
+    /// id `i`).
     pub fn graphs(&self) -> &[Graph] {
         &self.db
     }
 
     /// One indexed graph, or [`GdimError::GraphOutOfRange`] — the
-    /// serving path never panics on a bad id.
+    /// serving path never panics on a bad id. Tombstoned graphs remain
+    /// readable here (they are only dead to the rankers).
     pub fn graph(&self, i: usize) -> Result<&Graph, GdimError> {
         self.db.get(i).ok_or(GdimError::GraphOutOfRange {
             id: i,
@@ -377,29 +528,45 @@ impl GraphIndex {
         &self.weights
     }
 
+    /// The full build configuration the index retains (and a rebuild
+    /// re-runs).
+    pub fn options(&self) -> &IndexOptions {
+        &self.opts
+    }
+
     /// The δ-engine configuration the index was built with; its
     /// dissimilarity kind and MCS budget drive every exact re-ranking.
     pub fn delta_config(&self) -> &DeltaConfig {
-        &self.delta
+        &self.opts.delta
     }
 
     /// The graph dissimilarity the index was built with (and re-ranks
     /// with).
     pub fn dissimilarity(&self) -> Dissimilarity {
-        self.delta.kind
+        self.opts.delta.kind
     }
 
     /// The parallelism budget the index was built with (also used by
     /// its query entry points).
     pub fn exec(&self) -> &ExecConfig {
-        &self.delta.exec
+        &self.opts.delta.exec
     }
 
     /// Replaces the parallelism budget (e.g. after
     /// [`GraphIndex::load`], which cannot know the serving machine's
     /// core count at save time).
     pub fn set_exec(&mut self, exec: ExecConfig) {
-        self.delta.exec = exec;
+        self.opts.delta.exec = exec;
+    }
+
+    /// The staleness policy for online updates.
+    pub fn rebuild_policy(&self) -> &RebuildPolicy {
+        &self.opts.rebuild
+    }
+
+    /// Replaces the staleness policy.
+    pub fn set_rebuild_policy(&mut self, rebuild: RebuildPolicy) {
+        self.opts.rebuild = rebuild;
     }
 
     /// Normalized squared per-dimension weights serving
@@ -442,6 +609,224 @@ impl GraphIndex {
     /// Reads an index saved by [`GraphIndex::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<GraphIndex, GdimError> {
         GraphIndex::from_bytes(&std::fs::read(path)?)
+    }
+
+    // ------------------------------------------------- live updates
+
+    /// The index's rebuild generation: 0 for a fresh build, +1 for
+    /// every installed rebuild. Any single request is answered against
+    /// exactly one epoch (a search holds the index borrowed for its
+    /// whole duration) and reports it in
+    /// [`SearchStats::epoch`](crate::search::SearchStats::epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Inserts accumulated since the last rebuild.
+    pub fn pending_inserts(&self) -> usize {
+        self.inserts_since_rebuild
+    }
+
+    /// The containment DAG over the **full** feature space, built on
+    /// first insert (the per-query DAG of the mapped database covers
+    /// only the selected dimensions).
+    fn full_dag(&self) -> &ContainmentDag {
+        self.full_dag
+            .get_or_init(|| ContainmentDag::build(self.space.features()))
+    }
+
+    /// Inserts one graph **online**: the graph is mapped against the
+    /// *existing* feature space (containment-DAG + invariant-pruned
+    /// VF2 — the same machinery as query mapping, no re-mining), its
+    /// full feature row is recorded in the space (supports stay
+    /// consistent, so the index persists and reloads exactly), and its
+    /// vector over the selected dimensions is appended to the scan
+    /// store in place. Returns the new graph's stable id.
+    ///
+    /// The selected dimensions themselves are *not* revisited:
+    /// features the new graph would have made frequent stay invisible
+    /// until the next [`GraphIndex::rebuild`] /
+    /// [`GraphIndex::install`]. Use [`GraphIndex::is_stale`] to decide
+    /// when the accumulated drift (per [`RebuildPolicy`]) warrants one.
+    pub fn insert(&mut self, g: Graph) -> GraphId {
+        let full_row = self.full_dag().map_query(self.space.features(), &g).0;
+        let id = self.space.push_graph(&full_row);
+        let mut sel_row = Bitset::zeros(self.selected.len());
+        for (col, &r) in self.selected.iter().enumerate() {
+            if full_row.get(r as usize) {
+                sel_row.set(col);
+            }
+        }
+        self.mapped.push_row(&sel_row);
+        self.db.push(g);
+        self.tombstones.push_live();
+        self.inserts_since_rebuild += 1;
+        self.mutations += 1;
+        GraphId(id)
+    }
+
+    /// Removes a graph **online** by tombstoning its row: the id stays
+    /// stable (and the graph readable via [`GraphIndex::graph`]), but
+    /// every ranker skips it from this call on. The row is physically
+    /// reclaimed by the next rebuild.
+    ///
+    /// Returns whether the graph was live (`Ok(false)` = it was
+    /// already tombstoned; nothing changed); an out-of-range id is
+    /// [`GdimError::GraphOutOfRange`].
+    pub fn remove(&mut self, id: GraphId) -> Result<bool, GdimError> {
+        let i = id.index();
+        if i >= self.db.len() {
+            return Err(GdimError::GraphOutOfRange {
+                id: i,
+                len: self.db.len(),
+            });
+        }
+        let newly = self.tombstones.mark_dead(i);
+        if newly {
+            self.mutations += 1;
+        }
+        Ok(newly)
+    }
+
+    /// Whether accumulated churn exceeds the [`RebuildPolicy`]: at
+    /// least `max_inserts` inserts since the last rebuild (and at
+    /// least one), or a tombstone fraction strictly above
+    /// `max_tombstone_frac`.
+    pub fn is_stale(&self) -> bool {
+        let policy = &self.opts.rebuild;
+        (self.inserts_since_rebuild > 0 && self.inserts_since_rebuild >= policy.max_inserts)
+            || self.tombstones.dead_fraction() > policy.max_tombstone_frac
+    }
+
+    /// Clones of the live (non-tombstoned) graphs, in id order — the
+    /// database a rebuild runs over.
+    pub fn live_graphs(&self) -> Vec<Graph> {
+        (0..self.db.len())
+            .filter(|&i| !self.tombstones.is_dead(i))
+            .map(|i| self.db[i].clone())
+            .collect()
+    }
+
+    /// Synchronous full rebuild: re-runs the entire pipeline
+    /// (re-mine → re-select → re-map) over the live graphs with the
+    /// retained [`IndexOptions`], compacting tombstones away, and
+    /// swaps the result in. The epoch advances by one; the rebuilt
+    /// index is **bit-identical** to [`GraphIndex::build`] over
+    /// [`GraphIndex::live_graphs`] (tombstoned graphs drop out, later
+    /// ids shift down).
+    pub fn rebuild(&mut self) {
+        // Unlike `spawn_rebuild` (which must snapshot because the
+        // index keeps serving), the synchronous path can *move* the
+        // graphs out — `self` is replaced wholesale below, so cloning
+        // the whole database would only double peak memory.
+        let db = std::mem::take(&mut self.db);
+        let live: Vec<Graph> = db
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.tombstones.is_dead(i))
+            .map(|(_, g)| g)
+            .collect();
+        let fresh = GraphIndex::build(live, self.opts.clone());
+        self.install_fresh(fresh);
+    }
+
+    /// [`GraphIndex::rebuild`], but only when [`GraphIndex::is_stale`];
+    /// returns whether a rebuild ran.
+    pub fn rebuild_if_stale(&mut self) -> bool {
+        if self.is_stale() {
+            self.rebuild();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Starts a full rebuild on a background thread (one
+    /// [`BackgroundTask`] from `gdim-exec`) over a snapshot of the
+    /// live graphs, leaving `self` free to keep serving — and mutating
+    /// — meanwhile. Cancellation ([`RebuildTask::cancel`], or dropping
+    /// the handle) is observed at the pipeline's phase boundaries.
+    /// Pass the handle back to [`GraphIndex::install`] to swap the
+    /// result in.
+    pub fn spawn_rebuild(&self) -> RebuildTask {
+        let graphs = self.live_graphs();
+        let opts = self.opts.clone();
+        RebuildTask {
+            task: BackgroundTask::spawn(move |token| {
+                GraphIndex::build_cancellable(graphs, opts, token)
+            }),
+            basis: self.mutations,
+        }
+    }
+
+    /// Waits for a [`GraphIndex::spawn_rebuild`] job and atomically
+    /// swaps its result in (the caller's `&mut` exclusivity *is* the
+    /// atomicity: no concurrent reader can observe a half-installed
+    /// index). The epoch advances by one.
+    ///
+    /// Returns `Ok(true)` when installed, `Ok(false)` when the job
+    /// observed cancellation (the index is unchanged), and
+    /// [`GdimError::StaleRebuild`] when inserts/removes landed after
+    /// the snapshot was taken — installing it would silently drop
+    /// them, so the caller should spawn a fresh rebuild instead.
+    ///
+    /// A task must be installed on the index that spawned it; a task
+    /// from another index is rejected as stale too (the mutation
+    /// bases cannot agree except by coincidence).
+    pub fn install(&mut self, task: RebuildTask) -> Result<bool, GdimError> {
+        if self.mutations != task.basis {
+            // The snapshot is stale; stop the worker and report.
+            // `abs_diff`: a foreign task's basis may exceed ours.
+            task.cancel();
+            return Err(GdimError::StaleRebuild {
+                missed: self.mutations.abs_diff(task.basis),
+            });
+        }
+        match task.task.join() {
+            None => Ok(false),
+            Some(fresh) => {
+                self.install_fresh(fresh);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Swaps a freshly built index in, preserving the epoch chain, the
+    /// mutation basis, and the serving-side knobs: the exec budget and
+    /// the rebuild policy belong to the serving machine, not to the
+    /// snapshot ([`GraphIndex::set_exec`] / [`GraphIndex::set_rebuild_policy`]
+    /// calls made while a background rebuild ran must survive its
+    /// installation).
+    fn install_fresh(&mut self, mut fresh: GraphIndex) {
+        fresh.epoch = self.epoch + 1;
+        fresh.mutations = self.mutations;
+        fresh.opts.delta.exec = self.opts.delta.exec;
+        fresh.opts.rebuild = self.opts.rebuild;
+        *self = fresh;
+    }
+}
+
+/// Handle to an in-flight background rebuild (see
+/// [`GraphIndex::spawn_rebuild`]).
+#[derive(Debug)]
+pub struct RebuildTask {
+    task: BackgroundTask<GraphIndex>,
+    /// Mutation count of the index when the snapshot was taken.
+    basis: u64,
+}
+
+impl RebuildTask {
+    /// Requests cooperative cancellation; the rebuild stops at its
+    /// next pipeline phase boundary and [`GraphIndex::install`]
+    /// returns `Ok(false)`.
+    pub fn cancel(&self) {
+        self.task.cancel();
+    }
+
+    /// Non-blocking: whether the background build has ended (finished
+    /// or cancelled).
+    pub fn is_finished(&self) -> bool {
+        self.task.is_finished()
     }
 }
 
@@ -538,6 +923,156 @@ mod tests {
             Err(GdimError::GraphOutOfRange { id: 99, len: 5 }) => {}
             other => panic!("expected GraphOutOfRange, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn insert_maps_against_the_existing_space() {
+        let mut index = GraphIndex::build(db(20, 31), IndexOptions::default().with_dimensions(20));
+        let newcomers = db(3, 77);
+        let base_features = index.feature_space().num_features();
+        for g in &newcomers {
+            let id = index.insert(g.clone());
+            // The appended vector is exactly the query mapping of the
+            // inserted graph — a later self-query scores distance 0.
+            assert_eq!(
+                index.mapped().vector(id.index()),
+                index.map_query(g),
+                "{id}"
+            );
+            // The feature space stays consistent: the new graph's row
+            // and inverted lists agree.
+            let row = index.feature_space().row(id.index()).clone();
+            for r in 0..base_features {
+                assert_eq!(
+                    index.feature_space().if_list(r).contains(&id.get()),
+                    row.get(r),
+                    "feature {r}"
+                );
+            }
+        }
+        assert_eq!(index.len(), 23);
+        assert_eq!(index.live_len(), 23);
+        assert_eq!(index.pending_inserts(), 3);
+        // No new features appear without a rebuild.
+        assert_eq!(index.feature_space().num_features(), base_features);
+        let resp = index
+            .search(&newcomers[1], &SearchRequest::topk(1))
+            .unwrap();
+        assert_eq!(resp.hits[0].id.get(), 21);
+        assert_eq!(resp.hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn remove_tombstones_and_double_remove_is_a_noop() {
+        let mut index = GraphIndex::build(db(10, 33), IndexOptions::default().with_dimensions(15));
+        use crate::search::GraphId;
+        assert!(index.remove(GraphId(4)).unwrap());
+        assert!(!index.remove(GraphId(4)).unwrap(), "already tombstoned");
+        assert_eq!(index.live_len(), 9);
+        assert_eq!(index.tombstone_count(), 1);
+        // The graph stays readable; the rankers just skip it.
+        let q = index.graph(4).unwrap().clone();
+        let resp = index.search(&q, &SearchRequest::topk(10)).unwrap();
+        assert!(resp.hits.iter().all(|h| h.id.get() != 4));
+        assert_eq!(resp.hits.len(), 9);
+        match index.remove(GraphId(99)) {
+            Err(GdimError::GraphOutOfRange { id: 99, len: 10 }) => {}
+            other => panic!("expected GraphOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn staleness_policy_triggers_and_rebuild_clears_it() {
+        let policy = RebuildPolicy {
+            max_inserts: 2,
+            max_tombstone_frac: 0.3,
+        };
+        let mut index = GraphIndex::build(
+            db(12, 35),
+            IndexOptions::default()
+                .with_dimensions(15)
+                .with_rebuild_policy(policy),
+        );
+        assert!(!index.is_stale());
+        let extra = db(2, 78);
+        index.insert(extra[0].clone());
+        assert!(!index.is_stale());
+        index.insert(extra[1].clone());
+        assert!(index.is_stale(), "2 inserts reach max_inserts");
+        assert_eq!(index.epoch(), 0);
+        assert!(index.rebuild_if_stale());
+        assert_eq!(index.epoch(), 1);
+        assert!(!index.is_stale());
+        assert_eq!(index.pending_inserts(), 0);
+        assert_eq!(index.len(), 14);
+        // Tombstone fraction: 5 of 14 dead (0.357 > 0.3) flips staleness.
+        for i in 0..5u32 {
+            index.remove(crate::search::GraphId(i)).unwrap();
+            assert_eq!(index.is_stale(), i == 4, "after removing {}", i + 1);
+        }
+        index.rebuild();
+        assert_eq!(index.epoch(), 2);
+        assert_eq!(index.len(), 9);
+        assert_eq!(index.tombstone_count(), 0);
+    }
+
+    #[test]
+    fn background_rebuild_installs_or_reports_staleness() {
+        let mut index = GraphIndex::build(db(10, 37), IndexOptions::default().with_dimensions(12));
+        let extra = db(2, 79);
+        index.insert(extra[0].clone());
+
+        // A mutation after the snapshot makes installation refuse.
+        let task = index.spawn_rebuild();
+        index.insert(extra[1].clone());
+        match index.install(task) {
+            Err(GdimError::StaleRebuild { missed: 1 }) => {}
+            other => panic!("expected StaleRebuild, got {other:?}"),
+        }
+        assert_eq!(index.epoch(), 0, "nothing installed");
+
+        // A quiet index installs the snapshot and bumps the epoch.
+        let task = index.spawn_rebuild();
+        assert!(index.install(task).unwrap());
+        assert_eq!(index.epoch(), 1);
+        assert_eq!(index.pending_inserts(), 0);
+        // The installed index equals a synchronous rebuild's answers.
+        let q = index.graph(3).unwrap().clone();
+        let resp = index.search(&q, &SearchRequest::topk(3)).unwrap();
+        assert_eq!(resp.hits[0].id.get(), 3);
+        assert_eq!(resp.stats.epoch, 1);
+
+        // Cancellation before the build starts yields Ok(false).
+        let task = index.spawn_rebuild();
+        task.cancel();
+        let installed = index.install(task).unwrap();
+        if installed {
+            // The race is legal: the build may already have passed its
+            // first poll. Either way the index stays consistent.
+            assert_eq!(index.epoch(), 2);
+        } else {
+            assert_eq!(index.epoch(), 1);
+        }
+    }
+
+    #[test]
+    fn serving_knobs_survive_a_background_install() {
+        // set_exec / set_rebuild_policy are serving-machine knobs, not
+        // snapshot state: changing them while a rebuild runs must not
+        // be reverted by installing it (they also do not count as
+        // mutations, so the install is not refused).
+        let mut index = GraphIndex::build(db(8, 39), IndexOptions::default().with_dimensions(10));
+        let task = index.spawn_rebuild();
+        index.set_exec(ExecConfig::new(5));
+        let policy = RebuildPolicy {
+            max_inserts: 3,
+            max_tombstone_frac: 0.9,
+        };
+        index.set_rebuild_policy(policy);
+        assert!(index.install(task).unwrap());
+        assert_eq!(index.epoch(), 1);
+        assert_eq!(index.exec().threads, 5);
+        assert_eq!(index.rebuild_policy(), &policy);
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! typed [`search::SearchRequest`] / [`search::SearchResponse`] top-k
 //! search with pluggable rankers (mapped scan, exact MCS, two-phase
 //! filter-then-verify), [`error::GdimError`] instead of panics on the
-//! query path, and versioned binary persistence ([`persist`]).
+//! query path, versioned binary persistence ([`persist`]), and **live
+//! updates** — online insert/remove with tombstoned rows and
+//! epoch-based background rebuilds (see the [`index`] module docs).
 //!
 //! Quality is evaluated with the paper's three measures
 //! ([`measures`]: precision, top-k Kendall's tau, inverse rank
@@ -75,12 +77,16 @@ pub mod prelude {
     pub use crate::error::GdimError;
     pub use crate::featurespace::{ContainmentDag, FeatureSpace, GraphInvariants, MatchStats};
     pub use crate::fingerprint::{FingerprintIndex, FINGERPRINT_BITS};
-    pub use crate::index::{GraphIndex, IndexOptions, SelectionStrategy};
+    pub use crate::index::{
+        GraphIndex, IndexOptions, RebuildPolicy, RebuildTask, SelectionStrategy,
+    };
     pub use crate::measures::{kendall_tau_topk, precision, rank_distance_inv};
-    pub use crate::query::{exact_ranking, exact_topk, MappedDatabase, Mapping, MappingKind};
-    pub use crate::scan::{ScanStats, TopK, VectorStore};
+    pub use crate::query::{
+        exact_ranking, exact_ranking_among, exact_topk, MappedDatabase, Mapping, MappingKind,
+    };
+    pub use crate::scan::{ScanStats, Tombstones, TopK, VectorStore};
     pub use crate::search::{GraphId, Hit, Ranker, SearchRequest, SearchResponse, SearchStats};
-    pub use gdim_exec::ExecConfig;
+    pub use gdim_exec::{BackgroundTask, CancelToken, ExecConfig};
     pub use gdim_graph::{Dissimilarity, Graph, McsOptions};
 }
 

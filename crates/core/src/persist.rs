@@ -1,15 +1,16 @@
 //! Versioned binary persistence for [`GraphIndex`]: build once, serve
 //! from disk.
 //!
-//! Layout (all integers little-endian, lengths as `u64`):
+//! Layout of the current format, **v2** (all integers little-endian,
+//! lengths as `u64`):
 //!
 //! ```text
 //! magic    8 B   b"GDIMIDX\0"
-//! version  u32   1
+//! version  u32   2
 //! δ kind   u8    0 = δ1 (MaxNorm), 1 = δ2 (AvgNorm)
 //! precheck u8    MCS containment pre-check flag
 //! budget   u64   MCS node budget
-//! reserved u8    must be 0 in v1 (an index stores binary vectors;
+//! reserved u8    must be 0 (an index stores binary vectors;
 //!                weighted requests are served from derived weights)
 //! stats    mined_features u64 · dimensions u64 · used_dspmap u8 ·
 //!          delta_pairs u64 · three phase times as nanos u64
@@ -20,16 +21,40 @@
 //!          support len u64 · graph ids u32*
 //! selected p u64 · feature ids u32*
 //! weights  len u64 · IEEE-754 bit patterns u64*
+//! -- v2 tail (dynamic-index state + build options) ------------------
+//! options  min_support tag u8 (0 = relative, 1 = absolute) ·
+//!          value u64 (f64 bits when relative) ·
+//!          max_pattern_edges u64 · requested dimensions u64 ·
+//!          strategy tag u8 (0 = DSPM, 1 = DSPMap, 2 = auto) ·
+//!          strategy param u64 (0 / partition size / threshold) ·
+//!          seed u64 · rebuild max_inserts u64 ·
+//!          rebuild max_tombstone_frac f64 bits
+//! epoch    u64   rebuild generation
+//! pending  u64   inserts accumulated since the last rebuild
+//! tombs    count u64 · strictly ascending dead graph ids u32*
 //! ```
+//!
+//! The tail exists because the index is **dynamic**: removed graphs
+//! are persisted with their tombstone (ids must stay stable across a
+//! save/load), the epoch survives restarts, and the retained build
+//! options let a reloaded index [`rebuild`](GraphIndex::rebuild) with
+//! exactly the pipeline that produced it.
+//!
+//! **v1 files still load**: a v1 payload is the v2 layout without the
+//! tail, and decodes as a fully-live epoch-0 index whose non-δ build
+//! options fall back to defaults (the δ kind / MCS budget were always
+//! in the header). Saving always writes v2.
 //!
 //! Derived state — the feature space, the flat
 //! [`VectorStore`](crate::scan::VectorStore) of mapped vectors, the
 //! feature [`ContainmentDag`](crate::featurespace::ContainmentDag)
 //! that prunes query-time VF2 calls, and the weighted scan weights —
-//! is **not** persisted: it is rebuilt deterministically on load
-//! (same v1 format, no version bump), which keeps the format small
-//! and makes a reloaded index answer byte-identically to the one that
-//! was saved. The exec budget
+//! is **not** persisted: it is rebuilt deterministically on load,
+//! which keeps the format small and makes a reloaded index answer
+//! byte-identically to the one that was saved (a dirty index persists
+//! exactly as well: [`GraphIndex::insert`](GraphIndex::insert) keeps
+//! the feature supports authoritative, so inserted rows reappear in
+//! the rebuilt scan store). The exec budget
 //! is deliberately not persisted either — core counts belong to the
 //! serving machine, not the index file
 //! ([`GraphIndex::set_exec`](crate::index::GraphIndex::set_exec)).
@@ -40,14 +65,17 @@
 
 use gdim_graph::dfscode::{DfsCode, DfsEdge};
 use gdim_graph::{Dissimilarity, Graph, McsOptions};
-use gdim_mining::Feature;
+use gdim_mining::{Feature, Support};
 
 use crate::delta::DeltaConfig;
 use crate::error::GdimError;
-use crate::index::{GraphIndex, IndexStats};
+use crate::index::{GraphIndex, IndexOptions, IndexStats, RebuildPolicy, SelectionStrategy};
+use crate::scan::Tombstones;
 
 pub(crate) const MAGIC: [u8; 8] = *b"GDIMIDX\0";
-pub(crate) const VERSION: u32 = 1;
+pub(crate) const VERSION: u32 = 2;
+/// Oldest format this build still reads.
+pub(crate) const MIN_VERSION: u32 = 1;
 
 // ---------------------------------------------------------------- write
 
@@ -102,6 +130,14 @@ fn put_feature(buf: &mut Vec<u8>, f: &Feature) {
 
 /// Serializes an index (format documented in the module docs).
 pub(crate) fn encode(index: &GraphIndex) -> Vec<u8> {
+    let mut buf = encode_body(index);
+    encode_tail(index, &mut buf);
+    buf
+}
+
+/// The v1-compatible body: header + stats + graphs + features +
+/// selection + weights (everything up to the v2 tail).
+fn encode_body(index: &GraphIndex) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&MAGIC);
     put_u32(&mut buf, VERSION);
@@ -149,6 +185,48 @@ pub(crate) fn encode(index: &GraphIndex) -> Vec<u8> {
         put_f64(&mut buf, w);
     }
     buf
+}
+
+/// The v2 tail: retained build options + dynamic state (see the module
+/// docs).
+fn encode_tail(index: &GraphIndex, buf: &mut Vec<u8>) {
+    let opts = index.options();
+    match opts.min_support {
+        Support::Relative(tau) => {
+            put_u8(buf, 0);
+            put_f64(buf, tau);
+        }
+        Support::Absolute(s) => {
+            put_u8(buf, 1);
+            put_u64(buf, s as u64);
+        }
+    }
+    put_u64(buf, opts.max_pattern_edges as u64);
+    put_u64(buf, opts.dimensions as u64);
+    match opts.strategy {
+        SelectionStrategy::Dspm => {
+            put_u8(buf, 0);
+            put_u64(buf, 0);
+        }
+        SelectionStrategy::Dspmap { partition_size } => {
+            put_u8(buf, 1);
+            put_u64(buf, partition_size as u64);
+        }
+        SelectionStrategy::Auto { threshold } => {
+            put_u8(buf, 2);
+            put_u64(buf, threshold as u64);
+        }
+    }
+    put_u64(buf, opts.seed);
+    put_u64(buf, opts.rebuild.max_inserts as u64);
+    put_f64(buf, opts.rebuild.max_tombstone_frac);
+    put_u64(buf, index.epoch());
+    put_u64(buf, index.pending_inserts() as u64);
+    let dead = index.tombstones().dead_ids();
+    put_len(buf, dead.len());
+    for id in dead {
+        put_u32(buf, id);
+    }
 }
 
 // ----------------------------------------------------------------- read
@@ -276,7 +354,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<GraphIndex, GdimError> {
         return Err(GdimError::Corrupt("bad magic (not a gdim index)".into()));
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(GdimError::UnsupportedVersion {
             found: version,
             supported: VERSION,
@@ -340,12 +418,6 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<GraphIndex, GdimError> {
     for _ in 0..wn {
         weights.push(r.f64()?);
     }
-    if r.pos != bytes.len() {
-        return Err(GdimError::Corrupt(format!(
-            "{} trailing bytes after index payload",
-            bytes.len() - r.pos
-        )));
-    }
 
     let delta = DeltaConfig {
         kind,
@@ -355,11 +427,90 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<GraphIndex, GdimError> {
         },
         ..DeltaConfig::default()
     };
-    GraphIndex::from_parts(db, features, selected, weights, delta, stats)
-        // Structurally valid bytes can still describe an inconsistent
-        // index (selected id outside the space, wrong weights length);
-        // from a file, that is corruption too.
-        .map_err(|e| GdimError::Corrupt(format!("inconsistent index payload: {e}")))
+    // The v2 tail: build options + dynamic state. A v1 file ends here
+    // and decodes as a fully-live epoch-0 index whose non-δ build
+    // options fall back to defaults.
+    let (opts, epoch, tombstones, pending) = if version == 1 {
+        let opts = IndexOptions {
+            dimensions: selected.len(),
+            delta,
+            ..IndexOptions::default()
+        };
+        (opts, 0u64, Tombstones::all_live(n), 0usize)
+    } else {
+        let min_support = match r.u8()? {
+            0 => Support::Relative(r.f64()?),
+            1 => Support::Absolute(r.u64()? as usize),
+            other => {
+                return Err(GdimError::Corrupt(format!("support tag {other} unknown")));
+            }
+        };
+        let max_pattern_edges = r.u64()? as usize;
+        let dimensions = r.u64()? as usize;
+        let strategy_tag = r.u8()?;
+        let strategy_param = r.u64()? as usize;
+        let strategy = match strategy_tag {
+            0 => SelectionStrategy::Dspm,
+            1 => SelectionStrategy::Dspmap {
+                partition_size: strategy_param,
+            },
+            2 => SelectionStrategy::Auto {
+                threshold: strategy_param,
+            },
+            other => {
+                return Err(GdimError::Corrupt(format!("strategy tag {other} unknown")));
+            }
+        };
+        let seed = r.u64()?;
+        let rebuild = RebuildPolicy {
+            max_inserts: r.u64()? as usize,
+            max_tombstone_frac: r.f64()?,
+        };
+        let opts = IndexOptions {
+            dimensions,
+            min_support,
+            max_pattern_edges,
+            strategy,
+            delta,
+            seed,
+            rebuild,
+        };
+        let epoch = r.u64()?;
+        let pending = r.u64()? as usize;
+        let dead_n = r.len()?;
+        let mut tombstones = Tombstones::all_live(n);
+        let mut prev: Option<u32> = None;
+        for _ in 0..dead_n {
+            let id = r.u32()?;
+            if prev.is_some_and(|p| id <= p) {
+                return Err(GdimError::Corrupt(format!(
+                    "tombstone ids not strictly ascending at {id}"
+                )));
+            }
+            if id as usize >= n {
+                return Err(GdimError::Corrupt(format!(
+                    "tombstone id {id} out of {n} graphs"
+                )));
+            }
+            tombstones.mark_dead(id as usize);
+            prev = Some(id);
+        }
+        (opts, epoch, tombstones, pending)
+    };
+    if r.pos != bytes.len() {
+        return Err(GdimError::Corrupt(format!(
+            "{} trailing bytes after index payload",
+            bytes.len() - r.pos
+        )));
+    }
+
+    GraphIndex::from_parts(
+        db, features, selected, weights, opts, stats, epoch, tombstones, pending,
+    )
+    // Structurally valid bytes can still describe an inconsistent
+    // index (selected id outside the space, wrong weights length);
+    // from a file, that is corruption too.
+    .map_err(|e| GdimError::Corrupt(format!("inconsistent index payload: {e}")))
 }
 
 #[cfg(test)]
@@ -479,8 +630,11 @@ mod tests {
         assert!(p > 0);
         let mut bytes = idx.to_bytes();
         // The selected ids are the p u32s immediately before the
-        // weights block (8-byte count + 8 bytes per weight) at the end.
-        let sel_start = bytes.len() - (8 + 8 * wn) - 4 * p;
+        // weights block (8-byte count + 8 bytes per weight), which in
+        // v2 is followed by the options/dynamic-state tail.
+        let mut tail = Vec::new();
+        encode_tail(&idx, &mut tail);
+        let sel_start = bytes.len() - tail.len() - (8 + 8 * wn) - 4 * p;
         bytes[sel_start..sel_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         match GraphIndex::from_bytes(&bytes) {
             Err(GdimError::Corrupt(msg)) => {
@@ -496,5 +650,106 @@ mod tests {
         let back = GraphIndex::from_bytes(&idx.to_bytes()).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.to_bytes(), idx.to_bytes());
+    }
+
+    #[test]
+    fn v1_files_still_load_as_fully_live_epoch_zero() {
+        // A v1 payload is the v2 body without the tail: synthesize one
+        // from a clean index and check the back-compat path.
+        let idx = index(10, 17);
+        let mut v1 = encode_body(&idx);
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let back = GraphIndex::from_bytes(&v1).expect("v1 must stay readable");
+        assert_eq!(back.epoch(), 0);
+        assert_eq!(back.tombstone_count(), 0);
+        assert_eq!(back.pending_inserts(), 0);
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.dissimilarity(), idx.dissimilarity());
+        // Non-δ build options fall back to defaults except the
+        // dimension count, recovered from the selection itself.
+        assert_eq!(back.options().dimensions, idx.dimensions().len());
+        let q = idx.graph(4).unwrap().clone();
+        let req = SearchRequest::topk(5);
+        assert_eq!(
+            back.search(&q, &req).unwrap().hits,
+            idx.search(&q, &req).unwrap().hits
+        );
+        // Re-saving a v1-loaded index writes the current version.
+        let resaved = back.to_bytes();
+        assert_eq!(&resaved[8..12], &VERSION.to_le_bytes());
+        assert!(GraphIndex::from_bytes(&resaved).is_ok());
+    }
+
+    #[test]
+    fn dirty_index_roundtrips_tombstones_epoch_and_options() {
+        let db = gdim_datagen::chem_db(14, &gdim_datagen::ChemConfig::default(), 19);
+        let extra = gdim_datagen::chem_db(3, &gdim_datagen::ChemConfig::default(), 91);
+        let mut idx = GraphIndex::build(
+            db,
+            IndexOptions::default()
+                .with_dimensions(18)
+                .with_rebuild_policy(crate::index::RebuildPolicy {
+                    max_inserts: 7,
+                    max_tombstone_frac: 0.5,
+                }),
+        );
+        idx.rebuild(); // epoch 1, so a non-zero epoch is exercised
+        for g in &extra {
+            idx.insert(g.clone());
+        }
+        idx.remove(crate::search::GraphId(2)).unwrap();
+        idx.remove(crate::search::GraphId(15)).unwrap(); // an inserted row
+        let bytes = idx.to_bytes();
+        let back = GraphIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.epoch(), 1);
+        assert_eq!(back.pending_inserts(), 3);
+        assert_eq!(back.tombstone_count(), 2);
+        assert_eq!(back.tombstones().dead_ids(), vec![2, 15]);
+        assert_eq!(back.rebuild_policy().max_inserts, 7);
+        assert_eq!(back.len(), idx.len());
+        // Byte-stable re-encode, and identical answers — including for
+        // a query that *is* an inserted graph.
+        assert_eq!(back.to_bytes(), bytes);
+        for q in extra.iter().chain([idx.graph(2).unwrap()]) {
+            for ranker in [
+                Ranker::Mapped,
+                Ranker::Exact,
+                Ranker::Refined { candidates: 6 },
+            ] {
+                let req = SearchRequest::topk(6).with_ranker(ranker);
+                let a = idx.search(q, &req).unwrap();
+                let b = back.search(q, &req).unwrap();
+                assert_eq!(a.hits, b.hits, "{ranker:?}");
+                assert!(a.hits.iter().all(|h| ![2, 15].contains(&h.id.get())));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_tail_is_a_typed_error() {
+        let mut idx = index(8, 21);
+        idx.remove(crate::search::GraphId(3)).unwrap();
+        let good = idx.to_bytes();
+        // Tombstone id out of range: the last 4 bytes are the only
+        // dead id; overwrite with an absurd one.
+        let mut bad = good.clone();
+        let at = bad.len() - 4;
+        bad[at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            GraphIndex::from_bytes(&bad),
+            Err(GdimError::Corrupt(_))
+        ));
+        // Unknown strategy tag inside the tail.
+        let mut tail = Vec::new();
+        encode_tail(&idx, &mut tail);
+        let body_len = good.len() - tail.len();
+        // Tail layout: tag u8 + u64 + u64 + u64 = 25 bytes before the
+        // strategy tag.
+        let mut bad = good.clone();
+        bad[body_len + 25] = 9;
+        assert!(matches!(
+            GraphIndex::from_bytes(&bad),
+            Err(GdimError::Corrupt(_))
+        ));
     }
 }

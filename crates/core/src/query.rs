@@ -26,7 +26,7 @@ use gdim_mining::Feature;
 use crate::bitset::{weighted_sq_xor_words, Bitset};
 use crate::error::GdimError;
 use crate::featurespace::{ContainmentDag, FeatureSpace, MatchStats};
-use crate::scan::{ScanStats, VectorStore};
+use crate::scan::{ScanStats, Tombstones, VectorStore};
 
 /// How database graphs and queries are embedded over the selected
 /// features.
@@ -196,6 +196,21 @@ impl MappedDatabase {
         self.store.vector(i)
     }
 
+    /// Appends one already-mapped vector (over this database's `p`
+    /// selected dimensions) — the mapped-database half of an online
+    /// insert. The per-feature support lists cloned into this value at
+    /// construction are **not** extended (the authoritative supports
+    /// live in the [`FeatureSpace`], which
+    /// [`GraphIndex::insert`](crate::index::GraphIndex::insert) does
+    /// update); the containment DAG derived from them depends only on
+    /// the feature graphs, so query pruning is unaffected.
+    ///
+    /// # Panics
+    /// If `row` does not cover exactly `p` dimensions.
+    pub fn push_row(&mut self, row: &Bitset) {
+        self.store.push_row(row);
+    }
+
     /// Maps an (unseen) query onto the selected dimensions via VF2 —
     /// the "feature matching time" component of the paper's query
     /// cost — skipping calls the [`ContainmentDag`] and the invariant
@@ -275,9 +290,26 @@ impl MappedDatabase {
     /// The bounded top-k scan under the database's own mapping, with
     /// the per-scan work counters.
     pub fn scan_topk(&self, qvec: &Bitset, k: usize) -> (Vec<(u32, f64)>, ScanStats) {
+        self.scan_topk_masked(qvec, k, None)
+    }
+
+    /// [`MappedDatabase::scan_topk`] with an optional [`Tombstones`]
+    /// mask: dead rows are skipped by the kernel and never appear in
+    /// the hits (the dynamic-index serving path; `None` or a mask with
+    /// no dead rows costs nothing — see
+    /// [`VectorStore::topk_binary_masked`]).
+    pub fn scan_topk_masked(
+        &self,
+        qvec: &Bitset,
+        k: usize,
+        dead: Option<&Tombstones>,
+    ) -> (Vec<(u32, f64)>, ScanStats) {
         match self.kind {
-            MappingKind::Binary => self.store.topk_binary(qvec.words(), k),
-            MappingKind::Weighted => self.store.topk_weighted(qvec.words(), k, &self.w_sq),
+            MappingKind::Binary => self.store.topk_binary_masked(qvec.words(), k, dead),
+            MappingKind::Weighted => {
+                self.store
+                    .topk_weighted_masked(qvec.words(), k, &self.w_sq, dead)
+            }
         }
     }
 
@@ -292,6 +324,19 @@ impl MappedDatabase {
         w_sq: &[f64],
     ) -> (Vec<(u32, f64)>, ScanStats) {
         self.store.topk_weighted(qvec.words(), k, w_sq)
+    }
+
+    /// [`MappedDatabase::scan_topk_with`] with an optional
+    /// [`Tombstones`] mask (same contract as
+    /// [`MappedDatabase::scan_topk_masked`]).
+    pub fn scan_topk_with_masked(
+        &self,
+        qvec: &Bitset,
+        k: usize,
+        w_sq: &[f64],
+        dead: Option<&Tombstones>,
+    ) -> (Vec<(u32, f64)>, ScanStats) {
+        self.store.topk_weighted_masked(qvec.words(), k, w_sq, dead)
     }
 
     /// Full ranking of the database for a query vector, ascending by
@@ -363,14 +408,28 @@ pub fn exact_ranking(
     mcs: &McsOptions,
     exec: &ExecConfig,
 ) -> Vec<(u32, f64)> {
-    let vals = gdim_exec::map_chunks(exec, db.len(), 8, |range| {
-        range.map(|i| delta(kind, q, &db[i], mcs)).collect()
+    let ids: Vec<u32> = (0..db.len() as u32).collect();
+    exact_ranking_among(db, &ids, q, kind, mcs, exec)
+}
+
+/// [`exact_ranking`] restricted to the graphs named by `ids` (which
+/// keep their database ids in the result) — the one δ-ranking kernel;
+/// the dynamic index ranks only its live rows through this, so
+/// tombstoned graphs cost no MCS calls.
+pub fn exact_ranking_among(
+    db: &[Graph],
+    ids: &[u32],
+    q: &Graph,
+    kind: Dissimilarity,
+    mcs: &McsOptions,
+    exec: &ExecConfig,
+) -> Vec<(u32, f64)> {
+    let vals = gdim_exec::map_chunks(exec, ids.len(), 8, |range| {
+        range
+            .map(|x| delta(kind, q, &db[ids[x] as usize], mcs))
+            .collect()
     });
-    let mut ranked: Vec<(u32, f64)> = vals
-        .into_iter()
-        .enumerate()
-        .map(|(i, d)| (i as u32, d))
-        .collect();
+    let mut ranked: Vec<(u32, f64)> = ids.iter().copied().zip(vals).collect();
     sort_ranking(&mut ranked);
     ranked
 }
@@ -604,6 +663,26 @@ mod tests {
         let qvec = mapped.map_query(&db[1]);
         let uniform = vec![1.0 / mapped.p() as f64; mapped.p()];
         assert_eq!(mapped.ranking(&qvec), mapped.ranking_with(&qvec, &uniform));
+    }
+
+    #[test]
+    fn exact_ranking_among_all_ids_is_exact_ranking() {
+        let (db, _) = setup();
+        let mcs = McsOptions::default();
+        let exec = ExecConfig::new(2);
+        let all: Vec<u32> = (0..db.len() as u32).collect();
+        assert_eq!(
+            exact_ranking_among(&db, &all, &db[1], Dissimilarity::AvgNorm, &mcs, &exec),
+            exact_ranking(&db, &db[1], Dissimilarity::AvgNorm, &mcs, &exec)
+        );
+        // A strict subset ranks only its members, keeping database ids.
+        let some = [3u32, 7, 11, 19];
+        let sub = exact_ranking_among(&db, &some, &db[7], Dissimilarity::AvgNorm, &mcs, &exec);
+        assert_eq!(sub.len(), some.len());
+        assert_eq!(sub[0], (7, 0.0));
+        for (id, _) in &sub {
+            assert!(some.contains(id));
+        }
     }
 
     #[test]

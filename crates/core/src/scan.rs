@@ -32,6 +32,22 @@
 //! savings per request. The store is **derived state**: it is rebuilt
 //! deterministically from the feature space on index load and is never
 //! persisted (see [`crate::persist`]).
+//!
+//! A **dynamic** index (online [`insert`](crate::index::GraphIndex::insert) /
+//! [`remove`](crate::index::GraphIndex::remove)) extends the contract
+//! two ways:
+//!
+//! * [`VectorStore::push_row`] appends one vector in place, so an
+//!   insert costs an `O(stride)` copy instead of a store rebuild;
+//! * removed rows are **tombstoned**, not compacted (ids must stay
+//!   stable until the next epoch rebuild): the `*_masked` kernel
+//!   variants take an optional [`Tombstones`] mask and skip dead rows
+//!   before they reach the selector. A masked call with no dead rows
+//!   delegates to the unmasked kernel, so a tombstone-free index pays
+//!   **zero** overhead for the capability, and the masked loops are
+//!   monomorphized from the same implementation as the unmasked ones,
+//!   so live-row accumulation order (and therefore every distance)
+//!   stays bit-identical.
 
 use crate::bitset::{weighted_sq_xor_words, Bitset};
 
@@ -59,6 +75,113 @@ pub struct ScanStats {
     pub early_abandoned: usize,
     /// Total 64-bit words read across all rows.
     pub words_scanned: usize,
+    /// Rows skipped because a [`Tombstones`] mask marked them dead
+    /// (always 0 for the unmasked kernels). Whenever a scan ran,
+    /// `vectors_scanned + early_abandoned + tombstones_skipped` equals
+    /// the store size.
+    pub tombstones_skipped: usize,
+}
+
+/// A row liveness mask for a dynamic store: removed rows are marked
+/// dead here (ids stay stable) and the masked scan kernels skip them.
+/// The mask is cleared by the next epoch rebuild, which compacts the
+/// database (see [`GraphIndex::rebuild`](crate::index::GraphIndex::rebuild)).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tombstones {
+    words: Vec<u64>,
+    len: usize,
+    dead: usize,
+}
+
+impl Tombstones {
+    /// An all-live mask over `n` rows.
+    pub fn all_live(n: usize) -> Self {
+        Tombstones {
+            words: vec![0; n.div_ceil(64)],
+            len: n,
+            dead: 0,
+        }
+    }
+
+    /// Number of rows tracked (live + dead).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows are tracked at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of dead rows.
+    #[inline]
+    pub fn dead_count(&self) -> usize {
+        self.dead
+    }
+
+    /// Number of live rows.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.len - self.dead
+    }
+
+    /// Dead fraction `dead / len` (0 for an empty mask).
+    pub fn dead_fraction(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.dead as f64 / self.len as f64
+        }
+    }
+
+    /// Whether row `i` is dead.
+    #[inline]
+    pub fn is_dead(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Tracks one more row, live.
+    pub fn push_live(&mut self) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+    }
+
+    /// Marks row `i` dead; returns whether it was live before (`false`
+    /// = the row was already tombstoned, and nothing changed).
+    ///
+    /// # Panics
+    /// If `i` is out of range — callers bounds-check first (the
+    /// serving path maps a bad id to a typed error).
+    pub fn mark_dead(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "tombstone index {i} out of {}", self.len);
+        if self.is_dead(i) {
+            return false;
+        }
+        self.words[i / 64] |= 1 << (i % 64);
+        self.dead += 1;
+        true
+    }
+
+    /// The dead row ids, ascending.
+    pub fn dead_ids(&self) -> Vec<u32> {
+        (0..self.len)
+            .filter(|&i| self.is_dead(i))
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    /// The live row ids, ascending.
+    pub fn live_ids(&self) -> Vec<u32> {
+        (0..self.len)
+            .filter(|&i| !self.is_dead(i))
+            .map(|i| i as u32)
+            .collect()
+    }
 }
 
 impl VectorStore {
@@ -93,6 +216,18 @@ impl VectorStore {
     pub fn set(&mut self, row: usize, bit: usize) {
         debug_assert!(row < self.n && bit < self.bits);
         self.words[row * self.stride + bit / 64] |= 1 << (bit % 64);
+    }
+
+    /// Appends one vector to the store — the scan-side cost of an
+    /// online insert: an `O(stride)` word copy, no rebuild, no
+    /// reallocation beyond amortized `Vec` growth.
+    ///
+    /// # Panics
+    /// If `row` disagrees with the store's vector length.
+    pub fn push_row(&mut self, row: &Bitset) {
+        assert_eq!(row.len(), self.bits, "pushed row length mismatch");
+        self.words.extend_from_slice(row.words());
+        self.n += 1;
     }
 
     /// Number of vectors `n`.
@@ -139,9 +274,52 @@ impl VectorStore {
     /// trade belongs to the weighted path); the k-th bound instead
     /// rejects rows before they touch the selector heap.
     pub fn topk_binary(&self, query: &[u64], k: usize) -> (Vec<(u32, f64)>, ScanStats) {
+        self.binary_scan(query, k, self.n, |_| false, 0)
+    }
+
+    /// [`VectorStore::topk_binary`] over the live rows of a
+    /// tombstone-masked store: dead rows are skipped before the
+    /// distance loop and counted in
+    /// [`ScanStats::tombstones_skipped`]; `k` clamps to the live row
+    /// count. `None` (or a mask with no dead rows) delegates to the
+    /// unmasked kernel — a tombstone-free index pays nothing.
+    pub fn topk_binary_masked(
+        &self,
+        query: &[u64],
+        k: usize,
+        dead: Option<&Tombstones>,
+    ) -> (Vec<(u32, f64)>, ScanStats) {
+        match dead.filter(|t| t.dead_count() > 0) {
+            None => self.topk_binary(query, k),
+            Some(t) => {
+                debug_assert_eq!(t.len(), self.n, "mask covers a different store");
+                self.binary_scan(query, k, t.live_count(), |i| t.is_dead(i), t.dead_count())
+            }
+        }
+    }
+
+    /// The one binary scan implementation. `is_dead` is monomorphized
+    /// away for the unmasked `|_| false` instantiation, so the
+    /// tombstone-free loop compiles to exactly the branch-free kernel,
+    /// and live rows accumulate in the same order either way.
+    fn binary_scan<F: Fn(usize) -> bool>(
+        &self,
+        query: &[u64],
+        k: usize,
+        live: usize,
+        is_dead: F,
+        dead_count: usize,
+    ) -> (Vec<(u32, f64)>, ScanStats) {
         debug_assert_eq!(query.len(), self.stride);
-        let mut stats = ScanStats::default();
-        let k = k.min(self.n);
+        // Dead rows are skipped by definition, even when nothing else
+        // runs (k = 0, or no live rows at all): an all-tombstoned
+        // store still reports `tombstones_skipped == n`, keeping the
+        // stats identity for monitoring.
+        let mut stats = ScanStats {
+            tombstones_skipped: dead_count,
+            ..ScanStats::default()
+        };
+        let k = k.min(live);
         if k == 0 {
             return (Vec::new(), stats);
         }
@@ -149,6 +327,9 @@ impl VectorStore {
         if self.stride == 0 {
             // p = 0: every distance is 0; ids break the ties.
             for i in 0..self.n {
+                if is_dead(i) {
+                    continue;
+                }
                 stats.vectors_scanned += 1;
                 sel.offer(0, i as u32);
             }
@@ -158,6 +339,9 @@ impl VectorStore {
         // offer is kept, so the hot loop never reads the heap.
         let mut bound: Option<u32> = None;
         for (i, row) in self.words.chunks_exact(self.stride).enumerate() {
+            if is_dead(i) {
+                continue;
+            }
             let mut h = 0u32;
             for (a, b) in query.iter().zip(row) {
                 h += (a ^ b).count_ones();
@@ -171,8 +355,8 @@ impl VectorStore {
                 bound = sel.bound().map(|&(b, _)| b);
             }
         }
-        stats.vectors_scanned = self.n;
-        stats.words_scanned = self.n * self.stride;
+        stats.vectors_scanned = live;
+        stats.words_scanned = live * self.stride;
         (Self::binary_hits(sel, self.bits), stats)
     }
 
@@ -200,16 +384,66 @@ impl VectorStore {
         k: usize,
         w_sq: &[f64],
     ) -> (Vec<(u32, f64)>, ScanStats) {
+        self.weighted_scan(query, k, w_sq, self.n, |_| false, 0)
+    }
+
+    /// [`VectorStore::topk_weighted`] over the live rows of a
+    /// tombstone-masked store — same contract as
+    /// [`VectorStore::topk_binary_masked`]: dead rows never touch the
+    /// accumulator or the selector, `k` clamps to the live count, and
+    /// the no-dead-rows case delegates to the unmasked kernel.
+    pub fn topk_weighted_masked(
+        &self,
+        query: &[u64],
+        k: usize,
+        w_sq: &[f64],
+        dead: Option<&Tombstones>,
+    ) -> (Vec<(u32, f64)>, ScanStats) {
+        match dead.filter(|t| t.dead_count() > 0) {
+            None => self.topk_weighted(query, k, w_sq),
+            Some(t) => {
+                debug_assert_eq!(t.len(), self.n, "mask covers a different store");
+                self.weighted_scan(
+                    query,
+                    k,
+                    w_sq,
+                    t.live_count(),
+                    |i| t.is_dead(i),
+                    t.dead_count(),
+                )
+            }
+        }
+    }
+
+    /// The one weighted scan implementation (see
+    /// [`VectorStore::binary_scan`] for the monomorphization contract).
+    fn weighted_scan<F: Fn(usize) -> bool>(
+        &self,
+        query: &[u64],
+        k: usize,
+        w_sq: &[f64],
+        live: usize,
+        is_dead: F,
+        dead_count: usize,
+    ) -> (Vec<(u32, f64)>, ScanStats) {
         debug_assert_eq!(query.len(), self.stride);
         debug_assert!(w_sq.len() >= self.bits);
-        let mut stats = ScanStats::default();
-        let k = k.min(self.n);
+        // See `binary_scan`: dead rows are reported even on the k = 0
+        // / no-live-rows early return.
+        let mut stats = ScanStats {
+            tombstones_skipped: dead_count,
+            ..ScanStats::default()
+        };
+        let k = k.min(live);
         if k == 0 {
             return (Vec::new(), stats);
         }
         let mut sel: TopK<OrdF64> = TopK::new(k);
         if self.stride == 0 {
             for i in 0..self.n {
+                if is_dead(i) {
+                    continue;
+                }
                 stats.vectors_scanned += 1;
                 sel.offer(OrdF64(0.0), i as u32);
             }
@@ -218,6 +452,9 @@ impl VectorStore {
         let mut bound: Option<f64> = None;
         let last = self.stride - 1;
         for (i, row) in self.words.chunks_exact(self.stride).enumerate() {
+            if is_dead(i) {
+                continue;
+            }
             let mut total = 0.0f64;
             if let Some(bound) = bound {
                 let mut touched = self.stride;
@@ -465,6 +702,131 @@ mod tests {
         assert_eq!(hits, vec![(0, 0.0), (1, 0.0), (2, 0.0)]);
         let (hits, _) = z.topk_weighted(&[], 2, &[]);
         assert_eq!(hits, vec![(0, 0.0), (1, 0.0)]);
+    }
+
+    #[test]
+    fn push_row_appends_and_scans_identically_to_batch_build() {
+        let mut a = Bitset::zeros(130);
+        a.set(0);
+        a.set(129);
+        let mut b = Bitset::zeros(130);
+        b.set(65);
+        let batch = VectorStore::from_bitsets(&[a.clone(), b.clone()]);
+        let mut grown = VectorStore::zeros(0, 130);
+        grown.push_row(&a);
+        grown.push_row(&b);
+        assert_eq!(grown, batch);
+        let q = Bitset::zeros(130);
+        assert_eq!(
+            grown.topk_binary(q.words(), 2),
+            batch.topk_binary(q.words(), 2)
+        );
+    }
+
+    #[test]
+    fn masked_scan_equals_unmasked_scan_of_live_rows() {
+        let rows: Vec<Vec<usize>> = (0..30)
+            .map(|i| (0..130).filter(|b| (b * 3 + i) % 7 == 0).collect())
+            .collect();
+        let refs: Vec<&[usize]> = rows.iter().map(Vec::as_slice).collect();
+        let s = store_from_bits(&refs, 130);
+        let mut q = Bitset::zeros(130);
+        for b in (0..130).step_by(4) {
+            q.set(b);
+        }
+        let mut dead = Tombstones::all_live(30);
+        for i in [0usize, 7, 8, 29] {
+            assert!(dead.mark_dead(i));
+        }
+        let w_sq: Vec<f64> = (0..130).map(|b| 1.0 / (b + 2) as f64).collect();
+        for k in [0usize, 1, 5, 26, 40] {
+            let (hits, stats) = s.topk_binary_masked(q.words(), k, Some(&dead));
+            let (whits, wstats) = s.topk_weighted_masked(q.words(), k, &w_sq, Some(&dead));
+            for (id, _) in hits.iter().chain(&whits) {
+                assert!(!dead.is_dead(*id as usize), "dead row {id} in hits (k={k})");
+            }
+            assert_eq!(hits.len(), k.min(26), "k = {k}");
+            if k > 0 {
+                assert_eq!(stats.tombstones_skipped, 4);
+                assert_eq!(
+                    stats.vectors_scanned + stats.early_abandoned + stats.tombstones_skipped,
+                    30
+                );
+                assert_eq!(
+                    wstats.vectors_scanned + wstats.early_abandoned + wstats.tombstones_skipped,
+                    30
+                );
+            }
+            // Reference: a store holding only the live rows, with ids
+            // remapped back — distances and relative order must match.
+            let live_refs: Vec<&[usize]> = rows
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !dead.is_dead(*i))
+                .map(|(_, r)| r.as_slice())
+                .collect();
+            let live_store = store_from_bits(&live_refs, 130);
+            let live_ids = dead.live_ids();
+            let (ref_hits, _) = live_store.topk_binary(q.words(), k);
+            let remapped: Vec<(u32, f64)> = ref_hits
+                .into_iter()
+                .map(|(id, d)| (live_ids[id as usize], d))
+                .collect();
+            assert_eq!(hits, remapped, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn all_dead_store_still_reports_its_tombstones() {
+        // No live rows: the kernel scans nothing, but the skipped rows
+        // are still accounted for — the stats identity `scanned +
+        // abandoned + skipped == n` must hold for monitoring even when
+        // the answer is empty.
+        let s = store_from_bits(&[&[0], &[1], &[2]], 130);
+        let mut dead = Tombstones::all_live(3);
+        for i in 0..3 {
+            dead.mark_dead(i);
+        }
+        let q = Bitset::zeros(130);
+        let (hits, stats) = s.topk_binary_masked(q.words(), 5, Some(&dead));
+        assert!(hits.is_empty());
+        assert_eq!(stats.tombstones_skipped, 3);
+        assert_eq!(stats.vectors_scanned + stats.early_abandoned, 0);
+        let (whits, wstats) = s.topk_weighted_masked(q.words(), 5, &[1.0; 130], Some(&dead));
+        assert!(whits.is_empty());
+        assert_eq!(wstats.tombstones_skipped, 3);
+    }
+
+    #[test]
+    fn masked_scan_without_dead_rows_is_the_unmasked_kernel() {
+        let s = store_from_bits(&[&[0, 65], &[1], &[2, 64]], 130);
+        let q = Bitset::zeros(130);
+        let empty = Tombstones::all_live(3);
+        for mask in [None, Some(&empty)] {
+            let (hits, stats) = s.topk_binary_masked(q.words(), 2, mask);
+            assert_eq!((hits, stats), s.topk_binary(q.words(), 2));
+        }
+    }
+
+    #[test]
+    fn tombstones_track_push_mark_and_fraction() {
+        let mut t = Tombstones::all_live(0);
+        assert!(t.is_empty());
+        assert_eq!(t.dead_fraction(), 0.0);
+        for _ in 0..70 {
+            t.push_live(); // crosses the word boundary
+        }
+        assert_eq!((t.len(), t.live_count(), t.dead_count()), (70, 70, 0));
+        assert!(t.mark_dead(69));
+        assert!(!t.mark_dead(69), "double remove changes nothing");
+        assert!(t.mark_dead(0));
+        assert_eq!(t.dead_count(), 2);
+        assert_eq!(t.dead_ids(), vec![0, 69]);
+        assert_eq!(t.live_ids().len(), 68);
+        assert!((t.dead_fraction() - 2.0 / 70.0).abs() < 1e-12);
+        t.push_live();
+        assert!(!t.is_dead(70));
+        assert_eq!(t.len(), 71);
     }
 
     #[test]

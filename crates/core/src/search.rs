@@ -6,8 +6,10 @@
 //! by mapping + sequential scan). This module shapes that workload as
 //! explicit values — a [`SearchRequest`] selects `k`, a [`Ranker`], the
 //! [`MappingKind`] and an optional MCS budget; a [`SearchResponse`]
-//! carries typed [`Hit`]s plus [`SearchStats`] observability (candidates
-//! scanned, MCS calls, wall time) so a server can meter every answer.
+//! carries typed [`Hit`]s plus [`SearchStats`] observability (vectors
+//! fully evaluated vs. early-abandoned vs. tombstone-skipped, MCS
+//! calls, the answering epoch, wall time) so a server can meter every
+//! answer.
 //!
 //! Three rankers cover the quality/cost spectrum:
 //!
@@ -41,11 +43,11 @@
 
 use std::time::{Duration, Instant};
 
-use gdim_graph::{delta, Graph, McsOptions};
+use gdim_graph::{Graph, McsOptions};
 
 use crate::error::GdimError;
 use crate::index::GraphIndex;
-use crate::query::{sort_ranking, MappingKind};
+use crate::query::MappingKind;
 
 /// Typed id of an indexed graph (its position in the database the
 /// index was built over).
@@ -179,20 +181,30 @@ impl SearchRequest {
 }
 
 /// Per-request observability counters. The scan counters prove what
-/// the kernels saved: `candidates_scanned + early_abandoned` equals
-/// the database size whenever a scan ran, and `vf2_calls +
-/// vf2_pruned` equals the number of selected dimensions.
+/// the kernels saved: `candidates_scanned + early_abandoned +
+/// tombstones_skipped` equals the index size whenever a scan ran, and
+/// `vf2_calls + vf2_pruned` equals the number of selected dimensions.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
     /// Database vectors whose mapped distance was **fully** evaluated
     /// (0 for [`Ranker::Exact`], which never maps the query).
-    /// Early-abandoned vectors are counted separately.
+    /// Early-abandoned and tombstone-skipped vectors are counted
+    /// separately — this is the work the kernel actually did, not the
+    /// pre-PR-3 "all candidates in the database".
     pub candidates_scanned: usize,
     /// Vectors the scan abandoned early because their running distance
     /// already exceeded the k-th bound.
     pub early_abandoned: usize,
+    /// Tombstoned (removed-but-not-yet-compacted) rows the scan
+    /// skipped without evaluating.
+    pub tombstones_skipped: usize,
     /// 64-bit words read by the scan kernel.
     pub words_scanned: usize,
+    /// The index epoch (rebuild generation) that answered the request.
+    pub epoch: u64,
+    /// Live (non-tombstoned) graphs at answer time — the maximum
+    /// possible hit count.
+    pub live_graphs: usize,
     /// VF2 subgraph-isomorphism tests run while mapping the query.
     pub vf2_calls: usize,
     /// VF2 tests skipped by the containment DAG / invariant prescreen.
@@ -252,6 +264,8 @@ impl GraphIndex {
             r
         };
         resp.stats.wall_time = t0.elapsed();
+        resp.stats.epoch = self.epoch();
+        resp.stats.live_graphs = self.live_len();
         Ok(resp)
     }
 
@@ -289,6 +303,8 @@ impl GraphIndex {
             resp.stats.vf2_pruned = mapped[i].1.vf2_pruned;
             resp.stats.match_time = match_time;
             resp.stats.wall_time = ti.elapsed() + match_time;
+            resp.stats.epoch = self.epoch();
+            resp.stats.live_graphs = self.live_len();
             resp
         };
         match req.ranker {
@@ -323,21 +339,24 @@ impl GraphIndex {
     }
 
     /// The single [`Ranker::Exact`] implementation (no mapped scan; the
-    /// caller stamps `wall_time`).
+    /// caller stamps `wall_time`). Tombstoned graphs are excluded
+    /// *before* the δ fan-out, so dead rows cost no MCS calls and
+    /// never surface as hits.
     fn exact_response(&self, query: &Graph, req: &SearchRequest) -> SearchResponse {
-        let n = self.len();
-        let ranked = crate::query::exact_ranking(
+        let live = self.tombstones().live_ids();
+        let ranked = crate::query::exact_ranking_among(
             self.graphs(),
+            &live,
             query,
             self.dissimilarity(),
             &self.mcs_for(req),
             self.exec(),
         );
         SearchResponse {
-            hits: Self::hits(ranked, req.k.min(n)),
+            hits: Self::hits(ranked, req.k.min(self.len())),
             stats: SearchStats {
                 candidates_scanned: 0,
-                mcs_calls: n,
+                mcs_calls: live.len(),
                 ..Default::default()
             },
         }
@@ -362,7 +381,9 @@ impl GraphIndex {
     }
 
     /// The scan leg: a bounded top-k (or top-`candidates`, for
-    /// [`Ranker::Refined`]) kernel scan under the requested mapping.
+    /// [`Ranker::Refined`]) kernel scan under the requested mapping,
+    /// tombstone-masked (a mask with no dead rows delegates straight
+    /// to the unmasked kernels).
     fn scan_premapped(
         &self,
         qvec: &crate::bitset::Bitset,
@@ -373,9 +394,13 @@ impl GraphIndex {
             Ranker::Refined { candidates } => candidates.min(n),
             _ => req.k.min(n),
         };
+        let dead = Some(self.tombstones());
         match req.mapping {
-            MappingKind::Binary => self.mapped().scan_topk(qvec, k),
-            MappingKind::Weighted => self.mapped().scan_topk_with(qvec, k, self.weighted_w_sq()),
+            MappingKind::Binary => self.mapped().scan_topk_masked(qvec, k, dead),
+            MappingKind::Weighted => {
+                self.mapped()
+                    .scan_topk_with_masked(qvec, k, self.weighted_w_sq(), dead)
+            }
         }
     }
 
@@ -391,7 +416,10 @@ impl GraphIndex {
         let (ranked, mcs_calls) = match req.ranker {
             Ranker::Refined { candidates } => {
                 let c = candidates.min(n);
-                (self.refine(query, &scanned, c, &self.mcs_for(req)), c)
+                // The masked scan may return fewer than `c` rows (only
+                // live rows exist); count the δ calls actually made.
+                let did = scanned.len().min(c);
+                (self.refine(query, &scanned, c, &self.mcs_for(req)), did)
             }
             _ => (scanned, 0),
         };
@@ -400,6 +428,7 @@ impl GraphIndex {
             stats: SearchStats {
                 candidates_scanned: scan_stats.vectors_scanned,
                 early_abandoned: scan_stats.early_abandoned,
+                tombstones_skipped: scan_stats.tombstones_skipped,
                 words_scanned: scan_stats.words_scanned,
                 mcs_calls,
                 ..Default::default()
@@ -420,9 +449,10 @@ impl GraphIndex {
     }
 
     /// The verification phase of [`Ranker::Refined`]: exact δ for the
-    /// top `c` entries of a mapped ranking, fanned out in 8-wide chunks
-    /// on the index's exec budget (byte-identical for any thread
-    /// count), re-sorted ascending by `(δ, id)`.
+    /// top `c` entries of a mapped ranking, through the one δ-ranking
+    /// kernel ([`exact_ranking_among`](crate::query::exact_ranking_among),
+    /// byte-identical for any thread count), re-sorted ascending by
+    /// `(δ, id)`.
     fn refine(
         &self,
         query: &Graph,
@@ -430,19 +460,15 @@ impl GraphIndex {
         c: usize,
         mcs: &McsOptions,
     ) -> Vec<(u32, f64)> {
-        let kind = self.dissimilarity();
         let cand_ids: Vec<u32> = mapped_ranking.iter().take(c).map(|&(id, _)| id).collect();
-        let vals = gdim_exec::map_chunks(self.exec(), cand_ids.len(), 8, |range| {
-            range
-                .map(|x| {
-                    let g = &self.graphs()[cand_ids[x] as usize];
-                    delta(kind, query, g, mcs)
-                })
-                .collect()
-        });
-        let mut ranked: Vec<(u32, f64)> = cand_ids.into_iter().zip(vals).collect();
-        sort_ranking(&mut ranked);
-        ranked
+        crate::query::exact_ranking_among(
+            self.graphs(),
+            &cand_ids,
+            query,
+            self.dissimilarity(),
+            mcs,
+            self.exec(),
+        )
     }
 
     fn mcs_for(&self, req: &SearchRequest) -> McsOptions {
@@ -600,6 +626,83 @@ mod tests {
         assert_eq!(wide.stats.early_abandoned, 0);
         // Fewer words are read under the tight bound.
         assert!(resp.stats.words_scanned < wide.stats.words_scanned);
+    }
+
+    #[test]
+    fn candidates_scanned_counts_fully_evaluated_vectors_only() {
+        // Pins the post-PR-3 meaning of `candidates_scanned`: the rows
+        // whose distance the kernel *fully* evaluated — identical to
+        // the kernel's own `vectors_scanned` counter, never the whole
+        // database whenever rows were early-abandoned or tombstoned.
+        let idx = index(30, 47);
+        let q = idx.graph(0).unwrap().clone();
+        for req in [
+            SearchRequest::topk(3),
+            SearchRequest::topk(1).with_mapping(MappingKind::Weighted),
+        ] {
+            let resp = idx.search(&q, &req).unwrap();
+            let (_, kernel) = match req.mapping {
+                MappingKind::Binary => {
+                    idx.mapped()
+                        .scan_topk_masked(&idx.map_query(&q), req.k, Some(idx.tombstones()))
+                }
+                MappingKind::Weighted => idx.mapped().scan_topk_with_masked(
+                    &idx.map_query(&q),
+                    req.k,
+                    idx.weighted_w_sq(),
+                    Some(idx.tombstones()),
+                ),
+            };
+            assert_eq!(resp.stats.candidates_scanned, kernel.vectors_scanned);
+            assert_eq!(
+                resp.stats.candidates_scanned
+                    + resp.stats.early_abandoned
+                    + resp.stats.tombstones_skipped,
+                idx.len(),
+                "fully-evaluated + abandoned + tombstoned covers the index"
+            );
+        }
+    }
+
+    #[test]
+    fn tombstoned_rows_never_surface_and_stats_account_for_them() {
+        let db = gdim_datagen::chem_db(24, &gdim_datagen::ChemConfig::default(), 21);
+        let mut idx = GraphIndex::build(db, IndexOptions::default().with_dimensions(25));
+        for dead in [2u32, 3, 11] {
+            assert!(idx.remove(GraphId(dead)).unwrap());
+        }
+        let q = idx.graph(2).unwrap().clone(); // query *is* a tombstoned graph
+        for (ranker, mapping) in [
+            (Ranker::Mapped, MappingKind::Binary),
+            (Ranker::Mapped, MappingKind::Weighted),
+            (Ranker::Refined { candidates: 30 }, MappingKind::Binary),
+            (Ranker::Exact, MappingKind::Binary),
+        ] {
+            let req = SearchRequest::topk(24)
+                .with_ranker(ranker)
+                .with_mapping(mapping);
+            let resp = idx.search(&q, &req).unwrap();
+            assert!(
+                resp.hits.iter().all(|h| ![2, 3, 11].contains(&h.id.get())),
+                "{ranker:?}/{mapping:?}: dead id in hits"
+            );
+            assert_eq!(resp.hits.len(), 21, "{ranker:?}: one hit per live graph");
+            assert_eq!(resp.stats.live_graphs, 21);
+            assert_eq!(resp.stats.epoch, 0);
+            match ranker {
+                Ranker::Exact => assert_eq!(resp.stats.mcs_calls, 21, "δ only for live"),
+                Ranker::Refined { .. } => assert_eq!(resp.stats.mcs_calls, 21),
+                Ranker::Mapped => {
+                    assert_eq!(resp.stats.tombstones_skipped, 3);
+                    assert_eq!(
+                        resp.stats.candidates_scanned
+                            + resp.stats.early_abandoned
+                            + resp.stats.tombstones_skipped,
+                        24
+                    );
+                }
+            }
+        }
     }
 
     #[test]

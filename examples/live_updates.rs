@@ -1,0 +1,116 @@
+//! Live updates: serve a [`GraphIndex`] while the database changes
+//! underneath it — online `insert` (mapped against the existing
+//! feature space, no re-mining), `remove` (tombstoned, skipped by
+//! every ranker), the [`RebuildPolicy`] staleness test, and the
+//! epoch-based background rebuild that restores batch quality and
+//! swaps in atomically.
+//!
+//! ```sh
+//! cargo run --release --example live_updates
+//! ```
+
+use gdim::prelude::*;
+
+fn main() -> Result<(), GdimError> {
+    let cfg = gdim::datagen::ChemConfig::default();
+    let db = gdim::datagen::chem_db(100, &cfg, 7);
+
+    // A tight policy so this demo actually trips it: tolerate at most
+    // 8 pending inserts or 10% tombstones before declaring staleness.
+    let mut index = GraphIndex::build(
+        db,
+        IndexOptions::default()
+            .with_dimensions(50)
+            .with_rebuild_policy(RebuildPolicy {
+                max_inserts: 8,
+                max_tombstone_frac: 0.10,
+            }),
+    );
+    println!(
+        "built: {} graphs, {} dimensions, epoch {}",
+        index.len(),
+        index.dimensions().len(),
+        index.epoch()
+    );
+
+    // --- online inserts -------------------------------------------
+    // Each insert maps the newcomer against the *existing* feature
+    // space (containment-DAG-pruned VF2) and appends its vector to the
+    // scan store — the selected dimensions are not revisited.
+    let newcomers = gdim::datagen::chem_db(8, &cfg, 4242);
+    let mut last = None;
+    for g in &newcomers {
+        last = Some((index.insert(g.clone()), g.clone()));
+    }
+    let (id, g) = last.expect("inserted at least one");
+    let resp = index.search(&g, &SearchRequest::topk(3))?;
+    println!(
+        "inserted {} graphs; self-query of {} -> top hit {} at distance {:.3} (epoch {})",
+        newcomers.len(),
+        id,
+        resp.hits[0].id,
+        resp.hits[0].distance,
+        resp.stats.epoch
+    );
+
+    // --- online removes -------------------------------------------
+    // Tombstoned rows stay addressable (ids are stable) but are dead
+    // to every ranker; the scan reports what it skipped.
+    for dead in [3u32, 14, 41] {
+        index.remove(GraphId(dead))?;
+    }
+    let probe = index.graph(3)?.clone(); // query *is* a removed graph
+    let resp = index.search(&probe, &SearchRequest::topk(5))?;
+    println!(
+        "removed 3 graphs; live {}/{}, scan skipped {} tombstones, hits exclude g3: {}",
+        index.live_len(),
+        index.len(),
+        resp.stats.tombstones_skipped,
+        resp.hits.iter().all(|h| h.id.get() != 3)
+    );
+
+    // --- staleness + background rebuild ---------------------------
+    // 8 pending inserts reached max_inserts, so the index is stale. A
+    // background task re-runs the full pipeline (re-mine → re-select →
+    // re-map) over a snapshot of the live graphs; the serving side
+    // keeps answering meanwhile and installs the result atomically.
+    assert!(index.is_stale());
+    let task = index.spawn_rebuild();
+    let served_while_rebuilding = index.search(&probe, &SearchRequest::topk(5))?;
+    println!(
+        "rebuild running in the background; meanwhile served a query in {:?} (epoch {})",
+        served_while_rebuilding.stats.wall_time, served_while_rebuilding.stats.epoch
+    );
+    let installed = index.install(task)?;
+    println!(
+        "rebuild installed: {installed}; epoch {} -> {} graphs, {} tombstones, stale: {}",
+        index.epoch(),
+        index.len(),
+        index.tombstone_count(),
+        index.is_stale()
+    );
+
+    // After the rebuild the index is bit-identical to a batch build
+    // over the live graphs — features the inserts brought along are
+    // now minable, and the tombstones are compacted away.
+    let resp = index.search(&g, &SearchRequest::topk(3))?;
+    println!(
+        "post-rebuild self-query -> top hit {} at distance {:.3} (epoch {})",
+        resp.hits[0].id, resp.hits[0].distance, resp.stats.epoch
+    );
+
+    // A mutation arriving after a snapshot makes installation refuse
+    // rather than silently dropping it.
+    let task = index.spawn_rebuild();
+    index.insert(gdim::datagen::chem_db(1, &cfg, 777)[0].clone());
+    match index.install(task) {
+        Err(GdimError::StaleRebuild { missed }) => {
+            println!(
+                "late insert invalidated the snapshot ({missed} mutation missed) — spawn again"
+            );
+        }
+        other => println!("unexpected install outcome: {other:?}"),
+    }
+    index.rebuild_if_stale();
+    Ok(())
+}
