@@ -8,7 +8,8 @@
 //! ```text
 //! cargo run --release -p gdim-bench --bin scan_baseline -- \
 //!     [--out PATH] [--n N[,N...]] [--seed S] \
-//!     [--baseline PATH] [--min-frac F]
+//!     [--baseline PATH] [--min-frac F] \
+//!     [--shards S[,S...]] [--max-shard-frac F]
 //! ```
 //!
 //! * `--out PATH` — where to write the JSON (default `BENCH_scan.json`;
@@ -22,12 +23,23 @@
 //!   of the committed one. The ratio compares kernel to naive *on the
 //!   same machine*, so the gate is robust to absolute runner speed;
 //!   `--min-frac` (default 0.25) leaves generous headroom for noise.
+//! * `--shards S[,S...]` — also measure the **scatter-gather** scan
+//!   (default `8`): the same store split into S contiguous sub-stores,
+//!   each scanned with the bounded kernel, merged to a global top-10
+//!   with `gdim_shard::merge_topk`. The merged hits are asserted equal
+//!   to the single-store kernel's before timing.
+//! * `--max-shard-frac F` — **scatter-gather overhead gate**: when
+//!   given, exit non-zero if, at equal total `n`, the merged sharded
+//!   scan takes more than `F ×` the single-store kernel time (the CI
+//!   bench-smoke job passes `1.3`). The ratio is same-machine and
+//!   same-run, so it needs no committed baseline.
 
 use std::time::Instant;
 
-use gdim_bench::scanwork::{naive_fullsort_topk, synth};
-use gdim_core::{GraphIndex, IndexOptions};
+use gdim_bench::scanwork::{naive_fullsort_topk, split_store, synth};
+use gdim_core::{GraphId, GraphIndex, IndexOptions};
 use gdim_datagen::{chem_db, ChemConfig};
+use gdim_shard::merge_topk;
 
 /// Median wall time (ns) of `reps` runs of `f`.
 fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
@@ -48,6 +60,8 @@ struct Args {
     seed: u64,
     baseline: Option<String>,
     min_frac: f64,
+    shards: Vec<usize>,
+    max_shard_frac: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +71,8 @@ fn parse_args() -> Args {
         seed: 42,
         baseline: None,
         min_frac: 0.25,
+        shards: vec![8],
+        max_shard_frac: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -75,6 +91,19 @@ fn parse_args() -> Args {
                 args.min_frac = value("--min-frac")
                     .parse()
                     .expect("--min-frac takes a float");
+            }
+            "--shards" => {
+                args.shards = value("--shards")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--shards takes integers"))
+                    .collect();
+            }
+            "--max-shard-frac" => {
+                args.max_shard_frac = Some(
+                    value("--max-shard-frac")
+                        .parse()
+                        .expect("--max-shard-frac takes a float"),
+                );
             }
             other if !other.starts_with('-') && args.out == "BENCH_scan.json" => {
                 // Back-compat: a bare positional argument is the out path.
@@ -112,7 +141,9 @@ fn parse_speedups(json: &str) -> Vec<(usize, f64)> {
 fn main() {
     let args = parse_args();
     let mut rows = Vec::new();
+    let mut shard_rows = Vec::new();
     let mut fresh: Vec<(usize, f64)> = Vec::new();
+    let mut shard_gate_failures = 0usize;
     for &n in &args.sizes {
         let (store, q) = synth(n, 256, args.seed);
         let reps = if n >= 100_000 { 21 } else { 51 };
@@ -139,6 +170,56 @@ fn main() {
             wstats.words_scanned,
             n * store.stride()
         ));
+
+        // Scatter-gather overhead: the same store split into S
+        // contiguous sub-stores, each scanned with the bounded kernel,
+        // merged to a global top-10 on (distance, seq) — the shape the
+        // gdim-shard scan leg runs at equal total n.
+        for &shards in &args.shards {
+            let parts = split_store(&store, shards);
+            let scatter_gather = || {
+                let ranked: Vec<Vec<(u32, f64)>> = parts
+                    .iter()
+                    .map(|(_, sub)| sub.topk_binary(q.words(), 10).0)
+                    .collect();
+                merge_topk(
+                    &ranked,
+                    10,
+                    |s, local| parts[s].0 + local as u64,
+                    |s, local| GraphId((parts[s].0 + local as u64) as u32),
+                )
+            };
+            // Sanity outside the timed loop: merged == single-store.
+            let merged = scatter_gather();
+            let (single, _) = store.topk_binary(q.words(), 10);
+            assert_eq!(
+                merged
+                    .iter()
+                    .map(|h| (h.id.get(), h.distance))
+                    .collect::<Vec<_>>(),
+                single,
+                "scatter-gather must be bit-identical to the single-store kernel"
+            );
+            let merged_ns = median_ns(reps, scatter_gather);
+            let overhead = merged_ns as f64 / kernel.max(1) as f64;
+            let verdict = match args.max_shard_frac {
+                Some(max) if overhead > max => {
+                    shard_gate_failures += 1;
+                    "FAIL"
+                }
+                Some(_) => "ok",
+                None => "ungated",
+            };
+            eprintln!(
+                "n={n} shards={shards}: merged {merged_ns} ns vs kernel {kernel} ns \
+                 ({overhead:.2}x) .. {verdict}"
+            );
+            shard_rows.push(format!(
+                "    {{\"n\": {n}, \"shards\": {shards}, \"k\": 10, \
+                 \"merged_topk_ns\": {merged_ns}, \"kernel_binary_ns\": {kernel}, \
+                 \"overhead\": {overhead:.2}}}"
+            ));
+        }
     }
 
     let db = chem_db(60, &ChemConfig::default(), 13);
@@ -171,16 +252,23 @@ fn main() {
 
     let json = format!(
         "{{\n  \"workload\": \"synthetic 256-bit vectors (25% density), binary top-10; chem \
-         map_query p={}\",\n  \"binary_scan\": [\n{}\n  ],\n  \"map_query\": {{\"queries\": 4, \
+         map_query p={}\",\n  \"binary_scan\": [\n{}\n  ],\n  \"sharded_scan\": [\n{}\n  ],\n  \
+         \"map_query\": {{\"queries\": 4, \
          \"dimensions\": {}, \"unpruned_ns\": {unpruned}, \"pruned_ns\": {pruned}, \
          \"speedup\": {map_speedup:.2}, \"vf2_calls\": {vf2_calls}, \"vf2_pruned\": \
          {vf2_pruned}}}\n}}\n",
         index.dimensions().len(),
         rows.join(",\n"),
+        shard_rows.join(",\n"),
         index.dimensions().len()
     );
     std::fs::write(&args.out, &json).expect("write baseline json");
     eprintln!("wrote {}", args.out);
+
+    // Both gates report before either fails the process, so a change
+    // that regresses the kernel AND the scatter-gather overhead still
+    // prints every per-n verdict in the CI log.
+    let mut gate_failed = false;
 
     // The bench-smoke regression gate (see the module docs).
     if let Some(path) = &args.baseline {
@@ -203,11 +291,27 @@ fn main() {
         }
         if checked == 0 {
             eprintln!("bench-smoke: no store size overlaps {path} — nothing was actually gated");
-            std::process::exit(1);
+            gate_failed = true;
         }
         if failed {
             eprintln!("bench-smoke: kernel speedup regressed below the committed threshold");
-            std::process::exit(1);
+            gate_failed = true;
         }
+    }
+
+    // The scatter-gather overhead gate (see the module docs): merged
+    // sharded top-k must stay within max-shard-frac of the single-
+    // store kernel at equal total n.
+    if let Some(max) = args.max_shard_frac {
+        if shard_gate_failures > 0 {
+            eprintln!(
+                "bench-smoke: {shard_gate_failures} sharded workload(s) exceeded \
+                 {max}x scatter-gather overhead"
+            );
+            gate_failed = true;
+        }
+    }
+    if gate_failed {
+        std::process::exit(1);
     }
 }

@@ -56,6 +56,25 @@ pub fn naive_fullsort_topk(store: &VectorStore, q: &Bitset, k: usize) -> Vec<(u3
     all
 }
 
+/// Splits a store into `shards` contiguous sub-stores (the shape a
+/// `ShardedIndex` hands the scan leg), plus each sub-store's global
+/// row offset — the inputs of a scatter-gather scan measurement.
+pub fn split_store(store: &VectorStore, shards: usize) -> Vec<(u64, VectorStore)> {
+    let shards = shards.max(1);
+    let n = store.len();
+    (0..shards)
+        .map(|s| {
+            let start = s * n / shards;
+            let end = (s + 1) * n / shards;
+            let mut sub = VectorStore::zeros(0, store.bits());
+            for i in start..end {
+                sub.push_row(&store.vector(i));
+            }
+            (start as u64, sub)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +85,19 @@ mod tests {
         let naive = naive_fullsort_topk(&store, &q, 10);
         let (fast, _) = store.topk_binary(q.words(), 10);
         assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn split_store_partitions_every_row_in_order() {
+        let (store, _) = synth(103, 256, 9);
+        let parts = split_store(&store, 8);
+        assert_eq!(parts.len(), 8);
+        let total: usize = parts.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, 103);
+        for (offset, sub) in &parts {
+            for i in 0..sub.len() {
+                assert_eq!(sub.vector(i), store.vector(*offset as usize + i));
+            }
+        }
     }
 }

@@ -44,6 +44,15 @@ pub enum GdimError {
         /// Newest version this build can read.
         supported: u32,
     },
+    /// A shard id addressed a shard outside a sharded index (the
+    /// sharded layer lives in `gdim-shard`; the variant lives here so
+    /// the whole serving surface shares one error type).
+    ShardOutOfRange {
+        /// The requested shard id.
+        id: usize,
+        /// Number of shards in the index.
+        shards: usize,
+    },
     /// A background rebuild snapshot no longer matches the live index:
     /// inserts or removes landed after the rebuild was spawned, so
     /// installing it would silently drop them. Spawn a fresh rebuild
@@ -76,6 +85,9 @@ impl fmt::Display for GdimError {
                     f,
                     "index format version {found} not supported (newest readable: {supported})"
                 )
+            }
+            GdimError::ShardOutOfRange { id, shards } => {
+                write!(f, "shard id {id} out of range for index of {shards} shards")
             }
             GdimError::StaleRebuild { missed } => {
                 write!(

@@ -211,6 +211,12 @@ pub struct IndexStats {
 
 /// A built graph-similarity index over an owned database: the
 /// serving-layer entry point (see the [module docs](self)).
+///
+/// `Clone` performs a deep copy of the database and all derived state.
+/// It exists for copy-on-write serving structures (a sharded index
+/// clones one shard to mutate it while readers keep the old snapshot);
+/// it is **not** a cheap handle — share an `Arc<GraphIndex>` for that.
+#[derive(Clone)]
 pub struct GraphIndex {
     db: Vec<Graph>,
     space: FeatureSpace,
@@ -417,15 +423,25 @@ impl GraphIndex {
         }
     }
 
-    /// Reassembles an index from persisted parts, rebuilding the
+    /// Reassembles an index from pipeline parts, rebuilding the
     /// derived state (feature space, the flat scan store of binary
     /// mapped vectors, the feature containment DAG, weighted scan
     /// weights) deterministically. An index always stores binary
     /// vectors — [`MappingKind::Weighted`](crate::query::MappingKind::Weighted) requests are served from the
     /// derived DSPM weights, never baked into the vectors. Shared by
-    /// [`GraphIndex::from_bytes`].
-    #[allow(clippy::too_many_arguments)] // private assembly seam of the persist decoder
-    pub(crate) fn from_parts(
+    /// [`GraphIndex::from_bytes`], and the seam a **sharded** index
+    /// uses to stamp out per-shard indexes that share one globally
+    /// selected dimension set: pass the full mined `features` with
+    /// supports filtered/remapped to the shard's graphs, and the
+    /// shard maps queries and scores rows exactly like the global
+    /// pipeline would.
+    ///
+    /// Inputs are validated (feature supports must be strictly
+    /// ascending ids into `db`, `weights` must cover the features,
+    /// `selected` ids must be in range, `tombstones` must cover `db`);
+    /// inconsistencies surface as [`GdimError`], never a panic.
+    #[allow(clippy::too_many_arguments)] // assembly seam of the persist decoder and gdim-shard
+    pub fn from_parts(
         db: Vec<Graph>,
         features: Vec<gdim_mining::Feature>,
         selected: Vec<u32>,
@@ -436,6 +452,26 @@ impl GraphIndex {
         tombstones: Tombstones,
         inserts_since_rebuild: usize,
     ) -> Result<GraphIndex, GdimError> {
+        // Validate supports before FeatureSpace::build indexes rows by
+        // them (and before the sorted-list invariants downstream code
+        // relies on are silently violated).
+        for (r, f) in features.iter().enumerate() {
+            let mut prev: Option<u32> = None;
+            for &gid in &f.support {
+                if gid as usize >= db.len() {
+                    return Err(GdimError::Corrupt(format!(
+                        "feature {r} support references graph {gid} of {}",
+                        db.len()
+                    )));
+                }
+                if prev.is_some_and(|p| gid <= p) {
+                    return Err(GdimError::Corrupt(format!(
+                        "feature {r} support ids not strictly ascending at {gid}"
+                    )));
+                }
+                prev = Some(gid);
+            }
+        }
         let space = FeatureSpace::build(db.len(), features);
         let mapped = MappedDatabase::new(&space, &selected, Mapping::Binary)?;
         mapped.containment_dag();
@@ -570,8 +606,12 @@ impl GraphIndex {
     }
 
     /// Normalized squared per-dimension weights serving
-    /// [`MappingKind::Weighted`](crate::query::MappingKind::Weighted) requests.
-    pub(crate) fn weighted_w_sq(&self) -> &[f64] {
+    /// [`MappingKind::Weighted`](crate::query::MappingKind::Weighted)
+    /// requests (derived from [`GraphIndex::weights`] over the selected
+    /// dimensions) — what a caller driving the scan kernels directly
+    /// (e.g. a sharded scatter-gather layer) passes to
+    /// [`MappedDatabase::scan_topk_with_masked`](crate::query::MappedDatabase::scan_topk_with_masked).
+    pub fn weighted_w_sq(&self) -> &[f64] {
         &self.w_sq_weighted
     }
 
@@ -1073,6 +1113,41 @@ mod tests {
         assert_eq!(index.epoch(), 1);
         assert_eq!(index.exec().threads, 5);
         assert_eq!(index.rebuild_policy(), &policy);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_supports() {
+        // The public assembly seam must uphold the no-panic contract:
+        // a support id outside the database, or an unsorted support
+        // list, is a typed error before any derived state is built.
+        let idx = GraphIndex::build(db(6, 41), IndexOptions::default().with_dimensions(8));
+        let assemble = |features| {
+            GraphIndex::from_parts(
+                idx.graphs().to_vec(),
+                features,
+                idx.dimensions().to_vec(),
+                idx.weights().to_vec(),
+                idx.options().clone(),
+                idx.stats().clone(),
+                0,
+                Tombstones::all_live(idx.len()),
+                0,
+            )
+        };
+        let mut features = idx.feature_space().features().to_vec();
+        features[0].support = vec![0, 99];
+        match assemble(features) {
+            Err(GdimError::Corrupt(msg)) => assert!(msg.contains("99"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let mut features = idx.feature_space().features().to_vec();
+        features[0].support = vec![2, 1];
+        match assemble(features) {
+            Err(GdimError::Corrupt(msg)) => assert!(msg.contains("ascending"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The unmodified parts still assemble.
+        assert!(assemble(idx.feature_space().features().to_vec()).is_ok());
     }
 
     #[test]

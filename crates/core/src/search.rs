@@ -218,6 +218,43 @@ pub struct SearchStats {
     pub wall_time: Duration,
 }
 
+impl SearchStats {
+    /// Folds another partition's stats into `self` — the aggregation a
+    /// sharded (scatter-gather) search uses to report one coherent
+    /// [`SearchStats`] for work spread over several indexes, so callers
+    /// never hand-sum stat fields.
+    ///
+    /// Additive work counters (`candidates_scanned`, `early_abandoned`,
+    /// `tombstones_skipped`, `words_scanned`, `vf2_calls`,
+    /// `vf2_pruned`, `mcs_calls`, `live_graphs`) and the time shares
+    /// (`match_time`, `wall_time`) **sum**; `epoch` takes the **max**
+    /// (partitions rebuild independently, so the merged value reports
+    /// the newest generation that contributed to the answer).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.candidates_scanned += other.candidates_scanned;
+        self.early_abandoned += other.early_abandoned;
+        self.tombstones_skipped += other.tombstones_skipped;
+        self.words_scanned += other.words_scanned;
+        self.epoch = self.epoch.max(other.epoch);
+        self.live_graphs += other.live_graphs;
+        self.vf2_calls += other.vf2_calls;
+        self.vf2_pruned += other.vf2_pruned;
+        self.mcs_calls += other.mcs_calls;
+        self.match_time += other.match_time;
+        self.wall_time += other.wall_time;
+    }
+
+    /// [`SearchStats::merge`] over any number of partition stats,
+    /// starting from [`SearchStats::default`].
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a SearchStats>) -> SearchStats {
+        let mut out = SearchStats::default();
+        for part in parts {
+            out.merge(part);
+        }
+        out
+    }
+}
+
 /// A search answer: hits ascending by `(distance, id)` plus the stats
 /// of the work performed.
 #[derive(Debug, Clone)]
@@ -779,6 +816,62 @@ mod tests {
         let resp = idx.search(&q, &req).unwrap();
         assert_eq!(resp.hits.len(), 3);
         assert_eq!(resp.stats.mcs_calls, 10);
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_and_maxes_the_epoch() {
+        let a = SearchStats {
+            candidates_scanned: 10,
+            early_abandoned: 2,
+            tombstones_skipped: 1,
+            words_scanned: 40,
+            epoch: 3,
+            live_graphs: 11,
+            vf2_calls: 5,
+            vf2_pruned: 7,
+            mcs_calls: 4,
+            match_time: std::time::Duration::from_micros(10),
+            wall_time: std::time::Duration::from_micros(100),
+        };
+        let b = SearchStats {
+            candidates_scanned: 20,
+            early_abandoned: 3,
+            tombstones_skipped: 0,
+            words_scanned: 80,
+            epoch: 1,
+            live_graphs: 23,
+            vf2_calls: 1,
+            vf2_pruned: 0,
+            mcs_calls: 6,
+            match_time: std::time::Duration::from_micros(20),
+            wall_time: std::time::Duration::from_micros(50),
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.candidates_scanned, 30);
+        assert_eq!(m.early_abandoned, 5);
+        assert_eq!(m.tombstones_skipped, 1);
+        assert_eq!(m.words_scanned, 120);
+        assert_eq!(m.epoch, 3, "epoch takes the max, not the sum");
+        assert_eq!(m.live_graphs, 34);
+        assert_eq!(m.vf2_calls, 6);
+        assert_eq!(m.vf2_pruned, 7);
+        assert_eq!(m.mcs_calls, 10);
+        assert_eq!(m.match_time, std::time::Duration::from_micros(30));
+        assert_eq!(m.wall_time, std::time::Duration::from_micros(150));
+        // merged() folds from the default: one part is the identity,
+        // and merging the two parts in either order agrees.
+        let folded = SearchStats::merged([&a, &b]);
+        assert_eq!(folded.candidates_scanned, m.candidates_scanned);
+        assert_eq!(folded.epoch, m.epoch);
+        assert_eq!(folded.wall_time, m.wall_time);
+        let single = SearchStats::merged([&a]);
+        assert_eq!(single.candidates_scanned, a.candidates_scanned);
+        assert_eq!(single.epoch, a.epoch);
+        // Default is the merge identity.
+        let empty = SearchStats::merged(std::iter::empty::<&SearchStats>());
+        assert_eq!(empty.candidates_scanned, 0);
+        assert_eq!(empty.epoch, 0);
     }
 
     #[test]

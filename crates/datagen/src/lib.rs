@@ -13,6 +13,8 @@
 //! * [`synth`] — GraphGen-style random connected graphs parameterized by
 //!   the same three knobs §6 uses: average edge count, density
 //!   `2|E|/(|V|(|V|−1))`, and number of distinct labels.
+//! * [`workload`] — query-traffic generators: Zipf-skewed "hot graph"
+//!   workloads for exercising serving-layer load imbalance (sharding).
 //!
 //! Every generator takes an explicit seed and is deterministic.
 
@@ -21,9 +23,11 @@
 
 pub mod chem;
 pub mod synth;
+pub mod workload;
 
 pub use chem::{chem_db, fragment_dictionary, ChemConfig};
 pub use synth::{synth_db, SynthConfig};
+pub use workload::{zipf_workload, ZipfConfig};
 
 use gdim_graph::Graph;
 use rand::rngs::StdRng;

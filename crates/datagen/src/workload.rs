@@ -1,0 +1,170 @@
+//! Query-workload generators: *which* graphs get queried, not what the
+//! graphs look like.
+//!
+//! Real serving traffic is skewed — a few hot graphs draw most of the
+//! queries — and a **sharded** index feels that skew as load imbalance:
+//! whichever shard owns the hot graphs answers a disproportionate
+//! share of the self-similarity traffic. [`zipf_workload`] generates
+//! exactly that shape: a Zipf(s) distribution over the database ids,
+//! with the hot set either concentrated at the low ids (the worst case
+//! for a contiguous range partition, [`ZipfConfig::shuffle`]` = false`)
+//! or scattered uniformly over the id space (`shuffle = true`).
+//!
+//! Every generator takes an explicit seed and is deterministic.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a [`zipf_workload`]: how skewed the query traffic is and
+/// where the hot graphs sit in the id space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfConfig {
+    /// Zipf exponent `s`: rank `r` (0-based) is queried with
+    /// probability ∝ `1/(r+1)^s`. `0.0` is uniform traffic; ~1.0 is
+    /// classic web-like skew; larger is hotter.
+    pub exponent: f64,
+    /// Whether ranks are scattered over the id space by a seeded
+    /// permutation. `false` (the default) leaves rank = id, so the hot
+    /// set is the low-id prefix — the adversarial case for a
+    /// contiguous range partition, where one shard owns every hot
+    /// graph. `true` spreads the hot set uniformly across shards.
+    pub shuffle: bool,
+}
+
+impl Default for ZipfConfig {
+    fn default() -> Self {
+        ZipfConfig {
+            exponent: 1.0,
+            shuffle: false,
+        }
+    }
+}
+
+impl ZipfConfig {
+    /// Sets the exponent.
+    pub fn with_exponent(mut self, s: f64) -> Self {
+        self.exponent = s;
+        self
+    }
+
+    /// Sets whether hot ranks are scattered over the id space.
+    pub fn with_shuffle(mut self, shuffle: bool) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+}
+
+/// Draws `len` query targets over a database of `n_graphs` ids with
+/// Zipf-skewed popularity (see [`ZipfConfig`]). Returns graph ids in
+/// `0..n_graphs`; an empty database yields an empty workload.
+/// Deterministic in `(n_graphs, len, cfg, seed)`.
+pub fn zipf_workload(n_graphs: usize, len: usize, cfg: &ZipfConfig, seed: u64) -> Vec<u32> {
+    if n_graphs == 0 || len == 0 {
+        return Vec::new();
+    }
+    assert!(
+        cfg.exponent >= 0.0 && cfg.exponent.is_finite(),
+        "zipf exponent must be finite and non-negative, got {}",
+        cfg.exponent
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative popularity over ranks: cdf[r] = Σ_{j ≤ r} 1/(j+1)^s.
+    let mut cdf = Vec::with_capacity(n_graphs);
+    let mut total = 0.0f64;
+    for r in 0..n_graphs {
+        total += 1.0 / ((r + 1) as f64).powf(cfg.exponent);
+        cdf.push(total);
+    }
+    // rank -> id: identity, or a seeded permutation when shuffling.
+    let mut ids: Vec<u32> = (0..n_graphs as u32).collect();
+    if cfg.shuffle {
+        ids.shuffle(&mut rng);
+    }
+    (0..len)
+        .map(|_| {
+            let x = rng.gen::<f64>() * total;
+            // First rank whose cumulative weight covers the draw.
+            let rank = cdf.partition_point(|&c| c < x).min(n_graphs - 1);
+            ids[rank]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(workload: &[u32], n: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n];
+        for &id in workload {
+            counts[id as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_in_range() {
+        let cfg = ZipfConfig::default();
+        let a = zipf_workload(50, 500, &cfg, 7);
+        let b = zipf_workload(50, 500, &cfg, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|&id| (id as usize) < 50));
+        let c = zipf_workload(50, 500, &cfg, 8);
+        assert_ne!(a, c, "different seeds draw different traffic");
+    }
+
+    #[test]
+    fn skew_concentrates_on_the_hot_prefix() {
+        let cfg = ZipfConfig::default().with_exponent(1.2);
+        let w = zipf_workload(100, 2000, &cfg, 3);
+        let counts = frequencies(&w, 100);
+        // Rank 0 is the hottest graph and the low-id decile dwarfs a
+        // uniform share (uniform would give ~200 to any 10 ids).
+        assert!(counts[0] >= counts[50], "rank 0 must beat a mid rank");
+        let hot: usize = counts[..10].iter().sum();
+        assert!(
+            hot > 2000 / 2,
+            "top decile should draw most traffic, got {hot}"
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let cfg = ZipfConfig::default().with_exponent(0.0);
+        let w = zipf_workload(10, 5000, &cfg, 11);
+        let counts = frequencies(&w, 10);
+        for (id, &c) in counts.iter().enumerate() {
+            assert!(
+                (250..=750).contains(&c),
+                "id {id} drew {c} of 5000 under uniform traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_moves_the_hot_graph_but_keeps_the_skew() {
+        let plain = zipf_workload(64, 3000, &ZipfConfig::default(), 5);
+        let shuffled = zipf_workload(64, 3000, &ZipfConfig::default().with_shuffle(true), 5);
+        let pc = frequencies(&plain, 64);
+        let sc = frequencies(&shuffled, 64);
+        // Unshuffled: id 0 is the hottest. Shuffled: the same skew
+        // lands on some permuted id (almost surely not 0).
+        let hottest_plain = pc.iter().enumerate().max_by_key(|&(_, c)| *c).unwrap().0;
+        assert_eq!(hottest_plain, 0);
+        let max_s = *sc.iter().max().unwrap();
+        assert!(max_s > 3000 / 64 * 3, "shuffling must not flatten the skew");
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_workloads() {
+        assert!(zipf_workload(0, 100, &ZipfConfig::default(), 1).is_empty());
+        assert!(zipf_workload(10, 0, &ZipfConfig::default(), 1).is_empty());
+        // A single graph absorbs all traffic.
+        assert_eq!(
+            zipf_workload(1, 3, &ZipfConfig::default(), 1),
+            vec![0, 0, 0]
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! # gdim-shard — sharded index + concurrent serving runtime
+//!
+//! The paper's online pipeline (map the query → scan vectors → verify)
+//! is embarrassingly partitionable over the database, and that is the
+//! standard route to scale ("Big Graph Search", Ma et al.): partition
+//! the graphs over shards, scatter each query, gather per-shard top-k
+//! answers into a global one. This crate adds that layer on top of
+//! [`gdim_core::GraphIndex`] with two pillars:
+//!
+//! * [`ShardedIndex`] — N per-shard `GraphIndex`es that **share one
+//!   globally selected dimension set**: the pipeline (gSpan mining → δ
+//!   → DSPM/DSPMap selection) runs once over the whole database, and
+//!   the shards are stamped out from its output (in parallel on
+//!   `gdim-exec`), each holding a contiguous slice of the graphs with
+//!   feature supports remapped to shard-local ids. Because every shard
+//!   maps queries and scores rows exactly like the global pipeline
+//!   would, a scatter-gather search — per-shard bounded top-k merged
+//!   by `(distance, seq)` — answers **bit-identically** to one
+//!   unsharded index over the same database, for every ranker and
+//!   thread budget. Inserts/removes route to the owning shard; each
+//!   shard tracks its own [`RebuildPolicy`](gdim_core::RebuildPolicy)
+//!   staleness, and only dirty shards rebuild (a shard rebuild
+//!   compacts tombstones against the retained global selection; a full
+//!   [`ShardedIndex::rebuild`] re-runs the whole pipeline).
+//! * [`ServingHandle`] — an epoch-swapped concurrent read handle
+//!   (Arc-swap over `Arc<ShardedIndex>` + a version atomic, no new
+//!   dependencies): any number of [`Reader`]s search lock-free in the
+//!   steady state while mutations and background shard rebuilds
+//!   install new snapshots atomically. Mutations are copy-on-write at
+//!   **shard granularity** — an insert clones 1/N of the database, not
+//!   all of it, which is the serving-side payoff of sharding.
+//!
+//! Global ids are composed: shard id in the high bits, shard-local id
+//! in the low bits ([`ShardedIndex::split_id`]). Row order ties are
+//! broken by each row's **sequence number** (global insertion order),
+//! so merged rankings equal the unsharded `(distance, id)` order.
+//!
+//! Persistence is a manifest plus one v2 index file per shard
+//! ([`ShardedIndex::save_dir`] / [`ShardedIndex::load_dir`]), round-
+//! tripping to byte-identical files and answers.
+//!
+//! ```
+//! use gdim_core::{IndexOptions, SearchRequest};
+//! use gdim_shard::{ServingHandle, ShardedIndex, ShardedOptions};
+//!
+//! let db = gdim_datagen::chem_db(30, &gdim_datagen::ChemConfig::default(), 7);
+//! let opts = ShardedOptions::new(4).with_index(IndexOptions::default().with_dimensions(20));
+//! let index = ShardedIndex::build(db, opts);
+//! assert_eq!(index.shard_count(), 4);
+//!
+//! let query = index.shard_graphs(gdim_shard::ShardId(0)).unwrap()[1].clone();
+//! let handle = ServingHandle::new(index);
+//! let reader = handle.reader(); // one per thread; lock-free steady state
+//! let resp = reader.search(&query, &SearchRequest::topk(5)).unwrap();
+//! assert_eq!(resp.hits[0].distance, 0.0); // the query graph itself
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod manifest;
+pub mod merge;
+pub mod serving;
+pub mod sharded;
+
+pub use merge::{merge_topk, MergedHit};
+pub use serving::{Reader, ServingHandle};
+pub use sharded::{ShardId, ShardRebuildTask, ShardedIndex, ShardedOptions, ShardedRebuildTask};

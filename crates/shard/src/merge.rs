@@ -1,0 +1,141 @@
+//! The gather half of scatter-gather: k-way merge of per-shard
+//! rankings into one global top-k.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gdim_core::scan::OrdF64;
+use gdim_core::GraphId;
+
+/// One merged scatter-gather answer: the composed global id, the
+/// distance, and the row's global sequence number (insertion order —
+/// the tie-break that makes merged rankings equal an unsharded
+/// `(distance, id)` order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergedHit {
+    /// Composed global id (shard in the high bits, local in the low).
+    pub id: GraphId,
+    /// Distance under the ranker that produced the part.
+    pub distance: f64,
+    /// Global insertion sequence number of the row.
+    pub seq: u64,
+}
+
+/// Merges per-shard rankings into the global top-`k` by `(distance,
+/// seq)`.
+///
+/// `parts[s]` is shard `s`'s ranking as `(local_id, distance)` pairs,
+/// **ascending by `(distance, seq)`** — which per-shard scans satisfy
+/// naturally, because local ids are assigned in insertion order, so
+/// within one shard the `(distance, local)` order *is* the
+/// `(distance, seq)` order. `seq_of(shard, local)` and
+/// `id_of(shard, local)` translate a pair to its sequence number and
+/// composed global id. Ties at equal distance resolve by the smaller
+/// sequence number, exactly like an unsharded index resolves them by
+/// the smaller row id. Runs in `O(total + k log s)` for `s` shards.
+pub fn merge_topk<S, I>(parts: &[Vec<(u32, f64)>], k: usize, seq_of: S, id_of: I) -> Vec<MergedHit>
+where
+    S: Fn(usize, u32) -> u64,
+    I: Fn(usize, u32) -> GraphId,
+{
+    // Cursor heap over the shard fronts, keyed (distance, seq) min-first.
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u64, usize)>> =
+        BinaryHeap::with_capacity(parts.len());
+    let mut cursors = vec![0usize; parts.len()];
+    for (s, part) in parts.iter().enumerate() {
+        if let Some(&(local, d)) = part.first() {
+            heap.push(Reverse((OrdF64(d), seq_of(s, local), s)));
+        }
+    }
+    let mut out = Vec::new();
+    while out.len() < k {
+        let Some(Reverse((OrdF64(distance), seq, s))) = heap.pop() else {
+            break; // every part exhausted
+        };
+        let (local, _) = parts[s][cursors[s]];
+        out.push(MergedHit {
+            id: id_of(s, local),
+            distance,
+            seq,
+        });
+        cursors[s] += 1;
+        if let Some(&(next_local, next_d)) = parts[s].get(cursors[s]) {
+            heap.push(Reverse((OrdF64(next_d), seq_of(s, next_local), s)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Contiguous-partition translators: shard `s` owns `offset[s] +
+    /// local`, and the sequence number equals that global row id.
+    fn translators(
+        offsets: &[u64],
+    ) -> (
+        impl Fn(usize, u32) -> u64 + '_,
+        impl Fn(usize, u32) -> GraphId + '_,
+    ) {
+        (
+            move |s: usize, local: u32| offsets[s] + local as u64,
+            move |s: usize, local: u32| GraphId((offsets[s] + local as u64) as u32),
+        )
+    }
+
+    #[test]
+    fn merge_equals_global_sort_with_seq_tiebreak() {
+        // Three shards with overlapping distances and deliberate ties.
+        let parts = vec![
+            vec![(0u32, 0.5), (1, 1.0), (2, 1.0)],
+            vec![(0, 0.5), (1, 2.0)],
+            vec![(0, 0.1), (1, 1.0)],
+        ];
+        let offsets = [0u64, 3, 5];
+        let (seq_of, id_of) = translators(&offsets);
+        let merged = merge_topk(&parts, 10, seq_of, id_of);
+        let got: Vec<(u32, f64)> = merged.iter().map(|h| (h.id.get(), h.distance)).collect();
+        // Global sort by (distance, seq): 5@0.1, 0@0.5, 3@0.5, 1@1.0,
+        // 2@1.0, 6@1.0, 4@2.0.
+        assert_eq!(
+            got,
+            vec![
+                (5, 0.1),
+                (0, 0.5),
+                (3, 0.5),
+                (1, 1.0),
+                (2, 1.0),
+                (6, 1.0),
+                (4, 2.0)
+            ]
+        );
+        // seq mirrors the global id in this layout.
+        assert!(merged.iter().all(|h| h.seq == h.id.get() as u64));
+    }
+
+    #[test]
+    fn k_truncates_and_exhaustion_stops_early() {
+        let parts = vec![vec![(0u32, 1.0)], vec![], vec![(0, 0.0)]];
+        let offsets = [0u64, 1, 1];
+        let (seq_of, id_of) = translators(&offsets);
+        let top1 = merge_topk(&parts, 1, &seq_of, &id_of);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].distance, 0.0);
+        let all = merge_topk(&parts, 100, &seq_of, &id_of);
+        assert_eq!(all.len(), 2, "k beyond the total returns everything");
+        assert!(merge_topk(&parts, 0, &seq_of, &id_of).is_empty());
+        let none: Vec<Vec<(u32, f64)>> = Vec::new();
+        assert!(merge_topk(&none, 5, &seq_of, &id_of).is_empty());
+    }
+
+    #[test]
+    fn single_part_passes_through() {
+        let parts = vec![vec![(0u32, 0.25), (1, 0.5), (2, 0.75)]];
+        let offsets = [0u64];
+        let (seq_of, id_of) = translators(&offsets);
+        let merged = merge_topk(&parts, 2, seq_of, id_of);
+        let got: Vec<(u32, f64)> = merged.iter().map(|h| (h.id.get(), h.distance)).collect();
+        assert_eq!(got, vec![(0, 0.25), (1, 0.5)]);
+    }
+}

@@ -1,0 +1,1012 @@
+//! [`ShardedIndex`]: the graph database partitioned over N
+//! [`GraphIndex`] shards that share one globally selected dimension
+//! set, served by scatter-gather (see the [crate docs](crate)).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gdim_core::bitset::Bitset;
+use gdim_core::query::exact_ranking_among;
+use gdim_core::scan::ScanStats;
+use gdim_core::{
+    GdimError, Graph, GraphId, GraphIndex, Hit, IndexOptions, MappingKind, McsOptions, Ranker,
+    SearchRequest, SearchResponse, SearchStats, Tombstones,
+};
+use gdim_exec::{BackgroundTask, ExecConfig};
+use gdim_mining::Feature;
+
+use crate::merge::{merge_topk, MergedHit};
+
+/// Typed id of one shard of a [`ShardedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The shard index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Options for [`ShardedIndex::build`]: the shard count plus the
+/// per-pipeline [`IndexOptions`] (which also carry the exec budget and
+/// the per-shard [`RebuildPolicy`](gdim_core::RebuildPolicy)).
+#[derive(Debug, Clone)]
+pub struct ShardedOptions {
+    /// Number of shards `N` (clamped to at least 1).
+    pub shards: usize,
+    /// The pipeline/serving options every shard retains.
+    pub index: IndexOptions,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            shards: 4,
+            index: IndexOptions::default(),
+        }
+    }
+}
+
+impl ShardedOptions {
+    /// Options for `shards` shards with default [`IndexOptions`].
+    pub fn new(shards: usize) -> Self {
+        ShardedOptions {
+            shards,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the pipeline options.
+    pub fn with_index(mut self, index: IndexOptions) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Sets the worker-thread budget (`0` = all cores) for the build
+    /// pipeline, the parallel shard fan-out, and every query.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.index = self.index.with_threads(threads);
+        self
+    }
+}
+
+/// One shard: a [`GraphIndex`] over a subset of the database plus the
+/// global sequence number of each local row (the merge tie-break).
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    pub(crate) index: GraphIndex,
+    /// `seqs[local]` = global insertion sequence of that row; strictly
+    /// ascending within a shard (locals are assigned in insert order).
+    pub(crate) seqs: Vec<u64>,
+}
+
+/// A graph database partitioned over N [`GraphIndex`] shards sharing
+/// one globally selected dimension set, served by scatter-gather.
+///
+/// Shards are held behind [`Arc`]s, so `Clone` is **cheap** (N pointer
+/// clones) and mutation is copy-on-write at shard granularity: an
+/// `insert` on a clone-shared index deep-copies only the owning shard.
+/// That is what makes the [`ServingHandle`](crate::ServingHandle)
+/// snapshot pattern affordable.
+///
+/// Searches are **bit-identical** to a single [`GraphIndex`] over the
+/// same database — hits, order, distances — for every ranker, mapping,
+/// shard count, and thread budget, because the selection pipeline runs
+/// globally and per-shard rankings merge with the same `(distance,
+/// insertion-order)` tie-break an unsharded scan uses.
+#[derive(Clone)]
+pub struct ShardedIndex {
+    shards: Vec<Arc<Shard>>,
+    /// Bits of shard id in a composed [`GraphId`] (0 when 1 shard).
+    shard_bits: u32,
+    /// Next global insertion sequence number.
+    next_seq: u64,
+    /// Monotone event stamp; bumped by every mutation or install.
+    stamp: u64,
+    /// `muts[s]` = stamp of shard `s`'s last mutation/install — the
+    /// freshness basis for per-shard background rebuilds.
+    muts: Vec<u64>,
+    opts: ShardedOptions,
+}
+
+impl std::fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("shards", &self.shards.len())
+            .field("graphs", &self.len())
+            .field("live", &self.live_len())
+            .field("epoch", &self.epoch())
+            .field("dimensions", &self.dimensions().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Bits needed to address `shards` shard ids (0 for a single shard).
+fn shard_bits_for(shards: usize) -> u32 {
+    (shards.max(1) as u32).next_power_of_two().trailing_zeros()
+}
+
+impl ShardedIndex {
+    // ------------------------------------------------------ building
+
+    /// Runs the **global** pipeline (mining → δ → selection) once over
+    /// `db`, then stamps out the shards in parallel on the exec budget.
+    /// Graphs are range-partitioned: shard `s` owns the contiguous
+    /// slice `[s·n/N, (s+1)·n/N)`, each shard's feature supports are
+    /// remapped to shard-local ids, and every shard retains the same
+    /// selected dimensions and weights — the invariant behind
+    /// bit-identical scatter-gather answers.
+    pub fn build(db: Vec<Graph>, opts: ShardedOptions) -> ShardedIndex {
+        let global = GraphIndex::build(db, opts.index.clone());
+        Self::split_global(global, opts, 0)
+    }
+
+    /// Splits a freshly built (fully live, epoch-irrelevant) global
+    /// index into shards at `base_epoch`, assigning sequence numbers
+    /// `0..n` in id order.
+    fn split_global(global: GraphIndex, opts: ShardedOptions, base_epoch: u64) -> ShardedIndex {
+        let shards_n = opts.shards.max(1);
+        let bits = shard_bits_for(shards_n);
+        let n = global.len();
+        debug_assert_eq!(global.tombstone_count(), 0, "split expects a fresh build");
+        let exec = *global.exec();
+        let shards: Vec<Arc<Shard>> = gdim_exec::map_tasks(&exec, shards_n, |s| {
+            let start = s * n / shards_n;
+            let end = (s + 1) * n / shards_n;
+            Arc::new(Self::make_shard(&global, start, end, base_epoch))
+        });
+        let mut opts = opts;
+        opts.shards = shards_n;
+        opts.index = global.options().clone();
+        ShardedIndex {
+            shards,
+            shard_bits: bits,
+            next_seq: n as u64,
+            stamp: 0,
+            muts: vec![0; shards_n],
+            opts,
+        }
+    }
+
+    /// Stamps out one shard from the global pipeline output: the graph
+    /// slice `[start, end)`, the full mined feature set with supports
+    /// filtered to the slice and remapped to local ids, and the same
+    /// selected dimensions/weights.
+    fn make_shard(global: &GraphIndex, start: usize, end: usize, epoch: u64) -> Shard {
+        let db: Vec<Graph> = global.graphs()[start..end].to_vec();
+        let features: Vec<Feature> = global
+            .feature_space()
+            .features()
+            .iter()
+            .map(|f| Feature {
+                graph: f.graph.clone(),
+                code: f.code.clone(),
+                support: f
+                    .support
+                    .iter()
+                    .filter(|&&g| (g as usize) >= start && (g as usize) < end)
+                    .map(|&g| g - start as u32)
+                    .collect(),
+            })
+            .collect();
+        let index = GraphIndex::from_parts(
+            db,
+            features,
+            global.dimensions().to_vec(),
+            global.weights().to_vec(),
+            global.options().clone(),
+            global.stats().clone(),
+            epoch,
+            Tombstones::all_live(end - start),
+            0,
+        )
+        .expect("a consistent global index splits into consistent shards");
+        Shard {
+            index,
+            seqs: (start as u64..end as u64).collect(),
+        }
+    }
+
+    // ------------------------------------------------- id composition
+
+    /// Number of high bits of a composed [`GraphId`] holding the shard
+    /// id (0 when there is a single shard, so composed ids equal local
+    /// ids).
+    pub fn shard_bits(&self) -> u32 {
+        self.shard_bits
+    }
+
+    /// Composes the global id of shard-local row `local`.
+    pub fn compose_id(&self, shard: ShardId, local: usize) -> GraphId {
+        if self.shard_bits == 0 {
+            return GraphId(local as u32);
+        }
+        GraphId((shard.0 << (32 - self.shard_bits)) | local as u32)
+    }
+
+    /// Splits a composed global id into its shard and local parts.
+    /// Purely arithmetic — the parts may be out of range for this
+    /// index; every public entry point bounds-checks them.
+    pub fn split_id(&self, id: GraphId) -> (ShardId, usize) {
+        if self.shard_bits == 0 {
+            return (ShardId(0), id.index());
+        }
+        let shift = 32 - self.shard_bits;
+        (
+            ShardId(id.get() >> shift),
+            (id.get() & ((1 << shift) - 1)) as usize,
+        )
+    }
+
+    /// Resolves a composed id to its shard, or a typed error.
+    fn owner(&self, id: GraphId) -> Result<(usize, usize), GdimError> {
+        let (s, local) = self.split_id(id);
+        if s.index() >= self.shards.len() || local >= self.shards[s.index()].index.len() {
+            return Err(GdimError::GraphOutOfRange {
+                id: id.index(),
+                len: self.len(),
+            });
+        }
+        Ok((s.index(), local))
+    }
+
+    // ------------------------------------------------------ accessors
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's underlying index (read-only).
+    pub fn shard(&self, s: ShardId) -> Result<&GraphIndex, GdimError> {
+        self.shards
+            .get(s.index())
+            .map(|sh| &sh.index)
+            .ok_or(GdimError::ShardOutOfRange {
+                id: s.index(),
+                shards: self.shards.len(),
+            })
+    }
+
+    /// One shard's graphs (including tombstoned rows), in local-id
+    /// order.
+    pub fn shard_graphs(&self, s: ShardId) -> Result<&[Graph], GdimError> {
+        self.shard(s).map(GraphIndex::graphs)
+    }
+
+    /// Total rows across shards, **including** tombstoned ones.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.len()).sum()
+    }
+
+    /// Whether no shard holds any row.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.index.is_empty())
+    }
+
+    /// Live (non-tombstoned) rows across shards.
+    pub fn live_len(&self) -> usize {
+        self.shards.iter().map(|s| s.index.live_len()).sum()
+    }
+
+    /// The newest rebuild generation across shards (shards rebuild
+    /// independently; a search reports this as its
+    /// [`SearchStats::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.index.epoch())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The selected dimension ids (identical across shards).
+    pub fn dimensions(&self) -> &[u32] {
+        self.shards[0].index.dimensions()
+    }
+
+    /// The retained build/serving options.
+    pub fn options(&self) -> &ShardedOptions {
+        &self.opts
+    }
+
+    /// The parallelism budget driving scatter fan-out and every
+    /// pipeline phase.
+    pub fn exec(&self) -> &ExecConfig {
+        &self.opts.index.delta.exec
+    }
+
+    /// Replaces the parallelism budget on the index and every shard
+    /// (e.g. after [`ShardedIndex::load_dir`], which cannot know the
+    /// serving machine's core count at save time).
+    pub fn set_exec(&mut self, exec: ExecConfig) {
+        self.opts.index = self.opts.index.clone().with_exec(exec);
+        for shard in &mut self.shards {
+            Arc::make_mut(shard).index.set_exec(exec);
+        }
+    }
+
+    /// One graph by composed global id (tombstoned rows stay readable).
+    pub fn graph(&self, id: GraphId) -> Result<&Graph, GdimError> {
+        let (s, local) = self.owner(id)?;
+        self.shards[s].index.graph(local)
+    }
+
+    /// The global insertion sequence number of a row — the rank the
+    /// row would have in an unsharded index grown by the same
+    /// operations (searches break distance ties by it).
+    pub fn seq_of(&self, id: GraphId) -> Result<u64, GdimError> {
+        let (s, local) = self.owner(id)?;
+        Ok(self.shards[s].seqs[local])
+    }
+
+    /// The composed id currently holding insertion sequence `seq`, or
+    /// `None` if that row was removed and compacted away. A linear
+    /// scan over the shard seq lists — a correspondence helper for
+    /// tests and tooling, not a serving-path lookup.
+    pub fn id_for_seq(&self, seq: u64) -> Option<GraphId> {
+        for (s, shard) in self.shards.iter().enumerate() {
+            // Within a shard, seqs are strictly ascending.
+            if let Ok(local) = shard.seqs.binary_search(&seq) {
+                return Some(self.compose_id(ShardId(s as u32), local));
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------ internals
+
+    pub(crate) fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    pub(crate) fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    fn bump(&mut self, s: usize) {
+        self.stamp += 1;
+        self.muts[s] = self.stamp;
+    }
+
+    fn mcs_for(&self, req: &SearchRequest) -> McsOptions {
+        let base = self.shards[0].index.delta_config().mcs;
+        match req.budget {
+            None => base,
+            Some(node_budget) => McsOptions {
+                node_budget,
+                ..base
+            },
+        }
+    }
+
+    // ------------------------------------------------------ mutation
+
+    /// Inserts one graph **online**, routed to the least-loaded shard
+    /// (fewest live rows; lowest shard id on ties — deterministic).
+    /// The shard maps it against the shared feature space exactly like
+    /// [`GraphIndex::insert`] and appends in place. Returns the
+    /// composed global id; the row's sequence number is the global
+    /// insertion order, so merged rankings keep treating it exactly
+    /// like an unsharded index would.
+    pub fn insert(&mut self, g: Graph) -> GraphId {
+        let s = (0..self.shards.len())
+            .min_by_key(|&s| (self.shards[s].index.live_len(), s))
+            .expect("at least one shard");
+        let shard = Arc::make_mut(&mut self.shards[s]);
+        let local = shard.index.insert(g).index();
+        assert!(
+            (local as u64) < 1u64 << (32 - self.shard_bits),
+            "shard {s} overflows its {}-bit local id space",
+            32 - self.shard_bits
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        shard.seqs.push(seq);
+        self.bump(s);
+        self.compose_id(ShardId(s as u32), local)
+    }
+
+    /// Removes a graph **online** by tombstoning its row in the owning
+    /// shard (same contract as [`GraphIndex::remove`]): `Ok(false)`
+    /// when it was already dead, a typed error for an unknown id.
+    pub fn remove(&mut self, id: GraphId) -> Result<bool, GdimError> {
+        let (s, local) = self.owner(id)?;
+        let newly = Arc::make_mut(&mut self.shards[s])
+            .index
+            .remove(GraphId(local as u32))?;
+        if newly {
+            self.bump(s);
+        }
+        Ok(newly)
+    }
+
+    // ----------------------------------------------------- rebuilds
+
+    /// The shards whose accumulated churn exceeds their
+    /// [`RebuildPolicy`](gdim_core::RebuildPolicy) — the ones worth a
+    /// [`ShardedIndex::rebuild_shard`].
+    pub fn stale_shards(&self) -> Vec<ShardId> {
+        (0..self.shards.len())
+            .filter(|&s| self.shards[s].index.is_stale())
+            .map(|s| ShardId(s as u32))
+            .collect()
+    }
+
+    /// Rebuilds **one dirty shard** by compacting it against the
+    /// retained global selection: tombstoned rows are dropped (later
+    /// local ids shift down; sequence numbers travel with their rows),
+    /// pending-insert counters reset, and the shard's epoch advances —
+    /// all **without re-mining**, so every live row keeps its exact
+    /// vector and answers are unchanged. The global selection itself
+    /// is only revisited by a full [`ShardedIndex::rebuild`].
+    pub fn rebuild_shard(&mut self, s: ShardId) -> Result<(), GdimError> {
+        if s.index() >= self.shards.len() {
+            return Err(GdimError::ShardOutOfRange {
+                id: s.index(),
+                shards: self.shards.len(),
+            });
+        }
+        let fresh = Self::compacted(&self.shards[s.index()]);
+        self.shards[s.index()] = Arc::new(fresh);
+        self.bump(s.index());
+        Ok(())
+    }
+
+    /// [`ShardedIndex::rebuild_shard`] for every stale shard; returns
+    /// how many rebuilt.
+    pub fn rebuild_stale_shards(&mut self) -> usize {
+        let stale = self.stale_shards();
+        for &s in &stale {
+            self.rebuild_shard(s)
+                .expect("stale_shards returns valid ids");
+        }
+        stale.len()
+    }
+
+    /// Pure compaction of one shard (the job a background shard
+    /// rebuild runs): live graphs, supports filtered/remapped, same
+    /// selection, epoch + 1.
+    fn compacted(shard: &Shard) -> Shard {
+        let idx = &shard.index;
+        let live: Vec<usize> = (0..idx.len())
+            .filter(|&i| !idx.tombstones().is_dead(i))
+            .collect();
+        // old local id -> new local id (u32::MAX = dead).
+        let mut remap = vec![u32::MAX; idx.len()];
+        for (new, &old) in live.iter().enumerate() {
+            remap[old] = new as u32;
+        }
+        let db: Vec<Graph> = live.iter().map(|&i| idx.graphs()[i].clone()).collect();
+        let features: Vec<Feature> = idx
+            .feature_space()
+            .features()
+            .iter()
+            .map(|f| Feature {
+                graph: f.graph.clone(),
+                code: f.code.clone(),
+                support: f
+                    .support
+                    .iter()
+                    .filter(|&&g| remap[g as usize] != u32::MAX)
+                    .map(|&g| remap[g as usize])
+                    .collect(),
+            })
+            .collect();
+        let index = GraphIndex::from_parts(
+            db,
+            features,
+            idx.dimensions().to_vec(),
+            idx.weights().to_vec(),
+            idx.options().clone(),
+            idx.stats().clone(),
+            idx.epoch() + 1,
+            Tombstones::all_live(live.len()),
+            0,
+        )
+        .expect("compacting a consistent shard yields a consistent shard");
+        Shard {
+            index,
+            seqs: live.iter().map(|&i| shard.seqs[i]).collect(),
+        }
+    }
+
+    /// Starts a **background** compaction of one shard on a dedicated
+    /// thread (the serving path keeps answering from the old shard
+    /// meanwhile); pass the handle to [`ShardedIndex::install_shard`]
+    /// to swap the result in.
+    pub fn spawn_shard_rebuild(&self, s: ShardId) -> Result<ShardRebuildTask, GdimError> {
+        if s.index() >= self.shards.len() {
+            return Err(GdimError::ShardOutOfRange {
+                id: s.index(),
+                shards: self.shards.len(),
+            });
+        }
+        let snapshot = Arc::clone(&self.shards[s.index()]);
+        Ok(ShardRebuildTask {
+            task: BackgroundTask::spawn(move |token| {
+                if token.is_cancelled() {
+                    return None;
+                }
+                let fresh = Self::compacted(&snapshot);
+                if token.is_cancelled() {
+                    None
+                } else {
+                    Some(fresh)
+                }
+            }),
+            shard: s,
+            basis: self.muts[s.index()],
+        })
+    }
+
+    /// Waits for a [`ShardedIndex::spawn_shard_rebuild`] job and swaps
+    /// the compacted shard in — **atomically per shard**: one `Arc`
+    /// pointer replaces another, the other shards are untouched.
+    /// Returns `Ok(false)` if the job observed cancellation, and
+    /// [`GdimError::StaleRebuild`] when the shard mutated (or was
+    /// rebuilt) after the snapshot — the caller should spawn a fresh
+    /// job.
+    pub fn install_shard(&mut self, task: ShardRebuildTask) -> Result<bool, GdimError> {
+        let s = task.shard.index();
+        if s >= self.shards.len() || self.muts[s] != task.basis {
+            let missed = self
+                .muts
+                .get(s)
+                .map_or(u64::MAX, |&m| m.abs_diff(task.basis));
+            task.cancel();
+            return Err(GdimError::StaleRebuild { missed });
+        }
+        match task.task.join() {
+            None => Ok(false),
+            Some(fresh) => {
+                self.shards[s] = Arc::new(fresh);
+                self.bump(s);
+                Ok(true)
+            }
+        }
+    }
+
+    /// The live graphs across all shards in **sequence order** — the
+    /// database a full rebuild runs over (identical to the id order an
+    /// unsharded index would rebuild in).
+    pub fn live_graphs(&self) -> Vec<Graph> {
+        let mut rows: Vec<(u64, &Graph)> = Vec::with_capacity(self.live_len());
+        for shard in &self.shards {
+            for local in 0..shard.index.len() {
+                if !shard.index.tombstones().is_dead(local) {
+                    rows.push((shard.seqs[local], &shard.index.graphs()[local]));
+                }
+            }
+        }
+        rows.sort_by_key(|&(seq, _)| seq);
+        rows.into_iter().map(|(_, g)| g.clone()).collect()
+    }
+
+    /// Synchronous **full** rebuild: re-runs the global pipeline
+    /// (re-mine → re-select) over the live graphs in sequence order
+    /// and re-splits into shards — the only operation that revisits
+    /// the selected dimensions. Sequence numbers and ids are reseeded
+    /// `0..n`; every shard's epoch advances past the current maximum.
+    pub fn rebuild(&mut self) {
+        let live = self.live_graphs();
+        let base_epoch = self.epoch() + 1;
+        let global = GraphIndex::build(live, self.opts.index.clone());
+        let fresh = Self::split_global(global, self.opts.clone(), base_epoch);
+        self.install_full(fresh);
+    }
+
+    /// Starts a full rebuild on a background thread over a snapshot of
+    /// the live graphs; the index keeps serving (and mutating)
+    /// meanwhile. The snapshot is a cheap `Arc`-level clone — the
+    /// `O(n)` graph copy itself happens on the background thread, so a
+    /// caller holding a writer lock (the serving handle) is not
+    /// stalled by it. Cancellation is observed at the pipeline's phase
+    /// boundaries. Pass the handle to [`ShardedIndex::install`].
+    pub fn spawn_rebuild(&self) -> ShardedRebuildTask {
+        let snapshot = self.clone(); // N shard-Arc clones, not data
+        let opts = self.opts.clone();
+        let base_epoch = self.epoch() + 1;
+        ShardedRebuildTask {
+            task: BackgroundTask::spawn(move |token| {
+                let live = snapshot.live_graphs();
+                if token.is_cancelled() {
+                    return None;
+                }
+                let global = GraphIndex::build_cancellable(live, opts.index.clone(), token)?;
+                if token.is_cancelled() {
+                    return None;
+                }
+                Some(ShardedIndex::split_global(global, opts, base_epoch))
+            }),
+            basis: self.stamp,
+        }
+    }
+
+    /// Waits for a [`ShardedIndex::spawn_rebuild`] job and swaps the
+    /// whole re-split index in. `Ok(false)` if the job observed
+    /// cancellation; [`GdimError::StaleRebuild`] when any mutation (or
+    /// shard install) landed after the snapshot.
+    pub fn install(&mut self, task: ShardedRebuildTask) -> Result<bool, GdimError> {
+        if self.stamp != task.basis {
+            task.cancel();
+            return Err(GdimError::StaleRebuild {
+                missed: self.stamp.abs_diff(task.basis),
+            });
+        }
+        match task.task.join() {
+            None => Ok(false),
+            Some(fresh) => {
+                self.install_full(fresh);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Swaps a re-split index in, preserving the event-stamp chain and
+    /// the serving-side exec budget (a knob of the machine, not the
+    /// snapshot — mirroring [`GraphIndex`]'s install semantics).
+    fn install_full(&mut self, mut fresh: ShardedIndex) {
+        fresh.stamp = self.stamp + 1;
+        fresh.muts = vec![fresh.stamp; fresh.shards.len()];
+        let exec = *self.exec();
+        fresh.set_exec(exec);
+        *self = fresh;
+    }
+
+    // ------------------------------------------------------- search
+
+    /// Answers one typed search request by **scatter-gather**: the
+    /// query is mapped once (all shards share the feature space), each
+    /// shard runs its own bounded top-k scan (in parallel on the exec
+    /// budget), and the per-shard rankings merge by `(distance, seq)`.
+    /// Answers are bit-identical to [`GraphIndex::search`] over the
+    /// same database for every ranker, mapping, shard count, and
+    /// thread budget; [`SearchStats`] aggregate across shards via
+    /// [`SearchStats::merge`].
+    pub fn search(&self, query: &Graph, req: &SearchRequest) -> Result<SearchResponse, GdimError> {
+        let t0 = Instant::now();
+        let mut resp = if matches!(req.ranker, Ranker::Exact) {
+            self.exact_response(query, req)
+        } else {
+            let tm = Instant::now();
+            let (qvec, mstats) = self.shards[0].index.mapped().map_query_with_stats(query);
+            let match_time = tm.elapsed();
+            let scans = self.scatter_scan(&qvec, req, true);
+            let mut r = self.response_from_scans(query, scans, req);
+            r.stats.vf2_calls = mstats.vf2_calls;
+            r.stats.vf2_pruned = mstats.vf2_pruned;
+            r.stats.match_time = match_time;
+            r
+        };
+        resp.stats.wall_time = t0.elapsed();
+        Ok(resp)
+    }
+
+    /// Answers one request for a whole batch of queries: the query
+    /// mapping fans out per query, then — for the mapped/refined
+    /// rankers — the per-query scatter scans fan out too (each task
+    /// walks its shards serially, so the two levels never nest thread
+    /// pools). Output order matches `queries`, and every response's
+    /// hits equal the corresponding [`ShardedIndex::search`] answer.
+    /// Timing is metered per batch like [`GraphIndex::search_batch`]:
+    /// `match_time` is the batch average.
+    pub fn search_batch(
+        &self,
+        queries: &[Graph],
+        req: &SearchRequest,
+    ) -> Result<Vec<SearchResponse>, GdimError> {
+        if matches!(req.ranker, Ranker::Exact) {
+            // The exact δ fan-out is already parallel over each shard.
+            return queries.iter().map(|q| self.search(q, req)).collect();
+        }
+        let t0 = Instant::now();
+        let mapped: Vec<(Bitset, gdim_core::MatchStats)> =
+            gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
+                self.shards[0]
+                    .index
+                    .mapped()
+                    .map_query_with_stats(&queries[i])
+            });
+        let match_time = t0.elapsed() / queries.len().max(1) as u32;
+        let finish = |mut resp: SearchResponse, i: usize, ti: Instant| {
+            resp.stats.vf2_calls = mapped[i].1.vf2_calls;
+            resp.stats.vf2_pruned = mapped[i].1.vf2_pruned;
+            resp.stats.match_time = match_time;
+            resp.stats.wall_time = ti.elapsed() + match_time;
+            resp
+        };
+        match req.ranker {
+            Ranker::Mapped => Ok(gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
+                let ti = Instant::now();
+                let scans = self.scatter_scan(&mapped[i].0, req, false);
+                let resp = self.response_from_scans(&queries[i], scans, req);
+                finish(resp, i, ti)
+            })),
+            _ => {
+                // Refined: parallelize the scans over queries, verify
+                // serially — the MCS re-ranking fans out over each
+                // shard internally, and nesting pools oversubscribes.
+                let scans = gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
+                    self.scatter_scan(&mapped[i].0, req, false)
+                });
+                Ok(queries
+                    .iter()
+                    .zip(scans)
+                    .enumerate()
+                    .map(|(i, (q, scan))| {
+                        let ti = Instant::now();
+                        let resp = self.response_from_scans(q, scan, req);
+                        finish(resp, i, ti)
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// The scatter half: one bounded top-k (or top-`candidates`) scan
+    /// per shard under the requested mapping, tombstone-masked.
+    /// `parallel` fans the shards out on the exec budget (a single
+    /// search); batch callers pass `false` because they already fan
+    /// out per query.
+    fn scatter_scan(
+        &self,
+        qvec: &Bitset,
+        req: &SearchRequest,
+        parallel: bool,
+    ) -> Vec<(Vec<(u32, f64)>, ScanStats)> {
+        let per_shard_k = match req.ranker {
+            Ranker::Refined { candidates } => candidates,
+            _ => req.k,
+        };
+        let scan_one = |s: usize| {
+            let idx = &self.shards[s].index;
+            let k = per_shard_k.min(idx.len());
+            let dead = Some(idx.tombstones());
+            match req.mapping {
+                MappingKind::Binary => idx.mapped().scan_topk_masked(qvec, k, dead),
+                MappingKind::Weighted => {
+                    idx.mapped()
+                        .scan_topk_with_masked(qvec, k, idx.weighted_w_sq(), dead)
+                }
+            }
+        };
+        if parallel {
+            gdim_exec::map_tasks(self.exec(), self.shards.len(), scan_one)
+        } else {
+            (0..self.shards.len()).map(scan_one).collect()
+        }
+    }
+
+    /// The gather half plus the refined verification phase: merges the
+    /// per-shard rankings by `(distance, seq)`, re-ranks the merged
+    /// candidates exactly when requested, and aggregates the stats.
+    fn response_from_scans(
+        &self,
+        query: &Graph,
+        scans: Vec<(Vec<(u32, f64)>, ScanStats)>,
+        req: &SearchRequest,
+    ) -> SearchResponse {
+        let per_shard: Vec<SearchStats> = scans
+            .iter()
+            .enumerate()
+            .map(|(s, (_, stats))| SearchStats {
+                candidates_scanned: stats.vectors_scanned,
+                early_abandoned: stats.early_abandoned,
+                tombstones_skipped: stats.tombstones_skipped,
+                words_scanned: stats.words_scanned,
+                epoch: self.shards[s].index.epoch(),
+                live_graphs: self.shards[s].index.live_len(),
+                ..Default::default()
+            })
+            .collect();
+        let mut stats = SearchStats::merged(per_shard.iter());
+        let parts: Vec<Vec<(u32, f64)>> = scans.into_iter().map(|(ranked, _)| ranked).collect();
+        let take = match req.ranker {
+            Ranker::Refined { candidates } => candidates,
+            _ => req.k,
+        };
+        let merged = merge_topk(
+            &parts,
+            take,
+            |s, local| self.shards[s].seqs[local as usize],
+            |s, local| self.compose_id(ShardId(s as u32), local as usize),
+        );
+        let hits = match req.ranker {
+            Ranker::Refined { .. } => {
+                stats.mcs_calls = merged.len();
+                let verified = self.refine(query, &merged, req);
+                Self::hits(verified, req.k)
+            }
+            _ => Self::hits(merged, req.k),
+        };
+        SearchResponse { hits, stats }
+    }
+
+    /// The verification phase of [`Ranker::Refined`]: exact δ for the
+    /// merged candidates, computed per owning shard through the one
+    /// δ-ranking kernel and re-merged ascending by `(δ, seq)` — the
+    /// same order an unsharded refine produces by `(δ, id)`.
+    fn refine(
+        &self,
+        query: &Graph,
+        candidates: &[MergedHit],
+        req: &SearchRequest,
+    ) -> Vec<MergedHit> {
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for hit in candidates {
+            let (s, local) = self.split_id(hit.id);
+            per_shard[s.index()].push(local as u32);
+        }
+        let mcs = self.mcs_for(req);
+        let kind = self.shards[0].index.dissimilarity();
+        let mut out = Vec::with_capacity(candidates.len());
+        for (s, locals) in per_shard.iter().enumerate() {
+            if locals.is_empty() {
+                continue;
+            }
+            let ranked = exact_ranking_among(
+                self.shards[s].index.graphs(),
+                locals,
+                query,
+                kind,
+                &mcs,
+                self.exec(),
+            );
+            for (local, distance) in ranked {
+                out.push(MergedHit {
+                    id: self.compose_id(ShardId(s as u32), local as usize),
+                    distance,
+                    seq: self.shards[s].seqs[local as usize],
+                });
+            }
+        }
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.seq.cmp(&b.seq)));
+        out
+    }
+
+    /// The [`Ranker::Exact`] path: the full δ ranking of each shard's
+    /// live rows (the per-shard MCS fan-out is already parallel),
+    /// merged by `(δ, seq)`.
+    fn exact_response(&self, query: &Graph, req: &SearchRequest) -> SearchResponse {
+        let mcs = self.mcs_for(req);
+        let kind = self.shards[0].index.dissimilarity();
+        let mut parts: Vec<Vec<(u32, f64)>> = Vec::with_capacity(self.shards.len());
+        let mut mcs_calls = 0usize;
+        for shard in &self.shards {
+            let live = shard.index.tombstones().live_ids();
+            mcs_calls += live.len();
+            parts.push(exact_ranking_among(
+                shard.index.graphs(),
+                &live,
+                query,
+                kind,
+                &mcs,
+                self.exec(),
+            ));
+        }
+        let merged = merge_topk(
+            &parts,
+            req.k,
+            |s, local| self.shards[s].seqs[local as usize],
+            |s, local| self.compose_id(ShardId(s as u32), local as usize),
+        );
+        let per_shard: Vec<SearchStats> = self
+            .shards
+            .iter()
+            .map(|shard| SearchStats {
+                epoch: shard.index.epoch(),
+                live_graphs: shard.index.live_len(),
+                ..Default::default()
+            })
+            .collect();
+        let mut stats = SearchStats::merged(per_shard.iter());
+        stats.mcs_calls = mcs_calls;
+        SearchResponse {
+            hits: Self::hits(merged, req.k),
+            stats,
+        }
+    }
+
+    /// Truncates merged answers into typed hits.
+    fn hits(merged: Vec<MergedHit>, k: usize) -> Vec<Hit> {
+        merged
+            .into_iter()
+            .take(k)
+            .map(|h| Hit {
+                id: h.id,
+                distance: h.distance,
+            })
+            .collect()
+    }
+
+    // --------------------------------------------------- persistence
+
+    /// Reassembles an index from loaded parts (the seam
+    /// [`ShardedIndex::load_dir`] uses).
+    pub(crate) fn from_loaded(
+        shards: Vec<Shard>,
+        shard_bits: u32,
+        next_seq: u64,
+        stamp: u64,
+        muts: Vec<u64>,
+    ) -> ShardedIndex {
+        let opts = ShardedOptions {
+            shards: shards.len(),
+            index: shards[0].index.options().clone(),
+        };
+        ShardedIndex {
+            shards: shards.into_iter().map(Arc::new).collect(),
+            shard_bits,
+            next_seq,
+            stamp,
+            muts,
+            opts,
+        }
+    }
+
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    pub(crate) fn muts(&self) -> &[u64] {
+        &self.muts
+    }
+}
+
+/// Handle to an in-flight background **shard** rebuild (compaction) —
+/// see [`ShardedIndex::spawn_shard_rebuild`].
+#[derive(Debug)]
+pub struct ShardRebuildTask {
+    task: BackgroundTask<Shard>,
+    shard: ShardId,
+    /// Mutation stamp of the shard when the snapshot was taken.
+    basis: u64,
+}
+
+impl ShardRebuildTask {
+    /// The shard being rebuilt.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Requests cooperative cancellation.
+    pub fn cancel(&self) {
+        self.task.cancel();
+    }
+
+    /// Non-blocking: whether the background job has ended.
+    pub fn is_finished(&self) -> bool {
+        self.task.is_finished()
+    }
+}
+
+/// Handle to an in-flight background **full** rebuild — see
+/// [`ShardedIndex::spawn_rebuild`].
+#[derive(Debug)]
+pub struct ShardedRebuildTask {
+    task: BackgroundTask<ShardedIndex>,
+    /// Event stamp of the index when the snapshot was taken.
+    basis: u64,
+}
+
+impl ShardedRebuildTask {
+    /// Requests cooperative cancellation; the pipeline stops at its
+    /// next phase boundary.
+    pub fn cancel(&self) {
+        self.task.cancel();
+    }
+
+    /// Non-blocking: whether the background job has ended.
+    pub fn is_finished(&self) -> bool {
+        self.task.is_finished()
+    }
+}

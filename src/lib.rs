@@ -24,6 +24,10 @@
 //! * [`datagen`] — chemistry-like and GraphGen-like dataset generators;
 //! * [`core`] — DSPM / DSPMap dimension selection, top-k queries,
 //!   quality measures, fingerprint benchmark;
+//! * [`shard`] — the sharded index (scatter-gather top-k over N
+//!   partitions sharing one global dimension selection) and the
+//!   concurrent serving runtime (`ServingHandle`: lock-free readers
+//!   over epoch-swapped snapshots);
 //! * [`baselines`] — the seven comparison selectors of the paper's §6.
 //!
 //! ## Quickstart
@@ -67,10 +71,12 @@ pub use gdim_exec as exec;
 pub use gdim_graph as graph;
 pub use gdim_linalg as linalg;
 pub use gdim_mining as mining;
+pub use gdim_shard as shard;
 
 /// One-stop imports: the core pipeline types plus the graph substrate.
 pub mod prelude {
     pub use gdim_core::prelude::*;
     pub use gdim_graph::{Dissimilarity, Graph, GraphBuilder, McsOptions};
     pub use gdim_mining::{mine, Feature, MinerConfig, Support};
+    pub use gdim_shard::{Reader, ServingHandle, ShardId, ShardedIndex, ShardedOptions};
 }

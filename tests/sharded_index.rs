@@ -1,0 +1,305 @@
+//! Equivalence contract of the sharded index (gdim-shard): a
+//! [`ShardedIndex`] must answer **bit-identically** to a single
+//! [`GraphIndex`] over the same database — hits, order, distances —
+//! for every ranker, mapping, shard count ∈ {1, 2, 8}, and thread
+//! budget ∈ {1, 2, 8}, including after online insert/remove, after
+//! per-shard (compaction) rebuilds, and after a full re-mine rebuild.
+//! Sharded hits are translated through each row's sequence number,
+//! which by construction equals the row id of the unsharded index
+//! grown by the same operations. Also pins the manifest save → load →
+//! save byte-identical round trip.
+
+use proptest::prelude::*;
+
+use gdim::prelude::*;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn chem(n: usize, seed: u64) -> Vec<Graph> {
+    gdim::datagen::chem_db(n, &gdim::datagen::ChemConfig::default(), seed)
+}
+
+fn opts() -> IndexOptions {
+    IndexOptions::default().with_dimensions(16)
+}
+
+/// Requests covering the ranker × mapping spectrum.
+fn requests() -> Vec<SearchRequest> {
+    vec![
+        SearchRequest::topk(6),
+        SearchRequest::topk(6).with_mapping(MappingKind::Weighted),
+        SearchRequest::topk(4).with_ranker(Ranker::Refined { candidates: 7 }),
+        SearchRequest::topk(4).with_ranker(Ranker::Exact),
+    ]
+}
+
+/// Sharded hits as `(seq, distance)` — the sharded row's sequence
+/// number is exactly the id the unsharded index gives the same row.
+fn sharded_hits(idx: &ShardedIndex, q: &Graph, req: &SearchRequest) -> Vec<(u64, f64)> {
+    idx.search(q, req)
+        .unwrap()
+        .hits
+        .iter()
+        .map(|h| (idx.seq_of(h.id).unwrap(), h.distance))
+        .collect()
+}
+
+/// Unsharded hits as `(id, distance)` in the same coordinates.
+fn flat_hits(idx: &GraphIndex, q: &Graph, req: &SearchRequest) -> Vec<(u64, f64)> {
+    idx.search(q, req)
+        .unwrap()
+        .hits
+        .iter()
+        .map(|h| (h.id.get() as u64, h.distance))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Fresh build: every shard count and thread budget answers every
+    /// request bit-identically to the unsharded index.
+    #[test]
+    fn fresh_build_matches_unsharded_for_all_shard_and_thread_counts(seed in 0u64..500) {
+        let db = chem(14, seed);
+        let queries = chem(2, !seed);
+        let mut flat = GraphIndex::build(db.clone(), opts());
+        for shards in SHARD_COUNTS {
+            let mut sharded = ShardedIndex::build(
+                db.clone(),
+                ShardedOptions::new(shards).with_index(opts()),
+            );
+            prop_assert_eq!(sharded.shard_count(), shards);
+            prop_assert_eq!(sharded.len(), flat.len());
+            for threads in THREADS {
+                sharded.set_exec(ExecConfig::new(threads));
+                flat.set_exec(ExecConfig::new(threads));
+                for q in queries.iter().chain(db.iter().take(2)) {
+                    for req in requests() {
+                        prop_assert_eq!(
+                            sharded_hits(&sharded, q, &req),
+                            flat_hits(&flat, q, &req),
+                            "shards {}, threads {}, {:?}", shards, threads, req
+                        );
+                    }
+                }
+                // Batch answers equal single answers, query for query.
+                let req = SearchRequest::topk(5);
+                let batch = sharded.search_batch(&queries, &req).unwrap();
+                for (q, resp) in queries.iter().zip(&batch) {
+                    let single = sharded.search(q, &req).unwrap();
+                    prop_assert_eq!(&single.hits, &resp.hits);
+                }
+            }
+        }
+    }
+
+    /// Online churn: the same inserts and removes applied to both
+    /// sides stay bit-identical — before any rebuild, after per-shard
+    /// compaction rebuilds (which must not change answers at all), and
+    /// after a full re-mine rebuild on both sides.
+    #[test]
+    fn churned_index_matches_unsharded_through_rebuilds(seed in 0u64..500) {
+        let base = chem(12, seed);
+        let extra = chem(5, seed.wrapping_mul(31) ^ 0xBEEF);
+        let queries = chem(2, !seed);
+        let policy = RebuildPolicy { max_inserts: 3, max_tombstone_frac: 0.2 };
+        let build_opts = opts().with_rebuild_policy(policy);
+        for shards in SHARD_COUNTS {
+            let mut flat = GraphIndex::build(base.clone(), build_opts.clone());
+            let mut sharded = ShardedIndex::build(
+                base.clone(),
+                ShardedOptions::new(shards).with_index(build_opts.clone()),
+            );
+            // Inserts: routed to the least-loaded shard, but the row's
+            // sequence number always equals the unsharded id.
+            for g in &extra {
+                let flat_id = flat.insert(g.clone());
+                let gid = sharded.insert(g.clone());
+                prop_assert_eq!(sharded.seq_of(gid).unwrap(), flat_id.get() as u64);
+            }
+            // Removes: one base row, one inserted row.
+            let dead = [2u64, base.len() as u64 + 1];
+            for &seq in &dead {
+                let gid = sharded.id_for_seq(seq).unwrap();
+                prop_assert!(sharded.remove(gid).unwrap());
+                prop_assert!(flat.remove(GraphId(seq as u32)).unwrap());
+            }
+            prop_assert_eq!(sharded.live_len(), flat.live_len());
+            for q in &queries {
+                for req in requests() {
+                    prop_assert_eq!(
+                        sharded_hits(&sharded, q, &req),
+                        flat_hits(&flat, q, &req),
+                        "pre-rebuild, shards {}, {:?}", shards, req
+                    );
+                }
+            }
+            // Per-shard compaction: only dirty shards rebuild, against
+            // the retained global selection — answers must not move
+            // (the unsharded side does nothing).
+            prop_assert!(!sharded.stale_shards().is_empty(), "policy must trip");
+            let rebuilt = sharded.rebuild_stale_shards();
+            prop_assert!(rebuilt > 0);
+            prop_assert!(sharded.stale_shards().is_empty());
+            prop_assert!(sharded.epoch() >= 1, "compaction advances the shard epoch");
+            for q in &queries {
+                for req in requests() {
+                    prop_assert_eq!(
+                        sharded_hits(&sharded, q, &req),
+                        flat_hits(&flat, q, &req),
+                        "post-compaction, shards {}, {:?}", shards, req
+                    );
+                }
+            }
+            // Full rebuild on both sides: re-mine over the live graphs
+            // (same sequence order), bit-identical again.
+            sharded.rebuild();
+            flat.rebuild();
+            prop_assert_eq!(sharded.len(), flat.len());
+            prop_assert_eq!(sharded.live_len(), sharded.len());
+            for q in queries.iter().chain(extra.iter().take(1)) {
+                for req in requests() {
+                    prop_assert_eq!(
+                        sharded_hits(&sharded, q, &req),
+                        flat_hits(&flat, q, &req),
+                        "post-full-rebuild, shards {}, {:?}", shards, req
+                    );
+                }
+            }
+        }
+    }
+
+    /// Persistence: save_dir → load_dir → save_dir reproduces every
+    /// file byte-identically, and the reloaded index answers exactly
+    /// like the saved one — including for a dirty (inserted + removed)
+    /// index.
+    #[test]
+    fn manifest_roundtrip_is_byte_identical(seed in 0u64..500) {
+        let base = chem(10, seed);
+        let mut sharded = ShardedIndex::build(
+            base.clone(),
+            ShardedOptions::new(3).with_index(opts()),
+        );
+        for g in chem(2, seed ^ 0xF00D) {
+            sharded.insert(g);
+        }
+        let gid = sharded.id_for_seq(4).unwrap();
+        prop_assert!(sharded.remove(gid).unwrap());
+
+        let root = std::env::temp_dir().join(format!(
+            "gdim_shard_roundtrip_{}_{seed}",
+            std::process::id()
+        ));
+        let dir_a = root.join("a");
+        let dir_b = root.join("b");
+        sharded.save_dir(&dir_a).unwrap();
+        let mut reloaded = ShardedIndex::load_dir(&dir_a).unwrap();
+        reloaded.save_dir(&dir_b).unwrap();
+        // Byte-identical: the manifest and every shard file.
+        let mut names: Vec<String> = std::fs::read_dir(&dir_a)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        prop_assert_eq!(names.len(), 1 + sharded.shard_count());
+        for name in &names {
+            let a = std::fs::read(dir_a.join(name)).unwrap();
+            let b = std::fs::read(dir_b.join(name)).unwrap();
+            prop_assert_eq!(a, b, "file {} drifted across the round trip", name);
+        }
+        // Identical answers (the exec budget is serving-machine state).
+        reloaded.set_exec(*sharded.exec());
+        prop_assert_eq!(reloaded.shard_count(), sharded.shard_count());
+        prop_assert_eq!(reloaded.live_len(), sharded.live_len());
+        for q in base.iter().take(2) {
+            for req in requests() {
+                prop_assert_eq!(
+                    sharded_hits(&reloaded, q, &req),
+                    sharded_hits(&sharded, q, &req),
+                    "{:?}", req
+                );
+            }
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+#[test]
+fn composed_ids_route_and_bad_ids_are_typed_errors() {
+    let db = chem(10, 77);
+    let mut idx = ShardedIndex::build(db, ShardedOptions::new(4).with_index(opts()));
+    assert_eq!(idx.shard_bits(), 2);
+    // Every row's composed id resolves to its own graph and seq.
+    for seq in 0..10u64 {
+        let gid = idx.id_for_seq(seq).unwrap();
+        assert_eq!(idx.seq_of(gid).unwrap(), seq);
+        let (s, local) = idx.split_id(gid);
+        assert_eq!(idx.compose_id(s, local), gid);
+    }
+    // Unknown ids and shards are errors, not panics.
+    assert!(matches!(
+        idx.graph(GraphId(u32::MAX)),
+        Err(GdimError::GraphOutOfRange { .. })
+    ));
+    assert!(matches!(
+        idx.remove(GraphId(u32::MAX)),
+        Err(GdimError::GraphOutOfRange { .. })
+    ));
+    assert!(matches!(
+        idx.shard(ShardId(9)),
+        Err(GdimError::ShardOutOfRange { id: 9, shards: 4 })
+    ));
+    assert!(matches!(
+        idx.rebuild_shard(ShardId(9)),
+        Err(GdimError::ShardOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn shard_rebuild_snapshot_goes_stale_on_later_mutation() {
+    let db = chem(10, 99);
+    let mut idx = ShardedIndex::build(db, ShardedOptions::new(2).with_index(opts()));
+    let gid = idx.id_for_seq(0).unwrap();
+    idx.remove(gid).unwrap();
+    let (owner, _) = idx.split_id(gid);
+
+    // A mutation in the same shard after the snapshot: refused.
+    let task = idx.spawn_shard_rebuild(owner).unwrap();
+    idx.remove(idx.id_for_seq(1).unwrap()).unwrap(); // seq 1 lives in shard 0 too
+    match idx.install_shard(task) {
+        Err(GdimError::StaleRebuild { .. }) => {}
+        other => panic!("expected StaleRebuild, got {other:?}"),
+    }
+
+    // A quiet shard installs: tombstones compact away, answers stay.
+    let q = idx.shard_graphs(ShardId(1)).unwrap()[0].clone();
+    let before = sharded_hits(&idx, &q, &SearchRequest::topk(5));
+    let task = idx.spawn_shard_rebuild(owner).unwrap();
+    assert!(idx.install_shard(task).unwrap());
+    assert_eq!(idx.shard(owner).unwrap().tombstone_count(), 0);
+    assert_eq!(sharded_hits(&idx, &q, &SearchRequest::topk(5)), before);
+
+    // Full-rebuild snapshots are invalidated by any later event too.
+    let task = idx.spawn_rebuild();
+    idx.insert(chem(1, 5)[0].clone());
+    match idx.install(task) {
+        Err(GdimError::StaleRebuild { .. }) => {}
+        other => panic!("expected StaleRebuild, got {other:?}"),
+    }
+    let task = idx.spawn_rebuild();
+    assert!(idx.install(task).unwrap());
+}
+
+#[test]
+fn empty_database_shards_and_serves() {
+    let idx = ShardedIndex::build(Vec::new(), ShardedOptions::new(4).with_index(opts()));
+    assert!(idx.is_empty());
+    assert_eq!(idx.shard_count(), 4);
+    let q = chem(1, 1).remove(0);
+    for req in requests() {
+        let resp = idx.search(&q, &req).unwrap();
+        assert!(resp.hits.is_empty(), "{req:?}");
+    }
+}
