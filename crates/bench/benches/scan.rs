@@ -1,12 +1,14 @@
-//! Microbenchmark: the two optimized legs of the online query path
-//! (PR 3) — the flat SoA scan kernel vs. the naive full-sort scan it
-//! replaced, and containment-pruned query mapping vs. the unpruned
-//! per-feature VF2 loop. The committed `BENCH_scan.json` snapshot is
-//! recorded by the `scan_baseline` binary over the same workloads.
+//! Microbenchmark: the optimized legs of the online query path — the
+//! flat SoA scan kernels (binary and weighted, on the runtime-selected
+//! kernel family) vs. the naive full-sort scans they replaced, the
+//! fused multi-query batch scan vs. independent single-query calls,
+//! and containment-pruned query mapping vs. the unpruned per-feature
+//! VF2 loop. The committed `BENCH_scan.json` snapshot is recorded by
+//! the `scan_baseline` binary over the same workloads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gdim_bench::scanwork::{naive_fullsort_topk, synth};
-use gdim_core::{GraphIndex, IndexOptions};
+use gdim_bench::scanwork::{naive_fullsort_topk, naive_weighted_topk, synth, synth_queries};
+use gdim_core::{Bitset, ExecConfig, GraphIndex, IndexOptions};
 use gdim_datagen::{chem_db, ChemConfig};
 
 fn bench_scan(c: &mut Criterion) {
@@ -21,9 +23,41 @@ fn bench_scan(c: &mut Criterion) {
             b.iter(|| store.topk_binary(q.words(), 10).0[0].0)
         });
         let w_sq = vec![1.0 / 256.0; 256];
+        group.bench_with_input(BenchmarkId::new("naive_weighted_top10", n), &n, |b, _| {
+            b.iter(|| naive_weighted_topk(&store, &q, &w_sq, 10)[0].0)
+        });
         group.bench_with_input(BenchmarkId::new("kernel_weighted_top10", n), &n, |b, _| {
             b.iter(|| store.topk_weighted(q.words(), 10, &w_sq).0[0].0)
         });
+    }
+    group.finish();
+}
+
+fn bench_fused_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_scan");
+    group.sample_size(10);
+    let exec = ExecConfig::default();
+    for n in [10_000usize, 100_000] {
+        let (store, _) = synth(n, 256, 42);
+        let queries: Vec<Bitset> = synth_queries(64, 256, 42);
+        for qn in [8usize, 64] {
+            let words: Vec<&[u64]> = queries[..qn].iter().map(Bitset::words).collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("independent_q{qn}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        words
+                            .iter()
+                            .map(|w| store.topk_binary(w, 10).0[0].0)
+                            .sum::<u32>()
+                    })
+                },
+            );
+            group.bench_with_input(BenchmarkId::new(format!("fused_q{qn}"), n), &n, |b, _| {
+                b.iter(|| store.topk_binary_fused(&words, 10, &exec)[0].0[0].0)
+            });
+        }
     }
     group.finish();
 }
@@ -56,5 +90,5 @@ fn bench_map_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scan, bench_map_query);
+criterion_group!(benches, bench_scan, bench_fused_scan, bench_map_query);
 criterion_main!(benches);

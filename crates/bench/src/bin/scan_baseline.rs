@@ -1,9 +1,14 @@
 //! `scan_baseline` — records the committed `BENCH_scan.json` snapshot:
-//! the naive full-sort scan vs. the bounded SoA kernel on synthetic
-//! vector stores (default n ∈ {1k, 10k, 100k}, p = 256, top-10), and
-//! unpruned vs. containment-pruned query mapping on a chem workload.
-//! Medians of repeated timed runs, written as plain JSON so future PRs
-//! can track the trajectory.
+//! the naive full-sort scan vs. the bounded SoA kernel (binary **and**
+//! weighted) on synthetic vector stores (default n ∈ {1k, 10k, 100k},
+//! p = 256, top-10), the fused multi-query batch scan vs. independent
+//! single-query scans at Q ∈ {1, 8, 64}, and unpruned vs.
+//! containment-pruned query mapping on a chem workload. Medians of
+//! repeated timed runs, written as plain JSON so future PRs can track
+//! the trajectory. The snapshot also records the kernel families
+//! available on the measuring machine and which one runtime detection
+//! selected ([`selected_kernel`]), so a committed number is never
+//! compared against a run on a different instruction set blindly.
 //!
 //! ```text
 //! cargo run --release -p gdim-bench --bin scan_baseline -- \
@@ -18,28 +23,39 @@
 //!   so CI can run a small deterministic workload without editing source.
 //! * `--seed S` — splitmix seed for the synthetic vectors (default 42).
 //! * `--baseline PATH` — **perf-regression gate**: read a committed
-//!   snapshot and exit non-zero if, for any store size measured by both
-//!   runs, the fresh kernel-vs-naive speedup falls below `min-frac`
-//!   of the committed one. The ratio compares kernel to naive *on the
-//!   same machine*, so the gate is robust to absolute runner speed;
+//!   snapshot and exit non-zero if, for any workload measured by both
+//!   runs, a fresh speedup (`binary_speedup`, `weighted_speedup`, or a
+//!   fused `fused_qps_speedup` row) falls below `min-frac` of the
+//!   committed one. Each ratio compares two runs *on the same
+//!   machine*, so the gate is robust to absolute runner speed;
 //!   `--min-frac` (default 0.25) leaves generous headroom for noise.
 //! * `--shards S[,S...]` — also measure the **scatter-gather** scan
 //!   (default `8`): the same store split into S contiguous sub-stores,
 //!   each scanned with the bounded kernel, merged to a global top-10
-//!   with `gdim_shard::merge_topk`. The merged hits are asserted equal
-//!   to the single-store kernel's before timing.
+//!   with `gdim_shard::merge_topk`. Small stores (fewer than
+//!   `MIN_SCATTER_ROWS_PER_SHARD` rows per shard) mirror the serving
+//!   layer's short-circuit instead: one direct pass over every
+//!   sub-store into a single global selector — the shape
+//!   `ShardedIndex::search` actually runs at that size. Either way the
+//!   merged hits are asserted equal to the single-store kernel's
+//!   before timing.
 //! * `--max-shard-frac F` — **scatter-gather overhead gate**: when
-//!   given, exit non-zero if, at equal total `n`, the merged sharded
-//!   scan takes more than `F ×` the single-store kernel time (the CI
-//!   bench-smoke job passes `1.3`). The ratio is same-machine and
-//!   same-run, so it needs no committed baseline.
+//!   given, exit non-zero if, at equal total `n`, the sharded scan
+//!   (direct or merged) takes more than `F ×` the single-store kernel
+//!   time (the CI bench-smoke job passes `1.3`). The ratio is
+//!   same-machine and same-run, so it needs no committed baseline.
 
 use std::time::Instant;
 
-use gdim_bench::scanwork::{naive_fullsort_topk, split_store, synth};
-use gdim_core::{GraphId, GraphIndex, IndexOptions};
+use gdim_bench::scanwork::{
+    naive_fullsort_topk, naive_weighted_topk, split_store, synth, synth_queries,
+};
+use gdim_core::scan::{
+    available_kernels, hamming_block4, hamming_row_kernel, selected_kernel, TopK,
+};
+use gdim_core::{Bitset, ExecConfig, GraphId, GraphIndex, IndexOptions};
 use gdim_datagen::{chem_db, ChemConfig};
-use gdim_shard::merge_topk;
+use gdim_shard::{merge_topk, MIN_SCATTER_ROWS_PER_SHARD};
 
 /// Median wall time (ns) of `reps` runs of `f`.
 fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
@@ -52,6 +68,28 @@ fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
         .collect();
     times.sort_unstable();
     times[times.len() / 2]
+}
+
+/// Interleaved best-of-`reps` wall times (ns) for a gated A/B pair.
+/// Alternating single reps of each side keeps burst noise (VM steal
+/// time, frequency excursions) from landing on only one side of a
+/// ratio, and the minimum — unlike the median — discards every
+/// disturbed rep, estimating the undisturbed cost of each side.
+fn paired_min_ns<A, B>(
+    reps: usize,
+    mut a: impl FnMut() -> A,
+    mut b: impl FnMut() -> B,
+) -> (u64, u64) {
+    let (mut best_a, mut best_b) = (u64::MAX, u64::MAX);
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(a());
+        best_a = best_a.min(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        std::hint::black_box(b());
+        best_b = best_b.min(t.elapsed().as_nanos() as u64);
+    }
+    (best_a, best_b)
 }
 
 struct Args {
@@ -115,34 +153,88 @@ fn parse_args() -> Args {
     args
 }
 
-/// Extracts `(n, binary_speedup)` pairs from a snapshot produced by
-/// this binary (line-oriented; one `binary_scan` row per line).
-fn parse_speedups(json: &str) -> Vec<(usize, f64)> {
-    fn field(line: &str, key: &str) -> Option<f64> {
-        let at = line.find(key)?;
-        let rest = line[at + key.len()..].trim_start().strip_prefix(':')?;
-        let val: String = rest
-            .trim_start()
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-            .collect();
-        val.parse().ok()
+/// One numeric field of a line-oriented JSON row.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)?;
+    let rest = line[at + key.len()..].trim_start().strip_prefix(':')?;
+    let val: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    val.parse().ok()
+}
+
+/// The gated speedups of a snapshot produced by this binary
+/// (line-oriented; one row per line): binary and weighted
+/// kernel-vs-naive by `n`, fused-vs-independent by `(n, q)`.
+#[derive(Default)]
+struct Speedups {
+    binary: Vec<(usize, f64)>,
+    weighted: Vec<(usize, f64)>,
+    fused: Vec<(usize, usize, f64)>,
+}
+
+fn parse_speedups(json: &str) -> Speedups {
+    let mut out = Speedups::default();
+    for line in json.lines() {
+        let Some(n) = field(line, "\"n\"") else {
+            continue;
+        };
+        let n = n as usize;
+        if let Some(s) = field(line, "\"binary_speedup\"") {
+            out.binary.push((n, s));
+        }
+        if let Some(s) = field(line, "\"weighted_speedup\"") {
+            out.weighted.push((n, s));
+        }
+        if let (Some(q), Some(s)) = (field(line, "\"q\""), field(line, "\"fused_qps_speedup\"")) {
+            out.fused.push((n, q as usize, s));
+        }
     }
-    json.lines()
-        .filter_map(|line| {
-            Some((
-                field(line, "\"n\"")? as usize,
-                field(line, "\"binary_speedup\"")?,
-            ))
-        })
-        .collect()
+    out
+}
+
+/// One gate pass: every fresh `(label, speedup)` that has a committed
+/// counterpart must stay above `min_frac` of it. Returns how many rows
+/// overlapped and whether any failed.
+fn gate_rows(
+    what: &str,
+    fresh: &[(String, f64)],
+    committed: &[(String, f64)],
+    min_frac: f64,
+) -> (usize, bool) {
+    let mut checked = 0usize;
+    let mut failed = false;
+    for (label, got) in fresh {
+        let Some((_, want)) = committed.iter().find(|(l, _)| l == label) else {
+            continue;
+        };
+        let floor = want * min_frac;
+        let verdict = if got < &floor { "FAIL" } else { "ok" };
+        eprintln!(
+            "bench-smoke {what} {label}: fresh {got:.2}x vs committed {want:.2}x \
+             (floor {floor:.2}x) .. {verdict}"
+        );
+        failed |= got < &floor;
+        checked += 1;
+    }
+    (checked, failed)
 }
 
 fn main() {
     let args = parse_args();
+    let exec = ExecConfig::default();
+    let kernels: Vec<&str> = available_kernels().iter().map(|k| k.name()).collect();
+    eprintln!(
+        "cpu kernels: available [{}], selected {}",
+        kernels.join(", "),
+        selected_kernel().name()
+    );
     let mut rows = Vec::new();
+    let mut fused_rows = Vec::new();
     let mut shard_rows = Vec::new();
-    let mut fresh: Vec<(usize, f64)> = Vec::new();
+    let mut fresh = Speedups::default();
     let mut shard_gate_failures = 0usize;
     for &n in &args.sizes {
         let (store, q) = synth(n, 256, args.seed);
@@ -150,58 +242,145 @@ fn main() {
         let naive = median_ns(reps, || naive_fullsort_topk(&store, &q, 10));
         let kernel = median_ns(reps, || store.topk_binary(q.words(), 10));
         let w_sq = vec![1.0 / 256.0; 256];
+        let naive_weighted = median_ns(reps, || naive_weighted_topk(&store, &q, &w_sq, 10));
         let weighted = median_ns(reps, || store.topk_weighted(q.words(), 10, &w_sq));
         let (_, wstats) = store.topk_weighted(q.words(), 10, &w_sq);
         let speedup = naive as f64 / kernel.max(1) as f64;
-        fresh.push((n, speedup));
+        let weighted_speedup = naive_weighted as f64 / weighted.max(1) as f64;
+        fresh.binary.push((n, speedup));
+        fresh.weighted.push((n, weighted_speedup));
         eprintln!(
-            "n={n}: naive {naive} ns, kernel {kernel} ns ({speedup:.1}x), weighted {weighted} ns \
-             (early-abandoned {}/{n}, {} of {} words read)",
+            "n={n}: naive {naive} ns, kernel {kernel} ns ({speedup:.1}x), weighted naive \
+             {naive_weighted} ns, kernel {weighted} ns ({weighted_speedup:.1}x, early-abandoned \
+             {}/{n}, {} of {} words read)",
             wstats.early_abandoned,
             wstats.words_scanned,
             n * store.stride()
         );
         rows.push(format!(
             "    {{\"n\": {n}, \"p\": 256, \"k\": 10, \"naive_fullsort_ns\": {naive}, \
-             \"kernel_binary_ns\": {kernel}, \"kernel_weighted_ns\": {weighted}, \
-             \"binary_speedup\": {speedup:.2}, \"weighted_early_abandoned\": {}, \
+             \"kernel_binary_ns\": {kernel}, \"naive_weighted_ns\": {naive_weighted}, \
+             \"kernel_weighted_ns\": {weighted}, \"binary_speedup\": {speedup:.2}, \
+             \"weighted_speedup\": {weighted_speedup:.2}, \"weighted_early_abandoned\": {}, \
              \"weighted_words_scanned\": {}, \"total_words\": {}}}",
             wstats.early_abandoned,
             wstats.words_scanned,
             n * store.stride()
         ));
 
+        // Fused multi-query batch: Q queries answered in one pass over
+        // the store vs. Q independent single-query kernel calls — the
+        // aggregate-throughput trade `search_batch` rides on. Hits are
+        // asserted bit-identical before timing.
+        let queries: Vec<Bitset> = synth_queries(64, 256, args.seed);
+        for qn in [1usize, 8, 64] {
+            let words: Vec<&[u64]> = queries[..qn].iter().map(Bitset::words).collect();
+            let fused_answers = store.topk_binary_fused(&words, 10, &exec);
+            for (j, (hits, _)) in fused_answers.iter().enumerate() {
+                let (single, _) = store.topk_binary(words[j], 10);
+                assert_eq!(
+                    *hits, single,
+                    "fused batch must be bit-identical to independent scans"
+                );
+            }
+            let (independent_ns, fused_ns) = paired_min_ns(
+                reps,
+                || {
+                    words
+                        .iter()
+                        .map(|w| store.topk_binary(w, 10).0[0].0)
+                        .sum::<u32>()
+                },
+                || store.topk_binary_fused(&words, 10, &exec)[0].0[0].0,
+            );
+            let fused_speedup = independent_ns as f64 / fused_ns.max(1) as f64;
+            fresh.fused.push((n, qn, fused_speedup));
+            eprintln!(
+                "n={n} fused q={qn}: independent {independent_ns} ns, fused {fused_ns} ns \
+                 ({fused_speedup:.2}x)"
+            );
+            fused_rows.push(format!(
+                "    {{\"n\": {n}, \"q\": {qn}, \"k\": 10, \"independent_ns\": {independent_ns}, \
+                 \"fused_ns\": {fused_ns}, \"fused_qps_speedup\": {fused_speedup:.2}}}"
+            ));
+        }
+
         // Scatter-gather overhead: the same store split into S
-        // contiguous sub-stores, each scanned with the bounded kernel,
-        // merged to a global top-10 on (distance, seq) — the shape the
-        // gdim-shard scan leg runs at equal total n.
+        // contiguous sub-stores — per-shard bounded kernels merged to
+        // a global top-10 on (distance, seq) at scatter-worthy sizes,
+        // or (mirroring ShardedIndex's small-n short-circuit) one
+        // direct pass over every sub-store into a single global
+        // selector when the shards would average fewer than
+        // MIN_SCATTER_ROWS_PER_SHARD rows.
         for &shards in &args.shards {
             let parts = split_store(&store, shards);
-            let scatter_gather = || {
-                let ranked: Vec<Vec<(u32, f64)>> = parts
-                    .iter()
-                    .map(|(_, sub)| sub.topk_binary(q.words(), 10).0)
-                    .collect();
-                merge_topk(
-                    &ranked,
-                    10,
-                    |s, local| parts[s].0 + local as u64,
-                    |s, local| GraphId((parts[s].0 + local as u64) as u32),
-                )
+            let direct = shards > 1 && n < shards * MIN_SCATTER_ROWS_PER_SHARD;
+            let p = store.bits().max(1) as f64;
+            let sharded_scan = || {
+                if direct {
+                    // Mirrors ShardedIndex's direct pass: the 4-row
+                    // block kernel per sub-store, one global selector
+                    // keyed (h, seq) with a cached k-th bound.
+                    let kern = selected_kernel();
+                    let qw = q.words();
+                    let mut sel: TopK<(u32, u64)> = TopK::new(10);
+                    let mut bound: Option<(u32, u64)> = None;
+                    let mut offer = |sel: &mut TopK<(u32, u64)>, key: (u32, u64), id: u32| {
+                        if bound.is_none_or(|b| key <= b) && sel.offer(key, id) {
+                            bound = sel.bound().map(|&(b, _)| b);
+                        }
+                    };
+                    for (offset, sub) in &parts {
+                        let stride = sub.stride().max(1);
+                        let rows = sub.row_block(0, sub.len());
+                        let mut i = 0usize;
+                        for block in rows.chunks_exact(4 * stride) {
+                            let h4 = hamming_block4(kern, qw, block, stride);
+                            for (r, &h) in h4.iter().enumerate() {
+                                let seq = offset + (i + r) as u64;
+                                offer(&mut sel, (h, seq), seq as u32);
+                            }
+                            i += 4;
+                        }
+                        for idx in i..sub.len() {
+                            let h = hamming_row_kernel(kern, qw, sub.row(idx));
+                            let seq = offset + idx as u64;
+                            offer(&mut sel, (h, seq), seq as u32);
+                        }
+                    }
+                    sel.into_sorted()
+                        .into_iter()
+                        .map(|((h, _), id)| (id, (h as f64 / p).sqrt()))
+                        .collect::<Vec<(u32, f64)>>()
+                } else {
+                    let ranked: Vec<Vec<(u32, f64)>> = parts
+                        .iter()
+                        .map(|(_, sub)| sub.topk_binary(q.words(), 10).0)
+                        .collect();
+                    merge_topk(
+                        &ranked,
+                        10,
+                        |s, local| parts[s].0 + local as u64,
+                        |s, local| GraphId((parts[s].0 + local as u64) as u32),
+                    )
+                    .into_iter()
+                    .map(|h| (h.id.get(), h.distance))
+                    .collect()
+                }
             };
-            // Sanity outside the timed loop: merged == single-store.
-            let merged = scatter_gather();
+            // Sanity outside the timed loop: sharded == single-store.
             let (single, _) = store.topk_binary(q.words(), 10);
             assert_eq!(
-                merged
-                    .iter()
-                    .map(|h| (h.id.get(), h.distance))
-                    .collect::<Vec<_>>(),
+                sharded_scan(),
                 single,
-                "scatter-gather must be bit-identical to the single-store kernel"
+                "the sharded scan must be bit-identical to the single-store kernel"
             );
-            let merged_ns = median_ns(reps, scatter_gather);
-            let overhead = merged_ns as f64 / kernel.max(1) as f64;
+            let (kernel_pair_ns, merged_ns) = paired_min_ns(
+                reps,
+                || store.topk_binary(q.words(), 10).0[0].0,
+                &sharded_scan,
+            );
+            let overhead = merged_ns as f64 / kernel_pair_ns.max(1) as f64;
             let verdict = match args.max_shard_frac {
                 Some(max) if overhead > max => {
                     shard_gate_failures += 1;
@@ -210,13 +389,14 @@ fn main() {
                 Some(_) => "ok",
                 None => "ungated",
             };
+            let leg = if direct { "direct" } else { "merged" };
             eprintln!(
-                "n={n} shards={shards}: merged {merged_ns} ns vs kernel {kernel} ns \
+                "n={n} shards={shards}: {leg} {merged_ns} ns vs kernel {kernel_pair_ns} ns \
                  ({overhead:.2}x) .. {verdict}"
             );
             shard_rows.push(format!(
-                "    {{\"n\": {n}, \"shards\": {shards}, \"k\": 10, \
-                 \"merged_topk_ns\": {merged_ns}, \"kernel_binary_ns\": {kernel}, \
+                "    {{\"n\": {n}, \"shards\": {shards}, \"k\": 10, \"direct\": {direct}, \
+                 \"merged_topk_ns\": {merged_ns}, \"kernel_binary_ns\": {kernel_pair_ns}, \
                  \"overhead\": {overhead:.2}}}"
             ));
         }
@@ -250,15 +430,20 @@ fn main() {
         index.dimensions().len()
     );
 
+    let cpu_kernels: Vec<String> = kernels.iter().map(|k| format!("\"{k}\"")).collect();
     let json = format!(
         "{{\n  \"workload\": \"synthetic 256-bit vectors (25% density), binary top-10; chem \
-         map_query p={}\",\n  \"binary_scan\": [\n{}\n  ],\n  \"sharded_scan\": [\n{}\n  ],\n  \
-         \"map_query\": {{\"queries\": 4, \
+         map_query p={}\",\n  \"cpu\": {{\"available_kernels\": [{}], \"selected_kernel\": \
+         \"{}\"}},\n  \"binary_scan\": [\n{}\n  ],\n  \"fused_scan\": [\n{}\n  ],\n  \
+         \"sharded_scan\": [\n{}\n  ],\n  \"map_query\": {{\"queries\": 4, \
          \"dimensions\": {}, \"unpruned_ns\": {unpruned}, \"pruned_ns\": {pruned}, \
          \"speedup\": {map_speedup:.2}, \"vf2_calls\": {vf2_calls}, \"vf2_pruned\": \
          {vf2_pruned}}}\n}}\n",
         index.dimensions().len(),
+        cpu_kernels.join(", "),
+        selected_kernel().name(),
         rows.join(",\n"),
+        fused_rows.join(",\n"),
         shard_rows.join(",\n"),
         index.dimensions().len()
     );
@@ -270,38 +455,46 @@ fn main() {
     // prints every per-n verdict in the CI log.
     let mut gate_failed = false;
 
-    // The bench-smoke regression gate (see the module docs).
+    // The bench-smoke regression gate (see the module docs): binary,
+    // weighted, and fused speedups each against their committed rows.
     if let Some(path) = &args.baseline {
         let committed =
             parse_speedups(&std::fs::read_to_string(path).expect("read committed baseline"));
+        let label_n = |rows: &[(usize, f64)]| -> Vec<(String, f64)> {
+            rows.iter().map(|&(n, s)| (format!("n={n}"), s)).collect()
+        };
+        let label_nq = |rows: &[(usize, usize, f64)]| -> Vec<(String, f64)> {
+            rows.iter()
+                .map(|&(n, q, s)| (format!("n={n} q={q}"), s))
+                .collect()
+        };
         let mut checked = 0usize;
-        let mut failed = false;
-        for &(n, got) in &fresh {
-            let Some(&(_, want)) = committed.iter().find(|&&(bn, _)| bn == n) else {
-                continue;
-            };
-            let floor = want * args.min_frac;
-            let verdict = if got < floor { "FAIL" } else { "ok" };
-            eprintln!(
-                "bench-smoke n={n}: fresh {got:.2}x vs committed {want:.2}x \
-                 (floor {floor:.2}x) .. {verdict}"
-            );
-            failed |= got < floor;
-            checked += 1;
+        for (what, fresh_rows, committed_rows) in [
+            ("binary", label_n(&fresh.binary), label_n(&committed.binary)),
+            (
+                "weighted",
+                label_n(&fresh.weighted),
+                label_n(&committed.weighted),
+            ),
+            ("fused", label_nq(&fresh.fused), label_nq(&committed.fused)),
+        ] {
+            let (rows_checked, failed) =
+                gate_rows(what, &fresh_rows, &committed_rows, args.min_frac);
+            checked += rows_checked;
+            if failed {
+                eprintln!("bench-smoke: {what} speedup regressed below the committed threshold");
+                gate_failed = true;
+            }
         }
         if checked == 0 {
-            eprintln!("bench-smoke: no store size overlaps {path} — nothing was actually gated");
-            gate_failed = true;
-        }
-        if failed {
-            eprintln!("bench-smoke: kernel speedup regressed below the committed threshold");
+            eprintln!("bench-smoke: no workload overlaps {path} — nothing was actually gated");
             gate_failed = true;
         }
     }
 
-    // The scatter-gather overhead gate (see the module docs): merged
-    // sharded top-k must stay within max-shard-frac of the single-
-    // store kernel at equal total n.
+    // The scatter-gather overhead gate (see the module docs): the
+    // sharded scan (merged or direct) must stay within max-shard-frac
+    // of the single-store kernel at equal total n.
     if let Some(max) = args.max_shard_frac {
         if shard_gate_failures > 0 {
             eprintln!(

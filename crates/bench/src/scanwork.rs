@@ -22,18 +22,56 @@ pub fn synth(n: usize, bits: usize, seed: u64) -> (VectorStore, Bitset) {
     let mut store = VectorStore::zeros(n, bits);
     for i in 0..n {
         for b in 0..bits {
-            if splitmix(&mut state) % 4 == 0 {
+            if splitmix(&mut state).is_multiple_of(4) {
                 store.set(i, b);
             }
         }
     }
     let mut q = Bitset::zeros(bits);
     for b in 0..bits {
-        if splitmix(&mut state) % 4 == 0 {
+        if splitmix(&mut state).is_multiple_of(4) {
             q.set(b);
         }
     }
     (store, q)
+}
+
+/// `qn` synthetic query vectors with the same ~25% density — the
+/// fused multi-query batch workload. Seeded independently of the
+/// store stream so queries and rows are uncorrelated.
+pub fn synth_queries(qn: usize, bits: usize, seed: u64) -> Vec<Bitset> {
+    let mut state = seed ^ 0x71e5_7a7c_b00c_5eed;
+    (0..qn)
+        .map(|_| {
+            let mut q = Bitset::zeros(bits);
+            for b in 0..bits {
+                if splitmix(&mut state).is_multiple_of(4) {
+                    q.set(b);
+                }
+            }
+            q
+        })
+        .collect()
+}
+
+/// Naive weighted reference: every row's full squared distance
+/// ([`VectorStore::weighted_sq_distances`]), full sort, truncate —
+/// the weighted counterpart of [`naive_fullsort_topk`].
+pub fn naive_weighted_topk(
+    store: &VectorStore,
+    q: &Bitset,
+    w_sq: &[f64],
+    k: usize,
+) -> Vec<(u32, f64)> {
+    let mut all: Vec<(u32, f64)> = store
+        .weighted_sq_distances(q.words(), w_sq)
+        .into_iter()
+        .enumerate()
+        .map(|(i, sq)| (i as u32, sq.sqrt()))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
 }
 
 /// The pre-PR-3 baseline scan: materialize every `(id, distance)`,
@@ -84,6 +122,15 @@ mod tests {
         let (store, q) = synth(500, 256, 7);
         let naive = naive_fullsort_topk(&store, &q, 10);
         let (fast, _) = store.topk_binary(q.words(), 10);
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn naive_weighted_baseline_agrees_with_the_kernel() {
+        let (store, q) = synth(400, 256, 8);
+        let w_sq: Vec<f64> = (0..256).map(|i| ((i % 7) + 1) as f64 / 256.0).collect();
+        let naive = naive_weighted_topk(&store, &q, &w_sq, 10);
+        let (fast, _) = store.topk_weighted(q.words(), 10, &w_sq);
         assert_eq!(naive, fast);
     }
 

@@ -26,7 +26,7 @@ impl Bitset {
     /// last word are cleared so equality and hashing stay canonical.
     pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
         assert_eq!(words.len(), len.div_ceil(64), "word count must match len");
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 *last &= (1u64 << (len % 64)) - 1;
             }
@@ -144,11 +144,12 @@ impl Bitset {
 }
 
 /// The word-level accumulation behind [`Bitset::weighted_sq_xor`],
-/// shared with the flat scan kernel so both paths add the same weights
-/// in the same order and therefore produce bit-identical sums. `w_sq`
+/// shared with the flat scan kernel — and exported for the sharded
+/// small-database direct scan — so every path adds the same weights in
+/// the same order and therefore produces bit-identical sums. `w_sq`
 /// must cover every bit index addressable by the shorter word slice.
 #[inline]
-pub(crate) fn weighted_sq_xor_words(a: &[u64], b: &[u64], w_sq: &[f64]) -> f64 {
+pub fn weighted_sq_xor_words(a: &[u64], b: &[u64], w_sq: &[f64]) -> f64 {
     let mut total = 0.0;
     for (wi, (x, y)) in a.iter().zip(b).enumerate() {
         let mut x = x ^ y;

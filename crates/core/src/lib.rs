@@ -84,7 +84,9 @@ pub mod prelude {
     pub use crate::query::{
         exact_ranking, exact_ranking_among, exact_topk, MappedDatabase, Mapping, MappingKind,
     };
-    pub use crate::scan::{ScanStats, Tombstones, TopK, VectorStore};
+    pub use crate::scan::{
+        available_kernels, selected_kernel, KernelKind, ScanStats, Tombstones, TopK, VectorStore,
+    };
     pub use crate::search::{GraphId, Hit, Ranker, SearchRequest, SearchResponse, SearchStats};
     pub use gdim_exec::{BackgroundTask, CancelToken, ExecConfig};
     pub use gdim_graph::{Dissimilarity, Graph, McsOptions};

@@ -339,6 +339,43 @@ impl MappedDatabase {
         self.store.topk_weighted_masked(qvec.words(), k, w_sq, dead)
     }
 
+    /// The **fused** batch form of [`MappedDatabase::scan_topk_masked`]:
+    /// all query vectors answered in one pass over the store (see
+    /// [`VectorStore::topk_binary_fused`]), one `(hits, stats)` pair
+    /// per query, bit-identical to per-query scans. `exec` bounds the
+    /// row-range fan-out.
+    pub fn scan_topk_fused_masked(
+        &self,
+        qvecs: &[&Bitset],
+        k: usize,
+        dead: Option<&Tombstones>,
+        exec: &ExecConfig,
+    ) -> Vec<(Vec<(u32, f64)>, ScanStats)> {
+        let words: Vec<&[u64]> = qvecs.iter().map(|q| q.words()).collect();
+        match self.kind {
+            MappingKind::Binary => self.store.topk_binary_fused_masked(&words, k, dead, exec),
+            MappingKind::Weighted => self
+                .store
+                .topk_weighted_fused_masked(&words, k, &self.w_sq, dead, exec),
+        }
+    }
+
+    /// The fused batch form of [`MappedDatabase::scan_topk_with_masked`]:
+    /// caller-supplied squared weights, every query answered in one
+    /// pass over the store.
+    pub fn scan_topk_fused_with_masked(
+        &self,
+        qvecs: &[&Bitset],
+        k: usize,
+        w_sq: &[f64],
+        dead: Option<&Tombstones>,
+        exec: &ExecConfig,
+    ) -> Vec<(Vec<(u32, f64)>, ScanStats)> {
+        let words: Vec<&[u64]> = qvecs.iter().map(|q| q.words()).collect();
+        self.store
+            .topk_weighted_fused_masked(&words, k, w_sq, dead, exec)
+    }
+
     /// Full ranking of the database for a query vector, ascending by
     /// `(distance, id)` — the naive full-sort **reference
     /// implementation** the scan kernel is tested against (selection

@@ -33,6 +33,44 @@
 //! deterministically from the feature space on index load and is never
 //! persisted (see [`crate::persist`]).
 //!
+//! ## Kernel families (PR 6)
+//!
+//! The scan is memory-bound, so the per-row loops are serviced by
+//! width-optimized kernels from [`gdim_kernels`]: a portable
+//! 4-rows-per-iteration unrolled block kernel, an AVX2 intrinsic
+//! variant selected at runtime via `is_x86_feature_detected!`, and the
+//! original scalar loop as the always-available reference
+//! ([`KernelKind`]). All kernels are **bit-identical** — Hamming
+//! popcounts are exact integers, and the weighted block form
+//! accumulates every row's weights in the same per-row order as the
+//! scalar walk, so distances (and hits) never depend on the kernel.
+//! `topk_*` entry points use [`selected_kernel`]; the `*_kernel`
+//! variants pin an explicit kind for equivalence tests and benches.
+//! (For the bounded weighted block, the early-abandon check inside a
+//! 4-row block compares against the bound held at block entry; the
+//! bound only ever tightens, so a stale bound abandons strictly fewer
+//! rows — every abandoned row is one the scalar walk would also have
+//! abandoned, and every extra fully-computed row is rejected by the
+//! selector. Hits stay bit-identical; only the work counters may
+//! differ from the scalar trace.)
+//!
+//! ## Fused multi-query scan (PR 6)
+//!
+//! [`VectorStore::topk_binary_fused`] / [`VectorStore::topk_weighted_fused`]
+//! (+ `_masked` variants) answer **Q queries in one pass** over the
+//! store: per row (or 4-row block), all Q distances are computed while
+//! the row's words are hot in cache, each feeding its own bounded
+//! [`TopK`] — amortizing the store's memory traffic across the batch.
+//! Execution parallelism fans out over **row ranges** (not queries):
+//! each range keeps per-query partial selectors, merged afterwards by
+//! re-offering the partial `(key, id)` pairs into a fresh selector —
+//! an order-independent reduction, so results are byte-identical for
+//! every thread budget. Per-query hits are bit-identical to Q
+//! independent single-query scans; with more than one range the
+//! weighted work counters can be higher than a single scan's (each
+//! range re-fills its own selector before its bound starts pruning),
+//! but the [`ScanStats`] identity still holds per query.
+//!
 //! A **dynamic** index (online [`insert`](crate::index::GraphIndex::insert) /
 //! [`remove`](crate::index::GraphIndex::remove)) extends the contract
 //! two ways:
@@ -50,6 +88,78 @@
 //!   stays bit-identical.
 
 use crate::bitset::{weighted_sq_xor_words, Bitset};
+use gdim_exec::ExecConfig;
+use gdim_kernels::hamming_row;
+
+pub use gdim_kernels::{
+    available_kernels, hamming_block4, hamming_block4_multi, hamming_block8_multi_pruned,
+    hamming_row_kernel, selected_kernel, KernelKind,
+};
+
+/// Minimum rows per exec-parallel range of a fused scan: below this,
+/// per-range selector setup would dominate the scan itself, so small
+/// stores run as a single range regardless of the thread budget.
+pub const MIN_ROWS_PER_RANGE: usize = 256;
+
+/// Contiguous row ranges for an exec-parallel fused scan: up to
+/// [`ExecConfig::effective_threads`] ranges, never smaller than
+/// [`MIN_ROWS_PER_RANGE`] rows (except the last remainder).
+fn scan_ranges(n: usize, exec: &ExecConfig) -> Vec<(usize, usize)> {
+    let tasks = exec.effective_threads(n.div_ceil(MIN_ROWS_PER_RANGE).max(1));
+    (0..tasks)
+        .map(|t| (t * n / tasks, (t + 1) * n / tasks))
+        .collect()
+}
+
+/// The shared bound-then-offer step of every binary selector loop: a
+/// candidate above the cached k-th bound never touches the heap; a
+/// kept offer refreshes the bound.
+#[inline]
+fn offer_bounded<K: Ord + Copy>(sel: &mut TopK<K>, bound: &mut Option<K>, key: K, id: u32) {
+    if let Some(b) = *bound {
+        if key > b {
+            return;
+        }
+    }
+    if sel.offer(key, id) {
+        *bound = sel.bound().map(|&(b, _)| b);
+    }
+}
+
+/// The bounded weighted row walk shared by the scalar kernel, the
+/// block kernel's tails, and the fused scan: accumulates the row's
+/// squared weighted distance word by word (bits low-to-high — the
+/// naive accumulation order, so sums are bit-identical), abandoning as
+/// soon as the running total strictly exceeds `bound` with words still
+/// unread. Returns `(total, words_touched)`; `touched < stride` means
+/// the row was abandoned.
+#[inline]
+fn weighted_walk(
+    query: &[u64],
+    row: &[u64],
+    w_sq: &[f64],
+    bound: f64,
+    last: usize,
+) -> (f64, usize) {
+    let mut total = 0.0f64;
+    let mut touched = row.len();
+    for (w, (a, b)) in query.iter().zip(row).enumerate() {
+        let mut x = a ^ b;
+        if x != 0 {
+            let block = &w_sq[w * 64..];
+            while x != 0 {
+                let bit = x.trailing_zeros() as usize;
+                x &= x - 1;
+                total += block[bit];
+            }
+        }
+        if total > bound && w < last {
+            touched = w + 1;
+            break;
+        }
+    }
+    (total, touched)
+}
 
 /// A flat row-major word matrix holding `n` fixed-length binary
 /// vectors: the scan-friendly storage of the mapped database `DM`.
@@ -80,6 +190,19 @@ pub struct ScanStats {
     /// `vectors_scanned + early_abandoned + tombstones_skipped` equals
     /// the store size.
     pub tombstones_skipped: usize,
+}
+
+impl ScanStats {
+    /// Accumulates another scan's counters into this one — the
+    /// reduction a fused scan applies across its row ranges (every
+    /// field is a plain sum, so the identity over the store size is
+    /// preserved).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.vectors_scanned += other.vectors_scanned;
+        self.early_abandoned += other.early_abandoned;
+        self.words_scanned += other.words_scanned;
+        self.tombstones_skipped += other.tombstones_skipped;
+    }
 }
 
 /// A row liveness mask for a dynamic store: removed rows are marked
@@ -145,7 +268,7 @@ impl Tombstones {
 
     /// Tracks one more row, live.
     pub fn push_live(&mut self) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;
@@ -260,6 +383,13 @@ impl VectorStore {
         &self.words[i * self.stride..(i + 1) * self.stride]
     }
 
+    /// The contiguous words of `rows` consecutive rows starting at
+    /// `i` — the shape the block kernels ([`hamming_block4`]) consume.
+    #[inline]
+    pub fn row_block(&self, i: usize, rows: usize) -> &[u64] {
+        &self.words[i * self.stride..(i + rows) * self.stride]
+    }
+
     /// Row `i` materialized as a standalone [`Bitset`].
     pub fn vector(&self, i: usize) -> Bitset {
         Bitset::from_words(self.row(i).to_vec(), self.bits)
@@ -272,9 +402,10 @@ impl VectorStore {
     /// branch-free (integer XOR popcounts are too cheap for a
     /// data-dependent per-word abandon branch to pay for itself — that
     /// trade belongs to the weighted path); the k-th bound instead
-    /// rejects rows before they touch the selector heap.
+    /// rejects rows before they touch the selector heap. Runs on
+    /// [`selected_kernel`]; every kernel returns bit-identical hits.
     pub fn topk_binary(&self, query: &[u64], k: usize) -> (Vec<(u32, f64)>, ScanStats) {
-        self.binary_scan(query, k, self.n, |_| false, 0)
+        self.topk_binary_kernel(query, k, None, selected_kernel())
     }
 
     /// [`VectorStore::topk_binary`] over the live rows of a
@@ -289,11 +420,32 @@ impl VectorStore {
         k: usize,
         dead: Option<&Tombstones>,
     ) -> (Vec<(u32, f64)>, ScanStats) {
+        self.topk_binary_kernel(query, k, dead, selected_kernel())
+    }
+
+    /// [`VectorStore::topk_binary_masked`] with an explicitly pinned
+    /// [`KernelKind`] — the entry point equivalence tests and benches
+    /// use to compare kernels (all kinds are bit-identical; `Scalar`
+    /// is the reference).
+    pub fn topk_binary_kernel(
+        &self,
+        query: &[u64],
+        k: usize,
+        dead: Option<&Tombstones>,
+        kernel: KernelKind,
+    ) -> (Vec<(u32, f64)>, ScanStats) {
         match dead.filter(|t| t.dead_count() > 0) {
-            None => self.topk_binary(query, k),
+            None => self.binary_scan(query, k, self.n, |_| false, 0, kernel),
             Some(t) => {
                 debug_assert_eq!(t.len(), self.n, "mask covers a different store");
-                self.binary_scan(query, k, t.live_count(), |i| t.is_dead(i), t.dead_count())
+                self.binary_scan(
+                    query,
+                    k,
+                    t.live_count(),
+                    |i| t.is_dead(i),
+                    t.dead_count(),
+                    kernel,
+                )
             }
         }
     }
@@ -302,6 +454,12 @@ impl VectorStore {
     /// away for the unmasked `|_| false` instantiation, so the
     /// tombstone-free loop compiles to exactly the branch-free kernel,
     /// and live rows accumulate in the same order either way.
+    ///
+    /// Non-scalar kernels evaluate 4-row blocks through
+    /// [`hamming_block4`]; block distances for dead rows are discarded
+    /// before the bound/selector step, so hits and stats stay
+    /// bit-identical to the scalar row loop (binary stats are analytic
+    /// in the live count either way).
     fn binary_scan<F: Fn(usize) -> bool>(
         &self,
         query: &[u64],
@@ -309,6 +467,7 @@ impl VectorStore {
         live: usize,
         is_dead: F,
         dead_count: usize,
+        kernel: KernelKind,
     ) -> (Vec<(u32, f64)>, ScanStats) {
         debug_assert_eq!(query.len(), self.stride);
         // Dead rows are skipped by definition, even when nothing else
@@ -338,21 +497,35 @@ impl VectorStore {
         // The k-th bound, kept in a local and refreshed only when an
         // offer is kept, so the hot loop never reads the heap.
         let mut bound: Option<u32> = None;
-        for (i, row) in self.words.chunks_exact(self.stride).enumerate() {
-            if is_dead(i) {
-                continue;
-            }
-            let mut h = 0u32;
-            for (a, b) in query.iter().zip(row) {
-                h += (a ^ b).count_ones();
-            }
-            if let Some(bound) = bound {
-                if h > bound {
-                    continue; // cannot enter the top-k; skip the heap
+        match kernel {
+            KernelKind::Scalar => {
+                for (i, row) in self.words.chunks_exact(self.stride).enumerate() {
+                    if is_dead(i) {
+                        continue;
+                    }
+                    offer_bounded(&mut sel, &mut bound, hamming_row(query, row), i as u32);
                 }
             }
-            if sel.offer(h, i as u32) {
-                bound = sel.bound().map(|&(b, _)| b);
+            _ => {
+                let mut i = 0usize;
+                while i + 4 <= self.n {
+                    let block = &self.words[i * self.stride..(i + 4) * self.stride];
+                    let h4 = hamming_block4(kernel, query, block, self.stride);
+                    for (j, &h) in h4.iter().enumerate() {
+                        if is_dead(i + j) {
+                            continue;
+                        }
+                        offer_bounded(&mut sel, &mut bound, h, (i + j) as u32);
+                    }
+                    i += 4;
+                }
+                for idx in i..self.n {
+                    if is_dead(idx) {
+                        continue;
+                    }
+                    let h = hamming_row_kernel(kernel, query, self.row(idx));
+                    offer_bounded(&mut sel, &mut bound, h, idx as u32);
+                }
             }
         }
         stats.vectors_scanned = live;
@@ -384,7 +557,7 @@ impl VectorStore {
         k: usize,
         w_sq: &[f64],
     ) -> (Vec<(u32, f64)>, ScanStats) {
-        self.weighted_scan(query, k, w_sq, self.n, |_| false, 0)
+        self.topk_weighted_kernel(query, k, w_sq, None, selected_kernel())
     }
 
     /// [`VectorStore::topk_weighted`] over the live rows of a
@@ -399,8 +572,26 @@ impl VectorStore {
         w_sq: &[f64],
         dead: Option<&Tombstones>,
     ) -> (Vec<(u32, f64)>, ScanStats) {
+        self.topk_weighted_kernel(query, k, w_sq, dead, selected_kernel())
+    }
+
+    /// [`VectorStore::topk_weighted_masked`] with an explicitly pinned
+    /// [`KernelKind`]. Hits are bit-identical for every kind; the
+    /// non-scalar kinds run the bounded phase in interleaved 4-row
+    /// blocks, whose abandon decisions use the bound held at block
+    /// entry — so [`ScanStats::early_abandoned`] /
+    /// [`ScanStats::words_scanned`] may differ from the scalar trace
+    /// (never the hits, and never the stats identity).
+    pub fn topk_weighted_kernel(
+        &self,
+        query: &[u64],
+        k: usize,
+        w_sq: &[f64],
+        dead: Option<&Tombstones>,
+        kernel: KernelKind,
+    ) -> (Vec<(u32, f64)>, ScanStats) {
         match dead.filter(|t| t.dead_count() > 0) {
-            None => self.topk_weighted(query, k, w_sq),
+            None => self.weighted_scan(query, k, w_sq, self.n, |_| false, 0, kernel),
             Some(t) => {
                 debug_assert_eq!(t.len(), self.n, "mask covers a different store");
                 self.weighted_scan(
@@ -410,6 +601,7 @@ impl VectorStore {
                     t.live_count(),
                     |i| t.is_dead(i),
                     t.dead_count(),
+                    kernel,
                 )
             }
         }
@@ -417,6 +609,14 @@ impl VectorStore {
 
     /// The one weighted scan implementation (see
     /// [`VectorStore::binary_scan`] for the monomorphization contract).
+    ///
+    /// Two phases: until the selector fills there is no bound to
+    /// prune against, so rows run through the shared full-row kernel;
+    /// once a bound exists, the scalar kernel walks rows one at a time
+    /// ([`weighted_walk`]) while the non-scalar kinds interleave 4-row
+    /// blocks — each row still accumulates its weights in exactly the
+    /// scalar per-row order, so sums (and hits) stay bit-identical.
+    #[allow(clippy::too_many_arguments)]
     fn weighted_scan<F: Fn(usize) -> bool>(
         &self,
         query: &[u64],
@@ -425,6 +625,7 @@ impl VectorStore {
         live: usize,
         is_dead: F,
         dead_count: usize,
+        kernel: KernelKind,
     ) -> (Vec<(u32, f64)>, ScanStats) {
         debug_assert_eq!(query.len(), self.stride);
         debug_assert!(w_sq.len() >= self.bits);
@@ -451,44 +652,89 @@ impl VectorStore {
         }
         let mut bound: Option<f64> = None;
         let last = self.stride - 1;
-        for (i, row) in self.words.chunks_exact(self.stride).enumerate() {
-            if is_dead(i) {
-                continue;
+        // Phase 1 — selector not yet full: no bound to check between
+        // words, so the shared full-row kernel applies (same
+        // accumulation order — bit-identical sums).
+        let mut i = 0usize;
+        while i < self.n && bound.is_none() {
+            if !is_dead(i) {
+                let total = weighted_sq_xor_words(query, self.row(i), w_sq);
+                stats.words_scanned += self.stride;
+                stats.vectors_scanned += 1;
+                if sel.offer(OrdF64(total), i as u32) {
+                    bound = sel.bound().map(|&(OrdF64(b), _)| b);
+                }
             }
-            let mut total = 0.0f64;
-            if let Some(bound) = bound {
-                let mut touched = self.stride;
-                for (w, (a, b)) in query.iter().zip(row).enumerate() {
-                    let mut x = a ^ b;
-                    if x != 0 {
+            i += 1;
+        }
+        // Phase 2 — bounded, early-abandoning.
+        if !matches!(kernel, KernelKind::Scalar) {
+            while i + 4 <= self.n {
+                let b0 = bound.expect("phase 2 runs with a full selector");
+                let base = i * self.stride;
+                // `active` = still accumulating; a row leaves the set
+                // by being dead up front or by abandoning mid-block.
+                let mut active = [false; 4];
+                let mut was_live = [false; 4];
+                for (j, (a, l)) in active.iter_mut().zip(&mut was_live).enumerate() {
+                    *l = !is_dead(i + j);
+                    *a = *l;
+                }
+                if was_live.iter().any(|&l| l) {
+                    let mut totals = [0.0f64; 4];
+                    let mut touched = [0usize; 4];
+                    for w in 0..self.stride {
+                        let q = query[w];
                         let block = &w_sq[w * 64..];
-                        while x != 0 {
-                            let bit = x.trailing_zeros() as usize;
-                            x &= x - 1;
-                            total += block[bit];
+                        for j in 0..4 {
+                            if !active[j] {
+                                continue;
+                            }
+                            let mut x = q ^ self.words[base + j * self.stride + w];
+                            while x != 0 {
+                                let bit = x.trailing_zeros() as usize;
+                                x &= x - 1;
+                                totals[j] += block[bit];
+                            }
+                            touched[j] = w + 1;
+                            if totals[j] > b0 && w < last {
+                                active[j] = false;
+                            }
                         }
                     }
-                    if total > bound && w < last {
-                        touched = w + 1;
-                        break;
+                    for j in 0..4 {
+                        if !was_live[j] {
+                            continue;
+                        }
+                        stats.words_scanned += touched[j];
+                        if active[j] {
+                            stats.vectors_scanned += 1;
+                            if sel.offer(OrdF64(totals[j]), (i + j) as u32) {
+                                bound = sel.bound().map(|&(OrdF64(b), _)| b);
+                            }
+                        } else {
+                            stats.early_abandoned += 1;
+                        }
                     }
                 }
+                i += 4;
+            }
+        }
+        while i < self.n {
+            if !is_dead(i) {
+                let b = bound.expect("phase 2 runs with a full selector");
+                let (total, touched) = weighted_walk(query, self.row(i), w_sq, b, last);
                 stats.words_scanned += touched;
                 if touched < self.stride {
                     stats.early_abandoned += 1;
-                    continue;
+                } else {
+                    stats.vectors_scanned += 1;
+                    if sel.offer(OrdF64(total), i as u32) {
+                        bound = sel.bound().map(|&(OrdF64(b), _)| b);
+                    }
                 }
-            } else {
-                // Selector not yet full: no bound to check between
-                // words, so the shared full-row kernel applies (same
-                // accumulation order — bit-identical sums).
-                total = weighted_sq_xor_words(query, row, w_sq);
-                stats.words_scanned += self.stride;
             }
-            stats.vectors_scanned += 1;
-            if sel.offer(OrdF64(total), i as u32) {
-                bound = sel.bound().map(|&(OrdF64(b), _)| b);
-            }
+            i += 1;
         }
         (Self::weighted_hits(sel), stats)
     }
@@ -508,6 +754,281 @@ impl VectorStore {
     pub fn weighted_sq_distances(&self, query: &[u64], w_sq: &[f64]) -> Vec<f64> {
         (0..self.n)
             .map(|i| weighted_sq_xor_words(query, self.row(i), w_sq))
+            .collect()
+    }
+
+    /// Fused binary scan: answers all `queries` in **one pass** over
+    /// the store — per 4-row block, every query's distances are
+    /// computed while the block's words are hot in cache, each feeding
+    /// its own bounded selector. Returns one `(hits, stats)` pair per
+    /// query, each bit-identical to the corresponding
+    /// [`VectorStore::topk_binary`] call. Parallelism fans out over
+    /// row ranges (never queries); see the module docs.
+    pub fn topk_binary_fused(
+        &self,
+        queries: &[&[u64]],
+        k: usize,
+        exec: &ExecConfig,
+    ) -> Vec<(Vec<(u32, f64)>, ScanStats)> {
+        self.topk_binary_fused_kernel(queries, k, None, selected_kernel(), exec)
+    }
+
+    /// [`VectorStore::topk_binary_fused`] over the live rows of a
+    /// tombstone-masked store (the fused analogue of
+    /// [`VectorStore::topk_binary_masked`]).
+    pub fn topk_binary_fused_masked(
+        &self,
+        queries: &[&[u64]],
+        k: usize,
+        dead: Option<&Tombstones>,
+        exec: &ExecConfig,
+    ) -> Vec<(Vec<(u32, f64)>, ScanStats)> {
+        self.topk_binary_fused_kernel(queries, k, dead, selected_kernel(), exec)
+    }
+
+    /// [`VectorStore::topk_binary_fused_masked`] with an explicitly
+    /// pinned [`KernelKind`].
+    pub fn topk_binary_fused_kernel(
+        &self,
+        queries: &[&[u64]],
+        k: usize,
+        dead: Option<&Tombstones>,
+        kernel: KernelKind,
+        exec: &ExecConfig,
+    ) -> Vec<(Vec<(u32, f64)>, ScanStats)> {
+        let mask = dead.filter(|t| t.dead_count() > 0);
+        if let Some(t) = mask {
+            debug_assert_eq!(t.len(), self.n, "mask covers a different store");
+        }
+        let live = mask.map_or(self.n, Tombstones::live_count);
+        if k.min(live) == 0 || self.stride == 0 {
+            // Degenerate scans (nothing to select, or p = 0) take the
+            // single-query path per query: nothing to amortize.
+            return queries
+                .iter()
+                .map(|q| self.topk_binary_kernel(q, k, dead, kernel))
+                .collect();
+        }
+        let k = k.min(live);
+        let ranges = scan_ranges(self.n, exec);
+        let parts = gdim_exec::map_tasks(exec, ranges.len(), |t| {
+            let (start, end) = ranges[t];
+            self.binary_fused_range(queries, k, start, end, mask, kernel)
+        });
+        (0..queries.len())
+            .map(|qi| {
+                let mut sel: TopK<u32> = TopK::new(k);
+                let mut stats = ScanStats::default();
+                for part in &parts {
+                    let (entries, part_stats) = &part[qi];
+                    for &(h, id) in entries {
+                        sel.offer(h, id);
+                    }
+                    stats.merge(part_stats);
+                }
+                (Self::binary_hits(sel, self.bits), stats)
+            })
+            .collect()
+    }
+
+    /// One row range of a fused binary scan: per-query partial
+    /// selections (raw integer popcounts, not yet normalized) plus the
+    /// range's work counters (identical for every query — binary stats
+    /// are analytic in the range's live count).
+    fn binary_fused_range(
+        &self,
+        queries: &[&[u64]],
+        k: usize,
+        start: usize,
+        end: usize,
+        mask: Option<&Tombstones>,
+        kernel: KernelKind,
+    ) -> Vec<(Vec<(u32, u32)>, ScanStats)> {
+        let is_dead = |i: usize| mask.is_some_and(|t| t.is_dead(i));
+        let qn = queries.len();
+        let mut sels: Vec<TopK<u32>> = (0..qn).map(|_| TopK::new(k)).collect();
+        let mut bounds: Vec<Option<u32>> = vec![None; qn];
+        // Buffers reused across blocks: h8s[j] is query j's eight
+        // block distances, cands[j] its candidate-row bitmask,
+        // bound_keys[j] the current k-th key the kernel prunes against
+        // (`u32::MAX` while selector j is still filling). One kernel
+        // dispatch per 8-row block serves every query; blocks where no
+        // query has a candidate (the common case once selectors fill)
+        // skip the offer loop entirely.
+        let mut h8s: Vec<[u32; 8]> = vec![[0u32; 8]; qn];
+        let mut cands: Vec<u8> = vec![0u8; qn];
+        let mut bound_keys: Vec<u32> = vec![u32::MAX; qn];
+        let mut dead_in_range = 0usize;
+        let mut i = start;
+        while i + 8 <= end {
+            let block = &self.words[i * self.stride..(i + 8) * self.stride];
+            let alive: [bool; 8] = std::array::from_fn(|r| !is_dead(i + r));
+            dead_in_range += alive.iter().filter(|a| !**a).count();
+            let any = hamming_block8_multi_pruned(
+                kernel,
+                queries,
+                block,
+                self.stride,
+                &bound_keys,
+                &mut h8s,
+                &mut cands,
+            );
+            if any {
+                for (j, &m) in cands.iter().enumerate() {
+                    if m == 0 {
+                        continue;
+                    }
+                    let h8 = h8s[j];
+                    for (r, &h) in h8.iter().enumerate() {
+                        if (m >> r) & 1 == 1 && alive[r] {
+                            offer_bounded(&mut sels[j], &mut bounds[j], h, (i + r) as u32);
+                        }
+                    }
+                    bound_keys[j] = bounds[j].unwrap_or(u32::MAX);
+                }
+            }
+            i += 8;
+        }
+        while i < end {
+            if is_dead(i) {
+                dead_in_range += 1;
+            } else {
+                let row = self.row(i);
+                for (j, q) in queries.iter().enumerate() {
+                    let h = hamming_row_kernel(kernel, q, row);
+                    offer_bounded(&mut sels[j], &mut bounds[j], h, i as u32);
+                }
+            }
+            i += 1;
+        }
+        let live_in_range = (end - start) - dead_in_range;
+        let stats = ScanStats {
+            vectors_scanned: live_in_range,
+            early_abandoned: 0,
+            words_scanned: live_in_range * self.stride,
+            tombstones_skipped: dead_in_range,
+        };
+        sels.into_iter().map(|s| (s.into_sorted(), stats)).collect()
+    }
+
+    /// Fused weighted scan: all `queries` answered in one pass over
+    /// the store, per row walking every query's weighted accumulation
+    /// while the row's words are hot in cache. Hits are bit-identical
+    /// to per-query [`VectorStore::topk_weighted`] calls; with more
+    /// than one row range the work counters can exceed a single
+    /// scan's (each range re-fills its own selector before its bound
+    /// prunes), but the [`ScanStats`] identity holds per query.
+    pub fn topk_weighted_fused(
+        &self,
+        queries: &[&[u64]],
+        k: usize,
+        w_sq: &[f64],
+        exec: &ExecConfig,
+    ) -> Vec<(Vec<(u32, f64)>, ScanStats)> {
+        self.topk_weighted_fused_masked(queries, k, w_sq, None, exec)
+    }
+
+    /// [`VectorStore::topk_weighted_fused`] over the live rows of a
+    /// tombstone-masked store. (No kernel parameter: the fused
+    /// weighted walk is already the scalar per-row accumulation — the
+    /// fusion across queries *is* the optimization — so its trace
+    /// matches the `Scalar` kernel exactly at one range.)
+    pub fn topk_weighted_fused_masked(
+        &self,
+        queries: &[&[u64]],
+        k: usize,
+        w_sq: &[f64],
+        dead: Option<&Tombstones>,
+        exec: &ExecConfig,
+    ) -> Vec<(Vec<(u32, f64)>, ScanStats)> {
+        let mask = dead.filter(|t| t.dead_count() > 0);
+        if let Some(t) = mask {
+            debug_assert_eq!(t.len(), self.n, "mask covers a different store");
+        }
+        let live = mask.map_or(self.n, Tombstones::live_count);
+        if k.min(live) == 0 || self.stride == 0 {
+            return queries
+                .iter()
+                .map(|q| self.topk_weighted_kernel(q, k, w_sq, dead, KernelKind::Scalar))
+                .collect();
+        }
+        let k = k.min(live);
+        let ranges = scan_ranges(self.n, exec);
+        let parts = gdim_exec::map_tasks(exec, ranges.len(), |t| {
+            let (start, end) = ranges[t];
+            self.weighted_fused_range(queries, k, w_sq, start, end, mask)
+        });
+        (0..queries.len())
+            .map(|qi| {
+                let mut sel: TopK<OrdF64> = TopK::new(k);
+                let mut stats = ScanStats::default();
+                for part in &parts {
+                    let (entries, part_stats) = &part[qi];
+                    for &(sq, id) in entries {
+                        sel.offer(sq, id);
+                    }
+                    stats.merge(part_stats);
+                }
+                (Self::weighted_hits(sel), stats)
+            })
+            .collect()
+    }
+
+    /// One row range of a fused weighted scan: per query, the exact
+    /// scalar single-scan logic (full-row sums until the selector
+    /// fills, bounded [`weighted_walk`] after), so per-query stats are
+    /// the scalar trace of this range.
+    fn weighted_fused_range(
+        &self,
+        queries: &[&[u64]],
+        k: usize,
+        w_sq: &[f64],
+        start: usize,
+        end: usize,
+        mask: Option<&Tombstones>,
+    ) -> Vec<(Vec<(OrdF64, u32)>, ScanStats)> {
+        let is_dead = |i: usize| mask.is_some_and(|t| t.is_dead(i));
+        let qn = queries.len();
+        let mut sels: Vec<TopK<OrdF64>> = (0..qn).map(|_| TopK::new(k)).collect();
+        let mut bounds: Vec<Option<f64>> = vec![None; qn];
+        let mut stats = vec![ScanStats::default(); qn];
+        let last = self.stride - 1;
+        for i in start..end {
+            if is_dead(i) {
+                for s in &mut stats {
+                    s.tombstones_skipped += 1;
+                }
+                continue;
+            }
+            let row = self.row(i);
+            for (j, q) in queries.iter().enumerate() {
+                match bounds[j] {
+                    None => {
+                        let total = weighted_sq_xor_words(q, row, w_sq);
+                        stats[j].words_scanned += self.stride;
+                        stats[j].vectors_scanned += 1;
+                        if sels[j].offer(OrdF64(total), i as u32) {
+                            bounds[j] = sels[j].bound().map(|&(OrdF64(b), _)| b);
+                        }
+                    }
+                    Some(b) => {
+                        let (total, touched) = weighted_walk(q, row, w_sq, b, last);
+                        stats[j].words_scanned += touched;
+                        if touched < self.stride {
+                            stats[j].early_abandoned += 1;
+                        } else {
+                            stats[j].vectors_scanned += 1;
+                            if sels[j].offer(OrdF64(total), i as u32) {
+                                bounds[j] = sels[j].bound().map(|&(OrdF64(b), _)| b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        sels.into_iter()
+            .zip(stats)
+            .map(|(s, st)| (s.into_sorted(), st))
             .collect()
     }
 }
@@ -827,6 +1348,174 @@ mod tests {
         t.push_live();
         assert!(!t.is_dead(70));
         assert_eq!(t.len(), 71);
+    }
+
+    /// Deterministic pseudo-random store for kernel cross-checks.
+    fn random_store(n: usize, bits: usize, seed: u64) -> VectorStore {
+        let stride = bits.div_ceil(64);
+        let mut s = VectorStore::zeros(n, bits);
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for i in 0..n {
+            for w in 0..stride {
+                let mut word = next();
+                if w == stride - 1 && !bits.is_multiple_of(64) {
+                    word &= (1u64 << (bits % 64)) - 1;
+                }
+                for b in 0..64 {
+                    if word >> b & 1 == 1 {
+                        s.set(i, w * 64 + b);
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn every_kernel_matches_the_scalar_scan_bit_for_bit() {
+        // 150 bits → stride 3 (odd word tail for AVX2); n = 23 leaves
+        // a 3-row tail after the 4-row blocks.
+        let s = random_store(23, 150, 7);
+        let q = random_store(1, 150, 99);
+        let mut dead = Tombstones::all_live(23);
+        for i in [1usize, 20, 21, 22] {
+            dead.mark_dead(i); // tombstones inside the unrolled tail
+        }
+        let w_sq: Vec<f64> = (0..150).map(|b| 1.0 / (b + 3) as f64).collect();
+        for k in [1usize, 4, 23] {
+            for mask in [None, Some(&dead)] {
+                let reference = s.topk_binary_kernel(q.row(0), k, mask, KernelKind::Scalar);
+                let wref = s.topk_weighted_kernel(q.row(0), k, &w_sq, mask, KernelKind::Scalar);
+                for kernel in available_kernels() {
+                    let got = s.topk_binary_kernel(q.row(0), k, mask, kernel);
+                    assert_eq!(got, reference, "binary kernel {kernel}, k {k}");
+                    let (whits, wstats) = s.topk_weighted_kernel(q.row(0), k, &w_sq, mask, kernel);
+                    assert_eq!(whits, wref.0, "weighted kernel {kernel}, k {k}");
+                    // Weighted block abandons against a per-block
+                    // stale bound, so counters may differ from the
+                    // scalar trace — but the identity must hold.
+                    assert_eq!(
+                        wstats.vectors_scanned + wstats.early_abandoned + wstats.tombstones_skipped,
+                        23,
+                        "weighted kernel {kernel}, k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scan_equals_independent_single_scans() {
+        let s = random_store(37, 130, 3);
+        let queries_store = random_store(5, 130, 42);
+        let queries: Vec<&[u64]> = (0..5).map(|i| queries_store.row(i)).collect();
+        let mut dead = Tombstones::all_live(37);
+        for i in [0usize, 13, 36] {
+            dead.mark_dead(i);
+        }
+        let w_sq: Vec<f64> = (0..130)
+            .map(|b| ((b * 11 + 5) % 17) as f64 / 17.0)
+            .collect();
+        let exec = ExecConfig::serial();
+        for k in [0usize, 1, 6, 40] {
+            for mask in [None, Some(&dead)] {
+                let fused = s.topk_binary_fused_masked(&queries, k, mask, &exec);
+                let wfused = s.topk_weighted_fused_masked(&queries, k, &w_sq, mask, &exec);
+                for (j, q) in queries.iter().enumerate() {
+                    assert_eq!(
+                        fused[j],
+                        s.topk_binary_masked(q, k, mask),
+                        "binary query {j}, k {k}"
+                    );
+                    // One range ⇒ the fused weighted trace is exactly
+                    // the scalar single-scan trace, stats included.
+                    assert_eq!(
+                        wfused[j],
+                        s.topk_weighted_kernel(q, k, &w_sq, mask, KernelKind::Scalar),
+                        "weighted query {j}, k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scan_is_thread_invariant() {
+        // n = 2048 spans multiple `MIN_ROWS_PER_RANGE` ranges, so the
+        // range merge actually runs at threads > 1.
+        let s = random_store(2048, 70, 11);
+        let queries_store = random_store(3, 70, 5);
+        let queries: Vec<&[u64]> = (0..3).map(|i| queries_store.row(i)).collect();
+        let mut dead = Tombstones::all_live(2048);
+        for i in (0..2048).step_by(7) {
+            dead.mark_dead(i);
+        }
+        let w_sq: Vec<f64> = (0..70).map(|b| 1.0 / (b + 1) as f64).collect();
+        let serial = ExecConfig::serial();
+        let expect_b = s.topk_binary_fused_masked(&queries, 9, Some(&dead), &serial);
+        let expect_w = s.topk_weighted_fused_masked(&queries, 9, &w_sq, Some(&dead), &serial);
+        for threads in [2usize, 8] {
+            let exec = ExecConfig::new(threads);
+            let got_b = s.topk_binary_fused_masked(&queries, 9, Some(&dead), &exec);
+            let got_w = s.topk_weighted_fused_masked(&queries, 9, &w_sq, Some(&dead), &exec);
+            for j in 0..queries.len() {
+                // Hits are byte-identical for every thread budget; the
+                // binary stats even match exactly (they are analytic).
+                assert_eq!(got_b[j], expect_b[j], "binary query {j}, threads {threads}");
+                assert_eq!(
+                    got_w[j].0, expect_w[j].0,
+                    "weighted query {j}, threads {threads}"
+                );
+                let ws = got_w[j].1;
+                assert_eq!(
+                    ws.vectors_scanned + ws.early_abandoned + ws.tombstones_skipped,
+                    2048,
+                    "weighted stats identity, query {j}, threads {threads}"
+                );
+                // Each single-query scan must agree with the fused one.
+                assert_eq!(
+                    got_b[j].0,
+                    s.topk_binary_masked(queries[j], 9, Some(&dead)).0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scan_handles_exactly_k_live_rows_and_empty_batches() {
+        let s = random_store(10, 70, 2);
+        let queries_store = random_store(2, 70, 8);
+        let queries: Vec<&[u64]> = (0..2).map(|i| queries_store.row(i)).collect();
+        let exec = ExecConfig::serial();
+        // Exactly k live rows: every live row is a hit.
+        let mut dead = Tombstones::all_live(10);
+        for i in [0usize, 2, 4, 6, 8, 9] {
+            dead.mark_dead(i);
+        }
+        let fused = s.topk_binary_fused_masked(&queries, 4, Some(&dead), &exec);
+        for (j, q) in queries.iter().enumerate() {
+            assert_eq!(fused[j], s.topk_binary_masked(q, 4, Some(&dead)));
+            assert_eq!(fused[j].0.len(), 4, "query {j}");
+        }
+        // All rows dead: empty hits, full tombstone accounting.
+        let mut all_dead = Tombstones::all_live(10);
+        for i in 0..10 {
+            all_dead.mark_dead(i);
+        }
+        for (hits, stats) in s.topk_binary_fused_masked(&queries, 3, Some(&all_dead), &exec) {
+            assert!(hits.is_empty());
+            assert_eq!(stats.tombstones_skipped, 10);
+        }
+        // No queries at all: no answers, no work.
+        assert!(s.topk_binary_fused(&[], 3, &exec).is_empty());
+        assert!(s.topk_weighted_fused(&[], 3, &[1.0; 70], &exec).is_empty());
     }
 
     #[test]

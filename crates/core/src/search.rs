@@ -48,6 +48,7 @@ use gdim_graph::{Graph, McsOptions};
 use crate::error::GdimError;
 use crate::index::GraphIndex;
 use crate::query::MappingKind;
+use crate::scan::{selected_kernel, KernelKind};
 
 /// Typed id of an indexed graph (its position in the database the
 /// index was built over).
@@ -216,6 +217,15 @@ pub struct SearchStats {
     pub match_time: Duration,
     /// End-to-end time answering the request.
     pub wall_time: Duration,
+    /// Which scan-kernel family serviced the request's vector scan
+    /// (`None` when no scan ran — [`Ranker::Exact`] — or the response
+    /// predates the scan; see [`KernelKind`]). All kernels are
+    /// bit-identical, so this is attribution, never semantics.
+    pub kernel: Option<KernelKind>,
+    /// Whether this response was answered through the fused multi-query
+    /// batch scan (one pass over the store shared by the whole batch)
+    /// rather than an independent per-query scan.
+    pub fused_batch: bool,
 }
 
 impl SearchStats {
@@ -229,7 +239,10 @@ impl SearchStats {
     /// `vf2_pruned`, `mcs_calls`, `live_graphs`) and the time shares
     /// (`match_time`, `wall_time`) **sum**; `epoch` takes the **max**
     /// (partitions rebuild independently, so the merged value reports
-    /// the newest generation that contributed to the answer).
+    /// the newest generation that contributed to the answer);
+    /// `kernel` keeps the first stamped kind (partitions of one
+    /// process always agree) and `fused_batch` **or**s (the answer
+    /// rode the fused path if any partition did).
     pub fn merge(&mut self, other: &SearchStats) {
         self.candidates_scanned += other.candidates_scanned;
         self.early_abandoned += other.early_abandoned;
@@ -242,6 +255,8 @@ impl SearchStats {
         self.mcs_calls += other.mcs_calls;
         self.match_time += other.match_time;
         self.wall_time += other.wall_time;
+        self.kernel = self.kernel.or(other.kernel);
+        self.fused_batch |= other.fused_batch;
     }
 
     /// [`SearchStats::merge`] over any number of partition stats,
@@ -306,19 +321,23 @@ impl GraphIndex {
         Ok(resp)
     }
 
-    /// Answers one request for a whole batch of queries, fanning **both
-    /// hot legs** out on the index's exec budget: the per-query VF2
-    /// feature matching, and — for [`Ranker::Mapped`] /
-    /// [`Ranker::Refined`] — the per-query vector scans (one scan per
-    /// task, so a batch parallelizes the scan itself, not just the
-    /// mapping; the refined verification keeps its own inner
-    /// database-side fan-out). Output order matches `queries` for any
-    /// thread budget, and every response's **hits** equal the
-    /// corresponding [`GraphIndex::search`] answer. Timing stats are
-    /// metered per batch: the shared mapping phase is attributed
+    /// Answers one request for a whole batch of queries. The per-query
+    /// VF2 feature matching fans out on the index's exec budget; then —
+    /// for [`Ranker::Mapped`] / [`Ranker::Refined`] with more than one
+    /// query — the vector scans run **fused**: one pass over the store
+    /// answers the whole batch (per row, every query's distance is
+    /// computed while the row's words are hot in cache), with
+    /// execution parallelism over row ranges rather than queries (see
+    /// [`VectorStore::topk_binary_fused`](crate::scan::VectorStore::topk_binary_fused)).
+    /// The refined verification keeps its own inner database-side
+    /// fan-out. Output order matches `queries` for any thread budget,
+    /// and every response's **hits** equal the corresponding
+    /// [`GraphIndex::search`] answer; fused responses set
+    /// [`SearchStats::fused_batch`]. Timing stats are metered per
+    /// batch: the shared mapping and fused-scan phases are attributed
     /// evenly, so each response's `match_time` is the batch average and
-    /// its `wall_time` includes that share plus the query's own ranking
-    /// work.
+    /// its `wall_time` includes those shares plus the query's own
+    /// assembly/verification work.
     pub fn search_batch(
         &self,
         queries: &[Graph],
@@ -344,35 +363,40 @@ impl GraphIndex {
             resp.stats.live_graphs = self.live_len();
             resp
         };
-        match req.ranker {
-            Ranker::Mapped => {
-                // One scan per task: the exec-chunked batch scan.
-                Ok(gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
+        if queries.len() <= 1 {
+            // Nothing to fuse; answer the singleton directly.
+            return Ok(queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
                     let ti = Instant::now();
-                    let resp = self.premapped_response(&queries[i], &mapped[i].0, req);
+                    let resp = self.premapped_response(q, &mapped[i].0, req);
                     finish(resp, i, ti)
-                }))
-            }
-            _ => {
-                // Refined: parallelize the scans over queries, then
-                // verify serially — the MCS re-ranking fans out over
-                // the database internally, and nesting two thread
-                // pools would oversubscribe.
-                let scans = gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
-                    self.scan_premapped(&mapped[i].0, req)
-                });
-                Ok(queries
-                    .iter()
-                    .zip(scans)
-                    .enumerate()
-                    .map(|(i, (q, scan))| {
-                        let ti = Instant::now();
-                        let resp = self.response_from_scan(q, scan, req);
-                        finish(resp, i, ti)
-                    })
-                    .collect())
-            }
+                })
+                .collect());
         }
+        // The fused scan: one pass over the store for the whole batch,
+        // exec-parallel over row ranges. Refined verification then runs
+        // serially per query — the MCS re-ranking fans out over the
+        // database internally, and nesting two thread pools would
+        // oversubscribe.
+        let ts = Instant::now();
+        let qvecs: Vec<&crate::bitset::Bitset> = mapped.iter().map(|(v, _)| v).collect();
+        let scans = self.scan_premapped_fused(&qvecs, req);
+        let scan_share = ts.elapsed() / queries.len() as u32;
+        Ok(queries
+            .iter()
+            .zip(scans)
+            .enumerate()
+            .map(|(i, (q, scan))| {
+                let ti = Instant::now();
+                let mut resp = self.response_from_scan(q, scan, req);
+                resp.stats.fused_batch = true;
+                let mut resp = finish(resp, i, ti);
+                resp.stats.wall_time += scan_share;
+                resp
+            })
+            .collect())
     }
 
     /// The single [`Ranker::Exact`] implementation (no mapped scan; the
@@ -441,6 +465,35 @@ impl GraphIndex {
         }
     }
 
+    /// The fused batch form of [`GraphIndex::scan_premapped`]: every
+    /// query vector answered in one tombstone-masked pass over the
+    /// store, exec-parallel over row ranges.
+    fn scan_premapped_fused(
+        &self,
+        qvecs: &[&crate::bitset::Bitset],
+        req: &SearchRequest,
+    ) -> Vec<(Vec<(u32, f64)>, crate::scan::ScanStats)> {
+        let n = self.len();
+        let k = match req.ranker {
+            Ranker::Refined { candidates } => candidates.min(n),
+            _ => req.k.min(n),
+        };
+        let dead = Some(self.tombstones());
+        match req.mapping {
+            MappingKind::Binary => {
+                self.mapped()
+                    .scan_topk_fused_masked(qvecs, k, dead, self.exec())
+            }
+            MappingKind::Weighted => self.mapped().scan_topk_fused_with_masked(
+                qvecs,
+                k,
+                self.weighted_w_sq(),
+                dead,
+                self.exec(),
+            ),
+        }
+    }
+
     /// Assembles the response from a finished scan, running the
     /// refined verification phase when requested.
     fn response_from_scan(
@@ -468,6 +521,7 @@ impl GraphIndex {
                 tombstones_skipped: scan_stats.tombstones_skipped,
                 words_scanned: scan_stats.words_scanned,
                 mcs_calls,
+                kernel: Some(selected_kernel()),
                 ..Default::default()
             },
         }
@@ -832,6 +886,8 @@ mod tests {
             mcs_calls: 4,
             match_time: std::time::Duration::from_micros(10),
             wall_time: std::time::Duration::from_micros(100),
+            kernel: None,
+            fused_batch: false,
         };
         let b = SearchStats {
             candidates_scanned: 20,
@@ -845,6 +901,8 @@ mod tests {
             mcs_calls: 6,
             match_time: std::time::Duration::from_micros(20),
             wall_time: std::time::Duration::from_micros(50),
+            kernel: Some(KernelKind::Unrolled),
+            fused_batch: true,
         };
         let mut m = a;
         m.merge(&b);
@@ -859,6 +917,9 @@ mod tests {
         assert_eq!(m.mcs_calls, 10);
         assert_eq!(m.match_time, std::time::Duration::from_micros(30));
         assert_eq!(m.wall_time, std::time::Duration::from_micros(150));
+        // `kernel` keeps the first stamped kind; `fused_batch` ors.
+        assert_eq!(m.kernel, Some(KernelKind::Unrolled));
+        assert!(m.fused_batch);
         // merged() folds from the default: one part is the identity,
         // and merging the two parts in either order agrees.
         let folded = SearchStats::merged([&a, &b]);

@@ -40,7 +40,16 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The machine's core count, probed once per process.
+/// `std::thread::available_parallelism` re-reads cgroup quota files on
+/// every call (tens of microseconds under containers), which would
+/// dominate small scans if paid per query.
+fn available_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |t| t.get()))
+}
 
 /// The parallelism budget for one engine invocation.
 ///
@@ -70,7 +79,7 @@ impl ExecConfig {
         let budget = if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map_or(1, |t| t.get())
+            available_cores()
         };
         budget.min(tasks).max(1)
     }

@@ -1,0 +1,289 @@
+//! Small-database **direct scan**: the scatter-gather short-circuit.
+//!
+//! Scatter-gather earns its keep by splitting big scans across
+//! shards; on a small database the fixed costs dominate instead —
+//! one bounded selector per shard, a k-way merge, and a fan-out whose
+//! per-task row counts are too small to amortize anything. When every
+//! shard averages fewer than [`MIN_SCATTER_ROWS_PER_SHARD`] rows, the
+//! mapped/refined rankers skip all of that and walk every shard's
+//! rows in one pass, feeding a **single global selector** keyed by
+//! `(distance, seq)` — the same order the merge would have produced,
+//! so hits are bit-identical to both the scatter-gather answer and an
+//! unsharded [`GraphIndex`](gdim_core::GraphIndex) over the same
+//! database.
+//!
+//! Work counters stay honest but simpler: the direct pass evaluates
+//! every live row in full (no early-abandon bookkeeping), so
+//! `candidates_scanned + tombstones_skipped` still equals the
+//! database size while `early_abandoned` is always 0 — only the
+//! counters may differ from the scatter path, never the hits.
+
+use gdim_core::bitset::{weighted_sq_xor_words, Bitset};
+use gdim_core::scan::{hamming_block4, hamming_row_kernel, selected_kernel, OrdF64, TopK};
+use gdim_core::{Graph, MappingKind, Ranker, SearchRequest, SearchResponse, SearchStats};
+
+use crate::merge::MergedHit;
+use crate::{ShardId, ShardedIndex};
+
+/// Below this average row count per shard, scatter-gather overhead
+/// (per-shard selectors + k-way merge) outweighs the split scan and
+/// [`ShardedIndex::search`] runs the direct pass instead.
+pub const MIN_SCATTER_ROWS_PER_SHARD: usize = 256;
+
+impl ShardedIndex {
+    /// Whether the mapped/refined scan leg should scatter at all:
+    /// `false` on small databases, where the direct pass answers from
+    /// one global selector (a single shard already is one).
+    pub(crate) fn direct_scan_pays_off(&self) -> bool {
+        self.shard_count() > 1 && self.len() < self.shard_count() * MIN_SCATTER_ROWS_PER_SHARD
+    }
+
+    /// The direct counterpart of the scatter-gather response: one
+    /// global bounded top-k over every shard's live rows, then the
+    /// shared refined-verification / truncation tail.
+    pub(crate) fn direct_response(
+        &self,
+        query: &Graph,
+        qvec: &Bitset,
+        req: &SearchRequest,
+    ) -> SearchResponse {
+        let take = match req.ranker {
+            Ranker::Refined { candidates } => candidates,
+            _ => req.k,
+        };
+        let merged = self.direct_topk(qvec, req.mapping, take);
+        let mut stats = self.direct_stats();
+        stats.kernel = Some(selected_kernel());
+        let hits = match req.ranker {
+            Ranker::Refined { .. } => {
+                stats.mcs_calls = merged.len();
+                let verified = self.refine(query, &merged, req);
+                Self::hits(verified, req.k)
+            }
+            _ => Self::hits(merged, req.k),
+        };
+        SearchResponse { hits, stats }
+    }
+
+    /// The single-pass scan: every shard's live rows offered to one
+    /// global selector keyed `(distance key, seq)` — the 4-row block
+    /// Hamming kernel ([`hamming_block4`]) for the binary mapping, the
+    /// word-blocked weighted accumulation ([`weighted_sq_xor_words`],
+    /// identical order to the scan kernels, so sums are bit-identical)
+    /// otherwise. Sequence numbers are unique, so the selector's order
+    /// equals the unsharded `(distance, id)` order; normalization
+    /// (`√(h/p)` / `√sq`) happens on the kept hits only, like the
+    /// kernels do.
+    fn direct_topk(&self, qvec: &Bitset, mapping: MappingKind, take: usize) -> Vec<MergedHit> {
+        match mapping {
+            MappingKind::Binary => {
+                let kernel = selected_kernel();
+                let qw = qvec.words();
+                let mut sel: TopK<(u32, u64)> = TopK::new(take);
+                // The k-th (h, seq) bound, cached so the hot loop only
+                // touches the heap on kept offers — the same discipline
+                // as the single-store kernels.
+                let mut bound: Option<(u32, u64)> = None;
+                let mut p = 1.0f64;
+                let mut offer = |sel: &mut TopK<(u32, u64)>, key: (u32, u64), id: u32| {
+                    if bound.is_none_or(|b| key <= b) && sel.offer(key, id) {
+                        bound = sel.bound().map(|&(b, _)| b);
+                    }
+                };
+                for (s, shard) in self.shards().iter().enumerate() {
+                    let idx = &shard.index;
+                    let store = idx.mapped().store();
+                    p = store.bits().max(1) as f64;
+                    let dead = idx.tombstones();
+                    let n = store.len();
+                    let stride = store.stride().max(1);
+                    let rows = store.row_block(0, n);
+                    let mut i = 0usize;
+                    for block in rows.chunks_exact(4 * stride) {
+                        let h4 = hamming_block4(kernel, qw, block, stride);
+                        for (r, &h) in h4.iter().enumerate() {
+                            let local = i + r;
+                            if !dead.is_dead(local) {
+                                let id = self.compose_id(ShardId(s as u32), local).get();
+                                offer(&mut sel, (h, shard.seqs[local]), id);
+                            }
+                        }
+                        i += 4;
+                    }
+                    for local in i..n {
+                        if !dead.is_dead(local) {
+                            let h = hamming_row_kernel(kernel, qw, store.row(local));
+                            let id = self.compose_id(ShardId(s as u32), local).get();
+                            offer(&mut sel, (h, shard.seqs[local]), id);
+                        }
+                    }
+                }
+                sel.into_sorted()
+                    .into_iter()
+                    .map(|((h, seq), id)| MergedHit {
+                        id: gdim_core::GraphId(id),
+                        distance: (h as f64 / p).sqrt(),
+                        seq,
+                    })
+                    .collect()
+            }
+            MappingKind::Weighted => {
+                let mut sel: TopK<(OrdF64, u64)> = TopK::new(take);
+                self.for_each_live_row(|shard_idx, local, seq, row, idx| {
+                    let sq = weighted_sq_xor_words(qvec.words(), row, idx.weighted_w_sq());
+                    sel.offer((OrdF64(sq), seq), self.compose_id(shard_idx, local).get());
+                });
+                sel.into_sorted()
+                    .into_iter()
+                    .map(|((OrdF64(sq), seq), id)| MergedHit {
+                        id: gdim_core::GraphId(id),
+                        distance: sq.sqrt(),
+                        seq,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Drives the direct pass: every live row of every shard, with its
+    /// shard id, local id, global sequence number, raw words, and
+    /// owning index.
+    fn for_each_live_row<F>(&self, mut f: F)
+    where
+        F: FnMut(ShardId, usize, u64, &[u64], &gdim_core::GraphIndex),
+    {
+        for (s, shard) in self.shards().iter().enumerate() {
+            let idx = &shard.index;
+            let store = idx.mapped().store();
+            let dead = idx.tombstones();
+            for local in 0..store.len() {
+                if dead.is_dead(local) {
+                    continue;
+                }
+                f(
+                    ShardId(s as u32),
+                    local,
+                    shard.seqs[local],
+                    store.row(local),
+                    idx,
+                );
+            }
+        }
+    }
+
+    /// Per-shard work counters of the direct pass, merged: every live
+    /// row fully evaluated, every dead row skipped, no early
+    /// abandoning — the stats identity over the database size holds.
+    fn direct_stats(&self) -> SearchStats {
+        let per_shard: Vec<SearchStats> = self
+            .shards()
+            .iter()
+            .map(|shard| {
+                let idx = &shard.index;
+                SearchStats {
+                    candidates_scanned: idx.live_len(),
+                    tombstones_skipped: idx.len() - idx.live_len(),
+                    words_scanned: idx.live_len() * idx.mapped().store().stride(),
+                    epoch: idx.epoch(),
+                    live_graphs: idx.live_len(),
+                    ..Default::default()
+                }
+            })
+            .collect();
+        SearchStats::merged(per_shard.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardedOptions;
+    use gdim_core::{GraphIndex, IndexOptions};
+
+    fn small_db(n: usize) -> Vec<Graph> {
+        gdim_datagen::chem_db(n, &gdim_datagen::ChemConfig::default(), 11)
+    }
+
+    #[test]
+    fn small_databases_take_the_direct_path_and_match_unsharded_answers() {
+        let db = small_db(40);
+        let opts = IndexOptions::default().with_dimensions(24);
+        let unsharded = GraphIndex::build(db.clone(), opts.clone());
+        let sharded = ShardedIndex::build(db.clone(), ShardedOptions::new(4).with_index(opts));
+        assert!(
+            sharded.direct_scan_pays_off(),
+            "40 rows over 4 shards is below the scatter threshold"
+        );
+        for req in [
+            SearchRequest::topk(5),
+            SearchRequest::topk(7).with_mapping(MappingKind::Weighted),
+            SearchRequest::topk(3).with_ranker(Ranker::Refined { candidates: 10 }),
+        ] {
+            for q in db.iter().step_by(9) {
+                let direct = sharded.search(q, &req).unwrap();
+                let flat = unsharded.search(q, &req).unwrap();
+                let got: Vec<(u64, f64)> = direct
+                    .hits
+                    .iter()
+                    .map(|h| (sharded.seq_of(h.id).unwrap(), h.distance))
+                    .collect();
+                let want: Vec<(u64, f64)> = flat
+                    .hits
+                    .iter()
+                    .map(|h| (h.id.get() as u64, h.distance))
+                    .collect();
+                assert_eq!(got, want, "direct path diverged for {req:?}");
+                assert_eq!(direct.stats.kernel, Some(selected_kernel()));
+                assert_eq!(
+                    direct.stats.candidates_scanned + direct.stats.tombstones_skipped,
+                    sharded.len(),
+                    "direct stats identity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_path_respects_tombstones() {
+        let db = small_db(30);
+        let opts = IndexOptions::default().with_dimensions(20);
+        let mut sharded =
+            ShardedIndex::build(db.clone(), ShardedOptions::new(3).with_index(opts.clone()));
+        let mut unsharded = GraphIndex::build(db.clone(), opts);
+        // Remove the same rows on both sides (seq == unsharded id).
+        for seq in [0u64, 7, 13] {
+            let id = sharded.id_for_seq(seq).unwrap();
+            sharded.remove(id).unwrap();
+            unsharded.remove(gdim_core::GraphId(seq as u32)).unwrap();
+        }
+        assert!(sharded.direct_scan_pays_off());
+        let req = SearchRequest::topk(6);
+        let direct = sharded.search(&db[7], &req).unwrap();
+        let flat = unsharded.search(&db[7], &req).unwrap();
+        let got: Vec<(u64, f64)> = direct
+            .hits
+            .iter()
+            .map(|h| (sharded.seq_of(h.id).unwrap(), h.distance))
+            .collect();
+        let want: Vec<(u64, f64)> = flat
+            .hits
+            .iter()
+            .map(|h| (h.id.get() as u64, h.distance))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(direct.stats.tombstones_skipped, 3);
+    }
+
+    #[test]
+    fn single_shard_and_large_databases_keep_scattering() {
+        let db = small_db(20);
+        let one = ShardedIndex::build(
+            db.clone(),
+            ShardedOptions::new(1).with_index(IndexOptions::default().with_dimensions(16)),
+        );
+        assert!(
+            !one.direct_scan_pays_off(),
+            "a single shard has no scatter overhead to skip"
+        );
+    }
+}

@@ -58,11 +58,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod direct;
 pub mod manifest;
 pub mod merge;
 pub mod serving;
 pub mod sharded;
 
+pub use direct::MIN_SCATTER_ROWS_PER_SHARD;
 pub use merge::{merge_topk, MergedHit};
 pub use serving::{Reader, ServingHandle};
 pub use sharded::{ShardId, ShardRebuildTask, ShardedIndex, ShardedOptions, ShardedRebuildTask};

@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use gdim_core::bitset::Bitset;
 use gdim_core::query::exact_ranking_among;
-use gdim_core::scan::ScanStats;
+use gdim_core::scan::{selected_kernel, ScanStats};
 use gdim_core::{
     GdimError, Graph, GraphId, GraphIndex, Hit, IndexOptions, MappingKind, McsOptions, Ranker,
     SearchRequest, SearchResponse, SearchStats, Tombstones,
@@ -133,6 +133,10 @@ impl std::fmt::Debug for ShardedIndex {
 fn shard_bits_for(shards: usize) -> u32 {
     (shards.max(1) as u32).next_power_of_two().trailing_zeros()
 }
+
+/// One shard's fused batch scan: `parts[q]` is query `q`'s raw
+/// `(hits, stats)` from that shard's one-pass fused kernel.
+type FusedShardScan = Vec<(Vec<(u32, f64)>, ScanStats)>;
 
 impl ShardedIndex {
     // ------------------------------------------------------ building
@@ -672,6 +676,14 @@ impl ShardedIndex {
     /// same database for every ranker, mapping, shard count, and
     /// thread budget; [`SearchStats`] aggregate across shards via
     /// [`SearchStats::merge`].
+    ///
+    /// Databases too small for scatter-gather to pay off skip it: when
+    /// every shard averages fewer than
+    /// [`MIN_SCATTER_ROWS_PER_SHARD`](crate::direct::MIN_SCATTER_ROWS_PER_SHARD)
+    /// rows, the mapped/refined rankers run one direct pass over all
+    /// shards' rows into a single global selector (see
+    /// [`crate::direct`]) — same hits, none of the per-shard
+    /// heap-and-merge overhead.
     pub fn search(&self, query: &Graph, req: &SearchRequest) -> Result<SearchResponse, GdimError> {
         let t0 = Instant::now();
         let mut resp = if matches!(req.ranker, Ranker::Exact) {
@@ -680,8 +692,12 @@ impl ShardedIndex {
             let tm = Instant::now();
             let (qvec, mstats) = self.shards[0].index.mapped().map_query_with_stats(query);
             let match_time = tm.elapsed();
-            let scans = self.scatter_scan(&qvec, req, true);
-            let mut r = self.response_from_scans(query, scans, req);
+            let mut r = if self.direct_scan_pays_off() {
+                self.direct_response(query, &qvec, req)
+            } else {
+                let scans = self.scatter_scan(&qvec, req, true);
+                self.response_from_scans(query, scans, req)
+            };
             r.stats.vf2_calls = mstats.vf2_calls;
             r.stats.vf2_pruned = mstats.vf2_pruned;
             r.stats.match_time = match_time;
@@ -693,12 +709,17 @@ impl ShardedIndex {
 
     /// Answers one request for a whole batch of queries: the query
     /// mapping fans out per query, then — for the mapped/refined
-    /// rankers — the per-query scatter scans fan out too (each task
-    /// walks its shards serially, so the two levels never nest thread
-    /// pools). Output order matches `queries`, and every response's
-    /// hits equal the corresponding [`ShardedIndex::search`] answer.
+    /// rankers — every shard answers **all** queries in one pass over
+    /// its rows through the fused scan kernels
+    /// ([`MappedDatabase::scan_topk_fused_masked`](gdim_core::MappedDatabase::scan_topk_fused_masked)),
+    /// parallel over row ranges rather than queries, so the store's
+    /// words are read once per shard instead of once per query. Output
+    /// order matches `queries`, and every response's hits equal the
+    /// corresponding [`ShardedIndex::search`] answer bit-for-bit.
     /// Timing is metered per batch like [`GraphIndex::search_batch`]:
-    /// `match_time` is the batch average.
+    /// `match_time` is the batch average and each response carries an
+    /// even share of the fused scan time; responses set
+    /// [`SearchStats::fused_batch`].
     pub fn search_batch(
         &self,
         queries: &[Graph],
@@ -706,6 +727,9 @@ impl ShardedIndex {
     ) -> Result<Vec<SearchResponse>, GdimError> {
         if matches!(req.ranker, Ranker::Exact) {
             // The exact δ fan-out is already parallel over each shard.
+            return queries.iter().map(|q| self.search(q, req)).collect();
+        }
+        if queries.len() <= 1 {
             return queries.iter().map(|q| self.search(q, req)).collect();
         }
         let t0 = Instant::now();
@@ -716,40 +740,29 @@ impl ShardedIndex {
                     .mapped()
                     .map_query_with_stats(&queries[i])
             });
-        let match_time = t0.elapsed() / queries.len().max(1) as u32;
-        let finish = |mut resp: SearchResponse, i: usize, ti: Instant| {
-            resp.stats.vf2_calls = mapped[i].1.vf2_calls;
-            resp.stats.vf2_pruned = mapped[i].1.vf2_pruned;
-            resp.stats.match_time = match_time;
-            resp.stats.wall_time = ti.elapsed() + match_time;
-            resp
-        };
-        match req.ranker {
-            Ranker::Mapped => Ok(gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
+        let match_time = t0.elapsed() / queries.len() as u32;
+        let ts = Instant::now();
+        let qvecs: Vec<&Bitset> = mapped.iter().map(|(v, _)| v).collect();
+        let per_query = self.scatter_scan_fused(&qvecs, req);
+        let scan_share = ts.elapsed() / queries.len() as u32;
+        // The refined ranker's MCS verification stays serial per query
+        // — it fans out over each shard internally, and nesting pools
+        // oversubscribes; the mapped ranker's merge is heap-cheap.
+        Ok(queries
+            .iter()
+            .zip(per_query)
+            .enumerate()
+            .map(|(i, (q, scans))| {
                 let ti = Instant::now();
-                let scans = self.scatter_scan(&mapped[i].0, req, false);
-                let resp = self.response_from_scans(&queries[i], scans, req);
-                finish(resp, i, ti)
-            })),
-            _ => {
-                // Refined: parallelize the scans over queries, verify
-                // serially — the MCS re-ranking fans out over each
-                // shard internally, and nesting pools oversubscribes.
-                let scans = gdim_exec::map_tasks(self.exec(), queries.len(), |i| {
-                    self.scatter_scan(&mapped[i].0, req, false)
-                });
-                Ok(queries
-                    .iter()
-                    .zip(scans)
-                    .enumerate()
-                    .map(|(i, (q, scan))| {
-                        let ti = Instant::now();
-                        let resp = self.response_from_scans(q, scan, req);
-                        finish(resp, i, ti)
-                    })
-                    .collect())
-            }
-        }
+                let mut resp = self.response_from_scans(q, scans, req);
+                resp.stats.fused_batch = true;
+                resp.stats.vf2_calls = mapped[i].1.vf2_calls;
+                resp.stats.vf2_pruned = mapped[i].1.vf2_pruned;
+                resp.stats.match_time = match_time;
+                resp.stats.wall_time = ti.elapsed() + match_time + scan_share;
+                resp
+            })
+            .collect())
     }
 
     /// The scatter half: one bounded top-k (or top-`candidates`) scan
@@ -786,6 +799,52 @@ impl ShardedIndex {
         }
     }
 
+    /// The scatter half of a **fused batch**: every shard answers all
+    /// `Q` query vectors in one pass over its rows (parallel over row
+    /// ranges on the exec budget, never over queries — shards run
+    /// serially so the two levels don't nest pools). The per-shard
+    /// results are transposed to per-query shape, so each query's
+    /// slice feeds [`ShardedIndex::response_from_scans`] exactly like
+    /// a per-query scatter would.
+    fn scatter_scan_fused(&self, qvecs: &[&Bitset], req: &SearchRequest) -> Vec<FusedShardScan> {
+        let per_shard_k = match req.ranker {
+            Ranker::Refined { candidates } => candidates,
+            _ => req.k,
+        };
+        // per_shard[s][q] — one fused pass per shard.
+        let mut per_shard: Vec<FusedShardScan> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let idx = &shard.index;
+                let k = per_shard_k.min(idx.len());
+                let dead = Some(idx.tombstones());
+                match req.mapping {
+                    MappingKind::Binary => {
+                        idx.mapped()
+                            .scan_topk_fused_masked(qvecs, k, dead, self.exec())
+                    }
+                    MappingKind::Weighted => idx.mapped().scan_topk_fused_with_masked(
+                        qvecs,
+                        k,
+                        idx.weighted_w_sq(),
+                        dead,
+                        self.exec(),
+                    ),
+                }
+            })
+            .collect();
+        // Transpose to per_query[q][s] without cloning the rankings.
+        (0..qvecs.len())
+            .map(|q| {
+                per_shard
+                    .iter_mut()
+                    .map(|shard_scans| std::mem::take(&mut shard_scans[q]))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// The gather half plus the refined verification phase: merges the
     /// per-shard rankings by `(distance, seq)`, re-ranks the merged
     /// candidates exactly when requested, and aggregates the stats.
@@ -809,6 +868,7 @@ impl ShardedIndex {
             })
             .collect();
         let mut stats = SearchStats::merged(per_shard.iter());
+        stats.kernel = Some(selected_kernel());
         let parts: Vec<Vec<(u32, f64)>> = scans.into_iter().map(|(ranked, _)| ranked).collect();
         let take = match req.ranker {
             Ranker::Refined { candidates } => candidates,
@@ -835,7 +895,7 @@ impl ShardedIndex {
     /// merged candidates, computed per owning shard through the one
     /// δ-ranking kernel and re-merged ascending by `(δ, seq)` — the
     /// same order an unsharded refine produces by `(δ, id)`.
-    fn refine(
+    pub(crate) fn refine(
         &self,
         query: &Graph,
         candidates: &[MergedHit],
@@ -917,7 +977,7 @@ impl ShardedIndex {
     }
 
     /// Truncates merged answers into typed hits.
-    fn hits(merged: Vec<MergedHit>, k: usize) -> Vec<Hit> {
+    pub(crate) fn hits(merged: Vec<MergedHit>, k: usize) -> Vec<Hit> {
         merged
             .into_iter()
             .take(k)

@@ -118,7 +118,7 @@ proptest! {
     fn tombstoned_rows_never_surface_before_the_rebuild(seed in 0u64..500) {
         let db = chem(15, seed.wrapping_add(99));
         let mut idx = GraphIndex::build(db.clone(), opts(2));
-        let dead: Vec<u32> = (0..15u32).filter(|i| (i * 7 + seed as u32) % 5 == 0).collect();
+        let dead: Vec<u32> = (0..15u32).filter(|i| (i * 7 + seed as u32).is_multiple_of(5)).collect();
         for &i in &dead {
             prop_assert!(idx.remove(GraphId(i)).unwrap());
         }

@@ -130,6 +130,139 @@ proptest! {
     }
 }
 
+/// Deterministic word soup (splitmix64) for the store-level fused
+/// proptests.
+fn mix(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fused multi-query scans (PR 6) are **bit-identical** to the
+    /// corresponding per-query single scans — for every available
+    /// kernel, thread budgets 1/2/8, masked and unmasked stores, and
+    /// the edge cases that stress the 8-row fused blocks: row counts
+    /// off/at/past block boundaries, `Q ∈ {0, 1, …}`, `k` of 0 and
+    /// larger than the store, dead rows sprinkled through blocks, and
+    /// an all-dead store. Masked scans must never surface a dead row,
+    /// and the fused work counters keep the scan-stats identity.
+    #[test]
+    fn fused_scans_equal_per_query_singles(
+        seed in 0u64..500,
+        n_pick in 0u64..8,
+        bits_pick in 0u64..4,
+        qn_pick in 0u64..4,
+        k_pick in 0u64..4,
+    ) {
+        use gdim::core::scan::{available_kernels, KernelKind, Tombstones, VectorStore};
+        use gdim::core::ExecConfig;
+
+        let n = [0usize, 1, 7, 8, 9, 64, 130, 600][n_pick as usize];
+        let bits = [1usize, 64, 256, 300][bits_pick as usize];
+        let qn = [0usize, 1, 3, 9][qn_pick as usize];
+        let k = [0usize, 1, 5, 200][k_pick as usize];
+        let mut rng = seed ^ ((n as u64) << 32) ^ ((bits as u64) << 16) ^ (qn as u64);
+        let stride = bits.div_ceil(64);
+        let mut store = VectorStore::zeros(n, bits);
+        for row in 0..n {
+            for bit in 0..bits {
+                if mix(&mut rng).is_multiple_of(3) {
+                    store.set(row, bit);
+                }
+            }
+        }
+        let queries: Vec<Vec<u64>> = (0..qn)
+            .map(|_| {
+                let mut q: Vec<u64> = (0..stride).map(|_| mix(&mut rng)).collect();
+                if !bits.is_multiple_of(64) {
+                    if let Some(last) = q.last_mut() {
+                        *last &= (1u64 << (bits % 64)) - 1;
+                    }
+                }
+                q
+            })
+            .collect();
+        let qrefs: Vec<&[u64]> = queries.iter().map(Vec::as_slice).collect();
+        let w_sq: Vec<f64> = (0..bits).map(|b| ((b * 7 + 3) % 11) as f64 / 11.0).collect();
+
+        // Unmasked, sprinkled-dead (hits block interiors and
+        // boundaries), and all-dead tombstone shapes.
+        let mut sprinkled = Tombstones::all_live(n);
+        for i in 0..n {
+            if mix(&mut rng).is_multiple_of(4) {
+                sprinkled.mark_dead(i);
+            }
+        }
+        let mut all_dead = Tombstones::all_live(n);
+        for i in 0..n {
+            all_dead.mark_dead(i);
+        }
+        let masks: [Option<&Tombstones>; 3] = [None, Some(&sprinkled), Some(&all_dead)];
+
+        for threads in [1usize, 2, 8] {
+            let exec = ExecConfig::new(threads);
+            for dead in masks {
+                for kernel in available_kernels() {
+                    let fused = store.topk_binary_fused_kernel(&qrefs, k, dead, kernel, &exec);
+                    prop_assert_eq!(fused.len(), qn);
+                    for (q, (hits, stats)) in qrefs.iter().zip(&fused) {
+                        let (single_hits, _) = store.topk_binary_kernel(q, k, dead, kernel);
+                        prop_assert_eq!(hits, &single_hits,
+                            "binary kernel {} threads {} masked {}",
+                            kernel, threads, dead.is_some());
+                        // The scan-stats identity covers scans that
+                        // actually ran; k = 0 and all-dead stores
+                        // short-circuit without touching rows.
+                        if k > 0 && dead.is_none_or(|t| t.live_count() > 0) {
+                            prop_assert_eq!(
+                                stats.vectors_scanned + stats.early_abandoned
+                                    + stats.tombstones_skipped,
+                                n,
+                                "fused binary stats identity (kernel {})", kernel
+                            );
+                        }
+                        for &(id, _) in hits {
+                            prop_assert!(
+                                !dead.is_some_and(|t| t.is_dead(id as usize)),
+                                "masked fused scan surfaced dead row {}", id
+                            );
+                        }
+                    }
+                }
+                // Weighted fusion has no kernel parameter (the scalar
+                // accumulation is the kernel); hits stay bit-identical
+                // to singles even where multi-range counters diverge.
+                let fused = store.topk_weighted_fused_masked(&qrefs, k, &w_sq, dead, &exec);
+                for (q, (hits, stats)) in qrefs.iter().zip(&fused) {
+                    let (single_hits, _) =
+                        store.topk_weighted_kernel(q, k, &w_sq, dead, KernelKind::Scalar);
+                    prop_assert_eq!(hits, &single_hits,
+                        "weighted threads {} masked {}", threads, dead.is_some());
+                    if k > 0 && dead.is_none_or(|t| t.live_count() > 0) {
+                        prop_assert_eq!(
+                            stats.vectors_scanned + stats.early_abandoned
+                                + stats.tombstones_skipped,
+                            n,
+                            "fused weighted stats identity"
+                        );
+                    }
+                    for &(id, _) in hits {
+                        prop_assert!(
+                            !dead.is_some_and(|t| t.is_dead(id as usize)),
+                            "masked fused weighted scan surfaced dead row {}", id
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The squared per-dimension weights a [`MappingKind::Weighted`]
 /// request uses: the index's DSPM weights over the selected
 /// dimensions, squared and normalized (mirrors the index-internal
