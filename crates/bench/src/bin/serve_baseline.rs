@@ -1,0 +1,319 @@
+//! `serve_baseline` — the closed-loop load harness behind the
+//! committed `BENCH_serve.json` snapshot: real TCP clients driving
+//! Zipf-skewed search traffic at a target aggregate QPS against an
+//! in-process [`GdimServer`], recording end-to-end latency quantiles
+//! (p50/p99/p999) and achieved throughput.
+//!
+//! ```text
+//! cargo run --release -p gdim-bench --bin serve_baseline -- \
+//!     [--out PATH] [--graphs N] [--shards S] [--dimensions P]
+//!     [--clients C] [--requests R] [--target-qps Q] [--batch B]
+//!     [--zipf S] [--seed S]
+//!     [--baseline PATH] [--min-qps-frac F] [--max-p99-frac F]
+//! ```
+//!
+//! Each of the `C` client threads owns one keep-alive connection and
+//! paces itself at `Q / C` requests per second: send, wait for the
+//! full response, sleep until the next tick (no sleep when behind, so
+//! an overloaded server shows up as achieved QPS < target rather than
+//! as unbounded queueing). Latency is measured send-to-parsed-response
+//! per request; quantiles come from the pooled sorted sample.
+//!
+//! Gates (`--baseline` reads a committed snapshot):
+//!
+//! * `--min-qps-frac F` — fail if fresh `achieved_qps` drops below
+//!   `F ×` the committed one (default 0.25: generous, because the
+//!   committed number may come from different hardware).
+//! * `--max-p99-frac F` — fail if fresh `p99_us` exceeds `F ×` the
+//!   committed one (default 4.0, same reasoning).
+//!
+//! Every served answer is asserted **bit-identical** to the in-process
+//! [`ServingHandle`] answer for the same query before timing starts —
+//! the harness refuses to measure a wrong server.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gdim_core::{GraphId, IndexOptions, SearchRequest};
+use gdim_datagen::{chem_db, zipf_workload, ChemConfig, ZipfConfig};
+use gdim_server::wire::response_from_json;
+use gdim_server::{Client, GdimServer, Json, ServerConfig};
+use gdim_shard::{ServingHandle, ShardedIndex, ShardedOptions};
+
+struct Args {
+    out: String,
+    graphs: usize,
+    shards: usize,
+    dimensions: usize,
+    clients: usize,
+    requests: usize,
+    target_qps: f64,
+    batch: usize,
+    zipf: f64,
+    seed: u64,
+    baseline: Option<String>,
+    min_qps_frac: f64,
+    max_p99_frac: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_serve.json".to_string(),
+        graphs: 300,
+        shards: 4,
+        dimensions: 16,
+        clients: 4,
+        requests: 2000,
+        target_qps: 2000.0,
+        batch: 8,
+        zipf: 1.0,
+        seed: 42,
+        baseline: None,
+        min_qps_frac: 0.25,
+        max_p99_frac: 4.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--graphs" => args.graphs = value("--graphs").parse().expect("--graphs: integer"),
+            "--shards" => args.shards = value("--shards").parse().expect("--shards: integer"),
+            "--dimensions" => {
+                args.dimensions = value("--dimensions")
+                    .parse()
+                    .expect("--dimensions: integer")
+            }
+            "--clients" => args.clients = value("--clients").parse().expect("--clients: integer"),
+            "--requests" => {
+                args.requests = value("--requests").parse().expect("--requests: integer")
+            }
+            "--target-qps" => {
+                args.target_qps = value("--target-qps").parse().expect("--target-qps: number")
+            }
+            "--batch" => args.batch = value("--batch").parse().expect("--batch: integer"),
+            "--zipf" => args.zipf = value("--zipf").parse().expect("--zipf: number"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--min-qps-frac" => {
+                args.min_qps_frac = value("--min-qps-frac")
+                    .parse()
+                    .expect("--min-qps-frac: number")
+            }
+            "--max-p99-frac" => {
+                args.max_p99_frac = value("--max-p99-frac")
+                    .parse()
+                    .expect("--max-p99-frac: number")
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(
+        args.clients >= 1 && args.requests >= args.clients,
+        "need clients ≥ 1, requests ≥ clients"
+    );
+    args
+}
+
+fn search_body(id: u32, k: usize) -> Json {
+    Json::obj([
+        ("query", Json::obj([("id", Json::U64(id as u64))])),
+        ("k", Json::U64(k as u64)),
+    ])
+}
+
+/// One paced closed-loop client: `ids` queries at `interval` spacing.
+/// Returns per-request latencies (µs) and the error count.
+fn run_client(addr: SocketAddr, ids: Vec<u32>, interval: Duration, k: usize) -> (Vec<u64>, u64) {
+    let mut client = Client::connect(addr).expect("connect load client");
+    let mut latencies = Vec::with_capacity(ids.len());
+    let mut errors = 0u64;
+    let mut next = Instant::now();
+    for id in ids {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(next - now);
+        }
+        next += interval; // fixed schedule: lateness is not forgiven
+        let t = Instant::now();
+        match client.post("/search", &search_body(id, k)) {
+            Ok((200, _)) => latencies.push(t.elapsed().as_micros() as u64),
+            Ok(_) | Err(_) => errors += 1,
+        }
+    }
+    (latencies, errors)
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A numeric field out of a committed snapshot (parsed with the
+/// server's own JSON module — one source of truth for the format).
+fn baseline_field(json: &Json, key: &str) -> Option<f64> {
+    json.get(key).and_then(Json::as_f64)
+}
+
+fn main() {
+    let args = parse_args();
+    let k = 10usize;
+
+    eprintln!(
+        "building index: {} graphs, {} shards, {} dimensions (seed {})...",
+        args.graphs, args.shards, args.dimensions, args.seed
+    );
+    let db = chem_db(args.graphs, &ChemConfig::default(), args.seed);
+    let index = ShardedIndex::build(
+        db,
+        ShardedOptions::new(args.shards)
+            .with_index(IndexOptions::default().with_dimensions(args.dimensions)),
+    );
+    let handle = ServingHandle::new(index);
+    let server = GdimServer::start(
+        handle.clone(),
+        ServerConfig::new().with_workers(args.clients.max(2)),
+    )
+    .expect("bind loopback server");
+    let addr = server.addr();
+    eprintln!("serving on {addr} with {} workers", args.clients.max(2));
+
+    // Zipf-skewed traffic over the live graphs, by insertion seq →
+    // composed id.
+    let snap = handle.snapshot();
+    let seqs = zipf_workload(
+        args.graphs,
+        args.requests,
+        &ZipfConfig {
+            exponent: args.zipf,
+            shuffle: true,
+        },
+        args.seed,
+    );
+    let ids: Vec<u32> = seqs
+        .iter()
+        .map(|&s| {
+            snap.id_for_seq(s as u64)
+                .expect("fresh index has every seq")
+                .get()
+        })
+        .collect();
+
+    // Correctness first: the served answer for a sample of queries
+    // must be bit-identical to the in-process one.
+    {
+        let mut probe = Client::connect(addr).expect("probe client");
+        for &id in ids.iter().take(16) {
+            let (status, j) = probe
+                .post("/search", &search_body(id, k))
+                .expect("probe search");
+            assert_eq!(status, 200, "probe failed: {j:?}");
+            let served = response_from_json(&j).expect("parse served response");
+            let local = snap
+                .search(snap.graph(GraphId(id)).unwrap(), &SearchRequest::topk(k))
+                .unwrap();
+            assert_eq!(served.hits.len(), local.hits.len(), "hit count for id {id}");
+            for (a, b) in served.hits.iter().zip(&local.hits) {
+                assert_eq!(a.id, b.id, "hit id for query {id}");
+                assert_eq!(
+                    a.distance.to_bits(),
+                    b.distance.to_bits(),
+                    "served distance must be bit-identical (query {id})"
+                );
+            }
+        }
+        eprintln!("bit-identity probe passed (16 queries)");
+    }
+
+    // The timed run: C paced closed-loop clients.
+    let per_client = args.requests / args.clients;
+    let interval = Duration::from_secs_f64(args.clients as f64 / args.target_qps);
+    let ids = Arc::new(ids);
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let ids = Arc::clone(&ids);
+            std::thread::spawn(move || {
+                let slice: Vec<u32> = ids
+                    .iter()
+                    .skip(c)
+                    .step_by(args.clients)
+                    .take(per_client)
+                    .copied()
+                    .collect();
+                run_client(addr, slice, interval, k)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(per_client * args.clients);
+    let mut errors = 0u64;
+    for w in workers {
+        let (lat, err) = w.join().expect("load client thread");
+        latencies.extend(lat);
+        errors += err;
+    }
+    let wall = t0.elapsed();
+    server.shutdown();
+
+    assert_eq!(errors, 0, "load run saw {errors} failed requests");
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let achieved_qps = total as f64 / wall.as_secs_f64();
+    let mean_us = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64;
+    let (p50, p99, p999) = (
+        quantile(&latencies, 0.50),
+        quantile(&latencies, 0.99),
+        quantile(&latencies, 0.999),
+    );
+    let max_us = latencies.last().copied().unwrap_or(0);
+    eprintln!(
+        "{total} requests in {wall:.2?}: achieved {achieved_qps:.0} qps (target {:.0}), \
+         p50 {p50} µs, p99 {p99} µs, p999 {p999} µs, max {max_us} µs",
+        args.target_qps
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"gdim-serve-bench-v1\",\n  \"graphs\": {},\n  \"shards\": {},\n  \
+         \"dimensions\": {},\n  \"clients\": {},\n  \"requests\": {total},\n  \"k\": {k},\n  \
+         \"zipf_exponent\": {},\n  \"target_qps\": {},\n  \"achieved_qps\": {achieved_qps:.1},\n  \
+         \"mean_us\": {mean_us:.1},\n  \"p50_us\": {p50},\n  \"p99_us\": {p99},\n  \
+         \"p999_us\": {p999},\n  \"max_us\": {max_us},\n  \"errors\": {errors}\n}}\n",
+        args.graphs, args.shards, args.dimensions, args.clients, args.zipf, args.target_qps
+    );
+    std::fs::write(&args.out, &json).expect("write snapshot");
+    eprintln!("wrote {}", args.out);
+
+    // The perf gate against a committed snapshot.
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).expect("read committed baseline");
+        let committed = gdim_server::parse_json(&text).expect("parse committed baseline");
+        let mut failed = false;
+        if let Some(want_qps) = baseline_field(&committed, "achieved_qps") {
+            let floor = want_qps * args.min_qps_frac;
+            let verdict = if achieved_qps < floor { "FAIL" } else { "ok" };
+            eprintln!(
+                "serve-smoke qps: fresh {achieved_qps:.0} vs committed {want_qps:.0} \
+                 (floor {floor:.0}) .. {verdict}"
+            );
+            failed |= achieved_qps < floor;
+        }
+        if let Some(want_p99) = baseline_field(&committed, "p99_us") {
+            let ceil = want_p99 * args.max_p99_frac;
+            let verdict = if (p99 as f64) > ceil { "FAIL" } else { "ok" };
+            eprintln!(
+                "serve-smoke p99: fresh {p99} µs vs committed {want_p99:.0} µs \
+                 (ceiling {ceil:.0}) .. {verdict}"
+            );
+            failed |= (p99 as f64) > ceil;
+        }
+        if failed {
+            eprintln!("serve-smoke: FAILED the serving perf gate");
+            std::process::exit(1);
+        }
+        eprintln!("serve-smoke: gate passed");
+    }
+}

@@ -1,0 +1,349 @@
+//! `gdim` — the command line for the serving stack.
+//!
+//! Server side:
+//!
+//! ```text
+//! gdim build --out DIR (--synthetic N | --db FILE) [--shards S] [--dimensions P] [--seed S]
+//! gdim serve (--index DIR | --synthetic N | --db FILE) [--addr HOST:PORT] [--workers W] ...
+//! ```
+//!
+//! Client side (all take `--addr`, default `127.0.0.1:7171`):
+//!
+//! ```text
+//! gdim search (--id N | --query FILE) [--k K] [--ranker mapped|exact|refined:C]
+//!             [--mapping binary|weighted] [--budget B] [--json]
+//! gdim insert --graph FILE        # inserts every graph in the gSpan file
+//! gdim remove --id N
+//! gdim rebuild [--background]
+//! gdim stats
+//! gdim stop
+//! ```
+//!
+//! Graph files use the gSpan text format (`t # i` / `v id label` /
+//! `e u v label` lines) that `gdim-graph`'s io module reads and
+//! writes. Argument parsing is hand-rolled like the bench binaries —
+//! the workspace takes no dependencies for it.
+
+use std::process::ExitCode;
+
+use gdim_core::{IndexOptions, MappingKind, Ranker, SearchRequest};
+use gdim_graph::{io as graph_io, Graph};
+use gdim_server::wire::{graph_to_json, response_from_json};
+use gdim_server::{Client, GdimServer, Json, ServerConfig};
+use gdim_shard::{ServingHandle, ShardedIndex, ShardedOptions};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+const USAGE: &str = "usage: gdim <command> [options]
+
+commands:
+  build     build an index and save it to a directory
+              --out DIR  (--synthetic N | --db FILE)
+              [--shards S=4] [--dimensions P=32] [--seed S=42]
+  serve     serve an index over HTTP (stop it with `gdim stop`)
+              (--index DIR | --synthetic N | --db FILE)
+              [--addr HOST:PORT=127.0.0.1:7171] [--workers W]
+              [--shards S=4] [--dimensions P=32] [--seed S=42]
+  search    top-k search against a running server
+              (--id N | --query FILE) [--k K=10]
+              [--ranker mapped|exact|refined:C] [--mapping binary|weighted]
+              [--budget B] [--json] [--addr HOST:PORT]
+  insert    insert every graph from a gSpan file; prints assigned ids
+              --graph FILE [--addr HOST:PORT]
+  remove    tombstone a graph        --id N [--addr HOST:PORT]
+  rebuild   compact/rebuild the index  [--background] [--addr HOST:PORT]
+  stats     print serving counters     [--addr HOST:PORT]
+  stop      gracefully stop the server [--addr HOST:PORT]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "build" => cmd_build(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "search" => cmd_search(&args[1..]),
+        "insert" => cmd_insert(&args[1..]),
+        "remove" => cmd_remove(&args[1..]),
+        "rebuild" => cmd_rebuild(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "stop" => cmd_stop(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("gdim: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag cursor: `--flag value` pairs plus boolean flags.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], boolean: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if !arg.starts_with("--") {
+                return Err(format!("unexpected argument {arg:?}"));
+            }
+            if boolean.contains(&arg.as_str()) {
+                pairs.push((arg.clone(), None));
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a value"))?
+                    .clone();
+                pairs.push((arg.clone(), Some(value)));
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(f, _)| f == flag)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.pairs.iter().any(|(f, _)| f == flag)
+    }
+
+    fn num<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        self.get(flag)
+            .map(|v| v.parse().map_err(|_| format!("{flag}: bad value {v:?}")))
+            .transpose()
+    }
+}
+
+fn read_gspan(path: &str) -> Result<Vec<Graph>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let db = graph_io::parse_db(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    if db.is_empty() {
+        return Err(format!("{path} holds no graphs"));
+    }
+    Ok(db)
+}
+
+/// Loads or builds the database named by `--index` / `--db` /
+/// `--synthetic`, returning the index.
+fn load_index(flags: &Flags) -> Result<ShardedIndex, String> {
+    if let Some(dir) = flags.get("--index") {
+        return ShardedIndex::load_dir(dir).map_err(|e| format!("loading {dir}: {e}"));
+    }
+    let db = if let Some(path) = flags.get("--db") {
+        read_gspan(path)?
+    } else if let Some(n) = flags.num::<usize>("--synthetic")? {
+        let seed = flags.num::<u64>("--seed")?.unwrap_or(42);
+        gdim_datagen::chem_db(n, &gdim_datagen::ChemConfig::default(), seed)
+    } else {
+        return Err("give one of --index DIR, --db FILE, --synthetic N".to_string());
+    };
+    let shards = flags.num::<usize>("--shards")?.unwrap_or(4);
+    let dimensions = flags.num::<usize>("--dimensions")?.unwrap_or(32);
+    eprintln!(
+        "building index: {} graphs, {shards} shards, {dimensions} dimensions...",
+        db.len()
+    );
+    Ok(ShardedIndex::build(
+        db,
+        ShardedOptions::new(shards).with_index(IndexOptions::default().with_dimensions(dimensions)),
+    ))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let out = flags
+        .get("--out")
+        .ok_or("build needs --out DIR")?
+        .to_string();
+    let index = load_index(&flags)?;
+    index
+        .save_dir(&out)
+        .map_err(|e| format!("saving {out}: {e}"))?;
+    println!(
+        "saved {} graphs ({} shards, {} dimensions) to {out}",
+        index.len(),
+        index.shard_count(),
+        index.dimensions().len()
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let index = load_index(&flags)?;
+    let (graphs, shards) = (index.len(), index.shard_count());
+    let mut cfg = ServerConfig::new().with_addr(flags.get("--addr").unwrap_or(DEFAULT_ADDR));
+    if let Some(w) = flags.num::<usize>("--workers")? {
+        cfg = cfg.with_workers(w);
+    }
+    let server =
+        GdimServer::start(ServingHandle::new(index), cfg).map_err(|e| format!("binding: {e}"))?;
+    println!(
+        "serving {graphs} graphs ({shards} shards) on http://{} — stop with `gdim stop --addr {}`",
+        server.addr(),
+        server.addr()
+    );
+    server.wait();
+    println!("shutdown requested; draining...");
+    server.shutdown();
+    println!("bye");
+    Ok(())
+}
+
+fn connect(flags: &Flags) -> Result<Client, String> {
+    let addr = flags.get("--addr").unwrap_or(DEFAULT_ADDR);
+    Client::connect(addr)
+        .map_err(|e| format!("connecting to {addr}: {e} (is `gdim serve` running?)"))
+}
+
+/// Runs a request and fails with the server's error message on a
+/// non-200 answer.
+fn expect_ok(reply: std::io::Result<(u16, Json)>) -> Result<Json, String> {
+    let (status, body) = reply.map_err(|e| format!("request failed: {e}"))?;
+    if status == 200 {
+        return Ok(body);
+    }
+    let code = body
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
+    let message = body
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap_or("");
+    Err(format!("server answered {status} {code}: {message}"))
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["--json"])?;
+    let query = match (flags.num::<u32>("--id")?, flags.get("--query")) {
+        (Some(id), None) => Json::obj([("id", Json::U64(id as u64))]),
+        (None, Some(path)) => {
+            let db = read_gspan(path)?;
+            Json::obj([("graph", graph_to_json(&db[0]))])
+        }
+        _ => return Err("give exactly one of --id N / --query FILE".to_string()),
+    };
+    // Build the typed request locally so flag validation matches the
+    // server's, then ship its JSON form.
+    let mut req = SearchRequest::topk(flags.num::<usize>("--k")?.unwrap_or(10));
+    if let Some(r) = flags.get("--ranker") {
+        req = req.with_ranker(match r {
+            "mapped" => Ranker::Mapped,
+            "exact" => Ranker::Exact,
+            refined => match refined.strip_prefix("refined:").map(str::parse) {
+                Some(Ok(candidates)) => Ranker::Refined { candidates },
+                _ => return Err(format!("--ranker: bad value {r:?}")),
+            },
+        });
+    }
+    if let Some(m) = flags.get("--mapping") {
+        req = req.with_mapping(match m {
+            "binary" => MappingKind::Binary,
+            "weighted" => MappingKind::Weighted,
+            _ => return Err(format!("--mapping: bad value {m:?}")),
+        });
+    }
+    if let Some(b) = flags.num::<u64>("--budget")? {
+        req = req.with_budget(b);
+    }
+    let mut body = gdim_server::wire::request_to_json(&req);
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push(("query".to_string(), query));
+    }
+    let mut client = connect(&flags)?;
+    let reply = expect_ok(client.post("/search", &body))?;
+    if flags.has("--json") {
+        println!("{}", reply.to_string_compact());
+        return Ok(());
+    }
+    let resp = response_from_json(&reply).map_err(|e| format!("bad response: {e}"))?;
+    print!("{}", resp.hit_table());
+    println!("{}", resp.stats);
+    Ok(())
+}
+
+fn cmd_insert(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags.get("--graph").ok_or("insert needs --graph FILE")?;
+    let db = read_gspan(path)?;
+    let mut client = connect(&flags)?;
+    for g in &db {
+        let body = Json::obj([("graph", graph_to_json(g))]);
+        let reply = expect_ok(client.post("/insert", &body))?;
+        let id = reply.get("id").and_then(Json::as_u64).unwrap_or(0);
+        println!("inserted id {id}");
+    }
+    Ok(())
+}
+
+fn cmd_remove(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let id = flags.num::<u32>("--id")?.ok_or("remove needs --id N")?;
+    let mut client = connect(&flags)?;
+    let reply = expect_ok(client.post("/remove", &Json::obj([("id", Json::U64(id as u64))])))?;
+    match reply.get("removed").and_then(Json::as_bool) {
+        Some(true) => println!("removed {id}"),
+        _ => println!("{id} was already gone"),
+    }
+    Ok(())
+}
+
+fn cmd_rebuild(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["--background"])?;
+    let mode = if flags.has("--background") {
+        "background"
+    } else {
+        "sync"
+    };
+    let mut client = connect(&flags)?;
+    let body = Json::obj([("mode", Json::Str(mode.to_string()))]);
+    let reply = expect_ok(client.post("/rebuild", &body))?;
+    if mode == "background" {
+        println!("background rebuild started (watch `gdim stats`)");
+    } else if reply.get("swapped").and_then(Json::as_bool) == Some(true) {
+        println!("rebuilt and swapped in");
+    } else {
+        println!("rebuild was cancelled");
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let mut client = connect(&flags)?;
+    let reply = expect_ok(client.get("/stats"))?;
+    if let Json::Obj(pairs) = &reply {
+        for (key, value) in pairs {
+            println!("{key:>18}  {}", value.to_string_compact());
+        }
+        Ok(())
+    } else {
+        Err("malformed /stats body".to_string())
+    }
+}
+
+fn cmd_stop(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let mut client = connect(&flags)?;
+    expect_ok(client.post("/shutdown", &Json::Null))?;
+    println!("server is draining");
+    Ok(())
+}

@@ -63,6 +63,45 @@ pub enum GdimError {
     },
 }
 
+impl GdimError {
+    /// The error's **stable, machine-readable code**: a lowercase
+    /// `snake_case` string naming the variant, independent of the
+    /// human-readable [`Display`](fmt::Display) message. This is the
+    /// wire contract a served error body carries (and what clients
+    /// match on), so codes must never change spelling or meaning once
+    /// released — the full mapping is pinned by a unit test.
+    pub fn code(&self) -> &'static str {
+        match self {
+            GdimError::GraphOutOfRange { .. } => "graph_out_of_range",
+            GdimError::DimensionOutOfRange { .. } => "dimension_out_of_range",
+            GdimError::WeightsMismatch { .. } => "weights_mismatch",
+            GdimError::Io(_) => "io",
+            GdimError::Corrupt(_) => "corrupt",
+            GdimError::UnsupportedVersion { .. } => "unsupported_version",
+            GdimError::ShardOutOfRange { .. } => "shard_out_of_range",
+            GdimError::StaleRebuild { .. } => "stale_rebuild",
+        }
+    }
+
+    /// Whether the error indicts the *request* (a caller addressed a
+    /// graph/shard/dimension that does not exist, or raced a rebuild)
+    /// rather than the server's own state (I/O failures, corrupt or
+    /// unreadable index files). A serving layer maps caller faults to
+    /// 4xx statuses and server faults to 5xx.
+    pub fn is_caller_fault(&self) -> bool {
+        match self {
+            GdimError::GraphOutOfRange { .. }
+            | GdimError::DimensionOutOfRange { .. }
+            | GdimError::WeightsMismatch { .. }
+            | GdimError::ShardOutOfRange { .. }
+            | GdimError::StaleRebuild { .. } => true,
+            GdimError::Io(_) | GdimError::Corrupt(_) | GdimError::UnsupportedVersion { .. } => {
+                false
+            }
+        }
+    }
+}
+
 impl fmt::Display for GdimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -132,6 +171,59 @@ mod tests {
             got: 4,
         };
         assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_codes_are_pinned() {
+        // The full code table, pinned so the wire contract can never
+        // silently change: adding a variant must extend this test, and
+        // respelling a code must fail it.
+        let io = GdimError::Io(io::Error::other("x"));
+        let table: [(GdimError, &str, bool); 8] = [
+            (
+                GdimError::GraphOutOfRange { id: 0, len: 0 },
+                "graph_out_of_range",
+                true,
+            ),
+            (
+                GdimError::DimensionOutOfRange {
+                    id: 0,
+                    num_features: 0,
+                },
+                "dimension_out_of_range",
+                true,
+            ),
+            (
+                GdimError::WeightsMismatch {
+                    expected: 1,
+                    got: 2,
+                },
+                "weights_mismatch",
+                true,
+            ),
+            (io, "io", false),
+            (GdimError::Corrupt(String::new()), "corrupt", false),
+            (
+                GdimError::UnsupportedVersion {
+                    found: 9,
+                    supported: 2,
+                },
+                "unsupported_version",
+                false,
+            ),
+            (
+                GdimError::ShardOutOfRange { id: 3, shards: 2 },
+                "shard_out_of_range",
+                true,
+            ),
+            (GdimError::StaleRebuild { missed: 1 }, "stale_rebuild", true),
+        ];
+        for (err, code, caller_fault) in table {
+            assert_eq!(err.code(), code);
+            assert_eq!(err.is_caller_fault(), caller_fault, "{code}");
+            // Codes are identifier-shaped: lowercase snake_case.
+            assert!(code.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
     }
 
     #[test]

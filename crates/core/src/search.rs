@@ -270,6 +270,48 @@ impl SearchStats {
     }
 }
 
+impl std::fmt::Display for SearchStats {
+    /// One compact human-readable line — what a CLI prints after the
+    /// hit table and what a log line carries. Counters that were
+    /// provably zero-work (no VF2, no MCS, no skips) are elided so the
+    /// common mapped-scan line stays short.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scanned {} of {} live rows ({} words)",
+            self.candidates_scanned, self.live_graphs, self.words_scanned
+        )?;
+        if self.early_abandoned > 0 {
+            write!(f, ", {} abandoned early", self.early_abandoned)?;
+        }
+        if self.tombstones_skipped > 0 {
+            write!(f, ", {} tombstoned", self.tombstones_skipped)?;
+        }
+        if self.vf2_calls > 0 || self.vf2_pruned > 0 {
+            write!(
+                f,
+                "; vf2 {} ran / {} pruned",
+                self.vf2_calls, self.vf2_pruned
+            )?;
+        }
+        if self.mcs_calls > 0 {
+            write!(f, "; mcs {}", self.mcs_calls)?;
+        }
+        write!(f, "; epoch {}", self.epoch)?;
+        if let Some(kernel) = self.kernel {
+            write!(f, "; kernel {}", kernel.name())?;
+        }
+        if self.fused_batch {
+            write!(f, " (fused batch)")?;
+        }
+        write!(
+            f,
+            "; match {:.1?}, wall {:.1?}",
+            self.match_time, self.wall_time
+        )
+    }
+}
+
 /// A search answer: hits ascending by `(distance, id)` plus the stats
 /// of the work performed.
 #[derive(Debug, Clone)]
@@ -289,6 +331,31 @@ impl SearchResponse {
     /// The best hit, if any.
     pub fn top(&self) -> Option<&Hit> {
         self.hits.first()
+    }
+
+    /// A compact fixed-width table of the hits — rank, graph id,
+    /// distance — ready to print (used by the CLI's `search` output;
+    /// handy in examples and test failure messages). An empty response
+    /// renders the header plus an explicit `(no hits)` row, so output
+    /// is never silently blank.
+    pub fn hit_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>4}  {:>8}  {:>12}", "rank", "id", "distance");
+        if self.hits.is_empty() {
+            let _ = writeln!(out, "{:>4}  {:>8}  {:>12}", "-", "-", "(no hits)");
+            return out;
+        }
+        for (rank, hit) in self.hits.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:>8}  {:>12.6}",
+                rank + 1,
+                hit.id.to_string(),
+                hit.distance
+            );
+        }
+        out
     }
 }
 
@@ -933,6 +1000,69 @@ mod tests {
         let empty = SearchStats::merged(std::iter::empty::<&SearchStats>());
         assert_eq!(empty.candidates_scanned, 0);
         assert_eq!(empty.epoch, 0);
+    }
+
+    #[test]
+    fn stats_display_is_compact_and_complete() {
+        let stats = SearchStats {
+            candidates_scanned: 90,
+            early_abandoned: 7,
+            tombstones_skipped: 3,
+            words_scanned: 400,
+            epoch: 2,
+            live_graphs: 97,
+            vf2_calls: 12,
+            vf2_pruned: 8,
+            mcs_calls: 5,
+            match_time: std::time::Duration::from_micros(120),
+            wall_time: std::time::Duration::from_micros(900),
+            kernel: Some(KernelKind::Scalar),
+            fused_batch: true,
+        };
+        let line = stats.to_string();
+        for needle in [
+            "scanned 90 of 97",
+            "7 abandoned",
+            "3 tombstoned",
+            "vf2 12 ran / 8 pruned",
+            "mcs 5",
+            "epoch 2",
+            "kernel scalar",
+            "fused batch",
+        ] {
+            assert!(line.contains(needle), "missing {needle:?} in {line:?}");
+        }
+        // Zero-work counters are elided on the common fast path.
+        let quiet = SearchStats::default().to_string();
+        assert!(!quiet.contains("vf2") && !quiet.contains("mcs"));
+    }
+
+    #[test]
+    fn hit_table_renders_ranked_rows() {
+        let resp = SearchResponse {
+            hits: vec![
+                Hit {
+                    id: GraphId(3),
+                    distance: 0.0,
+                },
+                Hit {
+                    id: GraphId(17),
+                    distance: 0.25,
+                },
+            ],
+            stats: SearchStats::default(),
+        };
+        let table = resp.hit_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one row per hit");
+        assert!(lines[0].contains("rank") && lines[0].contains("distance"));
+        assert!(lines[1].contains("g3") && lines[1].contains("0.000000"));
+        assert!(lines[2].contains("g17") && lines[2].contains("0.250000"));
+        let empty = SearchResponse {
+            hits: Vec::new(),
+            stats: SearchStats::default(),
+        };
+        assert!(empty.hit_table().contains("(no hits)"));
     }
 
     #[test]

@@ -413,6 +413,151 @@ impl<T> Drop for BackgroundTask<T> {
     }
 }
 
+/// A fixed pool of dedicated worker threads consuming jobs from a
+/// shared queue — the shape of a network server's connection handlers,
+/// where jobs arrive over time (unlike [`map_tasks`], whose task count
+/// is known up front) and each may run for a long, unknown while.
+///
+/// Every worker runs the same handler; the handler receives the pool's
+/// [`CancelToken`] so long-lived jobs (say, a keep-alive connection
+/// loop) can poll it and wind down cooperatively. Shutdown is
+/// two-speed:
+///
+/// * [`WorkerPool::drain_join`] — graceful: the queue closes, workers
+///   finish every already-submitted job, then exit and are joined;
+/// * [`WorkerPool::cancel`] first — fast drain: in-flight handlers
+///   observe the token at their next poll and cut their jobs short,
+///   then `drain_join` reaps them.
+///
+/// Jobs are `FnOnce`-free by design: the pool is for homogeneous work
+/// (one handler, many job values), which keeps it allocation-free per
+/// submit beyond the channel node.
+pub struct WorkerPool<T: Send + 'static> {
+    tx: Option<mpsc::Sender<T>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    token: CancelToken,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for WorkerPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("cancelled", &self.token.is_cancelled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `workers` threads (at least 1), each looping `handler`
+    /// over jobs pulled from the shared queue. `name` labels the
+    /// threads (`{name}-{i}`) for debuggers and panic messages.
+    pub fn new<F>(workers: usize, name: &str, handler: F) -> Self
+    where
+        F: Fn(T, &CancelToken) + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<T>();
+        // `mpsc::Receiver` is single-consumer; the workers share it
+        // behind a mutex, holding the lock only across the blocking
+        // `recv` (not while running the handler), so job dispatch
+        // serializes but job execution does not.
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let handler = Arc::new(handler);
+        let token = CancelToken::new();
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let token = token.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || loop {
+                        // A poisoned queue mutex means another worker
+                        // panicked *while receiving* (the lock never
+                        // covers handler runs); the queue itself is
+                        // still sound, so keep serving.
+                        let job = rx
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .recv();
+                        match job {
+                            Ok(job) => handler(job, &token),
+                            Err(_) => break, // queue closed and empty
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers: handles,
+            token,
+        }
+    }
+
+    /// Queues one job. Returns the job back if the pool is already
+    /// draining (after [`WorkerPool::drain_join`] began) so the caller
+    /// can dispose of it deliberately.
+    pub fn submit(&self, job: T) -> Result<(), T> {
+        match &self.tx {
+            Some(tx) => tx.send(job).map_err(|mpsc::SendError(job)| job),
+            None => Err(job),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The pool's cancellation token (shared with every handler call).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Raises the pool token so in-flight handlers can cut long jobs
+    /// short at their next poll. Queued jobs still run (their handlers
+    /// see the raised token immediately); call
+    /// [`WorkerPool::drain_join`] to finish the shutdown.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Graceful shutdown: closes the queue (new [`WorkerPool::submit`]s
+    /// fail), lets the workers drain every already-queued job, then
+    /// joins them. A worker panic is resumed on the caller after the
+    /// remaining workers are joined.
+    pub fn drain_join(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.tx.take(); // close the queue; workers exit once drained
+        let mut panicked = None;
+        for handle in self.workers.drain(..) {
+            if let Err(payload) = handle.join() {
+                panicked = Some(payload);
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        // An implicitly dropped pool cancels (don't strand long jobs)
+        // and still drains/joins — dropping a server must not leak
+        // running threads. `shutdown` is idempotent: after
+        // `drain_join`, `workers` is already empty.
+        self.token.cancel();
+        if !std::thread::panicking() {
+            self.shutdown();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,6 +690,83 @@ mod tests {
         assert!(!task.is_finished());
         gate_tx.send(()).unwrap();
         assert_eq!(task.join(), Some(0));
+    }
+
+    #[test]
+    fn worker_pool_runs_every_submitted_job() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            WorkerPool::new(4, "test-pool", move |job: usize, _| {
+                done.fetch_add(job, Ordering::SeqCst);
+            })
+        };
+        assert_eq!(pool.workers(), 4);
+        for job in 0..100 {
+            pool.submit(job).unwrap();
+        }
+        pool.drain_join();
+        assert_eq!(done.load(Ordering::SeqCst), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn worker_pool_drain_finishes_queued_jobs_before_joining() {
+        // More jobs than workers: drain_join must not drop the queue's
+        // tail. The gate holds the first jobs mid-flight until every
+        // job is queued and the drain has begun.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Arc::new(std::sync::Mutex::new(gate_rx));
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            let gate_rx = Arc::clone(&gate_rx);
+            WorkerPool::new(2, "drain-pool", move |first: bool, _| {
+                if first {
+                    gate_rx.lock().unwrap().recv().ok();
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        pool.submit(true).unwrap();
+        pool.submit(true).unwrap();
+        for _ in 0..20 {
+            pool.submit(false).unwrap();
+        }
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        pool.drain_join();
+        assert_eq!(done.load(Ordering::SeqCst), 22);
+    }
+
+    #[test]
+    fn worker_pool_cancel_reaches_handlers_and_submit_fails_after_drain() {
+        let observed = Arc::new(AtomicBool::new(false));
+        let pool = {
+            let observed = Arc::clone(&observed);
+            WorkerPool::new(1, "cancel-pool", move |(): (), token: &CancelToken| {
+                observed.store(token.is_cancelled(), Ordering::SeqCst);
+            })
+        };
+        pool.cancel();
+        pool.submit(()).unwrap();
+        pool.drain_join();
+        assert!(observed.load(Ordering::SeqCst), "handler saw the token");
+    }
+
+    #[test]
+    fn dropping_a_worker_pool_joins_without_leaking() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            let pool = WorkerPool::new(3, "drop-pool", move |_: u8, _| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+            for _ in 0..10 {
+                pool.submit(1).unwrap();
+            }
+            // Implicit drop: cancels, drains, joins.
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 10);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! A small blocking HTTP/1.1 client for the gdim wire protocol —
+//! keep-alive aware, hand-rolled over `std::net` like everything else
+//! here. Shared by the CLI, the integration tests, and the load
+//! harness, so they all exercise the same byte-level protocol.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::{parse, Json};
+
+/// Default socket read timeout — generous, because exact-ranker
+/// searches and sync rebuilds legitimately take a while.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A keep-alive HTTP client pinned to one server address.
+///
+/// The connection is reused across requests; when the server closed
+/// it between requests (keep-alive expiry, server restart), the next
+/// request transparently reconnects and retries **once** — only safe
+/// here because nothing had been read for that attempt yet.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr`; resolves the first address and connects
+    /// eagerly so misconfiguration fails fast.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let mut c = Client {
+            addr,
+            stream: None,
+            timeout: DEFAULT_TIMEOUT,
+        };
+        c.reconnect()?;
+        Ok(c)
+    }
+
+    /// Overrides the read timeout (applies from the next reconnect).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self.stream = None;
+        self
+    }
+
+    /// The server address this client is pinned to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn reconnect(&mut self) -> io::Result<&mut TcpStream> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        self.stream = Some(stream);
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    /// `GET path` → `(status, parsed JSON body)`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, Json)> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body → `(status, parsed JSON body)`.
+    /// `Json::Null` sends an empty body.
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+        let payload = match body {
+            Json::Null => String::new(),
+            other => other.to_string_compact(),
+        };
+        self.request("POST", path, Some(&payload))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<(u16, Json)> {
+        let reused = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            Ok(reply) => Ok(reply),
+            // A dead keep-alive connection surfaces as an I/O error
+            // before any response bytes arrive; retry once on a fresh
+            // connection. A fresh-connection failure is real.
+            Err(_) if reused => {
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, Json)> {
+        let addr = self.addr;
+        let stream = match self.stream.as_mut() {
+            Some(s) => s,
+            None => self.reconnect()?,
+        };
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        let (status, keep_alive, payload) = read_response(stream)?;
+        if !keep_alive {
+            self.stream = None;
+        }
+        let json = parse(&payload).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response JSON: {e}"),
+            )
+        })?;
+        Ok((status, json))
+    }
+}
+
+/// Reads one HTTP response: `(status, keep_alive, body)`. Bodies must
+/// be `Content-Length` sized — which the gdim server guarantees.
+fn read_response(stream: &mut TcpStream) -> io::Result<(u16, bool, String)> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 8 * 1024];
+    // Read until the head terminator.
+    let head_end = loop {
+        if let Some(pos) = find_terminator(&buf) {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    // "HTTP/1.1 200 OK" — the middle token is the status.
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+            keep_alive = false;
+        }
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+    Ok((status, keep_alive, body))
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}

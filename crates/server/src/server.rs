@@ -1,0 +1,867 @@
+//! The server runtime: a `TcpListener` acceptor feeding a
+//! [`WorkerPool`] of connection handlers, routing the wire protocol
+//! onto a [`ServingHandle`].
+//!
+//! # Threading model
+//!
+//! One **acceptor** thread blocks in `accept()` and hands each
+//! connection to a fixed pool of workers (`gdim-exec`'s
+//! [`WorkerPool`]); a worker owns the connection for its whole
+//! keep-alive lifetime. Each worker creates its own [`Reader`] per
+//! connection — `Reader` is deliberately not `Sync`, and the one-time
+//! cost (an atomic load and an `Arc` clone) is amortized over every
+//! request the connection carries. Searches answer from the reader's
+//! lock-free snapshot; admin endpoints go through the handle's writer
+//! path and publish a fresh snapshot.
+//!
+//! # Graceful shutdown
+//!
+//! `POST /shutdown` (or [`GdimServer::request_shutdown`]) only flips a
+//! flag and wakes [`GdimServer::wait`] — a handler cannot join the
+//! pool it runs on. The owner then calls [`GdimServer::shutdown`],
+//! which stops the acceptor (waking its blocking `accept` with a
+//! self-connection), lets in-flight requests finish, and joins every
+//! worker. Idle keep-alive connections notice within one read-timeout
+//! tick and close.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gdim_core::{GdimError, Graph, GraphId, SearchRequest};
+use gdim_exec::{BackgroundTask, CancelToken, WorkerPool};
+use gdim_shard::{Reader, ServingHandle, ShardedIndex};
+
+use crate::http::{
+    response_bytes, HeadParser, HttpError, Method, RequestHead, DEFAULT_MAX_BODY_BYTES,
+};
+use crate::json::{parse, Json};
+use crate::wire::{
+    error_body, gdim_error_status, graph_from_json, query_from_json, request_from_json,
+    response_to_json, QuerySpec, WireError,
+};
+
+/// Server knobs. `Default` binds an ephemeral loopback port with a
+/// small worker pool — the configuration the tests and the load
+/// harness use.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (`:0` picks a free port).
+    pub addr: String,
+    /// Connection-handler threads (each serves one connection at a
+    /// time, so this bounds concurrent connections).
+    pub workers: usize,
+    /// Request body cap in bytes; larger declared bodies answer `413`.
+    pub max_body_bytes: usize,
+    /// Socket read timeout — how often idle connections poll the
+    /// shutdown flag, i.e. the worst-case drain latency.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 16);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        ServerConfig::default()
+    }
+
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker count (min 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the body cap.
+    pub fn with_max_body_bytes(mut self, cap: usize) -> Self {
+        self.max_body_bytes = cap;
+        self
+    }
+
+    /// Sets the shutdown poll interval.
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+}
+
+/// The shutdown latch: a flag plus a condvar so [`GdimServer::wait`]
+/// can sleep instead of spin.
+#[derive(Default)]
+struct Latch {
+    requested: AtomicBool,
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn request(&self) {
+        self.requested.store(true, Ordering::Release);
+        let mut flagged = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        *flagged = true;
+        self.cv.notify_all();
+    }
+
+    fn is_requested(&self) -> bool {
+        self.requested.load(Ordering::Acquire)
+    }
+
+    fn wait(&self) {
+        let mut flagged = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !*flagged {
+            flagged = self.cv.wait(flagged).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Monotonic serving counters, reported by `GET /stats`.
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    /// Requests answered with a 4xx/5xx (application-level).
+    error_responses: AtomicU64,
+    /// Connections torn down by an HTTP parse error.
+    protocol_errors: AtomicU64,
+}
+
+/// Everything a connection handler needs, shared across the pool.
+struct Ctx {
+    handle: ServingHandle,
+    cfg: ServerConfig,
+    latch: Latch,
+    counters: Counters,
+    /// The in-flight background rebuild, if any (one at a time; a
+    /// second `mode: background` request answers `409`).
+    rebuild: Mutex<Option<BackgroundTask<Result<bool, GdimError>>>>,
+}
+
+impl Ctx {
+    fn stopping(&self) -> bool {
+        self.latch.is_requested()
+    }
+}
+
+/// A running server: the acceptor thread, the worker pool, and the
+/// address it bound. See the [module docs](self) for the lifecycle.
+pub struct GdimServer {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Option<Arc<WorkerPool<TcpStream>>>,
+}
+
+impl GdimServer {
+    /// Binds `cfg.addr` and starts serving `handle`. Returns once the
+    /// listener is live — `addr()` is immediately connectable.
+    pub fn start(handle: ServingHandle, cfg: ServerConfig) -> io::Result<GdimServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let ctx = Arc::new(Ctx {
+            handle,
+            cfg,
+            latch: Latch::default(),
+            counters: Counters::default(),
+            rebuild: Mutex::new(None),
+        });
+        let pool = {
+            let ctx = Arc::clone(&ctx);
+            Arc::new(WorkerPool::new(
+                ctx.cfg.workers,
+                "gdim-serve",
+                move |stream, token: &CancelToken| handle_connection(&ctx, stream, token),
+            ))
+        };
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("gdim-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if ctx.stopping() {
+                            break; // the wake-up self-connection lands here
+                        }
+                        match stream {
+                            Ok(s) => {
+                                ctx.counters.connections.fetch_add(1, Ordering::Relaxed);
+                                if pool.submit(s).is_err() {
+                                    break; // pool is draining
+                                }
+                            }
+                            Err(_) => continue, // transient accept failure
+                        }
+                    }
+                })
+                .expect("spawn acceptor thread")
+        };
+        Ok(GdimServer {
+            addr,
+            ctx,
+            acceptor: Some(acceptor),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving handle — the in-process view of the same index the
+    /// server answers from (used by tests to pin bit-identity).
+    pub fn handle(&self) -> &ServingHandle {
+        &self.ctx.handle
+    }
+
+    /// Blocks until shutdown is requested — by `POST /shutdown` from
+    /// the network or [`GdimServer::request_shutdown`] from another
+    /// thread. Follow with [`GdimServer::shutdown`] to actually drain.
+    pub fn wait(&self) {
+        self.ctx.latch.wait();
+    }
+
+    /// Requests shutdown without blocking (wakes [`GdimServer::wait`]).
+    pub fn request_shutdown(&self) {
+        self.ctx.latch.request();
+    }
+
+    /// Stops accepting, drains in-flight requests, joins the acceptor
+    /// and every worker, and reaps any background rebuild. Idempotent
+    /// with [`GdimServer::request_shutdown`]; also run by `Drop`.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.ctx.latch.request();
+        if let Some(acceptor) = self.acceptor.take() {
+            // A blocking accept() only notices the flag on its next
+            // connection — hand it one.
+            let _ = TcpStream::connect(self.addr);
+            let _ = acceptor.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            // The acceptor held the only other Arc and is joined, so
+            // the pool is uniquely ours again.
+            if let Some(pool) = Arc::into_inner(pool) {
+                pool.drain_join();
+            }
+        }
+        let task = self
+            .ctx
+            .rebuild
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(task) = task {
+            let _ = task.join();
+        }
+    }
+}
+
+impl Drop for GdimServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Serves one connection for its whole keep-alive lifetime.
+fn handle_connection(ctx: &Ctx, mut stream: TcpStream, token: &CancelToken) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.cfg.poll_interval));
+    let reader = ctx.handle.reader();
+    // Bytes read past the current request (the start of a pipelined
+    // next one) carry over between iterations.
+    let mut carry: Vec<u8> = Vec::new();
+    loop {
+        match read_request(&mut stream, &mut carry, ctx, token) {
+            Ok(Some((head, body))) => {
+                ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let (status, json) = route(ctx, &reader, &head, &body);
+                if status >= 400 {
+                    ctx.counters.error_responses.fetch_add(1, Ordering::Relaxed);
+                }
+                let keep = head.keep_alive && !ctx.stopping() && !token.is_cancelled();
+                let bytes = response_bytes(status, &json.to_string_compact(), keep);
+                if stream.write_all(&bytes).is_err() || !keep {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close (EOF between requests, or drain)
+            Err(e) => {
+                ctx.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let body = error_body(e.code(), &e.to_string()).to_string_compact();
+                let _ = stream.write_all(&response_bytes(e.status(), &body, false));
+                return;
+            }
+        }
+    }
+}
+
+/// Reads one full request (head + body). `Ok(None)` means the
+/// connection ended cleanly before a request started — EOF between
+/// keep-alive requests, or shutdown while idle.
+fn read_request(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+    ctx: &Ctx,
+    token: &CancelToken,
+) -> Result<Option<(RequestHead, Vec<u8>)>, HttpError> {
+    let mut parser = HeadParser::new();
+    let mut started = false;
+    let mut chunk = [0u8; 8 * 1024];
+    let head = loop {
+        if !carry.is_empty() {
+            started = true;
+            let (used, done) = parser.feed(carry)?;
+            carry.drain(..used);
+            if let Some(head) = done {
+                break head;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if started {
+                    Err(HttpError::Torn)
+                } else {
+                    Ok(None)
+                };
+            }
+            Ok(n) => {
+                started = true;
+                let (used, done) = parser.feed(&chunk[..n])?;
+                if let Some(head) = done {
+                    carry.extend_from_slice(&chunk[used..n]);
+                    break head;
+                }
+                debug_assert_eq!(used, n, "incomplete heads consume everything");
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if ctx.stopping() || token.is_cancelled() {
+                    // Mid-head: the request is torn by the drain; idle:
+                    // just close.
+                    return if started {
+                        Err(HttpError::Torn)
+                    } else {
+                        Ok(None)
+                    };
+                }
+            }
+            Err(_) => {
+                return if started {
+                    Err(HttpError::Torn)
+                } else {
+                    Ok(None)
+                };
+            }
+        }
+    };
+    if head.content_length > ctx.cfg.max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            declared: head.content_length,
+            limit: ctx.cfg.max_body_bytes,
+        });
+    }
+    let need = head.content_length;
+    let from_carry = need.min(carry.len());
+    let mut body: Vec<u8> = carry.drain(..from_carry).collect();
+    while body.len() < need {
+        let want = (need - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return Err(HttpError::Torn),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if ctx.stopping() || token.is_cancelled() {
+                    return Err(HttpError::Torn);
+                }
+            }
+            Err(_) => return Err(HttpError::Torn),
+        }
+    }
+    Ok(Some((head, body)))
+}
+
+/// An application-level error reply: status + stable code + message.
+struct ApiError {
+    status: u16,
+    code: String,
+    message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &str, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl From<GdimError> for ApiError {
+    fn from(e: GdimError) -> Self {
+        ApiError::new(gdim_error_status(&e), e.code(), e.to_string())
+    }
+}
+
+impl From<WireError> for ApiError {
+    fn from(e: WireError) -> Self {
+        ApiError::new(400, "bad_request", e.to_string())
+    }
+}
+
+/// Dispatches one request; always produces a `(status, body)` pair.
+fn route(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> (u16, Json) {
+    match dispatch(ctx, reader, head, body) {
+        Ok(json) => (200, json),
+        Err(e) => (e.status, error_body(&e.code, &e.message)),
+    }
+}
+
+/// Parses the body as a JSON object (empty bodies read as `{}` so
+/// bodiless POSTs like `/rebuild` work).
+fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
+    if body.is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(400, "bad_json", "request body is not UTF-8"))?;
+    parse(text).map_err(|e| ApiError::new(400, "bad_json", e.to_string()))
+}
+
+/// Resolves a query spec against one snapshot: id queries borrow the
+/// stored graph, inline queries use the shipped one.
+fn resolve<'a>(snap: &'a ShardedIndex, spec: &'a QuerySpec) -> Result<&'a Graph, GdimError> {
+    match spec {
+        QuerySpec::Id(id) => snap.graph(*id),
+        QuerySpec::Graph(g) => Ok(g),
+    }
+}
+
+fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Result<Json, ApiError> {
+    // Route on the path first so a known path with the wrong method
+    // answers 405, not 404.
+    let path = head.path.split('?').next().unwrap_or("");
+    let expected = match path {
+        "/health" | "/stats" => Method::Get,
+        "/search" | "/search_batch" | "/insert" | "/remove" | "/rebuild" | "/shutdown" => {
+            Method::Post
+        }
+        _ => {
+            return Err(ApiError::new(
+                404,
+                "unknown_route",
+                format!("no route for {}", head.path),
+            ))
+        }
+    };
+    if head.method != expected {
+        return Err(ApiError::new(
+            405,
+            "method_not_allowed",
+            format!("{} requires {}", path, expected.as_str()),
+        ));
+    }
+    match path {
+        "/health" => Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("version", Json::U64(ctx.handle.version())),
+        ])),
+        "/stats" => {
+            let snap = reader.current();
+            let rebuild_in_flight = ctx
+                .rebuild
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+                .is_some_and(|t| !t.is_finished());
+            let c = &ctx.counters;
+            Ok(Json::obj([
+                ("version", Json::U64(ctx.handle.version())),
+                ("epoch", Json::U64(snap.epoch())),
+                ("graphs", Json::U64(snap.len() as u64)),
+                ("live_graphs", Json::U64(snap.live_len() as u64)),
+                ("shards", Json::U64(snap.shard_count() as u64)),
+                ("dimensions", Json::U64(snap.dimensions().len() as u64)),
+                ("workers", Json::U64(ctx.cfg.workers as u64)),
+                (
+                    "connections",
+                    Json::U64(c.connections.load(Ordering::Relaxed)),
+                ),
+                ("requests", Json::U64(c.requests.load(Ordering::Relaxed))),
+                (
+                    "error_responses",
+                    Json::U64(c.error_responses.load(Ordering::Relaxed)),
+                ),
+                (
+                    "protocol_errors",
+                    Json::U64(c.protocol_errors.load(Ordering::Relaxed)),
+                ),
+                ("rebuild_in_flight", Json::Bool(rebuild_in_flight)),
+            ]))
+        }
+        "/search" => {
+            let j = parse_body(body)?;
+            let req: SearchRequest = request_from_json(&j)?;
+            let spec = query_from_json(
+                j.get("query")
+                    .ok_or_else(|| ApiError::new(400, "bad_request", "missing \"query\""))?,
+            )?;
+            let snap = reader.current();
+            let resp = snap.search(resolve(&snap, &spec)?, &req)?;
+            Ok(response_to_json(&resp))
+        }
+        "/search_batch" => {
+            let j = parse_body(body)?;
+            let req: SearchRequest = request_from_json(&j)?;
+            let specs = j
+                .get("queries")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ApiError::new(400, "bad_request", "missing \"queries\" array"))?
+                .iter()
+                .map(query_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            let snap = reader.current();
+            // The fused path wants one contiguous slice; id queries
+            // clone their stored graph into it.
+            let graphs = specs
+                .iter()
+                .map(|s| resolve(&snap, s).cloned())
+                .collect::<Result<Vec<_>, _>>()?;
+            let responses = snap.search_batch(&graphs, &req)?;
+            Ok(Json::obj([(
+                "responses",
+                Json::Arr(responses.iter().map(response_to_json).collect()),
+            )]))
+        }
+        "/insert" => {
+            let j = parse_body(body)?;
+            let g = graph_from_json(
+                j.get("graph")
+                    .ok_or_else(|| ApiError::new(400, "bad_request", "missing \"graph\""))?,
+            )?;
+            let id = ctx.handle.insert(g);
+            Ok(Json::obj([
+                ("id", Json::U64(id.get() as u64)),
+                ("version", Json::U64(ctx.handle.version())),
+            ]))
+        }
+        "/remove" => {
+            let j = parse_body(body)?;
+            let id = j
+                .get("id")
+                .and_then(Json::as_u64)
+                .and_then(|u| u32::try_from(u).ok())
+                .ok_or_else(|| ApiError::new(400, "bad_request", "missing or bad \"id\""))?;
+            let removed = ctx.handle.remove(GraphId(id))?;
+            Ok(Json::obj([
+                ("removed", Json::Bool(removed)),
+                ("version", Json::U64(ctx.handle.version())),
+            ]))
+        }
+        "/rebuild" => {
+            let j = parse_body(body)?;
+            let mode = match j.get("mode") {
+                None => "sync",
+                Some(m) => m.as_str().ok_or_else(|| {
+                    ApiError::new(
+                        400,
+                        "bad_request",
+                        "mode must be \"sync\" or \"background\"",
+                    )
+                })?,
+            };
+            match mode {
+                "sync" => {
+                    let task = ctx.handle.spawn_rebuild();
+                    let swapped = ctx.handle.install(task)?;
+                    Ok(Json::obj([
+                        ("swapped", Json::Bool(swapped)),
+                        ("version", Json::U64(ctx.handle.version())),
+                    ]))
+                }
+                "background" => {
+                    let mut slot = ctx.rebuild.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(prev) = slot.take() {
+                        if !prev.is_finished() {
+                            *slot = Some(prev);
+                            return Err(ApiError::new(
+                                409,
+                                "rebuild_in_flight",
+                                "a background rebuild is already running",
+                            ));
+                        }
+                        let _ = prev.join(); // reap the finished one
+                    }
+                    let handle = ctx.handle.clone();
+                    *slot = Some(BackgroundTask::spawn(move |_token| {
+                        let task = handle.spawn_rebuild();
+                        Some(handle.install(task))
+                    }));
+                    Ok(Json::obj([("started", Json::Bool(true))]))
+                }
+                other => Err(ApiError::new(
+                    400,
+                    "bad_request",
+                    format!("unknown rebuild mode {other:?}"),
+                )),
+            }
+        }
+        "/shutdown" => {
+            ctx.latch.request();
+            Ok(Json::obj([("stopping", Json::Bool(true))]))
+        }
+        _ => unreachable!("path was matched above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use gdim_core::IndexOptions;
+    use gdim_shard::ShardedOptions;
+
+    fn serving_handle(n: usize, seed: u64) -> ServingHandle {
+        let db = gdim_datagen::chem_db(n, &gdim_datagen::ChemConfig::default(), seed);
+        let idx = ShardedIndex::build(
+            db,
+            ShardedOptions::new(2).with_index(IndexOptions::default().with_dimensions(8)),
+        );
+        ServingHandle::new(idx)
+    }
+
+    fn start(n: usize, seed: u64) -> GdimServer {
+        let cfg = ServerConfig::new()
+            .with_workers(2)
+            .with_poll_interval(Duration::from_millis(20));
+        GdimServer::start(serving_handle(n, seed), cfg).expect("bind ephemeral port")
+    }
+
+    fn search_body(id: u32, k: usize) -> Json {
+        Json::obj([
+            ("query", Json::obj([("id", Json::U64(id as u64))])),
+            ("k", Json::U64(k as u64)),
+        ])
+    }
+
+    #[test]
+    fn served_hits_are_bit_identical_to_in_process() {
+        let server = start(24, 5);
+        let mut client = Client::connect(server.addr()).unwrap();
+        // Global ids are composed (shard ⊕ local row), not dense —
+        // resolve real ids through the insertion sequence numbers.
+        let snap0 = server.handle().snapshot();
+        let ids: Vec<u32> = [0u64, 13, 23]
+            .iter()
+            .map(|&seq| snap0.id_for_seq(seq).unwrap().get())
+            .collect();
+        for id in ids {
+            let (status, j) = client.post("/search", &search_body(id, 5)).unwrap();
+            assert_eq!(status, 200, "{j:?}");
+            let served = crate::wire::response_from_json(&j).unwrap();
+            let snap = server.handle().snapshot();
+            let local = snap
+                .search(snap.graph(GraphId(id)).unwrap(), &SearchRequest::topk(5))
+                .unwrap();
+            assert_eq!(served.hits.len(), local.hits.len());
+            for (a, b) in served.hits.iter().zip(&local.hits) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_endpoint_matches_in_process_fused_batch() {
+        let server = start(24, 6);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let snap = server.handle().snapshot();
+        let ids: Vec<u32> = (0..4u64)
+            .map(|seq| snap.id_for_seq(seq).unwrap().get())
+            .collect();
+        let queries = Json::Arr(
+            ids.iter()
+                .map(|&id| Json::obj([("id", Json::U64(id as u64))]))
+                .collect(),
+        );
+        let body = Json::obj([("queries", queries), ("k", Json::U64(3))]);
+        let (status, j) = client.post("/search_batch", &body).unwrap();
+        assert_eq!(status, 200, "{j:?}");
+        let served: Vec<_> = j.get("responses").and_then(Json::as_arr).unwrap().to_vec();
+        let graphs: Vec<Graph> = ids
+            .iter()
+            .map(|&id| snap.graph(GraphId(id)).unwrap().clone())
+            .collect();
+        let local = snap.search_batch(&graphs, &SearchRequest::topk(3)).unwrap();
+        assert_eq!(served.len(), local.len());
+        for (sj, l) in served.iter().zip(&local) {
+            let s = crate::wire::response_from_json(sj).unwrap();
+            assert!(
+                s.stats.fused_batch,
+                "batch answers go through the fused path"
+            );
+            for (a, b) in s.hits.iter().zip(&l.hits) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn admin_cycle_insert_remove_rebuild_reflects_in_stats() {
+        let server = start(16, 7);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (_, stats0) = client.get("/stats").unwrap();
+        let live0 = stats0.get("live_graphs").and_then(Json::as_u64).unwrap();
+
+        // Insert a copy of graph 0 (fetched locally for the test).
+        let g = server
+            .handle()
+            .snapshot()
+            .graph(GraphId(0))
+            .unwrap()
+            .clone();
+        let (status, j) = client
+            .post(
+                "/insert",
+                &Json::obj([("graph", crate::wire::graph_to_json(&g))]),
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{j:?}");
+        let new_id = j.get("id").and_then(Json::as_u64).unwrap() as u32;
+
+        let (_, stats1) = client.get("/stats").unwrap();
+        assert_eq!(
+            stats1.get("live_graphs").and_then(Json::as_u64).unwrap(),
+            live0 + 1
+        );
+
+        // Remove it again; removing twice reports false.
+        let rm = Json::obj([("id", Json::U64(new_id as u64))]);
+        let (status, j) = client.post("/remove", &rm).unwrap();
+        assert_eq!(
+            (status, j.get("removed").and_then(Json::as_bool)),
+            (200, Some(true))
+        );
+        let (status, j) = client.post("/remove", &rm).unwrap();
+        assert_eq!(
+            (status, j.get("removed").and_then(Json::as_bool)),
+            (200, Some(false))
+        );
+
+        // A sync rebuild compacts the tombstone away and bumps epoch.
+        let (status, j) = client
+            .post("/rebuild", &Json::obj([("mode", Json::Str("sync".into()))]))
+            .unwrap();
+        assert_eq!(status, 200, "{j:?}");
+        assert_eq!(j.get("swapped").and_then(Json::as_bool), Some(true));
+        let (_, stats2) = client.get("/stats").unwrap();
+        assert_eq!(
+            stats2.get("live_graphs").and_then(Json::as_u64).unwrap(),
+            live0
+        );
+        assert_eq!(
+            stats2.get("graphs").and_then(Json::as_u64).unwrap(),
+            live0,
+            "rebuild compacts tombstones"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_routes_and_wrong_methods_answer_typed_errors() {
+        let server = start(12, 8);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (status, j) = client.get("/nope").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(
+            j.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("unknown_route")
+        );
+        let (status, j) = client.get("/search").unwrap();
+        assert_eq!(status, 405);
+        assert_eq!(
+            j.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("method_not_allowed")
+        );
+        // A graph id past the database answers 404 with the GdimError code.
+        let (status, j) = client.post("/search", &search_body(9999, 3)).unwrap();
+        assert_eq!(status, 404, "{j:?}");
+        assert_eq!(
+            j.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("graph_out_of_range")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_unblocks_wait_and_drains() {
+        let server = start(12, 9);
+        let addr = server.addr();
+        let waiter = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let (status, j) = client.post("/shutdown", &Json::Null).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(j.get("stopping").and_then(Json::as_bool), Some(true));
+        });
+        server.wait(); // returns once the POST landed
+        waiter.join().unwrap();
+        server.shutdown(); // drains without hanging
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_with_413() {
+        let cfg = ServerConfig::new()
+            .with_workers(1)
+            .with_max_body_bytes(64)
+            .with_poll_interval(Duration::from_millis(20));
+        let server = GdimServer::start(serving_handle(8, 10), cfg).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let big = Json::obj([("pad", Json::Str("x".repeat(256)))]);
+        let (status, j) = client.post("/search", &big).unwrap();
+        assert_eq!(status, 413, "{j:?}");
+        assert_eq!(
+            j.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("body_too_large")
+        );
+        server.shutdown();
+    }
+}

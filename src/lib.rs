@@ -28,6 +28,9 @@
 //!   partitions sharing one global dimension selection) and the
 //!   concurrent serving runtime (`ServingHandle`: lock-free readers
 //!   over epoch-swapped snapshots);
+//! * [`server`] — the network serving layer (`GdimServer`): hand-rolled
+//!   HTTP/1.1 + JSON over `std::net`, a keep-alive `Client`, and the
+//!   wire schema with bit-faithful number round-trips;
 //! * [`baselines`] — the seven comparison selectors of the paper's §6.
 //!
 //! ## Quickstart
@@ -71,6 +74,7 @@ pub use gdim_exec as exec;
 pub use gdim_graph as graph;
 pub use gdim_linalg as linalg;
 pub use gdim_mining as mining;
+pub use gdim_server as server;
 pub use gdim_shard as shard;
 
 /// One-stop imports: the core pipeline types plus the graph substrate.
@@ -78,5 +82,6 @@ pub mod prelude {
     pub use gdim_core::prelude::*;
     pub use gdim_graph::{Dissimilarity, Graph, GraphBuilder, McsOptions};
     pub use gdim_mining::{mine, Feature, MinerConfig, Support};
+    pub use gdim_server::{Client, GdimServer, Json, ServerConfig};
     pub use gdim_shard::{Reader, ServingHandle, ShardId, ShardedIndex, ShardedOptions};
 }

@@ -1,0 +1,130 @@
+//! Wire-faithfulness contract of the serving protocol (PR 7): a
+//! serialize → transmit → parse cycle through the hand-rolled JSON
+//! layer must reproduce `SearchRequest` and `SearchResponse` values
+//! **exactly** — every option, every counter, and every distance bit
+//! for bit — and graphs must survive the `{"v", "e"}` encoding
+//! unchanged.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use gdim::core::scan::KernelKind;
+use gdim::prelude::*;
+use gdim::server::wire::{
+    graph_from_json, graph_to_json, request_from_json, request_to_json, response_from_json,
+    response_to_json,
+};
+
+fn reparse(j: &Json) -> Json {
+    gdim::server::parse_json(&j.to_string_compact()).expect("server JSON reparses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request shape round-trips exactly: all three rankers,
+    /// both mappings, budget present and absent, every k.
+    #[test]
+    fn search_requests_round_trip_exactly(
+        k in 0usize..200,
+        ranker_pick in 0u8..3,
+        candidates in 1usize..500,
+        weighted in any::<bool>(),
+        budget in any::<u64>(),
+        with_budget in any::<bool>(),
+    ) {
+        let mut req = SearchRequest::topk(k).with_ranker(match ranker_pick {
+            0 => Ranker::Mapped,
+            1 => Ranker::Exact,
+            _ => Ranker::Refined { candidates },
+        });
+        if weighted {
+            req = req.with_mapping(MappingKind::Weighted);
+        }
+        if with_budget {
+            req = req.with_budget(budget);
+        }
+        let back = request_from_json(&reparse(&request_to_json(&req))).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    /// Responses round-trip with bit-identical distances — including
+    /// adversarial bit patterns, negative zero, and subnormals — and
+    /// exact stats counters and durations.
+    #[test]
+    fn search_responses_round_trip_bit_for_bit(
+        raw_hits in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..=24),
+        counters in proptest::collection::vec(any::<u64>(), 9..=9),
+        match_ns in any::<u64>(),
+        wall_ns in any::<u64>(),
+        kernel_pick in 0u8..5,
+        fused in any::<bool>(),
+    ) {
+        let hits: Vec<Hit> = raw_hits
+            .iter()
+            .map(|&(id, bits)| Hit { id: GraphId(id), distance: f64::from_bits(bits) })
+            .filter(|h| h.distance.is_finite()) // non-finite is not a wire value
+            .collect();
+        let stats = SearchStats {
+            candidates_scanned: counters[0] as usize,
+            early_abandoned: counters[1] as usize,
+            tombstones_skipped: counters[2] as usize,
+            words_scanned: counters[3] as usize,
+            epoch: counters[4],
+            live_graphs: counters[5] as usize,
+            vf2_calls: counters[6] as usize,
+            vf2_pruned: counters[7] as usize,
+            mcs_calls: counters[8] as usize,
+            match_time: Duration::from_nanos(match_ns),
+            wall_time: Duration::from_nanos(wall_ns),
+            kernel: match kernel_pick {
+                0 => None,
+                1 => Some(KernelKind::Scalar),
+                2 => Some(KernelKind::Unrolled),
+                3 => Some(KernelKind::Avx2),
+                _ => Some(KernelKind::Avx512),
+            },
+            fused_batch: fused,
+        };
+        let resp = SearchResponse { hits, stats };
+        let back = response_from_json(&reparse(&response_to_json(&resp))).unwrap();
+        prop_assert_eq!(back.hits.len(), resp.hits.len());
+        for (a, b) in back.hits.iter().zip(&resp.hits) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(
+                a.distance.to_bits(), b.distance.to_bits(),
+                "distance bits: {} vs {}", a.distance, b.distance
+            );
+        }
+        let (s, t) = (&back.stats, &resp.stats);
+        prop_assert_eq!(s.candidates_scanned, t.candidates_scanned);
+        prop_assert_eq!(s.early_abandoned, t.early_abandoned);
+        prop_assert_eq!(s.tombstones_skipped, t.tombstones_skipped);
+        prop_assert_eq!(s.words_scanned, t.words_scanned);
+        prop_assert_eq!(s.epoch, t.epoch);
+        prop_assert_eq!(s.live_graphs, t.live_graphs);
+        prop_assert_eq!(s.vf2_calls, t.vf2_calls);
+        prop_assert_eq!(s.vf2_pruned, t.vf2_pruned);
+        prop_assert_eq!(s.mcs_calls, t.mcs_calls);
+        prop_assert_eq!(s.match_time, t.match_time);
+        prop_assert_eq!(s.wall_time, t.wall_time);
+        prop_assert_eq!(s.kernel, t.kernel);
+        prop_assert_eq!(s.fused_batch, t.fused_batch);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generated molecule-like graphs survive the `{"v", "e"}` wire
+    /// encoding with identical labels and edges.
+    #[test]
+    fn graphs_round_trip_through_the_wire_encoding(seed in 0u64..1000) {
+        for g in gdim::datagen::chem_db(4, &gdim::datagen::ChemConfig::default(), seed) {
+            let back = graph_from_json(&reparse(&graph_to_json(&g))).unwrap();
+            prop_assert_eq!(back.vlabels(), g.vlabels());
+            prop_assert_eq!(back.edges(), g.edges());
+        }
+    }
+}
