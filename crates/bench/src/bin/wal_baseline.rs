@@ -1,0 +1,203 @@
+//! `wal_baseline` — the durability-cost harness behind the committed
+//! `BENCH_wal.json` snapshot: append throughput of the write-ahead log
+//! under each [`SyncPolicy`] (no-sync, group commit at several batch
+//! sizes, fsync-per-record) plus replay (scan + decode) throughput,
+//! over realistic mutation payloads (encoded chem-like graphs).
+//!
+//! ```text
+//! cargo run --release -p gdim-bench --bin wal_baseline -- \
+//!     [--out PATH] [--records N] [--fsync-records N] [--seed S]
+//!     [--baseline PATH] [--min-frac F]
+//! ```
+//!
+//! Every timed log is re-scanned afterwards and must replay **clean**
+//! (every record back, byte-identical, no tail defect) — the harness
+//! refuses to publish a throughput number for a log it cannot recover.
+//!
+//! Gate (`--baseline` reads a committed snapshot): fail if the fresh
+//! no-sync append rate drops below `F ×` the committed one (default
+//! 0.2 — generous, the committed number may come from different
+//! hardware). The fsync-bound rows are reported but not gated: they
+//! measure the disk, not the code.
+
+use std::time::Instant;
+
+use gdim_datagen::{chem_db, ChemConfig};
+use gdim_server::{parse_json, Json};
+use gdim_wal::{SyncPolicy, WalReader, WalRecord, WalWriter};
+
+struct Args {
+    out: String,
+    records: usize,
+    fsync_records: usize,
+    seed: u64,
+    baseline: Option<String>,
+    min_frac: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_wal.json".to_string(),
+        records: 20_000,
+        fsync_records: 400,
+        seed: 42,
+        baseline: None,
+        min_frac: 0.2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--records" => args.records = value("--records").parse().expect("--records: integer"),
+            "--fsync-records" => {
+                args.fsync_records = value("--fsync-records")
+                    .parse()
+                    .expect("--fsync-records: integer")
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--min-frac" => {
+                args.min_frac = value("--min-frac").parse().expect("--min-frac: number")
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(args.records >= 1 && args.fsync_records >= 1);
+    args
+}
+
+/// Appends `payloads[i % len]` `count` times under `policy`, then
+/// replays the log and asserts every byte came back. Returns
+/// (records/s, bytes written).
+fn run_mode(
+    dir: &std::path::Path,
+    tag: &str,
+    payloads: &[Vec<u8>],
+    count: usize,
+    policy: SyncPolicy,
+) -> (f64, u64) {
+    let path = dir.join(format!("wal-{tag}.log"));
+    let mut w = WalWriter::create(&path, policy).expect("create log");
+    let t0 = Instant::now();
+    for i in 0..count {
+        w.append(&payloads[i % payloads.len()]).expect("append");
+    }
+    w.sync().expect("final sync");
+    let secs = t0.elapsed().as_secs_f64();
+    let bytes = w.len();
+    drop(w);
+
+    // Refuse to report a number for a log that does not recover.
+    let raw = std::fs::read(&path).expect("read log back");
+    let report = WalReader::scan(&raw);
+    assert!(report.is_clean(), "{tag}: tail defect {:?}", report.defect);
+    assert_eq!(report.records, count as u64, "{tag}: record count");
+    let (frames, _) = WalReader::split(&raw);
+    for (i, got) in frames.iter().enumerate() {
+        assert_eq!(*got, &payloads[i % payloads.len()][..], "{tag}: record {i}");
+    }
+    std::fs::remove_file(&path).ok();
+    (count as f64 / secs, bytes)
+}
+
+fn main() {
+    let args = parse_args();
+    let dir = std::env::temp_dir().join(format!("gdim-wal-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+
+    // Realistic payloads: encoded insert records of chem-like graphs.
+    let payloads: Vec<Vec<u8>> = chem_db(64, &ChemConfig::default(), args.seed)
+        .into_iter()
+        .map(|g| WalRecord::Insert(g).encode())
+        .collect();
+    let mean_payload = payloads.iter().map(Vec::len).sum::<usize>() as f64 / payloads.len() as f64;
+    eprintln!(
+        "payloads: {} encoded inserts, mean {:.0} bytes",
+        payloads.len(),
+        mean_payload
+    );
+
+    let modes: [(&str, usize, SyncPolicy); 4] = [
+        ("nosync", args.records, SyncPolicy::Never),
+        ("group64", args.records, SyncPolicy::EveryN(64)),
+        ("group8", args.records, SyncPolicy::EveryN(8)),
+        ("fsync", args.fsync_records, SyncPolicy::Always),
+    ];
+    let mut rows = Vec::new();
+    for (tag, count, policy) in modes {
+        let (rps, bytes) = run_mode(&dir, tag, &payloads, count, policy);
+        let mbps = bytes as f64 / 1e6 * rps / count as f64;
+        eprintln!("{tag:>8}: {count} records, {rps:.0} rec/s, {mbps:.1} MB/s");
+        rows.push((tag, count, rps, mbps));
+    }
+
+    // Replay throughput: scan + CRC + decode of a full no-sync log.
+    let replay_path = dir.join("wal-replay.log");
+    let mut w = WalWriter::create(&replay_path, SyncPolicy::Never).expect("create replay log");
+    for i in 0..args.records {
+        w.append(&payloads[i % payloads.len()]).expect("append");
+    }
+    w.sync().expect("sync replay log");
+    let replay_bytes = w.len();
+    drop(w);
+    let raw = std::fs::read(&replay_path).expect("read replay log");
+    let t0 = Instant::now();
+    let mut decoded = 0u64;
+    let (frames, report) = WalReader::split(&raw);
+    assert!(
+        report.is_clean(),
+        "replay log tail defect {:?}",
+        report.defect
+    );
+    for payload in frames {
+        let rec = WalRecord::decode(payload).expect("decodable record");
+        decoded += matches!(rec, WalRecord::Insert(_) | WalRecord::Remove(_)) as u64;
+    }
+    let replay_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(decoded, args.records as u64);
+    let replay_rps = args.records as f64 / replay_secs;
+    let replay_mbps = replay_bytes as f64 / 1e6 / replay_secs;
+    eprintln!(
+        "  replay: {} records, {replay_rps:.0} rec/s, {replay_mbps:.1} MB/s",
+        args.records
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut body = format!(
+        "{{\n  \"schema\": \"gdim-wal-bench-v1\",\n  \"payload_mean_bytes\": {mean_payload:.0},\n"
+    );
+    for (tag, count, rps, mbps) in &rows {
+        body.push_str(&format!(
+            "  \"records_{tag}\": {count},\n  \"append_rps_{tag}\": {rps:.0},\n  \
+             \"mb_per_s_{tag}\": {mbps:.1},\n"
+        ));
+    }
+    body.push_str(&format!(
+        "  \"replay_rps\": {replay_rps:.0},\n  \"replay_mb_per_s\": {replay_mbps:.1}\n}}\n"
+    ));
+    std::fs::write(&args.out, &body).expect("write snapshot");
+    eprintln!("wrote {}", args.out);
+
+    // The gate: fresh no-sync append rate vs the committed snapshot.
+    if let Some(path) = &args.baseline {
+        let committed =
+            parse_json(&std::fs::read_to_string(path).expect("read committed baseline"))
+                .expect("parse committed baseline");
+        let want = committed
+            .get("append_rps_nosync")
+            .and_then(Json::as_f64)
+            .expect("committed append_rps_nosync");
+        let fresh = rows[0].2;
+        let floor = want * args.min_frac;
+        if fresh < floor {
+            eprintln!(
+                "wal-smoke: fresh {fresh:.0} rec/s vs committed {want:.0} (floor {floor:.0}) .. FAIL"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wal-smoke: fresh {fresh:.0} rec/s vs committed {want:.0} (floor {floor:.0}) .. ok"
+        );
+    }
+}

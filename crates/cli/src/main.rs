@@ -15,9 +15,17 @@
 //! gdim insert --graph FILE        # inserts every graph in the gSpan file
 //! gdim remove --id N
 //! gdim rebuild [--background]
+//! gdim checkpoint
 //! gdim stats
 //! gdim stop
 //! ```
+//!
+//! Durability: `gdim serve --durable DIR` logs every `/insert` and
+//! `/remove` to a write-ahead log inside `DIR` before acking (fsync
+//! policy via `--fsync always|group:N|off`), `gdim checkpoint` folds
+//! the log into a new snapshot generation, and
+//! `gdim recover --verify DIR` replays a durable directory offline and
+//! reports its health without serving.
 //!
 //! Graph files use the gSpan text format (`t # i` / `v id label` /
 //! `e u v label` lines) that `gdim-graph`'s io module reads and
@@ -30,7 +38,7 @@ use gdim_core::{IndexOptions, MappingKind, Ranker, SearchRequest};
 use gdim_graph::{io as graph_io, Graph};
 use gdim_server::wire::{graph_to_json, response_from_json};
 use gdim_server::{Client, GdimServer, Json, ServerConfig};
-use gdim_shard::{ServingHandle, ShardedIndex, ShardedOptions};
+use gdim_shard::{DurableHandle, ServingHandle, ShardedIndex, ShardedOptions, SyncPolicy};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
 
@@ -41,9 +49,14 @@ commands:
               --out DIR  (--synthetic N | --db FILE)
               [--shards S=4] [--dimensions P=32] [--seed S=42]
   serve     serve an index over HTTP (stop it with `gdim stop`)
-              (--index DIR | --synthetic N | --db FILE)
+              (--index DIR | --synthetic N | --db FILE | --durable DIR)
               [--addr HOST:PORT=127.0.0.1:7171] [--workers W]
               [--shards S=4] [--dimensions P=32] [--seed S=42]
+              [--durable DIR] [--fsync always|group:N|off]
+              with --durable: mutations ack only once logged to DIR;
+              an existing durable DIR reopens (recovering acked
+              writes), a fresh one is seeded from the other source
+              flags
   search    top-k search against a running server
               (--id N | --query FILE) [--k K=10]
               [--ranker mapped|exact|refined:C] [--mapping binary|weighted]
@@ -52,6 +65,10 @@ commands:
               --graph FILE [--addr HOST:PORT]
   remove    tombstone a graph        --id N [--addr HOST:PORT]
   rebuild   compact/rebuild the index  [--background] [--addr HOST:PORT]
+  checkpoint  fold the write-ahead log into a new snapshot generation
+              (durable servers only)   [--addr HOST:PORT]
+  recover   verify a durable directory offline: replay the log, report
+              generation / records / tail health  --verify DIR
   stats     print serving counters     [--addr HOST:PORT]
   stop      gracefully stop the server [--addr HOST:PORT]";
 
@@ -68,6 +85,8 @@ fn main() -> ExitCode {
         "insert" => cmd_insert(&args[1..]),
         "remove" => cmd_remove(&args[1..]),
         "rebuild" => cmd_rebuild(&args[1..]),
+        "checkpoint" => cmd_checkpoint(&args[1..]),
+        "recover" => cmd_recover(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "stop" => cmd_stop(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -183,18 +202,57 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--fsync always|group:N|off` (default: fsync every record —
+/// the strict "an ack is on disk" contract).
+fn sync_policy(flags: &Flags) -> Result<SyncPolicy, String> {
+    match flags.get("--fsync") {
+        None | Some("always") => Ok(SyncPolicy::Always),
+        Some("off") => Ok(SyncPolicy::Never),
+        Some(v) => match v.strip_prefix("group:").map(str::parse) {
+            Some(Ok(n)) if n > 0 => Ok(SyncPolicy::EveryN(n)),
+            _ => Err(format!("--fsync: bad value {v:?} (always|group:N|off)")),
+        },
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
-    let index = load_index(&flags)?;
-    let (graphs, shards) = (index.len(), index.shard_count());
     let mut cfg = ServerConfig::new().with_addr(flags.get("--addr").unwrap_or(DEFAULT_ADDR));
     if let Some(w) = flags.num::<usize>("--workers")? {
         cfg = cfg.with_workers(w);
     }
-    let server =
-        GdimServer::start(ServingHandle::new(index), cfg).map_err(|e| format!("binding: {e}"))?;
+    let server = if let Some(dir) = flags.get("--durable") {
+        let policy = sync_policy(&flags)?;
+        let durable = if DurableHandle::exists(dir) {
+            let (durable, report) =
+                DurableHandle::open(dir, policy).map_err(|e| format!("recovering {dir}: {e}"))?;
+            println!("recovered {dir}: {report}");
+            durable
+        } else {
+            let index = load_index(&flags)?;
+            DurableHandle::create(dir, index, policy)
+                .map_err(|e| format!("creating durable dir {dir}: {e}"))?
+        };
+        let snap = durable.serving().snapshot();
+        println!(
+            "durable serving: {} graphs ({} live), generation {}, {} log record(s)",
+            snap.len(),
+            snap.live_len(),
+            durable.generation(),
+            durable.wal_records()
+        );
+        GdimServer::start_durable(durable, cfg).map_err(|e| format!("binding: {e}"))?
+    } else {
+        let index = load_index(&flags)?;
+        println!(
+            "serving {} graphs ({} shards)",
+            index.len(),
+            index.shard_count()
+        );
+        GdimServer::start(ServingHandle::new(index), cfg).map_err(|e| format!("binding: {e}"))?
+    };
     println!(
-        "serving {graphs} graphs ({shards} shards) on http://{} — stop with `gdim stop --addr {}`",
+        "listening on http://{} — stop with `gdim stop --addr {}`",
         server.addr(),
         server.addr()
     );
@@ -323,6 +381,23 @@ fn cmd_rebuild(args: &[String]) -> Result<(), String> {
     } else {
         println!("rebuild was cancelled");
     }
+    Ok(())
+}
+
+fn cmd_checkpoint(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let mut client = connect(&flags)?;
+    let reply = expect_ok(client.post("/checkpoint", &Json::Null))?;
+    let generation = reply.get("generation").and_then(Json::as_u64).unwrap_or(0);
+    println!("checkpointed: now at generation {generation}");
+    Ok(())
+}
+
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let dir = flags.get("--verify").ok_or("recover needs --verify DIR")?;
+    let report = DurableHandle::verify(dir).map_err(|e| format!("verifying {dir}: {e}"))?;
+    println!("{dir}: {report}");
     Ok(())
 }
 

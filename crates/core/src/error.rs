@@ -61,6 +61,29 @@ pub enum GdimError {
         /// Mutations (inserts + removes) applied since the snapshot.
         missed: u64,
     },
+    /// A write-ahead log ended in a torn or unreadable tail that could
+    /// not be reconciled with a valid record prefix. Recovery trusts
+    /// the prefix before the tear; this error means the log is damaged
+    /// *within* what should have been trusted (e.g. a CRC-valid frame
+    /// whose payload fails to decode), so replaying further would
+    /// corrupt the index.
+    TornLog {
+        /// Bytes of the log that form a valid record stream.
+        trusted: u64,
+        /// Total bytes found in the log file.
+        total: u64,
+        /// Human-readable description of the first failure.
+        detail: String,
+    },
+    /// A checkpoint generation referenced by the durable directory's
+    /// `CURRENT` file is missing or fails validation, so the index
+    /// cannot be recovered from it.
+    CorruptCheckpoint {
+        /// The generation number that failed to load.
+        generation: u64,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
 }
 
 impl GdimError {
@@ -80,6 +103,8 @@ impl GdimError {
             GdimError::UnsupportedVersion { .. } => "unsupported_version",
             GdimError::ShardOutOfRange { .. } => "shard_out_of_range",
             GdimError::StaleRebuild { .. } => "stale_rebuild",
+            GdimError::TornLog { .. } => "torn_log",
+            GdimError::CorruptCheckpoint { .. } => "corrupt_checkpoint",
         }
     }
 
@@ -95,9 +120,11 @@ impl GdimError {
             | GdimError::WeightsMismatch { .. }
             | GdimError::ShardOutOfRange { .. }
             | GdimError::StaleRebuild { .. } => true,
-            GdimError::Io(_) | GdimError::Corrupt(_) | GdimError::UnsupportedVersion { .. } => {
-                false
-            }
+            GdimError::Io(_)
+            | GdimError::Corrupt(_)
+            | GdimError::UnsupportedVersion { .. }
+            | GdimError::TornLog { .. }
+            | GdimError::CorruptCheckpoint { .. } => false,
         }
     }
 }
@@ -133,6 +160,19 @@ impl fmt::Display for GdimError {
                     f,
                     "rebuild snapshot is stale: {missed} mutation(s) landed after it was spawned"
                 )
+            }
+            GdimError::TornLog {
+                trusted,
+                total,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "write-ahead log is torn ({trusted}/{total} bytes trusted): {detail}"
+                )
+            }
+            GdimError::CorruptCheckpoint { generation, detail } => {
+                write!(f, "checkpoint generation {generation} is corrupt: {detail}")
             }
         }
     }
@@ -179,7 +219,7 @@ mod tests {
         // silently change: adding a variant must extend this test, and
         // respelling a code must fail it.
         let io = GdimError::Io(io::Error::other("x"));
-        let table: [(GdimError, &str, bool); 8] = [
+        let table: [(GdimError, &str, bool); 10] = [
             (
                 GdimError::GraphOutOfRange { id: 0, len: 0 },
                 "graph_out_of_range",
@@ -217,6 +257,23 @@ mod tests {
                 true,
             ),
             (GdimError::StaleRebuild { missed: 1 }, "stale_rebuild", true),
+            (
+                GdimError::TornLog {
+                    trusted: 8,
+                    total: 20,
+                    detail: String::new(),
+                },
+                "torn_log",
+                false,
+            ),
+            (
+                GdimError::CorruptCheckpoint {
+                    generation: 3,
+                    detail: String::new(),
+                },
+                "corrupt_checkpoint",
+                false,
+            ),
         ];
         for (err, code, caller_fault) in table {
             assert_eq!(err.code(), code);

@@ -641,8 +641,13 @@ impl GraphIndex {
     }
 
     /// Writes the index to a file (binary format, version-tagged).
+    ///
+    /// The write is **crash-safe**: the bytes are staged in a sibling
+    /// temp file, fsynced, renamed over `path`, and the parent
+    /// directory fsynced — a crash mid-save never clobbers a previous
+    /// good snapshot at the same path.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), GdimError> {
-        std::fs::write(path, self.to_bytes())?;
+        gdim_wal::fsutil::write_atomic(path, &self.to_bytes())?;
         Ok(())
     }
 

@@ -62,6 +62,19 @@
 //! Every structural defect surfaces as [`GdimError::Corrupt`] (or
 //! [`GdimError::UnsupportedVersion`] for a future format), never a
 //! panic.
+//!
+//! **Role in the durable layout.** Since the durability PR, a v2 file
+//! is no longer necessarily the whole story of an index on disk: under
+//! a `--durable` directory it is **one generation of a log-structured
+//! directory** — the per-shard snapshot inside a `gen-NNNNNN/`
+//! checkpoint, paired with a write-ahead log (`wal-NNNNNN.log`) that
+//! holds the mutations acked after the checkpoint was cut. Opening
+//! such a directory loads the newest complete generation via this
+//! module and then replays the log suffix on top (see
+//! `gdim_shard::durable`). The file format itself is unchanged; only
+//! its surroundings grew. Standalone saves via
+//! [`GraphIndex::save`](crate::index::GraphIndex::save) are now
+//! crash-safe (temp file → fsync → rename → fsync parent directory).
 
 use gdim_graph::dfscode::{DfsCode, DfsEdge};
 use gdim_graph::{Dissimilarity, Graph, McsOptions};

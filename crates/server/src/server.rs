@@ -33,7 +33,7 @@ use std::time::Duration;
 
 use gdim_core::{GdimError, Graph, GraphId, SearchRequest};
 use gdim_exec::{BackgroundTask, CancelToken, WorkerPool};
-use gdim_shard::{Reader, ServingHandle, ShardedIndex};
+use gdim_shard::{DurableHandle, Reader, ServingHandle, ShardedIndex};
 
 use crate::http::{
     response_bytes, HeadParser, HttpError, Method, RequestHead, DEFAULT_MAX_BODY_BYTES,
@@ -150,6 +150,9 @@ struct Counters {
 /// Everything a connection handler needs, shared across the pool.
 struct Ctx {
     handle: ServingHandle,
+    /// Durable mode ([`GdimServer::start_durable`]): mutations route
+    /// through the write-ahead log and only ack once on disk.
+    durable: Option<DurableHandle>,
     cfg: ServerConfig,
     latch: Latch,
     counters: Counters,
@@ -177,10 +180,32 @@ impl GdimServer {
     /// Binds `cfg.addr` and starts serving `handle`. Returns once the
     /// listener is live — `addr()` is immediately connectable.
     pub fn start(handle: ServingHandle, cfg: ServerConfig) -> io::Result<GdimServer> {
+        Self::start_inner(handle, None, cfg)
+    }
+
+    /// Binds `cfg.addr` and starts serving a [`DurableHandle`] in
+    /// **durable mode**: `/insert` and `/remove` append to the
+    /// write-ahead log (fsynced per the handle's
+    /// [`SyncPolicy`](gdim_shard::SyncPolicy)) before they apply, and
+    /// only answer `200` once both happened — an acked mutation
+    /// survives any crash. `/checkpoint` folds the log into a new
+    /// generation; `/rebuild` checkpoints before acking (background
+    /// rebuilds are refused: a rebuild reassigns ids, so its only
+    /// durable form is the synchronous rebuild-then-checkpoint).
+    pub fn start_durable(durable: DurableHandle, cfg: ServerConfig) -> io::Result<GdimServer> {
+        Self::start_inner(durable.serving().clone(), Some(durable), cfg)
+    }
+
+    fn start_inner(
+        handle: ServingHandle,
+        durable: Option<DurableHandle>,
+        cfg: ServerConfig,
+    ) -> io::Result<GdimServer> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let ctx = Arc::new(Ctx {
             handle,
+            durable,
             cfg,
             latch: Latch::default(),
             counters: Counters::default(),
@@ -234,6 +259,12 @@ impl GdimServer {
     /// server answers from (used by tests to pin bit-identity).
     pub fn handle(&self) -> &ServingHandle {
         &self.ctx.handle
+    }
+
+    /// The durable handle when running in durable mode
+    /// ([`GdimServer::start_durable`]), else `None`.
+    pub fn durable(&self) -> Option<&DurableHandle> {
+        self.ctx.durable.as_ref()
     }
 
     /// Blocks until shutdown is requested — by `POST /shutdown` from
@@ -471,9 +502,8 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
     let path = head.path.split('?').next().unwrap_or("");
     let expected = match path {
         "/health" | "/stats" => Method::Get,
-        "/search" | "/search_batch" | "/insert" | "/remove" | "/rebuild" | "/shutdown" => {
-            Method::Post
-        }
+        "/search" | "/search_batch" | "/insert" | "/remove" | "/rebuild" | "/checkpoint"
+        | "/shutdown" => Method::Post,
         _ => {
             return Err(ApiError::new(
                 404,
@@ -503,7 +533,7 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                 .as_ref()
                 .is_some_and(|t| !t.is_finished());
             let c = &ctx.counters;
-            Ok(Json::obj([
+            let mut fields = vec![
                 ("version", Json::U64(ctx.handle.version())),
                 ("epoch", Json::U64(snap.epoch())),
                 ("graphs", Json::U64(snap.len() as u64)),
@@ -525,7 +555,14 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                     Json::U64(c.protocol_errors.load(Ordering::Relaxed)),
                 ),
                 ("rebuild_in_flight", Json::Bool(rebuild_in_flight)),
-            ]))
+                ("durable", Json::Bool(ctx.durable.is_some())),
+            ];
+            if let Some(d) = &ctx.durable {
+                fields.push(("generation", Json::U64(d.generation())));
+                fields.push(("wal_records", Json::U64(d.wal_records())));
+                fields.push(("wal_bytes", Json::U64(d.wal_bytes())));
+            }
+            Ok(Json::obj(fields))
         }
         "/search" => {
             let j = parse_body(body)?;
@@ -567,7 +604,12 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                 j.get("graph")
                     .ok_or_else(|| ApiError::new(400, "bad_request", "missing \"graph\""))?,
             )?;
-            let id = ctx.handle.insert(g);
+            // In durable mode the record hits the log (fsynced per
+            // policy) before the index — a 200 means it is on disk.
+            let id = match &ctx.durable {
+                Some(d) => d.insert(g)?,
+                None => ctx.handle.insert(g),
+            };
             Ok(Json::obj([
                 ("id", Json::U64(id.get() as u64)),
                 ("version", Json::U64(ctx.handle.version())),
@@ -580,7 +622,10 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                 .and_then(Json::as_u64)
                 .and_then(|u| u32::try_from(u).ok())
                 .ok_or_else(|| ApiError::new(400, "bad_request", "missing or bad \"id\""))?;
-            let removed = ctx.handle.remove(GraphId(id))?;
+            let removed = match &ctx.durable {
+                Some(d) => d.remove(GraphId(id))?,
+                None => ctx.handle.remove(GraphId(id))?,
+            };
             Ok(Json::obj([
                 ("removed", Json::Bool(removed)),
                 ("version", Json::U64(ctx.handle.version())),
@@ -600,6 +645,16 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
             };
             match mode {
                 "sync" => {
+                    // Durable rebuild reassigns ids, so it cannot be
+                    // logged — it checkpoints before acking instead.
+                    if let Some(d) = &ctx.durable {
+                        let generation = d.rebuild()?;
+                        return Ok(Json::obj([
+                            ("swapped", Json::Bool(true)),
+                            ("version", Json::U64(ctx.handle.version())),
+                            ("generation", Json::U64(generation)),
+                        ]));
+                    }
                     let task = ctx.handle.spawn_rebuild();
                     let swapped = ctx.handle.install(task)?;
                     Ok(Json::obj([
@@ -608,6 +663,14 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                     ]))
                 }
                 "background" => {
+                    if ctx.durable.is_some() {
+                        return Err(ApiError::new(
+                            400,
+                            "bad_request",
+                            "durable mode only supports mode: \"sync\" (a rebuild must \
+                             checkpoint before it can be acked)",
+                        ));
+                    }
                     let mut slot = ctx.rebuild.lock().unwrap_or_else(|e| e.into_inner());
                     if let Some(prev) = slot.take() {
                         if !prev.is_finished() {
@@ -633,6 +696,20 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                     format!("unknown rebuild mode {other:?}"),
                 )),
             }
+        }
+        "/checkpoint" => {
+            let Some(d) = &ctx.durable else {
+                return Err(ApiError::new(
+                    400,
+                    "not_durable",
+                    "the server is not running in --durable mode",
+                ));
+            };
+            let generation = d.checkpoint()?;
+            Ok(Json::obj([
+                ("generation", Json::U64(generation)),
+                ("wal_records", Json::U64(d.wal_records())),
+            ]))
         }
         "/shutdown" => {
             ctx.latch.request();
@@ -843,6 +920,85 @@ mod tests {
         server.wait(); // returns once the POST landed
         waiter.join().unwrap();
         server.shutdown(); // drains without hanging
+    }
+
+    #[test]
+    fn durable_mode_acks_survive_reopen_and_checkpoint_rolls_generations() {
+        use gdim_shard::{DurableHandle, SyncPolicy};
+        let dir = std::env::temp_dir().join(format!("gdim-srv-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = gdim_datagen::chem_db(12, &gdim_datagen::ChemConfig::default(), 11);
+        let extra = db[0].clone();
+        let idx = ShardedIndex::build(
+            db,
+            ShardedOptions::new(2).with_index(IndexOptions::default().with_dimensions(8)),
+        );
+        let durable = DurableHandle::create(&dir, idx, SyncPolicy::Always).unwrap();
+        let cfg = ServerConfig::new()
+            .with_workers(2)
+            .with_poll_interval(Duration::from_millis(20));
+        let server = GdimServer::start_durable(durable, cfg).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        // /checkpoint works only in durable mode and rolls the generation.
+        let (status, j) = client.post("/checkpoint", &Json::Null).unwrap();
+        assert_eq!(status, 200, "{j:?}");
+        assert_eq!(j.get("generation").and_then(Json::as_u64), Some(1));
+
+        // An acked insert is in the log; /stats reports durable state.
+        let (status, j) = client
+            .post(
+                "/insert",
+                &Json::obj([("graph", crate::wire::graph_to_json(&extra))]),
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{j:?}");
+        let id = j.get("id").and_then(Json::as_u64).unwrap() as u32;
+        let (_, stats) = client.get("/stats").unwrap();
+        assert_eq!(stats.get("durable").and_then(Json::as_bool), Some(true));
+        assert_eq!(stats.get("generation").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("wal_records").and_then(Json::as_u64), Some(1));
+
+        // Background rebuilds are refused in durable mode.
+        let (status, j) = client
+            .post(
+                "/rebuild",
+                &Json::obj([("mode", Json::Str("background".into()))]),
+            )
+            .unwrap();
+        assert_eq!(status, 400, "{j:?}");
+
+        let want = server.handle().snapshot();
+        server.shutdown();
+
+        // Reopening recovers the acked insert bit-identically.
+        let (reopened, report) = DurableHandle::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(report.wal_records, 1);
+        let got = reopened.serving().snapshot();
+        assert_eq!(got.live_len(), want.live_len());
+        assert_eq!(got.graph(GraphId(id)).unwrap(), &extra);
+        let q = got.graph(GraphId(id)).unwrap().clone();
+        let a = want.search(&q, &SearchRequest::topk(5)).unwrap();
+        let b = got.search(&q, &SearchRequest::topk(5)).unwrap();
+        for (x, y) in a.hits.iter().zip(&b.hits) {
+            assert_eq!((x.id, x.distance.to_bits()), (y.id, y.distance.to_bits()));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_without_durable_mode_is_a_typed_400() {
+        let server = start(8, 12);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (status, j) = client.post("/checkpoint", &Json::Null).unwrap();
+        assert_eq!(status, 400);
+        assert_eq!(
+            j.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("not_durable")
+        );
+        server.shutdown();
     }
 
     #[test]

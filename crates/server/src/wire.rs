@@ -508,7 +508,7 @@ mod tests {
     #[test]
     fn gdim_error_statuses_are_pinned() {
         use std::io;
-        let table: [(GdimError, u16); 8] = [
+        let table: [(GdimError, u16); 10] = [
             (GdimError::GraphOutOfRange { id: 1, len: 0 }, 404),
             (
                 GdimError::DimensionOutOfRange {
@@ -526,15 +526,29 @@ mod tests {
             ),
             (GdimError::ShardOutOfRange { id: 9, shards: 2 }, 400),
             (GdimError::StaleRebuild { missed: 3 }, 409),
-            (
-                GdimError::Io(io::Error::other("x")),
-                500,
-            ),
+            (GdimError::Io(io::Error::other("x")), 500),
             (GdimError::Corrupt("x".into()), 500),
             (
                 GdimError::UnsupportedVersion {
                     found: 9,
                     supported: 2,
+                },
+                500,
+            ),
+            // Durability faults indict the server's disk state, never
+            // the request.
+            (
+                GdimError::TornLog {
+                    trusted: 8,
+                    total: 20,
+                    detail: "x".into(),
+                },
+                500,
+            ),
+            (
+                GdimError::CorruptCheckpoint {
+                    generation: 3,
+                    detail: "x".into(),
                 },
                 500,
             ),

@@ -1,0 +1,422 @@
+//! [`DurableHandle`]: crash-safe serving — every acked mutation is on
+//! disk before the caller hears about it, and a process death at any
+//! instant loses nothing that was acked.
+//!
+//! # Directory layout
+//!
+//! A durable directory is a log-structured store with exactly one
+//! publication point:
+//!
+//! ```text
+//! CURRENT          ASCII decimal generation number + '\n'
+//! gen-NNNNNN/      checkpoint: one ShardedIndex::save_dir output
+//!                  (MANIFEST + shard-NNNN.idx v2 files)
+//! wal-NNNNNN.log   CRC-framed write-ahead log of mutations acked
+//!                  AFTER generation NNNNNN was cut
+//! ```
+//!
+//! `CURRENT` is replaced atomically (temp + rename + directory fsync),
+//! so a reader of the directory always sees a complete generation: the
+//! checkpoint directory and its (possibly empty) log both exist before
+//! `CURRENT` ever names them, and stale generations are garbage, not
+//! state.
+//!
+//! # Mutation protocol (log before apply)
+//!
+//! [`DurableHandle::insert`] and [`DurableHandle::remove`] hold one
+//! durable lock across *log → fsync (per [`SyncPolicy`]) → apply to
+//! the [`ServingHandle`] master → ack*, so the log's record order is
+//! exactly the order mutations hit the index. Replay determinism
+//! follows: [`ShardedIndex::insert`] routes to the least-loaded shard
+//! with lowest-id tie-breaks and removes tombstone idempotently, so
+//! re-applying the same record prefix to the same checkpoint
+//! reproduces the same ids, sequence numbers, and answers, bit for
+//! bit. Readers never touch the durable lock — searches stay
+//! lock-free while a checkpoint folds in the background.
+//!
+//! # Recovery
+//!
+//! [`DurableHandle::open`] loads the generation `CURRENT` names,
+//! replays the log's trusted prefix on top, truncates any torn tail a
+//! crash left (the expected disk state after dying mid-append), and
+//! resumes appending. Damage *within* what should be trusted — a
+//! checkpoint that fails validation, a CRC-valid record that does not
+//! decode or apply — surfaces as the typed errors
+//! [`GdimError::CorruptCheckpoint`] and [`GdimError::TornLog`], never
+//! a panic. [`DurableHandle::verify`] runs the same recovery read-only
+//! and reports what it found without modifying the directory.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use gdim_core::{GdimError, Graph, GraphId};
+use gdim_wal::fsutil::{fsync_dir, write_atomic};
+use gdim_wal::{SyncPolicy, WalDefect, WalReader, WalRecord, WalWriter};
+
+use crate::serving::ServingHandle;
+use crate::sharded::ShardedIndex;
+
+/// Name of the generation pointer file inside a durable directory.
+pub const CURRENT_FILE: &str = "CURRENT";
+
+/// Directory name of checkpoint generation `g`.
+pub fn generation_dir(g: u64) -> String {
+    format!("gen-{g:06}")
+}
+
+/// File name of generation `g`'s write-ahead log.
+pub fn wal_file(g: u64) -> String {
+    format!("wal-{g:06}.log")
+}
+
+/// What [`DurableHandle::open`] (or [`DurableHandle::verify`]) found
+/// on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The checkpoint generation that was loaded.
+    pub generation: u64,
+    /// Acked mutations replayed from the log on top of the checkpoint.
+    pub wal_records: u64,
+    /// Log bytes that formed a valid record stream.
+    pub wal_bytes_trusted: u64,
+    /// Total log bytes found (`> wal_bytes_trusted` iff the tail was
+    /// torn).
+    pub wal_bytes_total: u64,
+    /// The torn-tail defect, when the log did not end on a frame
+    /// boundary — expected after a crash mid-append, and harmless:
+    /// everything before it was trusted, nothing past it was ever
+    /// acked.
+    pub tail: Option<WalDefect>,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "generation {}, {} log record(s) replayed, {}/{} log bytes trusted",
+            self.generation, self.wal_records, self.wal_bytes_trusted, self.wal_bytes_total
+        )?;
+        match &self.tail {
+            None => write!(f, ", clean tail"),
+            Some(d) => write!(f, ", torn tail discarded ({d})"),
+        }
+    }
+}
+
+/// State serialized by the durable lock: the log writer and the
+/// generation it belongs to.
+struct DurableState {
+    dir: PathBuf,
+    generation: u64,
+    writer: WalWriter,
+}
+
+/// See the [`lock`](crate::serving) rationale: protected values are
+/// plain data, and serving must not cascade one panicked writer.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A crash-safe [`ServingHandle`]: mutations are written to a
+/// write-ahead log (and fsynced per the [`SyncPolicy`]) **before**
+/// they are applied and acked, and [`DurableHandle::checkpoint`] folds
+/// the log into a new snapshot generation (see the
+/// [module docs](self) for the on-disk layout and protocol).
+///
+/// Cloneable and thread-safe; all clones share one durable directory
+/// and one serving runtime. Route **every** mutation through the
+/// durable methods — mutating the inner [`ServingHandle`] directly
+/// would apply changes the log never heard about, and a recovery
+/// would lose them.
+#[derive(Clone)]
+pub struct DurableHandle {
+    serving: ServingHandle,
+    state: Arc<Mutex<DurableState>>,
+}
+
+impl std::fmt::Debug for DurableHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableHandle")
+            .field("generation", &self.generation())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableHandle {
+    /// Creates a fresh durable directory holding `index` as generation
+    /// 0 with an empty log, and starts serving it. Fails with
+    /// [`io::ErrorKind::AlreadyExists`](std::io::ErrorKind) if the
+    /// directory is already a durable store — use
+    /// [`DurableHandle::open`] for those.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        index: ShardedIndex,
+        policy: SyncPolicy,
+    ) -> Result<DurableHandle, GdimError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        if dir.join(CURRENT_FILE).exists() {
+            return Err(GdimError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{} already holds a durable index", dir.display()),
+            )));
+        }
+        index.save_dir(dir.join(generation_dir(0)))?;
+        fsync_dir(dir)?;
+        let writer = WalWriter::create(dir.join(wal_file(0)), policy)?;
+        write_atomic(dir.join(CURRENT_FILE), b"0\n")?;
+        Ok(DurableHandle {
+            serving: ServingHandle::new(index),
+            state: Arc::new(Mutex::new(DurableState {
+                dir: dir.to_path_buf(),
+                generation: 0,
+                writer,
+            })),
+        })
+    }
+
+    /// Whether `dir` holds a durable index (its `CURRENT` file exists).
+    pub fn exists(dir: impl AsRef<Path>) -> bool {
+        dir.as_ref().join(CURRENT_FILE).exists()
+    }
+
+    /// Opens a durable directory: loads the newest complete checkpoint
+    /// generation, replays the log's trusted prefix on top, truncates
+    /// any torn tail a crash left, and resumes serving + appending.
+    ///
+    /// The recovered index answers **bit-identically** to one that
+    /// applied exactly the acked mutation prefix and never crashed
+    /// (pinned by the crash-cut proptests). A missing `CURRENT`
+    /// surfaces as [`GdimError::Io`] with
+    /// [`NotFound`](std::io::ErrorKind::NotFound); real damage
+    /// surfaces as [`GdimError::CorruptCheckpoint`] /
+    /// [`GdimError::TornLog`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        policy: SyncPolicy,
+    ) -> Result<(DurableHandle, RecoveryReport), GdimError> {
+        let dir = dir.as_ref();
+        let (index, report) = Self::recover(dir)?;
+        let writer = WalWriter::open_trusted(
+            dir.join(wal_file(report.generation)),
+            report.wal_bytes_trusted,
+            report.wal_records,
+            policy,
+        )?;
+        Self::sweep_stale(dir, report.generation);
+        let handle = DurableHandle {
+            serving: ServingHandle::new(index),
+            state: Arc::new(Mutex::new(DurableState {
+                dir: dir.to_path_buf(),
+                generation: report.generation,
+                writer,
+            })),
+        };
+        Ok((handle, report))
+    }
+
+    /// Replays a durable directory **read-only** and reports its
+    /// health: which generation `CURRENT` names, whether the
+    /// checkpoint loads, how many log records replay, and whether the
+    /// log tail is torn. Nothing on disk is modified — the torn tail
+    /// (if any) is left in place.
+    pub fn verify(dir: impl AsRef<Path>) -> Result<RecoveryReport, GdimError> {
+        Self::recover(dir.as_ref()).map(|(_, report)| report)
+    }
+
+    /// The shared recovery path: checkpoint load + full log replay.
+    fn recover(dir: &Path) -> Result<(ShardedIndex, RecoveryReport), GdimError> {
+        let current = std::fs::read_to_string(dir.join(CURRENT_FILE))?;
+        let generation: u64 = current
+            .trim()
+            .parse()
+            .map_err(|_| GdimError::CorruptCheckpoint {
+                generation: 0,
+                detail: format!("CURRENT holds {current:?}, not a generation number"),
+            })?;
+        let mut index =
+            ShardedIndex::load_dir(dir.join(generation_dir(generation))).map_err(|e| {
+                GdimError::CorruptCheckpoint {
+                    generation,
+                    detail: e.to_string(),
+                }
+            })?;
+        let wal_path = dir.join(wal_file(generation));
+        let (payloads, scan) =
+            WalReader::read(&wal_path).map_err(|e| GdimError::CorruptCheckpoint {
+                generation,
+                detail: format!("log {} unreadable: {e}", wal_file(generation)),
+            })?;
+        for (i, payload) in payloads.iter().enumerate() {
+            let torn = |detail: String| GdimError::TornLog {
+                trusted: scan.trusted_bytes,
+                total: scan.total_bytes,
+                detail,
+            };
+            match WalRecord::decode(payload)
+                .map_err(|e| torn(format!("record {i} is CRC-valid but undecodable: {e}")))?
+            {
+                WalRecord::Insert(g) => {
+                    index.insert(g);
+                }
+                WalRecord::Remove(id) => {
+                    // Remove replay is idempotent (`Ok(false)` on an
+                    // already-dead row), but an id the checkpoint
+                    // never held means log and checkpoint disagree.
+                    index.remove(GraphId(id)).map_err(|e| {
+                        torn(format!("record {i} (remove {id}) does not apply: {e}"))
+                    })?;
+                }
+            }
+        }
+        let report = RecoveryReport {
+            generation,
+            wal_records: scan.records,
+            wal_bytes_trusted: scan.trusted_bytes,
+            wal_bytes_total: scan.total_bytes,
+            tail: scan.defect,
+        };
+        Ok((index, report))
+    }
+
+    /// Deletes generations and logs other than `keep` — garbage from
+    /// completed checkpoints or crashes inside one (best-effort; a
+    /// leftover costs disk, never correctness).
+    fn sweep_stale(dir: &Path, keep: u64) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale_gen = name.starts_with("gen-") && name != generation_dir(keep);
+            let stale_wal = name.starts_with("wal-") && name != wal_file(keep);
+            if stale_gen {
+                let _ = std::fs::remove_dir_all(entry.path());
+            } else if stale_wal {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    // ----------------------------------------------------- mutations
+
+    /// Durably inserts one graph: the record is logged (and fsynced
+    /// per the [`SyncPolicy`]) **before** the index changes, and the
+    /// returned id is only handed out once both happened. See
+    /// [`ShardedIndex::insert`] for placement semantics.
+    pub fn insert(&self, g: Graph) -> Result<GraphId, GdimError> {
+        let mut st = lock(&self.state);
+        st.writer.append(&WalRecord::Insert(g.clone()).encode())?;
+        Ok(self.serving.insert(g))
+    }
+
+    /// Durably tombstones one graph (same contract as
+    /// [`ShardedIndex::remove`]). No-op removes (`Ok(false)`) and
+    /// invalid ids are **not** logged — only effective mutations reach
+    /// the log, so replay applies exactly what happened.
+    pub fn remove(&self, id: GraphId) -> Result<bool, GdimError> {
+        let mut st = lock(&self.state);
+        // Pre-validate against the current state (the durable lock
+        // serializes all mutations, so the snapshot is current): only
+        // a remove that will actually flip a live row is logged.
+        let snap = self.serving.snapshot();
+        snap.seq_of(id)?;
+        let (s, local) = snap.split_id(id);
+        if snap.shard(s)?.tombstones().is_dead(local) {
+            return Ok(false);
+        }
+        st.writer.append(&WalRecord::Remove(id.get()).encode())?;
+        self.serving.remove(id)
+    }
+
+    /// Forces every appended record onto disk — the group-commit
+    /// flush for [`SyncPolicy::EveryN`] / [`SyncPolicy::Never`]
+    /// writers (a no-op under [`SyncPolicy::Always`]).
+    pub fn sync(&self) -> Result<(), GdimError> {
+        lock(&self.state).writer.sync()?;
+        Ok(())
+    }
+
+    /// Folds the log into a new checkpoint generation: saves the
+    /// current index into `gen-{next}/` (staged in a temp directory,
+    /// atomically renamed), starts a fresh empty log, atomically
+    /// repoints `CURRENT`, and deletes the old generation + log.
+    /// Returns the new generation number.
+    ///
+    /// Holds the durable lock for the save — mutations wait, but
+    /// readers keep searching the published snapshots lock-free for
+    /// the whole fold. A crash at any point recovers: `CURRENT` flips
+    /// atomically from naming the complete old generation to naming
+    /// the complete new one, and anything half-written is swept as
+    /// garbage on the next [`DurableHandle::open`].
+    pub fn checkpoint(&self) -> Result<u64, GdimError> {
+        let mut st = lock(&self.state);
+        self.checkpoint_locked(&mut st)
+    }
+
+    fn checkpoint_locked(&self, st: &mut DurableState) -> Result<u64, GdimError> {
+        let next = st.generation + 1;
+        let gen_dir = st.dir.join(generation_dir(next));
+        let staging = st.dir.join(format!("{}.tmp", generation_dir(next)));
+        let _ = std::fs::remove_dir_all(&staging);
+        // The durable lock is held: the snapshot holds exactly the
+        // mutations the log holds, so folding it absorbs the log.
+        self.serving.snapshot().save_dir(&staging)?;
+        let _ = std::fs::remove_dir_all(&gen_dir);
+        std::fs::rename(&staging, &gen_dir)?;
+        fsync_dir(&st.dir)?;
+        let writer = WalWriter::create(st.dir.join(wal_file(next)), st.writer.policy())?;
+        write_atomic(st.dir.join(CURRENT_FILE), format!("{next}\n").as_bytes())?;
+        let old = st.generation;
+        st.generation = next;
+        st.writer = writer;
+        let _ = std::fs::remove_file(st.dir.join(wal_file(old)));
+        let _ = std::fs::remove_dir_all(st.dir.join(generation_dir(old)));
+        Ok(next)
+    }
+
+    /// Durable **full rebuild**: re-mines and re-selects over the live
+    /// graphs ([`ShardedIndex::rebuild`]), then immediately
+    /// checkpoints, all under the durable lock. A rebuild reassigns
+    /// ids and sequence numbers, so it cannot be represented as log
+    /// records — the checkpoint *is* its durability, and the method
+    /// only returns once the rebuilt index is the published
+    /// generation. Returns the new generation number.
+    pub fn rebuild(&self) -> Result<u64, GdimError> {
+        let mut st = lock(&self.state);
+        self.serving.write(|idx| idx.rebuild());
+        self.checkpoint_locked(&mut st)
+    }
+
+    // ----------------------------------------------------- accessors
+
+    /// The serving runtime. Use it for **reads** (readers, snapshots,
+    /// searches); route mutations through the durable methods or they
+    /// will not survive a crash.
+    pub fn serving(&self) -> &ServingHandle {
+        &self.serving
+    }
+
+    /// The current checkpoint generation number.
+    pub fn generation(&self) -> u64 {
+        lock(&self.state).generation
+    }
+
+    /// Records in the current log (acked mutations since the last
+    /// checkpoint).
+    pub fn wal_records(&self) -> u64 {
+        lock(&self.state).writer.records()
+    }
+
+    /// Bytes in the current log. Every byte up to here is a complete
+    /// frame; the crash-cut tests use this as the per-ack boundary.
+    pub fn wal_bytes(&self) -> u64 {
+        lock(&self.state).writer.len()
+    }
+
+    /// The durable directory.
+    pub fn dir(&self) -> PathBuf {
+        lock(&self.state).dir.clone()
+    }
+}

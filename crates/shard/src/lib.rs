@@ -37,7 +37,13 @@
 //!
 //! Persistence is a manifest plus one v2 index file per shard
 //! ([`ShardedIndex::save_dir`] / [`ShardedIndex::load_dir`]), round-
-//! tripping to byte-identical files and answers.
+//! tripping to byte-identical files and answers — every file published
+//! crash-safely (temp → fsync → rename → parent fsync). For serving
+//! with **zero acked-mutation loss** across crashes, wrap the runtime
+//! in a [`DurableHandle`]: mutations hit a CRC-framed write-ahead log
+//! before they apply, checkpoints fold the log into generation-
+//! numbered snapshot directories, and [`DurableHandle::open`] recovers
+//! a bit-identical index after any crash (see [`durable`]).
 //!
 //! ```
 //! use gdim_core::{IndexOptions, SearchRequest};
@@ -59,12 +65,15 @@
 #![forbid(unsafe_code)]
 
 pub mod direct;
+pub mod durable;
 pub mod manifest;
 pub mod merge;
 pub mod serving;
 pub mod sharded;
 
 pub use direct::MIN_SCATTER_ROWS_PER_SHARD;
+pub use durable::{DurableHandle, RecoveryReport};
+pub use gdim_wal::SyncPolicy;
 pub use merge::{merge_topk, MergedHit};
 pub use serving::{Reader, ServingHandle};
 pub use sharded::{ShardId, ShardRebuildTask, ShardedIndex, ShardedOptions, ShardedRebuildTask};

@@ -120,13 +120,19 @@ impl ShardedIndex {
     /// Saves the index into `dir` (created if missing): the manifest
     /// plus one v2 index file per shard. Re-saving an unchanged index
     /// reproduces every file byte-identically.
+    ///
+    /// Every file is published **crash-safely** (temp file → fsync →
+    /// rename → fsync parent directory), so a crash mid-save never
+    /// clobbers a previous good snapshot. Shard files land before the
+    /// manifest: a directory with a complete manifest always has all
+    /// the shard files it references.
     pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), GdimError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join(MANIFEST_FILE), self.manifest_bytes())?;
         for (s, shard) in self.shards().iter().enumerate() {
             shard.index.save(dir.join(shard_file(s)))?;
         }
+        gdim_wal::fsutil::write_atomic(dir.join(MANIFEST_FILE), &self.manifest_bytes())?;
         Ok(())
     }
 

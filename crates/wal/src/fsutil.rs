@@ -1,0 +1,97 @@
+//! Crash-safe filesystem plumbing: atomic file publication and
+//! directory fsyncs.
+//!
+//! The pattern every durable write in the workspace uses is
+//! *write-temp → fsync file → rename → fsync parent directory*: the
+//! rename is atomic on POSIX filesystems, so at any crash point the
+//! target path holds either the complete old contents or the complete
+//! new contents — never a torn mix — and the parent-directory fsync
+//! makes the rename itself durable.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Fsyncs a directory so a rename/create inside it is durable. A
+/// no-op on platforms where directories cannot be opened for sync
+/// (the write itself is still atomic there).
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// The temp-file sibling `write_atomic` stages `path`'s new contents
+/// in (same directory, so the rename cannot cross filesystems).
+fn tmp_sibling(path: &Path) -> io::Result<std::path::PathBuf> {
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp = name.to_os_string();
+    tmp.push(".tmp");
+    Ok(path.with_file_name(tmp))
+}
+
+/// Writes `bytes` to `path` **atomically and durably**: stage in a
+/// sibling temp file, fsync it, rename over `path`, fsync the parent
+/// directory. A crash at any point leaves `path` holding either its
+/// previous complete contents or the new complete contents.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_sibling(path)?;
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gdim-wal-fsutil-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_replaces_previous_contents_exactly() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("CURRENT");
+        write_atomic(&path, b"one").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"one");
+        write_atomic(&path, b"two-longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two-longer");
+        // No temp file is left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("CURRENT")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_rejects_bare_roots() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+}

@@ -31,6 +31,9 @@
 //! * [`server`] — the network serving layer (`GdimServer`): hand-rolled
 //!   HTTP/1.1 + JSON over `std::net`, a keep-alive `Client`, and the
 //!   wire schema with bit-faithful number round-trips;
+//! * [`wal`] — durability primitives: the CRC-framed write-ahead log,
+//!   mutation records, and crash-safe atomic file writes behind the
+//!   durable serving mode (`DurableHandle`, `gdim serve --durable`);
 //! * [`baselines`] — the seven comparison selectors of the paper's §6.
 //!
 //! ## Quickstart
@@ -76,6 +79,7 @@ pub use gdim_linalg as linalg;
 pub use gdim_mining as mining;
 pub use gdim_server as server;
 pub use gdim_shard as shard;
+pub use gdim_wal as wal;
 
 /// One-stop imports: the core pipeline types plus the graph substrate.
 pub mod prelude {
@@ -83,5 +87,8 @@ pub mod prelude {
     pub use gdim_graph::{Dissimilarity, Graph, GraphBuilder, McsOptions};
     pub use gdim_mining::{mine, Feature, MinerConfig, Support};
     pub use gdim_server::{Client, GdimServer, Json, ServerConfig};
-    pub use gdim_shard::{Reader, ServingHandle, ShardId, ShardedIndex, ShardedOptions};
+    pub use gdim_shard::{
+        DurableHandle, Reader, RecoveryReport, ServingHandle, ShardId, ShardedIndex,
+        ShardedOptions, SyncPolicy,
+    };
 }
