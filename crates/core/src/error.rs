@@ -84,6 +84,16 @@ pub enum GdimError {
         /// Human-readable description of the failure.
         detail: String,
     },
+    /// The durable handle stopped accepting mutations after a failure
+    /// that left its in-memory state ahead of what is durably
+    /// published (e.g. a rebuild whose checkpoint failed): logging
+    /// further mutations would record them against state that cannot
+    /// be reproduced on recovery. Reads keep working; mutations fail
+    /// until the directory is reopened.
+    DurablePoisoned {
+        /// Human-readable description of the failure that poisoned it.
+        detail: String,
+    },
 }
 
 impl GdimError {
@@ -105,6 +115,7 @@ impl GdimError {
             GdimError::StaleRebuild { .. } => "stale_rebuild",
             GdimError::TornLog { .. } => "torn_log",
             GdimError::CorruptCheckpoint { .. } => "corrupt_checkpoint",
+            GdimError::DurablePoisoned { .. } => "durable_poisoned",
         }
     }
 
@@ -124,7 +135,8 @@ impl GdimError {
             | GdimError::Corrupt(_)
             | GdimError::UnsupportedVersion { .. }
             | GdimError::TornLog { .. }
-            | GdimError::CorruptCheckpoint { .. } => false,
+            | GdimError::CorruptCheckpoint { .. }
+            | GdimError::DurablePoisoned { .. } => false,
         }
     }
 }
@@ -174,6 +186,12 @@ impl fmt::Display for GdimError {
             GdimError::CorruptCheckpoint { generation, detail } => {
                 write!(f, "checkpoint generation {generation} is corrupt: {detail}")
             }
+            GdimError::DurablePoisoned { detail } => {
+                write!(
+                    f,
+                    "durable index no longer accepts mutations (reopen to recover): {detail}"
+                )
+            }
         }
     }
 }
@@ -219,7 +237,7 @@ mod tests {
         // silently change: adding a variant must extend this test, and
         // respelling a code must fail it.
         let io = GdimError::Io(io::Error::other("x"));
-        let table: [(GdimError, &str, bool); 10] = [
+        let table: [(GdimError, &str, bool); 11] = [
             (
                 GdimError::GraphOutOfRange { id: 0, len: 0 },
                 "graph_out_of_range",
@@ -272,6 +290,13 @@ mod tests {
                     detail: String::new(),
                 },
                 "corrupt_checkpoint",
+                false,
+            ),
+            (
+                GdimError::DurablePoisoned {
+                    detail: String::new(),
+                },
+                "durable_poisoned",
                 false,
             ),
         ];

@@ -187,11 +187,16 @@ impl GdimServer {
     /// **durable mode**: `/insert` and `/remove` append to the
     /// write-ahead log (fsynced per the handle's
     /// [`SyncPolicy`](gdim_shard::SyncPolicy)) before they apply, and
-    /// only answer `200` once both happened — an acked mutation
-    /// survives any crash. `/checkpoint` folds the log into a new
-    /// generation; `/rebuild` checkpoints before acking (background
-    /// rebuilds are refused: a rebuild reassigns ids, so its only
-    /// durable form is the synchronous rebuild-then-checkpoint).
+    /// only answer `200` once both happened. How much a `200`
+    /// guarantees follows the policy: under `SyncPolicy::Always` an
+    /// acked mutation survives any crash; under `EveryN(n)` (group
+    /// commit) or `Never` the ack precedes the fsync, so a crash can
+    /// lose up to the last `n - 1` (resp. all unsynced) acked
+    /// mutations in exchange for throughput. `/checkpoint` folds the
+    /// log into a new generation; `/rebuild` checkpoints before
+    /// acking (background rebuilds are refused: a rebuild reassigns
+    /// ids, so its only durable form is the synchronous
+    /// rebuild-then-checkpoint).
     pub fn start_durable(durable: DurableHandle, cfg: ServerConfig) -> io::Result<GdimServer> {
         Self::start_inner(durable.serving().clone(), Some(durable), cfg)
     }
@@ -558,6 +563,8 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                 ("durable", Json::Bool(ctx.durable.is_some())),
             ];
             if let Some(d) = &ctx.durable {
+                // Lock-free mirrors: stats stay responsive even while
+                // a checkpoint holds the durable lock for a full save.
                 fields.push(("generation", Json::U64(d.generation())));
                 fields.push(("wal_records", Json::U64(d.wal_records())));
                 fields.push(("wal_bytes", Json::U64(d.wal_bytes())));
@@ -604,8 +611,10 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                 j.get("graph")
                     .ok_or_else(|| ApiError::new(400, "bad_request", "missing \"graph\""))?,
             )?;
-            // In durable mode the record hits the log (fsynced per
-            // policy) before the index — a 200 means it is on disk.
+            // In durable mode the record hits the log before the
+            // index — under SyncPolicy::Always a 200 means it is on
+            // disk; group-commit policies ack before the fsync and
+            // can lose the last unsynced acks in a crash.
             let id = match &ctx.durable {
                 Some(d) => d.insert(g)?,
                 None => ctx.handle.insert(g),

@@ -508,7 +508,7 @@ mod tests {
     #[test]
     fn gdim_error_statuses_are_pinned() {
         use std::io;
-        let table: [(GdimError, u16); 10] = [
+        let table: [(GdimError, u16); 11] = [
             (GdimError::GraphOutOfRange { id: 1, len: 0 }, 404),
             (
                 GdimError::DimensionOutOfRange {
@@ -552,6 +552,7 @@ mod tests {
                 },
                 500,
             ),
+            (GdimError::DurablePoisoned { detail: "x".into() }, 500),
         ];
         for (err, status) in table {
             assert_eq!(gdim_error_status(&err), status, "{}", err.code());

@@ -1,6 +1,10 @@
-//! [`DurableHandle`]: crash-safe serving — every acked mutation is on
-//! disk before the caller hears about it, and a process death at any
-//! instant loses nothing that was acked.
+//! [`DurableHandle`]: crash-safe serving — every acked mutation is
+//! logged before the caller hears about it, and under
+//! [`SyncPolicy::Always`] it is also fsynced first, so a process
+//! death at any instant loses nothing that was acked. Group-commit
+//! policies ([`SyncPolicy::EveryN`]/[`SyncPolicy::Never`]) trade that
+//! edge away: an ack precedes the fsync, so a crash can lose the
+//! last few acked-but-unsynced mutations in exchange for throughput.
 //!
 //! # Directory layout
 //!
@@ -47,6 +51,7 @@
 //! and reports what it found without modifying the directory.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use gdim_core::{GdimError, Graph, GraphId};
@@ -106,9 +111,24 @@ impl std::fmt::Display for RecoveryReport {
 /// State serialized by the durable lock: the log writer and the
 /// generation it belongs to.
 struct DurableState {
-    dir: PathBuf,
     generation: u64,
     writer: WalWriter,
+    /// Why the handle refuses mutations (a failure that left the
+    /// in-memory index ahead of the durably published state, e.g. a
+    /// rebuild whose checkpoint failed). `None` = healthy.
+    poisoned: Option<String>,
+}
+
+/// Everything the handle's clones share: the durable directory, the
+/// lock-serialized mutation state, and lock-free mirrors of the
+/// generation/log counters so `/stats`-style polling never blocks
+/// behind a checkpoint holding the durable lock for a full index save.
+struct DurableShared {
+    dir: PathBuf,
+    state: Mutex<DurableState>,
+    generation: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
 }
 
 /// See the [`lock`](crate::serving) rationale: protected values are
@@ -131,7 +151,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Clone)]
 pub struct DurableHandle {
     serving: ServingHandle,
-    state: Arc<Mutex<DurableState>>,
+    shared: Arc<DurableShared>,
 }
 
 impl std::fmt::Debug for DurableHandle {
@@ -165,14 +185,31 @@ impl DurableHandle {
         fsync_dir(dir)?;
         let writer = WalWriter::create(dir.join(wal_file(0)), policy)?;
         write_atomic(dir.join(CURRENT_FILE), b"0\n")?;
-        Ok(DurableHandle {
+        Ok(Self::assemble(dir.to_path_buf(), 0, writer, index))
+    }
+
+    /// Builds the handle, seeding the lock-free counter mirrors from
+    /// the writer's state.
+    fn assemble(
+        dir: PathBuf,
+        generation: u64,
+        writer: WalWriter,
+        index: ShardedIndex,
+    ) -> DurableHandle {
+        DurableHandle {
             serving: ServingHandle::new(index),
-            state: Arc::new(Mutex::new(DurableState {
-                dir: dir.to_path_buf(),
-                generation: 0,
-                writer,
-            })),
-        })
+            shared: Arc::new(DurableShared {
+                dir,
+                generation: AtomicU64::new(generation),
+                wal_records: AtomicU64::new(writer.records()),
+                wal_bytes: AtomicU64::new(writer.len()),
+                state: Mutex::new(DurableState {
+                    generation,
+                    writer,
+                    poisoned: None,
+                }),
+            }),
+        }
     }
 
     /// Whether `dir` holds a durable index (its `CURRENT` file exists).
@@ -204,14 +241,7 @@ impl DurableHandle {
             policy,
         )?;
         Self::sweep_stale(dir, report.generation);
-        let handle = DurableHandle {
-            serving: ServingHandle::new(index),
-            state: Arc::new(Mutex::new(DurableState {
-                dir: dir.to_path_buf(),
-                generation: report.generation,
-                writer,
-            })),
-        };
+        let handle = Self::assemble(dir.to_path_buf(), report.generation, writer, index);
         Ok((handle, report))
     }
 
@@ -301,13 +331,41 @@ impl DurableHandle {
 
     // ----------------------------------------------------- mutations
 
+    /// Fails with [`GdimError::DurablePoisoned`] once a failure left
+    /// the in-memory index ahead of the durably published state (see
+    /// [`DurableHandle::rebuild`]); reopening the directory is the way
+    /// back to a healthy handle.
+    fn check_usable(st: &DurableState) -> Result<(), GdimError> {
+        match &st.poisoned {
+            Some(why) => Err(GdimError::DurablePoisoned {
+                detail: why.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Refreshes the lock-free counter mirrors from the locked state.
+    fn mirror(&self, st: &DurableState) {
+        self.shared
+            .generation
+            .store(st.generation, Ordering::Release);
+        self.shared
+            .wal_records
+            .store(st.writer.records(), Ordering::Release);
+        self.shared
+            .wal_bytes
+            .store(st.writer.len(), Ordering::Release);
+    }
+
     /// Durably inserts one graph: the record is logged (and fsynced
     /// per the [`SyncPolicy`]) **before** the index changes, and the
     /// returned id is only handed out once both happened. See
     /// [`ShardedIndex::insert`] for placement semantics.
     pub fn insert(&self, g: Graph) -> Result<GraphId, GdimError> {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.shared.state);
+        Self::check_usable(&st)?;
         st.writer.append(&WalRecord::Insert(g.clone()).encode())?;
+        self.mirror(&st);
         Ok(self.serving.insert(g))
     }
 
@@ -316,7 +374,8 @@ impl DurableHandle {
     /// invalid ids are **not** logged — only effective mutations reach
     /// the log, so replay applies exactly what happened.
     pub fn remove(&self, id: GraphId) -> Result<bool, GdimError> {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.shared.state);
+        Self::check_usable(&st)?;
         // Pre-validate against the current state (the durable lock
         // serializes all mutations, so the snapshot is current): only
         // a remove that will actually flip a live row is logged.
@@ -327,6 +386,7 @@ impl DurableHandle {
             return Ok(false);
         }
         st.writer.append(&WalRecord::Remove(id.get()).encode())?;
+        self.mirror(&st);
         self.serving.remove(id)
     }
 
@@ -334,7 +394,9 @@ impl DurableHandle {
     /// flush for [`SyncPolicy::EveryN`] / [`SyncPolicy::Never`]
     /// writers (a no-op under [`SyncPolicy::Always`]).
     pub fn sync(&self) -> Result<(), GdimError> {
-        lock(&self.state).writer.sync()?;
+        let mut st = lock(&self.shared.state);
+        Self::check_usable(&st)?;
+        st.writer.sync()?;
         Ok(())
     }
 
@@ -351,28 +413,36 @@ impl DurableHandle {
     /// the complete new one, and anything half-written is swept as
     /// garbage on the next [`DurableHandle::open`].
     pub fn checkpoint(&self) -> Result<u64, GdimError> {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.shared.state);
+        Self::check_usable(&st)?;
         self.checkpoint_locked(&mut st)
     }
 
+    /// A failure anywhere in here (before the in-memory install at
+    /// the end) leaves the old generation, log, and writer fully
+    /// intact — mutations and a retried checkpoint keep working. The
+    /// caller only has to act when the *index itself* moved first;
+    /// see [`DurableHandle::rebuild`].
     fn checkpoint_locked(&self, st: &mut DurableState) -> Result<u64, GdimError> {
+        let dir = &self.shared.dir;
         let next = st.generation + 1;
-        let gen_dir = st.dir.join(generation_dir(next));
-        let staging = st.dir.join(format!("{}.tmp", generation_dir(next)));
+        let gen_dir = dir.join(generation_dir(next));
+        let staging = dir.join(format!("{}.tmp", generation_dir(next)));
         let _ = std::fs::remove_dir_all(&staging);
         // The durable lock is held: the snapshot holds exactly the
         // mutations the log holds, so folding it absorbs the log.
         self.serving.snapshot().save_dir(&staging)?;
         let _ = std::fs::remove_dir_all(&gen_dir);
         std::fs::rename(&staging, &gen_dir)?;
-        fsync_dir(&st.dir)?;
-        let writer = WalWriter::create(st.dir.join(wal_file(next)), st.writer.policy())?;
-        write_atomic(st.dir.join(CURRENT_FILE), format!("{next}\n").as_bytes())?;
+        fsync_dir(dir)?;
+        let writer = WalWriter::create(dir.join(wal_file(next)), st.writer.policy())?;
+        write_atomic(dir.join(CURRENT_FILE), format!("{next}\n").as_bytes())?;
         let old = st.generation;
         st.generation = next;
         st.writer = writer;
-        let _ = std::fs::remove_file(st.dir.join(wal_file(old)));
-        let _ = std::fs::remove_dir_all(st.dir.join(generation_dir(old)));
+        self.mirror(st);
+        let _ = std::fs::remove_file(dir.join(wal_file(old)));
+        let _ = std::fs::remove_dir_all(dir.join(generation_dir(old)));
         Ok(next)
     }
 
@@ -383,10 +453,22 @@ impl DurableHandle {
     /// records — the checkpoint *is* its durability, and the method
     /// only returns once the rebuilt index is the published
     /// generation. Returns the new generation number.
+    ///
+    /// If the checkpoint fails after the in-memory rebuild, the
+    /// served index holds post-rebuild ids while `CURRENT` still
+    /// names the pre-rebuild generation and log — no mutation logged
+    /// from here on could apply on recovery. The handle therefore
+    /// **poisons itself**: reads keep serving, but every further
+    /// mutation fails with [`GdimError::DurablePoisoned`] until the
+    /// directory is reopened (which recovers the pre-rebuild acked
+    /// state, losing nothing that was acked).
     pub fn rebuild(&self) -> Result<u64, GdimError> {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.shared.state);
+        Self::check_usable(&st)?;
         self.serving.write(|idx| idx.rebuild());
-        self.checkpoint_locked(&mut st)
+        self.checkpoint_locked(&mut st).inspect_err(|e| {
+            st.poisoned = Some(format!("rebuild applied but its checkpoint failed: {e}"));
+        })
     }
 
     // ----------------------------------------------------- accessors
@@ -398,25 +480,34 @@ impl DurableHandle {
         &self.serving
     }
 
-    /// The current checkpoint generation number.
+    /// The current checkpoint generation number. Lock-free (a mirror
+    /// updated under the durable lock), so stats/health polling never
+    /// blocks behind a checkpoint folding the index to disk.
     pub fn generation(&self) -> u64 {
-        lock(&self.state).generation
+        self.shared.generation.load(Ordering::Acquire)
     }
 
     /// Records in the current log (acked mutations since the last
-    /// checkpoint).
+    /// checkpoint). Lock-free, like [`DurableHandle::generation`].
     pub fn wal_records(&self) -> u64 {
-        lock(&self.state).writer.records()
+        self.shared.wal_records.load(Ordering::Acquire)
     }
 
     /// Bytes in the current log. Every byte up to here is a complete
     /// frame; the crash-cut tests use this as the per-ack boundary.
+    /// Lock-free, like [`DurableHandle::generation`].
     pub fn wal_bytes(&self) -> u64 {
-        lock(&self.state).writer.len()
+        self.shared.wal_bytes.load(Ordering::Acquire)
+    }
+
+    /// Whether the handle stopped accepting mutations (see
+    /// [`DurableHandle::rebuild`]).
+    pub fn is_poisoned(&self) -> bool {
+        lock(&self.shared.state).poisoned.is_some()
     }
 
     /// The durable directory.
     pub fn dir(&self) -> PathBuf {
-        lock(&self.state).dir.clone()
+        self.shared.dir.clone()
     }
 }

@@ -305,6 +305,20 @@ pub enum SyncPolicy {
 
 /// Appends CRC-framed records to a log file under a [`SyncPolicy`]
 /// (see the [module docs](self) for the frame layout).
+///
+/// # Failure handling
+///
+/// A failed or short write (`ENOSPC`, `EIO`) can leave torn bytes
+/// after the last complete frame. Were the writer to keep appending
+/// past them, the reader — which trusts only the prefix before the
+/// first defect — would silently discard every later record on
+/// recovery, including fsynced, acked ones. So an append that fails
+/// first **rolls the file back** to the last complete frame
+/// (truncate + re-seek); if that rollback itself fails, or an `fsync`
+/// fails (after which the kernel may have dropped dirty pages while
+/// clearing the error), the writer is **poisoned**: every subsequent
+/// append and sync fails until the log is reopened, so no record can
+/// ever land after bytes recovery will not trust.
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
@@ -314,6 +328,17 @@ pub struct WalWriter {
     policy: SyncPolicy,
     /// Records appended since the last fsync.
     unsynced: u64,
+    /// Why the writer refuses all further work (a failed write whose
+    /// rollback also failed, or a failed fsync). `None` = usable.
+    poisoned: Option<String>,
+    /// Test hook: write only this many bytes of the next frame, then
+    /// fail — simulates `ENOSPC` / a short write mid-frame.
+    #[cfg(test)]
+    test_write_limit: Option<usize>,
+    /// Test hook: make the post-failure rollback fail too, forcing
+    /// the poisoned path.
+    #[cfg(test)]
+    test_fail_rollback: bool,
 }
 
 impl WalWriter {
@@ -337,6 +362,11 @@ impl WalWriter {
             records: 0,
             policy,
             unsynced: 0,
+            poisoned: None,
+            #[cfg(test)]
+            test_write_limit: None,
+            #[cfg(test)]
+            test_fail_rollback: false,
         })
     }
 
@@ -361,6 +391,11 @@ impl WalWriter {
             records,
             policy,
             unsynced: 0,
+            poisoned: None,
+            #[cfg(test)]
+            test_write_limit: None,
+            #[cfg(test)]
+            test_fail_rollback: false,
         };
         writer.file.seek(SeekFrom::Start(trusted_bytes))?;
         Ok(writer)
@@ -370,7 +405,10 @@ impl WalWriter {
     /// file length after the frame — the offset an acked-prefix proof
     /// needs to associate with this record.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
-        self.append_unsynced(payload)?;
+        self.check_usable()?;
+        let mut buf = Vec::with_capacity(payload.len() + WAL_FRAME_HEADER as usize);
+        Self::frame_into(&mut buf, payload)?;
+        self.write_frames(&buf, 1)?;
         self.policy_sync()?;
         Ok(self.len)
     }
@@ -382,27 +420,86 @@ impl WalWriter {
         &mut self,
         payloads: impl IntoIterator<Item = &'a [u8]>,
     ) -> io::Result<u64> {
+        self.check_usable()?;
         let mut buf = Vec::new();
         let mut count = 0u64;
         for payload in payloads {
             Self::frame_into(&mut buf, payload)?;
             count += 1;
         }
-        self.file.write_all(&buf)?;
-        self.len += buf.len() as u64;
-        self.records += count;
-        self.unsynced += count;
+        self.write_frames(&buf, count)?;
         self.policy_sync()?;
         Ok(self.len)
     }
 
-    fn append_unsynced(&mut self, payload: &[u8]) -> io::Result<()> {
-        let mut buf = Vec::with_capacity(payload.len() + WAL_FRAME_HEADER as usize);
-        Self::frame_into(&mut buf, payload)?;
-        self.file.write_all(&buf)?;
+    /// Whether a prior failure poisoned the writer (see the type
+    /// docs); a poisoned writer fails every append and sync until the
+    /// log is reopened.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    fn check_usable(&self) -> io::Result<()> {
+        match &self.poisoned {
+            Some(why) => Err(io::Error::other(format!(
+                "write-ahead log writer is poisoned by an earlier failure: {why}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes framed bytes, advancing the counters only once every
+    /// byte landed. On failure the file may hold a torn partial frame
+    /// after `self.len`; see [`WalWriter::rollback_or_poison`].
+    fn write_frames(&mut self, buf: &[u8], count: u64) -> io::Result<()> {
+        if let Err(e) = self.raw_write(buf) {
+            return Err(self.rollback_or_poison(e));
+        }
         self.len += buf.len() as u64;
-        self.records += 1;
-        self.unsynced += 1;
+        self.records += count;
+        self.unsynced += count;
+        Ok(())
+    }
+
+    fn raw_write(&mut self, buf: &[u8]) -> io::Result<()> {
+        #[cfg(test)]
+        if let Some(limit) = self.test_write_limit {
+            let n = limit.min(buf.len());
+            self.file.write_all(&buf[..n])?;
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "simulated short write (disk full)",
+            ));
+        }
+        self.file.write_all(buf)
+    }
+
+    /// Restores the end-on-a-frame-boundary invariant after a failed
+    /// write: truncate back to the last complete frame and re-seek so
+    /// the next append lands where recovery's trust ends. If the
+    /// rollback itself fails the torn bytes stay on disk, so the
+    /// writer is poisoned — appending after them would put records
+    /// past the defect, where recovery silently discards them.
+    fn rollback_or_poison(&mut self, cause: io::Error) -> io::Error {
+        match self.try_rollback() {
+            Ok(()) => cause,
+            Err(r) => {
+                self.poisoned = Some(format!("{cause}; rollback failed: {r}"));
+                io::Error::new(
+                    cause.kind(),
+                    format!("{cause}; log writer poisoned (rollback failed: {r})"),
+                )
+            }
+        }
+    }
+
+    fn try_rollback(&mut self) -> io::Result<()> {
+        #[cfg(test)]
+        if self.test_fail_rollback {
+            return Err(io::Error::other("simulated rollback failure"));
+        }
+        self.file.set_len(self.len)?;
+        self.file.seek(SeekFrom::Start(self.len))?;
         Ok(())
     }
 
@@ -436,10 +533,19 @@ impl WalWriter {
         }
     }
 
-    /// Forces everything appended so far onto the disk.
+    /// Forces everything appended so far onto the disk. A failed
+    /// fsync **poisons** the writer: the kernel may have dropped the
+    /// dirty pages while clearing the error, so nothing appended since
+    /// the last successful sync can be trusted, and no rollback can
+    /// repair that — the log must be reopened (which truncates to the
+    /// trusted prefix) before any further append.
     pub fn sync(&mut self) -> io::Result<()> {
+        self.check_usable()?;
         if self.unsynced > 0 {
-            self.file.sync_data()?;
+            if let Err(e) = self.file.sync_data() {
+                self.poisoned = Some(format!("fsync failed: {e}"));
+                return Err(e);
+            }
             self.unsynced = 0;
         }
         Ok(())
@@ -660,6 +766,70 @@ mod tests {
         let (payloads, report) = WalReader::read(&path).unwrap();
         assert!(report.is_clean());
         assert_eq!(payloads.len(), 11);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_torn_bytes_and_writer_stays_usable() {
+        let path = tmp("enospc-rollback");
+        let mut w = WalWriter::create(&path, SyncPolicy::Always).unwrap();
+        let end = w.append(b"durable").unwrap();
+        // The next frame dies 3 bytes in (simulated ENOSPC): the torn
+        // bytes must be truncated away and the counters untouched.
+        w.test_write_limit = Some(3);
+        let err = w.append(b"lost-to-full-disk").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!((w.len(), w.records()), (end, 1));
+        assert!(!w.is_poisoned());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), end);
+        // Once the disk recovers, the writer appends cleanly after the
+        // last complete frame — no gap, no torn bytes, no lost suffix.
+        w.test_write_limit = None;
+        w.append(b"after-the-outage").unwrap();
+        let (payloads, report) = WalReader::read(&path).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(
+            payloads,
+            vec![b"durable".to_vec(), b"after-the-outage".to_vec()]
+        );
+    }
+
+    #[test]
+    fn failed_rollback_poisons_the_writer_until_reopen() {
+        let path = tmp("poison");
+        let mut w = WalWriter::create(&path, SyncPolicy::Always).unwrap();
+        let end = w.append(b"acked").unwrap();
+        // A short write whose rollback also fails leaves torn bytes on
+        // disk; every later append must fail, or it would land past
+        // the defect and be silently discarded by recovery.
+        w.test_write_limit = Some(3);
+        w.test_fail_rollback = true;
+        assert!(w.append(b"torn").is_err());
+        assert!(w.is_poisoned());
+        w.test_write_limit = None;
+        w.test_fail_rollback = false;
+        assert!(w.append(b"must-not-land").is_err(), "poisoned append");
+        assert!(w.sync().is_err(), "poisoned sync");
+        // The trusted prefix is exactly the acked records; nothing was
+        // written after the torn bytes.
+        let report = WalReader::scan(&std::fs::read(&path).unwrap());
+        assert_eq!(report.records, 1);
+        assert_eq!(report.trusted_bytes, end);
+        assert_eq!(
+            report.defect,
+            Some(WalDefect::ShortHeader { at: end, have: 3 })
+        );
+        // Reopening on the trusted prefix yields a healthy writer.
+        let mut w = WalWriter::open_trusted(
+            &path,
+            report.trusted_bytes,
+            report.records,
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        w.append(b"recovered").unwrap();
+        let (payloads, report) = WalReader::read(&path).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(payloads, vec![b"acked".to_vec(), b"recovered".to_vec()]);
     }
 
     #[test]

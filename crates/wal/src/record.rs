@@ -143,7 +143,10 @@ impl WalRecord {
         let record = match c.u8()? {
             TAG_INSERT => {
                 let nv = c.u32()? as usize;
-                if c.remaining() < nv * 4 {
+                // Compare in u64: `nv * 4` can overflow usize on
+                // 32-bit targets, which would let CRC-valid garbage
+                // slip past this guard into a multi-GiB allocation.
+                if (c.remaining() as u64) < nv as u64 * 4 {
                     return Err(RecordError::UnexpectedEof { at: c.pos });
                 }
                 let mut vlabels = Vec::with_capacity(nv);
@@ -151,7 +154,7 @@ impl WalRecord {
                     vlabels.push(c.u32()?);
                 }
                 let ne = c.u32()? as usize;
-                if c.remaining() < ne * 12 {
+                if (c.remaining() as u64) < ne as u64 * 12 {
                     return Err(RecordError::UnexpectedEof { at: c.pos });
                 }
                 let mut edges = Vec::with_capacity(ne);

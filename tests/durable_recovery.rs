@@ -373,6 +373,88 @@ fn readers_stay_lock_free_and_bit_identical_during_a_background_checkpoint() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A rebuild reassigns ids in memory *before* its checkpoint
+/// publishes them. If that checkpoint fails, the served index is
+/// ahead of what `CURRENT` names, and any mutation logged from then
+/// on would be validated against ids the on-disk state cannot
+/// reproduce — so the handle must refuse all further mutations
+/// (typed, not panicking) until the directory is reopened. A plain
+/// checkpoint failure, by contrast, moves nothing in memory and must
+/// stay fully recoverable.
+#[test]
+fn failed_rebuild_checkpoint_poisons_mutations_until_reopen() {
+    let base = ShardedIndex::build(chem(10, 41), ShardedOptions::new(2).with_index(opts()));
+    let dir = tmp_dir("poison", 41);
+    let durable = DurableHandle::create(&dir, base.clone(), SyncPolicy::Always).unwrap();
+    let extra = chem(3, !41);
+    durable.insert(extra[0].clone()).unwrap();
+
+    // Block every checkpoint: a plain file where generation 1 would
+    // be staged makes the snapshot save fail.
+    let staging = dir.join("gen-000001.tmp");
+    std::fs::write(&staging, b"in the way").unwrap();
+
+    // A plain checkpoint failure is recoverable — nothing moved in
+    // memory, so mutations keep flowing.
+    assert!(durable.checkpoint().is_err());
+    assert!(!durable.is_poisoned());
+    let acked_id = durable.insert(extra[1].clone()).unwrap();
+
+    // A rebuild failure is not: the in-memory index now holds
+    // post-rebuild ids that were never published.
+    let err = durable.rebuild().unwrap_err();
+    assert!(
+        !matches!(err, GdimError::DurablePoisoned { .. }),
+        "the rebuild itself surfaces the underlying checkpoint error: {err:?}"
+    );
+    assert!(durable.is_poisoned());
+    match durable.insert(extra[2].clone()) {
+        Err(e @ GdimError::DurablePoisoned { .. }) => {
+            assert_eq!(e.code(), "durable_poisoned");
+        }
+        other => panic!("expected DurablePoisoned, got {other:?}"),
+    }
+    assert!(matches!(
+        durable.remove(acked_id),
+        Err(GdimError::DurablePoisoned { .. })
+    ));
+    assert!(matches!(
+        durable.checkpoint(),
+        Err(GdimError::DurablePoisoned { .. })
+    ));
+    assert!(matches!(
+        durable.sync(),
+        Err(GdimError::DurablePoisoned { .. })
+    ));
+    // Reads keep serving.
+    durable
+        .serving()
+        .snapshot()
+        .search(&extra[0], &SearchRequest::topk(3))
+        .unwrap();
+    drop(durable);
+
+    // Reopening recovers exactly the pre-rebuild acked state (both
+    // acked inserts, generation 0) and mutations work again.
+    std::fs::remove_file(&staging).unwrap();
+    let (recovered, report) = DurableHandle::open(&dir, SyncPolicy::Always).unwrap();
+    assert_eq!(report.generation, 0);
+    assert_eq!(report.wal_records, 2);
+    let mut want = base.clone();
+    want.insert(extra[0].clone());
+    want.insert(extra[1].clone());
+    assert_identical(
+        &recovered.serving().snapshot(),
+        &want,
+        &extra[..1],
+        "post-poison reopen",
+    );
+    recovered.insert(extra[2].clone()).unwrap();
+    assert_eq!(recovered.checkpoint().unwrap(), 1);
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Satellite: oversized WAL payloads are refused at append time, and
 /// the durable-facing constant is what the frame layer enforces.
 #[test]
