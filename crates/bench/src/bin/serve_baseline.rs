@@ -214,7 +214,7 @@ fn main() {
             assert_eq!(status, 200, "probe failed: {j:?}");
             let served = response_from_json(&j).expect("parse served response");
             let local = snap
-                .search(snap.graph(GraphId(id)).unwrap(), &SearchRequest::topk(k))
+                .search(snap.graph(GraphId(id)).unwrap(), &SearchRequest::new(k))
                 .unwrap();
             assert_eq!(served.hits.len(), local.hits.len(), "hit count for id {id}");
             for (a, b) in served.hits.iter().zip(&local.hits) {

@@ -113,6 +113,49 @@ pub fn split_store(store: &VectorStore, shards: usize) -> Vec<(u64, VectorStore)
         .collect()
 }
 
+/// `n` synthetic `bits`-bit vectors with **neighbor structure**: rows
+/// are noisy copies of `clusters` random centers (`flips` bits flipped
+/// per row). Uniform random vectors concentrate all pairwise distances
+/// and are the adversarial no-structure case for a proximity graph;
+/// mapped chem/zipf stores look like this clustered shape instead, so
+/// the ANN benchmarks measure on it.
+pub fn synth_clustered(
+    n: usize,
+    bits: usize,
+    clusters: usize,
+    flips: usize,
+    seed: u64,
+) -> VectorStore {
+    let clusters = clusters.max(1);
+    let mut state = seed;
+    let centers: Vec<Vec<u64>> = (0..clusters)
+        .map(|_| {
+            (0..bits.div_ceil(64))
+                .map(|_| splitmix(&mut state))
+                .collect()
+        })
+        .collect();
+    let mut store = VectorStore::zeros(0, bits);
+    let tail_mask = if bits.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (bits % 64)) - 1
+    };
+    for _ in 0..n {
+        let c = &centers[(splitmix(&mut state) % clusters as u64) as usize];
+        let mut words = c.clone();
+        for _ in 0..flips {
+            let b = (splitmix(&mut state) % bits as u64) as usize;
+            words[b / 64] ^= 1 << (b % 64);
+        }
+        if let Some(last) = words.last_mut() {
+            *last &= tail_mask;
+        }
+        store.push_row(&Bitset::from_words(words, bits));
+    }
+    store
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

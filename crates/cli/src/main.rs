@@ -10,7 +10,8 @@
 //! Client side (all take `--addr`, default `127.0.0.1:7171`):
 //!
 //! ```text
-//! gdim search (--id N | --query FILE) [--k K] [--ranker mapped|exact|refined:C]
+//! gdim search (--id N | --query FILE) [--k K]
+//!             [--ranker mapped|exact|refined:C|approx:EF[:C]]
 //!             [--mapping binary|weighted] [--budget B] [--json]
 //! gdim insert --graph FILE        # inserts every graph in the gSpan file
 //! gdim remove --id N
@@ -59,7 +60,8 @@ commands:
               flags
   search    top-k search against a running server
               (--id N | --query FILE) [--k K=10]
-              [--ranker mapped|exact|refined:C] [--mapping binary|weighted]
+              [--ranker mapped|exact|refined:C|approx:EF[:C]]
+              [--mapping binary|weighted]
               [--budget B] [--json] [--addr HOST:PORT]
   insert    insert every graph from a gSpan file; prints assigned ids
               --graph FILE [--addr HOST:PORT]
@@ -289,6 +291,38 @@ fn expect_ok(reply: std::io::Result<(u16, Json)>) -> Result<Json, String> {
     Err(format!("server answered {status} {code}: {message}"))
 }
 
+/// Parses the `--ranker` spelling: `mapped`, `exact`, `refined:C`, or
+/// the approximate tier `approx:EF` / `approx:EF:C` (the second
+/// number turns on exact verification of the top C beam candidates).
+fn parse_ranker(r: &str) -> Result<Ranker, String> {
+    match r {
+        "mapped" => Ok(Ranker::Mapped),
+        "exact" => Ok(Ranker::Exact),
+        _ => {
+            if let Some(c) = r.strip_prefix("refined:") {
+                return match c.parse() {
+                    Ok(candidates) => Ok(Ranker::Refined { candidates }),
+                    Err(_) => Err(format!("--ranker: bad value {r:?}")),
+                };
+            }
+            let Some(spec) = r.strip_prefix("approx:") else {
+                return Err(format!("--ranker: bad value {r:?}"));
+            };
+            let (ef, verify) = match spec.split_once(':') {
+                None => (spec.parse().ok(), None),
+                Some((ef, c)) => match c.parse() {
+                    Ok(c) => (ef.parse().ok(), Some(c)),
+                    Err(_) => (None, None),
+                },
+            };
+            match ef {
+                Some(ef) => Ok(Ranker::Approx { ef, verify }),
+                None => Err(format!("--ranker: bad value {r:?}")),
+            }
+        }
+    }
+}
+
 fn cmd_search(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["--json"])?;
     let query = match (flags.num::<u32>("--id")?, flags.get("--query")) {
@@ -301,26 +335,19 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     };
     // Build the typed request locally so flag validation matches the
     // server's, then ship its JSON form.
-    let mut req = SearchRequest::topk(flags.num::<usize>("--k")?.unwrap_or(10));
+    let mut req = SearchRequest::new(flags.num::<usize>("--k")?.unwrap_or(10));
     if let Some(r) = flags.get("--ranker") {
-        req = req.with_ranker(match r {
-            "mapped" => Ranker::Mapped,
-            "exact" => Ranker::Exact,
-            refined => match refined.strip_prefix("refined:").map(str::parse) {
-                Some(Ok(candidates)) => Ranker::Refined { candidates },
-                _ => return Err(format!("--ranker: bad value {r:?}")),
-            },
-        });
+        req = req.ranker(parse_ranker(r)?);
     }
     if let Some(m) = flags.get("--mapping") {
-        req = req.with_mapping(match m {
+        req = req.mapping(match m {
             "binary" => MappingKind::Binary,
             "weighted" => MappingKind::Weighted,
             _ => return Err(format!("--mapping: bad value {m:?}")),
         });
     }
     if let Some(b) = flags.num::<u64>("--budget")? {
-        req = req.with_budget(b);
+        req = req.budget(b);
     }
     let mut body = gdim_server::wire::request_to_json(&req);
     if let Json::Obj(pairs) = &mut body {
@@ -421,4 +448,36 @@ fn cmd_stop(args: &[String]) -> Result<(), String> {
     expect_ok(client.post("/shutdown", &Json::Null))?;
     println!("server is draining");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranker_spellings_parse_and_reject() {
+        assert_eq!(parse_ranker("mapped").unwrap(), Ranker::Mapped);
+        assert_eq!(parse_ranker("exact").unwrap(), Ranker::Exact);
+        assert_eq!(
+            parse_ranker("refined:20").unwrap(),
+            Ranker::Refined { candidates: 20 }
+        );
+        assert_eq!(
+            parse_ranker("approx:64").unwrap(),
+            Ranker::Approx {
+                ef: 64,
+                verify: None
+            }
+        );
+        assert_eq!(
+            parse_ranker("approx:128:40").unwrap(),
+            Ranker::Approx {
+                ef: 128,
+                verify: Some(40)
+            }
+        );
+        for bad in ["", "appro", "approx:", "approx:x", "approx:8:", "refined:"] {
+            assert!(parse_ranker(bad).is_err(), "{bad:?}");
+        }
+    }
 }

@@ -247,6 +247,13 @@ pub struct GraphIndex {
     /// per-feature VF2 of [`GraphIndex::insert`]. Lazy: indexes that
     /// never insert never pay the pairwise containment build.
     full_dag: OnceLock<ContainmentDag>,
+    /// Proximity graph for [`Ranker::Approx`](crate::search::Ranker::Approx),
+    /// built lazily over the scan store on the first approximate query
+    /// (or restored from a v3 snapshot). Derived state: rows inserted
+    /// after the build are served from an exact-scanned pending tail,
+    /// and an installed rebuild drops it (the fresh index starts with
+    /// an empty cell), so it can never serve rows of a dead epoch.
+    ann: OnceLock<crate::ann::AnnIndex>,
 }
 
 impl std::fmt::Debug for GraphIndex {
@@ -420,6 +427,7 @@ impl GraphIndex {
             inserts_since_rebuild: 0,
             mutations: 0,
             full_dag: OnceLock::new(),
+            ann: OnceLock::new(),
         }
     }
 
@@ -613,6 +621,104 @@ impl GraphIndex {
     /// [`MappedDatabase::scan_topk_with_masked`](crate::query::MappedDatabase::scan_topk_with_masked).
     pub fn weighted_w_sq(&self) -> &[f64] {
         &self.w_sq_weighted
+    }
+
+    /// The proximity-graph ANN over the scan store
+    /// ([`Ranker::Approx`](crate::search::Ranker::Approx)), building
+    /// it on first use with [`AnnParams::default`](crate::ann::AnnParams::default). Derived state,
+    /// like the scan store itself: deterministic from the store, never
+    /// required for correctness of the exact rankers, dropped by an
+    /// installed rebuild. Call this to warm the graph ahead of serving
+    /// traffic (the build is O(n·ef_construction) distance
+    /// evaluations).
+    pub fn ann(&self) -> &crate::ann::AnnIndex {
+        self.ann
+            .get_or_init(|| crate::ann::AnnIndex::build(self.mapped.store(), Default::default()))
+    }
+
+    /// The ANN graph if one was already built or restored — the
+    /// persistence path uses this so saving an index never forces a
+    /// build.
+    pub fn ann_if_built(&self) -> Option<&crate::ann::AnnIndex> {
+        self.ann.get()
+    }
+
+    /// Restores a previously built ANN graph (the persist decode
+    /// seam). A no-op if one is already present.
+    pub(crate) fn set_ann(&self, ann: crate::ann::AnnIndex) {
+        let _ = self.ann.set(ann);
+    }
+
+    /// The [`Ranker::Approx`](crate::search::Ranker::Approx) scan leg,
+    /// for a query vector that is already mapped: an `ef`-wide beam
+    /// over the proximity graph (building it on first use), merged
+    /// with an **exact** scan of the pending tail (rows inserted after
+    /// the graph was built), tombstone-filtered, ascending by
+    /// `(distance, id)` and truncated to `take`. Distances go through
+    /// the same final formulas as
+    /// [`MappedDatabase::distance_to`](crate::query::MappedDatabase::distance_to),
+    /// so every returned distance is bit-identical to what the exact
+    /// scan reports for that row. This is the per-shard seam the
+    /// sharded scatter-gather layer calls.
+    pub fn approx_scan_premapped(
+        &self,
+        qvec: &Bitset,
+        take: usize,
+        ef: usize,
+        mapping: crate::query::MappingKind,
+    ) -> (Vec<(u32, f64)>, crate::ann::AnnScanStats) {
+        use crate::bitset::weighted_sq_xor_words;
+        use crate::query::MappingKind;
+        use gdim_kernels::hamming_row;
+
+        let mut stats = crate::ann::AnnScanStats::default();
+        let store = self.mapped.store();
+        let n = store.len();
+        let take = take.min(n);
+        if take == 0 {
+            return (Vec::new(), stats);
+        }
+        let dead = &self.tombstones;
+        let qwords = qvec.words();
+        // Traversal keys: strictly increasing transforms of the true
+        // distance (integer popcount / squared weighted distance), so
+        // beam order equals distance order and the final formula below
+        // reproduces the scan's exact values.
+        let key = |i: u32| -> f64 {
+            match mapping {
+                MappingKind::Binary => hamming_row(qwords, store.row(i as usize)) as f64,
+                MappingKind::Weighted => {
+                    weighted_sq_xor_words(qwords, store.row(i as usize), &self.w_sq_weighted)
+                }
+            }
+        };
+        let ann = self.ann();
+        let (mut keyed, visited) = ann.query(key, ef.max(take), Some(dead));
+        stats.beam_visited = visited;
+        // The pending tail — rows the graph does not cover — is served
+        // exactly, so online inserts are never invisible or degraded.
+        for i in ann.built_n()..n {
+            if dead.is_dead(i) {
+                stats.tail_tombstones += 1;
+                continue;
+            }
+            stats.tail_scanned += 1;
+            keyed.push((i as u32, key(i as u32)));
+        }
+        let p = self.mapped.p().max(1) as f64;
+        let mut ranking: Vec<(u32, f64)> = keyed
+            .into_iter()
+            .map(|(id, k)| {
+                let d = match mapping {
+                    MappingKind::Binary => (k / p).sqrt(),
+                    MappingKind::Weighted => k.sqrt(),
+                };
+                (id, d)
+            })
+            .collect();
+        crate::query::sort_ranking(&mut ranking);
+        ranking.truncate(take);
+        (ranking, stats)
     }
 
     /// Maps a query graph onto the index's dimensions (containment-DAG

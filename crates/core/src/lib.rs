@@ -50,6 +50,7 @@
 
 pub use gdim_exec as exec;
 
+pub mod ann;
 pub mod applications;
 pub mod bitset;
 pub mod correlation;
@@ -68,6 +69,7 @@ pub mod search;
 
 /// One-stop imports for downstream users.
 pub mod prelude {
+    pub use crate::ann::{AnnIndex, AnnParams, AnnScanStats};
     pub use crate::applications::{cluster_mapped, ContainmentFilter};
     pub use crate::bitset::Bitset;
     pub use crate::correlation::{correlation_score, jaccard};

@@ -1,7 +1,7 @@
 //! Versioned binary persistence for [`GraphIndex`]: build once, serve
 //! from disk.
 //!
-//! Layout of the current format, **v2** (all integers little-endian,
+//! Layout of the current format, **v3** (all integers little-endian,
 //! lengths as `u64`):
 //!
 //! ```text
@@ -32,6 +32,11 @@
 //! epoch    u64   rebuild generation
 //! pending  u64   inserts accumulated since the last rebuild
 //! tombs    count u64 · strictly ascending dead graph ids u32*
+//! -- v3 section (optional ANN proximity graph) ----------------------
+//! ann flag u8    0 = no graph persisted, 1 = present
+//! ann      (when present) m u64 · ef_construction u64 · seed u64 ·
+//!          entry u32 · built_n u64 · per-node level u8* ·
+//!          per node, per layer 0..=level: count u32 · neighbor u32*
 //! ```
 //!
 //! The tail exists because the index is **dynamic**: removed graphs
@@ -40,10 +45,16 @@
 //! options let a reloaded index [`rebuild`](GraphIndex::rebuild) with
 //! exactly the pipeline that produced it.
 //!
-//! **v1 files still load**: a v1 payload is the v2 layout without the
-//! tail, and decodes as a fully-live epoch-0 index whose non-δ build
-//! options fall back to defaults (the δ kind / MCS budget were always
-//! in the header). Saving always writes v2.
+//! **v1 and v2 files still load**: a v1 payload is the v2 layout
+//! without the tail (it decodes as a fully-live epoch-0 index whose
+//! non-δ build options fall back to defaults — the δ kind / MCS budget
+//! were always in the header), and a v2 payload is v3 without the ANN
+//! section (the proximity graph simply rebuilds lazily on the first
+//! approximate query). Saving always writes v3. The ANN graph is the
+//! one piece of *derived* state that **is** persisted when present:
+//! unlike the scan store it costs O(n·ef_construction) distance
+//! evaluations to rebuild, so a serving restart should not have to
+//! re-pay the build to keep its latency budget.
 //!
 //! Derived state — the feature space, the flat
 //! [`VectorStore`](crate::scan::VectorStore) of mapped vectors, the
@@ -86,7 +97,7 @@ use crate::index::{GraphIndex, IndexOptions, IndexStats, RebuildPolicy, Selectio
 use crate::scan::Tombstones;
 
 pub(crate) const MAGIC: [u8; 8] = *b"GDIMIDX\0";
-pub(crate) const VERSION: u32 = 2;
+pub(crate) const VERSION: u32 = 3;
 /// Oldest format this build still reads.
 pub(crate) const MIN_VERSION: u32 = 1;
 
@@ -145,6 +156,7 @@ fn put_feature(buf: &mut Vec<u8>, f: &Feature) {
 pub(crate) fn encode(index: &GraphIndex) -> Vec<u8> {
     let mut buf = encode_body(index);
     encode_tail(index, &mut buf);
+    encode_ann(index, &mut buf);
     buf
 }
 
@@ -239,6 +251,32 @@ fn encode_tail(index: &GraphIndex, buf: &mut Vec<u8>) {
     put_len(buf, dead.len());
     for id in dead {
         put_u32(buf, id);
+    }
+}
+
+/// The v3 section: the ANN proximity graph, **iff one was built** —
+/// saving never forces the O(n·ef_construction) build, it only keeps
+/// a graph the serving path already paid for.
+fn encode_ann(index: &GraphIndex, buf: &mut Vec<u8>) {
+    let Some(ann) = index.ann_if_built() else {
+        put_u8(buf, 0);
+        return;
+    };
+    put_u8(buf, 1);
+    let params = ann.params();
+    put_u64(buf, params.m as u64);
+    put_u64(buf, params.ef_construction as u64);
+    put_u64(buf, params.seed);
+    put_u32(buf, ann.entry());
+    put_len(buf, ann.built_n());
+    buf.extend_from_slice(ann.levels());
+    for layers in ann.links() {
+        for list in layers {
+            put_u32(buf, list.len() as u32);
+            for &nb in list {
+                put_u32(buf, nb);
+            }
+        }
     }
 }
 
@@ -510,6 +548,41 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<GraphIndex, GdimError> {
         }
         (opts, epoch, tombstones, pending)
     };
+    // The v3 section: an optional persisted ANN proximity graph. A v2
+    // file ends before it and just rebuilds the graph lazily.
+    let ann = if version >= 3 && r.flag()? {
+        let params = crate::ann::AnnParams::default()
+            .with_m(r.u64()? as usize)
+            .with_ef_construction(r.u64()? as usize)
+            .with_seed(r.u64()?);
+        let entry = r.u32()?;
+        let built_n = r.len()?;
+        if built_n > n {
+            return Err(GdimError::Corrupt(format!(
+                "ANN graph covers {built_n} rows but the store has {n}"
+            )));
+        }
+        let levels = r.take(built_n)?.to_vec();
+        let mut links = Vec::with_capacity(built_n);
+        for &level in &levels {
+            let mut layers = Vec::with_capacity(level as usize + 1);
+            for _ in 0..=level {
+                let deg = r.u32()? as usize;
+                let mut list = Vec::with_capacity(deg.min(4096));
+                for _ in 0..deg {
+                    list.push(r.u32()?);
+                }
+                layers.push(list);
+            }
+            links.push(layers);
+        }
+        Some(
+            crate::ann::AnnIndex::from_parts(params, entry, levels, links)
+                .map_err(|e| GdimError::Corrupt(format!("inconsistent ANN graph: {e}")))?,
+        )
+    } else {
+        None
+    };
     if r.pos != bytes.len() {
         return Err(GdimError::Corrupt(format!(
             "{} trailing bytes after index payload",
@@ -517,13 +590,17 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<GraphIndex, GdimError> {
         )));
     }
 
-    GraphIndex::from_parts(
+    let index = GraphIndex::from_parts(
         db, features, selected, weights, opts, stats, epoch, tombstones, pending,
     )
     // Structurally valid bytes can still describe an inconsistent
     // index (selected id outside the space, wrong weights length);
     // from a file, that is corruption too.
-    .map_err(|e| GdimError::Corrupt(format!("inconsistent index payload: {e}")))
+    .map_err(|e| GdimError::Corrupt(format!("inconsistent index payload: {e}")))?;
+    if let Some(ann) = ann {
+        index.set_ann(ann);
+    }
+    Ok(index)
 }
 
 #[cfg(test)]
@@ -647,7 +724,9 @@ mod tests {
         // v2 is followed by the options/dynamic-state tail.
         let mut tail = Vec::new();
         encode_tail(&idx, &mut tail);
-        let sel_start = bytes.len() - tail.len() - (8 + 8 * wn) - 4 * p;
+        let mut ann = Vec::new();
+        encode_ann(&idx, &mut ann);
+        let sel_start = bytes.len() - ann.len() - tail.len() - (8 + 8 * wn) - 4 * p;
         bytes[sel_start..sel_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         match GraphIndex::from_bytes(&bytes) {
             Err(GdimError::Corrupt(msg)) => {
@@ -743,11 +822,11 @@ mod tests {
         let mut idx = index(8, 21);
         idx.remove(crate::search::GraphId(3)).unwrap();
         let good = idx.to_bytes();
-        // Tombstone id out of range: the last 4 bytes are the only
-        // dead id; overwrite with an absurd one.
+        // Tombstone id out of range: the 4 bytes before the trailing
+        // ANN flag are the only dead id; overwrite with an absurd one.
         let mut bad = good.clone();
-        let at = bad.len() - 4;
-        bad[at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let at = bad.len() - 5;
+        bad[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             GraphIndex::from_bytes(&bad),
             Err(GdimError::Corrupt(_))
@@ -755,11 +834,56 @@ mod tests {
         // Unknown strategy tag inside the tail.
         let mut tail = Vec::new();
         encode_tail(&idx, &mut tail);
-        let body_len = good.len() - tail.len();
+        let mut ann = Vec::new();
+        encode_ann(&idx, &mut ann);
+        let body_len = good.len() - ann.len() - tail.len();
         // Tail layout: tag u8 + u64 + u64 + u64 = 25 bytes before the
         // strategy tag.
         let mut bad = good.clone();
         bad[body_len + 25] = 9;
+        assert!(matches!(
+            GraphIndex::from_bytes(&bad),
+            Err(GdimError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn ann_graph_persists_and_roundtrips() {
+        let idx = index(30, 23);
+        // A clean save carries no graph (flag 0): the save path never
+        // forces the build, and a reload rebuilds lazily when asked.
+        let cold = GraphIndex::from_bytes(&idx.to_bytes()).unwrap();
+        assert!(cold.ann_if_built().is_none());
+        // Force the build and save again: the graph rides along.
+        idx.ann();
+        let bytes = idx.to_bytes();
+        let back = GraphIndex::from_bytes(&bytes).unwrap();
+        let (a, b) = (idx.ann_if_built().unwrap(), back.ann_if_built().unwrap());
+        assert_eq!(a.entry(), b.entry());
+        assert_eq!(a.levels(), b.levels());
+        assert_eq!(a.links(), b.links());
+        assert_eq!(back.to_bytes(), bytes);
+        let req = SearchRequest::new(5).ranker(Ranker::Approx {
+            ef: 30,
+            verify: None,
+        });
+        let q = idx.graph(7).unwrap().clone();
+        let fresh = idx.search(&q, &req).unwrap();
+        let warm = back.search(&q, &req).unwrap();
+        assert_eq!(fresh.hits, warm.hits);
+        assert!(warm.stats.approximate);
+        // A v2 payload is v3 without the section and must stay
+        // readable; the graph just rebuilds on demand.
+        let mut v2 = encode_body(&idx);
+        encode_tail(&idx, &mut v2);
+        v2[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let old = GraphIndex::from_bytes(&v2).expect("v2 must stay readable");
+        assert!(old.ann_if_built().is_none());
+        assert_eq!(old.search(&q, &req).unwrap().hits, fresh.hits);
+        // Mangling the ANN section is typed corruption, not a panic.
+        let mut bad = bytes.clone();
+        let at = bad.len() - 4;
+        bad[at..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             GraphIndex::from_bytes(&bad),
             Err(GdimError::Corrupt(_))

@@ -31,6 +31,7 @@ use crate::scan::{ScanStats, Tombstones, VectorStore};
 /// How database graphs and queries are embedded over the selected
 /// features.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum MappingKind {
     /// The paper's φ (§4): binary vectors with normalized Euclidean
     /// distance `d = √(|y_q ⊕ y_g| / p)`.

@@ -11,7 +11,7 @@
 //! calls, the answering epoch, wall time) so a server can meter every
 //! answer.
 //!
-//! Three rankers cover the quality/cost spectrum:
+//! Four rankers cover the quality/cost spectrum:
 //!
 //! * [`Ranker::Mapped`] — the paper's fast path: VF2 feature matching,
 //!   then a sequential scan of the mapped vectors. No MCS calls.
@@ -23,6 +23,18 @@
 //!   With `candidates ≥ n` it degenerates to [`Ranker::Exact`]; with a
 //!   small `c` it buys near-exact answers for `c` MCS calls instead of
 //!   `n`.
+//! * [`Ranker::Approx`] — the **deliberately inexact** path: an
+//!   HNSW-style proximity-graph beam search ([`crate::ann`]) replaces
+//!   the O(n) scan, trading *measured* recall for sub-linear latency.
+//!   Every answer stamps [`SearchStats::approximate`] so no caller can
+//!   mistake it for an exact response.
+//!
+//! [`Ranker`], [`MappingKind`], and [`SearchRequest`] are
+//! `#[non_exhaustive]`: build requests with [`SearchRequest::new`] and
+//! the [`SearchRequest::ranker`]/[`SearchRequest::mapping`]/
+//! [`SearchRequest::budget`] builder methods, so future rankers,
+//! mappings, and request knobs stay additive instead of breaking
+//! changes.
 //!
 //! ```
 //! use gdim_core::index::{GraphIndex, IndexOptions};
@@ -94,7 +106,12 @@ pub struct Hit {
 }
 
 /// Which ranking strategy answers the request.
+///
+/// Marked `#[non_exhaustive]`: new rankers are additive, so
+/// cross-crate `match`es must carry a wildcard arm (route unknown
+/// rankers like [`Ranker::Mapped`], or reject them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum Ranker {
     /// The paper's fast path: sequential scan in the mapped space.
     #[default]
@@ -118,14 +135,48 @@ pub enum Ranker {
         /// to the database size).
         candidates: usize,
     },
+    /// The **approximate** path: an HNSW-style proximity-graph beam
+    /// search over the mapped vectors ([`crate::ann`]) instead of the
+    /// exact O(n) scan — sub-linear latency for *measured* (not
+    /// guaranteed) recall. This is the serving surface's one
+    /// deliberately inexact ranker: responses stamp
+    /// [`SearchStats::approximate`], and the committed `BENCH_ann.json`
+    /// carries the recall@10 the build actually measured.
+    ///
+    /// The returned **distances are still exact**: beam candidates get
+    /// the same `√(h/p)` / weighted formulas as the scan path,
+    /// bit-identical per row — approximation affects only *which* rows
+    /// are found. Rows inserted after the proximity graph was built are
+    /// scanned exactly (the pending tail) and merged in; tombstoned
+    /// rows never surface. The graph builds lazily on the first
+    /// `Approx` query of an epoch and is invalidated by rebuilds.
+    Approx {
+        /// Beam width at layer 0 — the recall/latency dial. The beam
+        /// returns up to `ef` live candidates, so ask for `ef ≥ k`
+        /// (it is raised to the answer size internally when smaller).
+        ef: usize,
+        /// `Some(c)`: verify like [`Ranker::Refined`] — re-rank the
+        /// beam's top `c` candidates with the exact dissimilarity δ
+        /// and answer only from verified candidates (at most
+        /// `min(k, c)` hits, bit-identical to `Refined { candidates:
+        /// c }` over the same candidate set). `None`: answer straight
+        /// from the beam with mapped distances.
+        verify: Option<usize>,
+    },
 }
 
 /// A typed top-k search request.
 ///
-/// `..Default::default()` gives the paper's configuration: `k = 10`,
-/// [`Ranker::Mapped`], [`MappingKind::Binary`], the index's own MCS
-/// budget.
+/// [`SearchRequest::default`] gives the paper's configuration: `k =
+/// 10`, [`Ranker::Mapped`], [`MappingKind::Binary`], the index's own
+/// MCS budget. Marked `#[non_exhaustive]` so request knobs stay
+/// additive: construct with [`SearchRequest::new`] (or `default()`)
+/// and refine with the [`ranker`](SearchRequest::ranker) /
+/// [`mapping`](SearchRequest::mapping) /
+/// [`budget`](SearchRequest::budget) builder methods — never a struct
+/// literal.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SearchRequest {
     /// Number of answers wanted. `k = 0` yields an empty (well-formed)
     /// response; `k > n` is clamped to the database size. With
@@ -154,30 +205,61 @@ impl Default for SearchRequest {
 }
 
 impl SearchRequest {
-    /// A mapped-ranker request for the top `k` answers.
-    pub fn topk(k: usize) -> Self {
+    /// A request for the top `k` answers with every other knob at its
+    /// default — the builder entry point.
+    ///
+    /// ```
+    /// use gdim_core::search::{Ranker, SearchRequest};
+    /// let req = SearchRequest::new(10)
+    ///     .ranker(Ranker::Approx { ef: 64, verify: None })
+    ///     .budget(50_000);
+    /// assert_eq!(req.k, 10);
+    /// ```
+    pub fn new(k: usize) -> Self {
         SearchRequest {
             k,
             ..Default::default()
         }
     }
 
+    /// A mapped-ranker request for the top `k` answers — the original
+    /// spelling of [`SearchRequest::new`], kept so existing callers
+    /// keep compiling.
+    pub fn topk(k: usize) -> Self {
+        Self::new(k)
+    }
+
     /// Sets the ranker.
-    pub fn with_ranker(mut self, ranker: Ranker) -> Self {
+    pub fn ranker(mut self, ranker: Ranker) -> Self {
         self.ranker = ranker;
         self
     }
 
     /// Sets the mapped-distance weighting.
-    pub fn with_mapping(mut self, mapping: MappingKind) -> Self {
+    pub fn mapping(mut self, mapping: MappingKind) -> Self {
         self.mapping = mapping;
         self
     }
 
     /// Sets the MCS node-budget override.
-    pub fn with_budget(mut self, node_budget: u64) -> Self {
+    pub fn budget(mut self, node_budget: u64) -> Self {
         self.budget = Some(node_budget);
         self
+    }
+
+    /// Legacy spelling of [`SearchRequest::ranker`].
+    pub fn with_ranker(self, ranker: Ranker) -> Self {
+        self.ranker(ranker)
+    }
+
+    /// Legacy spelling of [`SearchRequest::mapping`].
+    pub fn with_mapping(self, mapping: MappingKind) -> Self {
+        self.mapping(mapping)
+    }
+
+    /// Legacy spelling of [`SearchRequest::budget`].
+    pub fn with_budget(self, node_budget: u64) -> Self {
+        self.budget(node_budget)
     }
 }
 
@@ -226,6 +308,20 @@ pub struct SearchStats {
     /// batch scan (one pass over the store shared by the whole batch)
     /// rather than an independent per-query scan.
     pub fused_batch: bool,
+    /// Whether the answer is **approximate** ([`Ranker::Approx`]): the
+    /// hit set came from a proximity-graph beam with measured — not
+    /// guaranteed — recall. Distances are still exact per row. Always
+    /// `false` for the exact rankers; a merged (sharded) answer is
+    /// approximate if any shard's part was.
+    pub approximate: bool,
+    /// The layer-0 beam width that answered an approximate request
+    /// (0 when `approximate` is false). Merges by max.
+    pub ef: usize,
+    /// Distance evaluations the proximity-graph descent + beam
+    /// performed — the approximate path's analogue of
+    /// `candidates_scanned`, which for [`Ranker::Approx`] counts only
+    /// the exactly-scanned pending-tail rows. Sums across shards.
+    pub beam_visited: usize,
 }
 
 impl SearchStats {
@@ -242,7 +338,12 @@ impl SearchStats {
     /// the newest generation that contributed to the answer);
     /// `kernel` keeps the first stamped kind (partitions of one
     /// process always agree) and `fused_batch` **or**s (the answer
-    /// rode the fused path if any partition did).
+    /// rode the fused path if any partition did). The approximate
+    /// fields follow the same shapes: `approximate` **or**s (one
+    /// approximate partition makes the whole answer approximate),
+    /// `beam_visited` **sums** (it is work), and `ef` takes the
+    /// **max** (it is a setting, not work — partitions of one request
+    /// always agree, so max is the identity-preserving fold).
     pub fn merge(&mut self, other: &SearchStats) {
         self.candidates_scanned += other.candidates_scanned;
         self.early_abandoned += other.early_abandoned;
@@ -257,6 +358,9 @@ impl SearchStats {
         self.wall_time += other.wall_time;
         self.kernel = self.kernel.or(other.kernel);
         self.fused_batch |= other.fused_batch;
+        self.approximate |= other.approximate;
+        self.ef = self.ef.max(other.ef);
+        self.beam_visited += other.beam_visited;
     }
 
     /// [`SearchStats::merge`] over any number of partition stats,
@@ -304,6 +408,13 @@ impl std::fmt::Display for SearchStats {
         if self.fused_batch {
             write!(f, " (fused batch)")?;
         }
+        if self.approximate {
+            write!(
+                f,
+                "; APPROXIMATE (ef {}, beam visited {})",
+                self.ef, self.beam_visited
+            )?;
+        }
         write!(
             f,
             "; match {:.1?}, wall {:.1?}",
@@ -337,14 +448,16 @@ impl SearchResponse {
     /// distance — ready to print (used by the CLI's `search` output;
     /// handy in examples and test failure messages). An empty response
     /// renders the header plus an explicit `(no hits)` row, so output
-    /// is never silently blank.
+    /// is never silently blank. An **approximate** answer
+    /// ([`SearchStats::approximate`]) appends an explicit trailer
+    /// naming the beam settings, so inexact output is never mistaken
+    /// for an exact ranking.
     pub fn hit_table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "{:>4}  {:>8}  {:>12}", "rank", "id", "distance");
         if self.hits.is_empty() {
             let _ = writeln!(out, "{:>4}  {:>8}  {:>12}", "-", "-", "(no hits)");
-            return out;
         }
         for (rank, hit) in self.hits.iter().enumerate() {
             let _ = writeln!(
@@ -353,6 +466,13 @@ impl SearchResponse {
                 rank + 1,
                 hit.id.to_string(),
                 hit.distance
+            );
+        }
+        if self.stats.approximate {
+            let _ = writeln!(
+                out,
+                "(approximate: ef {}, beam visited {})",
+                self.stats.ef, self.stats.beam_visited
             );
         }
         out
@@ -410,9 +530,10 @@ impl GraphIndex {
         queries: &[Graph],
         req: &SearchRequest,
     ) -> Result<Vec<SearchResponse>, GdimError> {
-        if matches!(req.ranker, Ranker::Exact) {
-            // Exact never maps queries; its inner ranking is already
-            // parallel over the database.
+        if !matches!(req.ranker, Ranker::Mapped | Ranker::Refined { .. }) {
+            // Exact never maps queries (its inner ranking is already
+            // parallel over the database), and the approximate beam
+            // has no fused form — both answer query-by-query.
             return queries.iter().map(|q| self.search(q, req)).collect();
         }
         let t0 = Instant::now();
@@ -501,11 +622,56 @@ impl GraphIndex {
         qvec: &crate::bitset::Bitset,
         req: &SearchRequest,
     ) -> SearchResponse {
-        if matches!(req.ranker, Ranker::Exact) {
-            return self.exact_response(query, req);
+        match req.ranker {
+            Ranker::Exact => self.exact_response(query, req),
+            Ranker::Approx { ef, verify } => self.approx_response(query, qvec, req, ef, verify),
+            _ => {
+                let scan = self.scan_premapped(qvec, req);
+                self.response_from_scan(query, scan, req)
+            }
         }
-        let scan = self.scan_premapped(qvec, req);
-        self.response_from_scan(query, scan, req)
+    }
+
+    /// The single [`Ranker::Approx`] implementation: proximity-graph
+    /// beam + exact pending-tail merge
+    /// ([`GraphIndex::approx_scan_premapped`]), then — when `verify`
+    /// asks for it — the same exact re-ranking phase as
+    /// [`Ranker::Refined`] over the beam's candidates, so a verified
+    /// approximate answer is bit-identical to `Refined` over that
+    /// candidate set.
+    fn approx_response(
+        &self,
+        query: &Graph,
+        qvec: &crate::bitset::Bitset,
+        req: &SearchRequest,
+        ef: usize,
+        verify: Option<usize>,
+    ) -> SearchResponse {
+        let n = self.len();
+        // Without verification the beam only needs k answers; with it,
+        // the beam must produce the full candidate set to re-rank.
+        let take = verify.map_or(req.k.min(n), |c| c.min(n));
+        let (ranking, ann) = self.approx_scan_premapped(qvec, take, ef, req.mapping);
+        let (ranked, mcs_calls) = match verify {
+            Some(c) => {
+                let c = c.min(n);
+                let did = ranking.len().min(c);
+                (self.refine(query, &ranking, c, &self.mcs_for(req)), did)
+            }
+            None => (ranking, 0),
+        };
+        SearchResponse {
+            hits: Self::hits(ranked, req.k.min(n)),
+            stats: SearchStats {
+                candidates_scanned: ann.tail_scanned,
+                tombstones_skipped: ann.tail_tombstones,
+                mcs_calls,
+                approximate: true,
+                ef,
+                beam_visited: ann.beam_visited,
+                ..Default::default()
+            },
+        }
     }
 
     /// The scan leg: a bounded top-k (or top-`candidates`, for
@@ -835,6 +1001,13 @@ mod tests {
             (Ranker::Mapped, MappingKind::Weighted),
             (Ranker::Refined { candidates: 30 }, MappingKind::Binary),
             (Ranker::Exact, MappingKind::Binary),
+            (
+                Ranker::Approx {
+                    ef: 24,
+                    verify: None,
+                },
+                MappingKind::Binary,
+            ),
         ] {
             let req = SearchRequest::topk(24)
                 .with_ranker(ranker)
@@ -850,6 +1023,12 @@ mod tests {
             match ranker {
                 Ranker::Exact => assert_eq!(resp.stats.mcs_calls, 21, "δ only for live"),
                 Ranker::Refined { .. } => assert_eq!(resp.stats.mcs_calls, 21),
+                Ranker::Approx { .. } => {
+                    // n ≤ 2m+1 keeps the proximity graph complete, so
+                    // a full-width beam must surface every live row.
+                    assert!(resp.stats.approximate);
+                    assert_eq!(resp.stats.mcs_calls, 0);
+                }
                 Ranker::Mapped => {
                     assert_eq!(resp.stats.tombstones_skipped, 3);
                     assert_eq!(
@@ -955,6 +1134,9 @@ mod tests {
             wall_time: std::time::Duration::from_micros(100),
             kernel: None,
             fused_batch: false,
+            approximate: false,
+            ef: 0,
+            beam_visited: 0,
         };
         let b = SearchStats {
             candidates_scanned: 20,
@@ -970,6 +1152,9 @@ mod tests {
             wall_time: std::time::Duration::from_micros(50),
             kernel: Some(KernelKind::Unrolled),
             fused_batch: true,
+            approximate: true,
+            ef: 48,
+            beam_visited: 900,
         };
         let mut m = a;
         m.merge(&b);
@@ -987,6 +1172,11 @@ mod tests {
         // `kernel` keeps the first stamped kind; `fused_batch` ors.
         assert_eq!(m.kernel, Some(KernelKind::Unrolled));
         assert!(m.fused_batch);
+        // One approximate partition makes the merged answer
+        // approximate; beam work sums, the ef setting maxes.
+        assert!(m.approximate, "approximate must OR across shards");
+        assert_eq!(m.ef, 48, "ef takes the max, not the sum");
+        assert_eq!(m.beam_visited, 900);
         // merged() folds from the default: one part is the identity,
         // and merging the two parts in either order agrees.
         let folded = SearchStats::merged([&a, &b]);
@@ -1018,6 +1208,9 @@ mod tests {
             wall_time: std::time::Duration::from_micros(900),
             kernel: Some(KernelKind::Scalar),
             fused_batch: true,
+            approximate: true,
+            ef: 64,
+            beam_visited: 1234,
         };
         let line = stats.to_string();
         for needle in [
@@ -1029,12 +1222,15 @@ mod tests {
             "epoch 2",
             "kernel scalar",
             "fused batch",
+            "APPROXIMATE (ef 64, beam visited 1234)",
         ] {
             assert!(line.contains(needle), "missing {needle:?} in {line:?}");
         }
-        // Zero-work counters are elided on the common fast path.
+        // Zero-work counters are elided on the common fast path, and
+        // an exact answer never claims approximation.
         let quiet = SearchStats::default().to_string();
         assert!(!quiet.contains("vf2") && !quiet.contains("mcs"));
+        assert!(!quiet.contains("APPROXIMATE"));
     }
 
     #[test]
@@ -1063,6 +1259,25 @@ mod tests {
             stats: SearchStats::default(),
         };
         assert!(empty.hit_table().contains("(no hits)"));
+        // An approximate answer is labeled as such, exact ones never.
+        assert!(!table.contains("approximate"));
+        let approx = SearchResponse {
+            hits: vec![Hit {
+                id: GraphId(3),
+                distance: 0.0,
+            }],
+            stats: SearchStats {
+                approximate: true,
+                ef: 48,
+                beam_visited: 210,
+                ..Default::default()
+            },
+        };
+        let atable = approx.hit_table();
+        assert!(
+            atable.contains("(approximate: ef 48, beam visited 210)"),
+            "{atable}"
+        );
     }
 
     #[test]

@@ -787,6 +787,40 @@ mod tests {
     }
 
     #[test]
+    fn approx_ranker_serves_over_the_wire_and_says_so() {
+        let server = start(24, 5);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let snap = server.handle().snapshot();
+        let id = snap.id_for_seq(3).unwrap().get();
+        // ef far above n: the beam is exhaustive, so even the inexact
+        // ranker must reproduce the in-process answer bit for bit.
+        let mut body = search_body(id, 5);
+        if let Json::Obj(fields) = &mut body {
+            fields.push((
+                "ranker".into(),
+                Json::obj([("approx", Json::obj([("ef", Json::U64(64))]))]),
+            ));
+        }
+        let (status, j) = client.post("/search", &body).unwrap();
+        assert_eq!(status, 200, "{j:?}");
+        let served = crate::wire::response_from_json(&j).unwrap();
+        assert!(served.stats.approximate, "stats must admit inexactness");
+        assert_eq!(served.stats.ef, 64);
+        assert!(served.stats.beam_visited > 0);
+        let req = SearchRequest::new(5).ranker(gdim_core::Ranker::Approx {
+            ef: 64,
+            verify: None,
+        });
+        let local = snap.search(snap.graph(GraphId(id)).unwrap(), &req).unwrap();
+        assert_eq!(served.hits.len(), local.hits.len());
+        for (a, b) in served.hits.iter().zip(&local.hits) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        server.shutdown();
+    }
+
+    #[test]
     fn batch_endpoint_matches_in_process_fused_batch() {
         let server = start(24, 6);
         let mut client = Client::connect(server.addr()).unwrap();

@@ -10,8 +10,9 @@
 //! graph     {"v": [vlabel, ...], "e": [[u, v, elabel], ...]}
 //! query     {"id": 3} | {"graph": <graph>}
 //! request   {"query": <query>, "k": 10, "ranker": "mapped" | "exact"
-//!            | {"refined": {"candidates": 20}}, "mapping": "binary" |
-//!            "weighted", "budget": null | n}
+//!            | {"refined": {"candidates": 20}}
+//!            | {"approx": {"ef": 64, "verify": null | n}},
+//!            "mapping": "binary" | "weighted", "budget": null | n}
 //! response  {"hits": [{"id": 3, "distance": 0.0}, ...],
 //!            "stats": <stats>}
 //! stats     every `SearchStats` counter by field name; durations in
@@ -144,10 +145,23 @@ pub fn request_to_json(req: &SearchRequest) -> Json {
             "refined",
             Json::obj([("candidates", Json::U64(candidates as u64))]),
         )]),
+        Ranker::Approx { ef, verify } => Json::obj([(
+            "approx",
+            Json::obj([
+                ("ef", Json::U64(ef as u64)),
+                ("verify", verify.map_or(Json::Null, |v| Json::U64(v as u64))),
+            ]),
+        )]),
+        // `Ranker` is non-exhaustive: a ranker this crate does not
+        // know has no faithful wire form; ship its debug name so the
+        // peer rejects it loudly instead of silently re-ranking.
+        ref other => Json::Str(format!("{other:?}")),
     };
     let mapping = match req.mapping {
-        MappingKind::Binary => "binary",
         MappingKind::Weighted => "weighted",
+        // Binary, and the on-the-wire default for any future mapping
+        // (`MappingKind` is non-exhaustive).
+        _ => "binary",
     };
     Json::obj([
         ("k", Json::U64(req.k as u64)),
@@ -170,7 +184,7 @@ pub fn request_from_json(j: &Json) -> Result<SearchRequest, WireError> {
         req.ranker = match r {
             Json::Str(s) if s == "mapped" => Ranker::Mapped,
             Json::Str(s) if s == "exact" => Ranker::Exact,
-            Json::Obj(_) => {
+            Json::Obj(_) if r.get("refined").is_some() => {
                 let candidates = r
                     .get("refined")
                     .and_then(|r| r.get("candidates"))
@@ -178,11 +192,24 @@ pub fn request_from_json(j: &Json) -> Result<SearchRequest, WireError> {
                     .ok_or_else(|| bad("ranker.refined.candidates must be an integer"))?;
                 Ranker::Refined { candidates }
             }
-            _ => {
-                return Err(bad(
-                    "ranker must be \"mapped\", \"exact\", or {\"refined\": ...}",
-                ))
+            Json::Obj(_) if r.get("approx").is_some() => {
+                let a = r.get("approx").expect("guarded");
+                let ef = a
+                    .get("ef")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| bad("ranker.approx.ef must be an integer"))?;
+                let verify =
+                    match a.get("verify") {
+                        None | Some(Json::Null) => None,
+                        Some(v) => Some(v.as_usize().ok_or_else(|| {
+                            bad("ranker.approx.verify must be an integer or null")
+                        })?),
+                    };
+                Ranker::Approx { ef, verify }
             }
+            _ => return Err(bad(
+                "ranker must be \"mapped\", \"exact\", {\"refined\": ...}, or {\"approx\": ...}",
+            )),
         };
     }
     if let Some(m) = j.get("mapping") {
@@ -226,6 +253,9 @@ pub fn stats_to_json(s: &SearchStats) -> Json {
                 .map_or(Json::Null, |k| Json::Str(k.name().to_string())),
         ),
         ("fused_batch", Json::Bool(s.fused_batch)),
+        ("approximate", Json::Bool(s.approximate)),
+        ("ef", Json::U64(s.ef as u64)),
+        ("beam_visited", Json::U64(s.beam_visited as u64)),
     ])
 }
 
@@ -281,6 +311,11 @@ pub fn stats_from_json(j: &Json) -> Result<SearchStats, WireError> {
         fused_batch: j.get("fused_batch").map_or(Ok(false), |v| {
             v.as_bool().ok_or_else(|| bad("stats.fused_batch"))
         })?,
+        approximate: j.get("approximate").map_or(Ok(false), |v| {
+            v.as_bool().ok_or_else(|| bad("stats.approximate"))
+        })?,
+        ef: count("ef")?,
+        beam_visited: count("beam_visited")?,
     })
 }
 
@@ -398,6 +433,16 @@ mod tests {
                 .with_mapping(MappingKind::Weighted)
                 .with_budget(12345),
             SearchRequest::topk(3).with_ranker(Ranker::Refined { candidates: 9 }),
+            SearchRequest::new(8).ranker(Ranker::Approx {
+                ef: 64,
+                verify: None,
+            }),
+            SearchRequest::new(5)
+                .ranker(Ranker::Approx {
+                    ef: 128,
+                    verify: Some(40),
+                })
+                .mapping(MappingKind::Weighted),
         ];
         for req in reqs {
             let j = parse(&request_to_json(&req).to_string_compact()).unwrap();
@@ -459,6 +504,9 @@ mod tests {
                 wall_time: Duration::from_nanos(987_654_321),
                 kernel: Some(KernelKind::Unrolled),
                 fused_batch: true,
+                approximate: true,
+                ef: 64,
+                beam_visited: 512,
             },
         };
         let wire = response_to_json(&resp).to_string_compact();
@@ -503,6 +551,38 @@ mod tests {
         assert_eq!(s.wall_time, t.wall_time);
         assert_eq!(s.kernel, t.kernel);
         assert_eq!(s.fused_batch, t.fused_batch);
+        assert_eq!(
+            (s.approximate, s.ef, s.beam_visited),
+            (t.approximate, t.ef, t.beam_visited)
+        );
+    }
+
+    /// An old client predating the approximate tier speaks the same
+    /// protocol: its requests carry no `approx` spelling and its
+    /// response parser may drop the new stats keys — both sides must
+    /// keep working (the wire contract is additive-only).
+    #[test]
+    fn old_client_payloads_still_parse() {
+        // A request exactly as a pre-ANN client would send it.
+        let old_req = "{\"k\": 7, \"ranker\": {\"refined\": {\"candidates\": 12}}, \
+             \"mapping\": \"weighted\", \"budget\": 900}";
+        let req = request_from_json(&parse(old_req).unwrap()).unwrap();
+        assert_eq!(
+            req,
+            SearchRequest::new(7)
+                .ranker(Ranker::Refined { candidates: 12 })
+                .mapping(MappingKind::Weighted)
+                .budget(900)
+        );
+        // A response as an old server would emit it: no approximate /
+        // ef / beam_visited keys. They default off.
+        let old_resp = "{\"hits\": [{\"id\": 3, \"distance\": 0.25}], \
+             \"stats\": {\"candidates_scanned\": 4, \"mcs_calls\": 1}}";
+        let resp = response_from_json(&parse(old_resp).unwrap()).unwrap();
+        assert!(!resp.stats.approximate);
+        assert_eq!(resp.stats.ef, 0);
+        assert_eq!(resp.stats.beam_visited, 0);
+        assert_eq!(resp.hits.len(), 1);
     }
 
     #[test]

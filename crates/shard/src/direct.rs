@@ -76,7 +76,24 @@ impl ShardedIndex {
     /// kernels do.
     fn direct_topk(&self, qvec: &Bitset, mapping: MappingKind, take: usize) -> Vec<MergedHit> {
         match mapping {
-            MappingKind::Binary => {
+            MappingKind::Weighted => {
+                let mut sel: TopK<(OrdF64, u64)> = TopK::new(take);
+                self.for_each_live_row(|shard_idx, local, seq, row, idx| {
+                    let sq = weighted_sq_xor_words(qvec.words(), row, idx.weighted_w_sq());
+                    sel.offer((OrdF64(sq), seq), self.compose_id(shard_idx, local).get());
+                });
+                sel.into_sorted()
+                    .into_iter()
+                    .map(|((OrdF64(sq), seq), id)| MergedHit {
+                        id: gdim_core::GraphId(id),
+                        distance: sq.sqrt(),
+                        seq,
+                    })
+                    .collect()
+            }
+            // `MappingKind` is non-exhaustive; any mapping this crate
+            // does not know about scans like the binary default.
+            _ => {
                 let kernel = selected_kernel();
                 let qw = qvec.words();
                 let mut sel: TopK<(u32, u64)> = TopK::new(take);
@@ -123,21 +140,6 @@ impl ShardedIndex {
                     .map(|((h, seq), id)| MergedHit {
                         id: gdim_core::GraphId(id),
                         distance: (h as f64 / p).sqrt(),
-                        seq,
-                    })
-                    .collect()
-            }
-            MappingKind::Weighted => {
-                let mut sel: TopK<(OrdF64, u64)> = TopK::new(take);
-                self.for_each_live_row(|shard_idx, local, seq, row, idx| {
-                    let sq = weighted_sq_xor_words(qvec.words(), row, idx.weighted_w_sq());
-                    sel.offer((OrdF64(sq), seq), self.compose_id(shard_idx, local).get());
-                });
-                sel.into_sorted()
-                    .into_iter()
-                    .map(|((OrdF64(sq), seq), id)| MergedHit {
-                        id: gdim_core::GraphId(id),
-                        distance: sq.sqrt(),
                         seq,
                     })
                     .collect()
@@ -215,9 +217,9 @@ mod tests {
             "40 rows over 4 shards is below the scatter threshold"
         );
         for req in [
-            SearchRequest::topk(5),
-            SearchRequest::topk(7).with_mapping(MappingKind::Weighted),
-            SearchRequest::topk(3).with_ranker(Ranker::Refined { candidates: 10 }),
+            SearchRequest::new(5),
+            SearchRequest::new(7).mapping(MappingKind::Weighted),
+            SearchRequest::new(3).ranker(Ranker::Refined { candidates: 10 }),
         ] {
             for q in db.iter().step_by(9) {
                 let direct = sharded.search(q, &req).unwrap();
@@ -257,7 +259,7 @@ mod tests {
             unsharded.remove(gdim_core::GraphId(seq as u32)).unwrap();
         }
         assert!(sharded.direct_scan_pays_off());
-        let req = SearchRequest::topk(6);
+        let req = SearchRequest::new(6);
         let direct = sharded.search(&db[7], &req).unwrap();
         let flat = unsharded.search(&db[7], &req).unwrap();
         let got: Vec<(u64, f64)> = direct

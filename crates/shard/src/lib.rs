@@ -57,7 +57,7 @@
 //! let query = index.shard_graphs(gdim_shard::ShardId(0)).unwrap()[1].clone();
 //! let handle = ServingHandle::new(index);
 //! let reader = handle.reader(); // one per thread; lock-free steady state
-//! let resp = reader.search(&query, &SearchRequest::topk(5)).unwrap();
+//! let resp = reader.search(&query, &SearchRequest::new(5)).unwrap();
 //! assert_eq!(resp.hits[0].distance, 0.0); // the query graph itself
 //! ```
 

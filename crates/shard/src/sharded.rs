@@ -692,7 +692,13 @@ impl ShardedIndex {
             let tm = Instant::now();
             let (qvec, mstats) = self.shards[0].index.mapped().map_query_with_stats(query);
             let match_time = tm.elapsed();
-            let mut r = if self.direct_scan_pays_off() {
+            let mut r = if let Ranker::Approx { ef, verify } = req.ranker {
+                // The approximate leg never takes the direct-scan
+                // shortcut: its whole point is to walk the per-shard
+                // proximity graphs, and on databases small enough for
+                // the shortcut the beams are near-exhaustive anyway.
+                self.approx_response(query, &qvec, req, ef, verify)
+            } else if self.direct_scan_pays_off() {
                 self.direct_response(query, &qvec, req)
             } else {
                 let scans = self.scatter_scan(&qvec, req, true);
@@ -725,8 +731,9 @@ impl ShardedIndex {
         queries: &[Graph],
         req: &SearchRequest,
     ) -> Result<Vec<SearchResponse>, GdimError> {
-        if matches!(req.ranker, Ranker::Exact) {
-            // The exact δ fan-out is already parallel over each shard.
+        if !matches!(req.ranker, Ranker::Mapped | Ranker::Refined { .. }) {
+            // The exact δ fan-out is already parallel over each shard,
+            // and the approximate beam has no fused batch kernel.
             return queries.iter().map(|q| self.search(q, req)).collect();
         }
         if queries.len() <= 1 {
@@ -785,10 +792,15 @@ impl ShardedIndex {
             let k = per_shard_k.min(idx.len());
             let dead = Some(idx.tombstones());
             match req.mapping {
-                MappingKind::Binary => idx.mapped().scan_topk_masked(qvec, k, dead),
                 MappingKind::Weighted => {
                     idx.mapped()
                         .scan_topk_with_masked(qvec, k, idx.weighted_w_sq(), dead)
+                }
+                // `MappingKind` is non-exhaustive; a mapping this crate
+                // does not know is a version skew programming error.
+                other => {
+                    debug_assert!(matches!(other, MappingKind::Binary));
+                    idx.mapped().scan_topk_masked(qvec, k, dead)
                 }
             }
         };
@@ -820,10 +832,6 @@ impl ShardedIndex {
                 let k = per_shard_k.min(idx.len());
                 let dead = Some(idx.tombstones());
                 match req.mapping {
-                    MappingKind::Binary => {
-                        idx.mapped()
-                            .scan_topk_fused_masked(qvecs, k, dead, self.exec())
-                    }
                     MappingKind::Weighted => idx.mapped().scan_topk_fused_with_masked(
                         qvecs,
                         k,
@@ -831,6 +839,11 @@ impl ShardedIndex {
                         dead,
                         self.exec(),
                     ),
+                    other => {
+                        debug_assert!(matches!(other, MappingKind::Binary));
+                        idx.mapped()
+                            .scan_topk_fused_masked(qvecs, k, dead, self.exec())
+                    }
                 }
             })
             .collect();
@@ -887,6 +900,60 @@ impl ShardedIndex {
                 Self::hits(verified, req.k)
             }
             _ => Self::hits(merged, req.k),
+        };
+        SearchResponse { hits, stats }
+    }
+
+    /// The [`Ranker::Approx`] gather: each shard walks its own lazily
+    /// built proximity graph (plus an exact pass over its pending
+    /// insert tail) in parallel on the exec budget, and the per-shard
+    /// beams merge by `(distance, seq)` like any scatter. With
+    /// `verify`, the merged candidates are re-ranked by the exact δ —
+    /// bit-identical to [`Ranker::Refined`] over the same candidate
+    /// set. Stats say `approximate: true` and aggregate the beam work
+    /// across shards via [`SearchStats::merge`].
+    fn approx_response(
+        &self,
+        query: &Graph,
+        qvec: &Bitset,
+        req: &SearchRequest,
+        ef: usize,
+        verify: Option<usize>,
+    ) -> SearchResponse {
+        let take = verify.unwrap_or(req.k);
+        let scans: Vec<(Vec<(u32, f64)>, gdim_core::AnnScanStats)> =
+            gdim_exec::map_tasks(self.exec(), self.shards.len(), |s| {
+                let idx = &self.shards[s].index;
+                idx.approx_scan_premapped(qvec, take.min(idx.len()), ef, req.mapping)
+            });
+        let per_shard: Vec<SearchStats> = scans
+            .iter()
+            .enumerate()
+            .map(|(s, (_, ann))| SearchStats {
+                candidates_scanned: ann.tail_scanned,
+                tombstones_skipped: ann.tail_tombstones,
+                approximate: true,
+                ef,
+                beam_visited: ann.beam_visited,
+                epoch: self.shards[s].index.epoch(),
+                live_graphs: self.shards[s].index.live_len(),
+                ..Default::default()
+            })
+            .collect();
+        let mut stats = SearchStats::merged(per_shard.iter());
+        let parts: Vec<Vec<(u32, f64)>> = scans.into_iter().map(|(ranked, _)| ranked).collect();
+        let merged = merge_topk(
+            &parts,
+            take,
+            |s, local| self.shards[s].seqs[local as usize],
+            |s, local| self.compose_id(ShardId(s as u32), local as usize),
+        );
+        let hits = if verify.is_some() {
+            stats.mcs_calls = merged.len();
+            let verified = self.refine(query, &merged, req);
+            Self::hits(verified, req.k)
+        } else {
+            Self::hits(merged, req.k)
         };
         SearchResponse { hits, stats }
     }

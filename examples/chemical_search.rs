@@ -50,9 +50,9 @@ fn main() -> Result<(), GdimError> {
         t.elapsed()
     );
 
-    let mapped_req = SearchRequest::topk(k);
-    let refined_req = SearchRequest::topk(k).with_ranker(Ranker::Refined { candidates: c });
-    let exact_req = SearchRequest::topk(k).with_ranker(Ranker::Exact);
+    let mapped_req = SearchRequest::new(k);
+    let refined_req = SearchRequest::new(k).ranker(Ranker::Refined { candidates: c });
+    let exact_req = SearchRequest::new(k).ranker(Ranker::Exact);
 
     println!("\nper-query precision vs the exact ranking (k = {k}, refined c = {c}):");
     println!(

@@ -43,7 +43,7 @@ fn main() -> Result<(), GdimError> {
         last = Some((index.insert(g.clone()), g.clone()));
     }
     let (id, g) = last.expect("inserted at least one");
-    let resp = index.search(&g, &SearchRequest::topk(3))?;
+    let resp = index.search(&g, &SearchRequest::new(3))?;
     println!(
         "inserted {} graphs; self-query of {} -> top hit {} at distance {:.3} (epoch {})",
         newcomers.len(),
@@ -60,7 +60,7 @@ fn main() -> Result<(), GdimError> {
         index.remove(GraphId(dead))?;
     }
     let probe = index.graph(3)?.clone(); // query *is* a removed graph
-    let resp = index.search(&probe, &SearchRequest::topk(5))?;
+    let resp = index.search(&probe, &SearchRequest::new(5))?;
     println!(
         "removed 3 graphs; live {}/{}, scan skipped {} tombstones, hits exclude g3: {}",
         index.live_len(),
@@ -76,7 +76,7 @@ fn main() -> Result<(), GdimError> {
     // keeps answering meanwhile and installs the result atomically.
     assert!(index.is_stale());
     let task = index.spawn_rebuild();
-    let served_while_rebuilding = index.search(&probe, &SearchRequest::topk(5))?;
+    let served_while_rebuilding = index.search(&probe, &SearchRequest::new(5))?;
     println!(
         "rebuild running in the background; meanwhile served a query in {:?} (epoch {})",
         served_while_rebuilding.stats.wall_time, served_while_rebuilding.stats.epoch
@@ -93,7 +93,7 @@ fn main() -> Result<(), GdimError> {
     // After the rebuild the index is bit-identical to a batch build
     // over the live graphs — features the inserts brought along are
     // now minable, and the tombstones are compacted away.
-    let resp = index.search(&g, &SearchRequest::topk(3))?;
+    let resp = index.search(&g, &SearchRequest::new(3))?;
     println!(
         "post-rebuild self-query -> top hit {} at distance {:.3} (epoch {})",
         resp.hits[0].id, resp.hits[0].distance, resp.stats.epoch

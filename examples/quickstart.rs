@@ -36,12 +36,12 @@ fn main() -> Result<(), GdimError> {
         query.edge_count()
     );
 
-    let fast = index.search(query, &SearchRequest::topk(5))?;
+    let fast = index.search(query, &SearchRequest::new(5))?;
     let refined = index.search(
         query,
-        &SearchRequest::topk(5).with_ranker(Ranker::Refined { candidates: 20 }),
+        &SearchRequest::new(5).ranker(Ranker::Refined { candidates: 20 }),
     )?;
-    let exact = index.search(query, &SearchRequest::topk(5).with_ranker(Ranker::Exact))?;
+    let exact = index.search(query, &SearchRequest::new(5).ranker(Ranker::Exact))?;
 
     println!(
         "\n{:<28} {:>10} {:>10} {:>12}",
@@ -78,7 +78,7 @@ fn main() -> Result<(), GdimError> {
     let path = std::env::temp_dir().join("gdim-quickstart.idx");
     index.save(&path)?;
     let reloaded = GraphIndex::load(&path)?;
-    let again = reloaded.search(query, &SearchRequest::topk(5))?;
+    let again = reloaded.search(query, &SearchRequest::new(5))?;
     assert_eq!(again.hits, fast.hits);
     println!(
         "\nsaved {} bytes to {} and reloaded: answers identical",

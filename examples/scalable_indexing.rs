@@ -97,12 +97,12 @@ fn main() {
     index.save(&path).expect("save index");
     let served = GraphIndex::load(&path).expect("load index");
     let resp = served
-        .search(&queries[0], &SearchRequest::topk(k))
+        .search(&queries[0], &SearchRequest::new(k))
         .expect("serve from reloaded index");
     assert_eq!(
         resp.hits,
         index
-            .search(&queries[0], &SearchRequest::topk(k))
+            .search(&queries[0], &SearchRequest::new(k))
             .unwrap()
             .hits
     );

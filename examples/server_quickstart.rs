@@ -46,7 +46,7 @@ fn main() -> std::io::Result<()> {
     // The served answer is bit-identical to the in-process one.
     let snap = handle.snapshot();
     let local = snap
-        .search(snap.graph(GraphId(id)).unwrap(), &SearchRequest::topk(5))
+        .search(snap.graph(GraphId(id)).unwrap(), &SearchRequest::new(5))
         .unwrap();
     assert!(resp
         .hits

@@ -44,8 +44,8 @@ fn main() -> Result<(), GdimError> {
     // Sanity: sharded == unsharded, hit for hit (distances and order).
     let unsharded = GraphIndex::build(db.clone(), IndexOptions::default().with_dimensions(50));
     let q = db[17].clone();
-    let sharded_hits = index.search(&q, &SearchRequest::topk(5))?.hits;
-    let flat_hits = unsharded.search(&q, &SearchRequest::topk(5))?.hits;
+    let sharded_hits = index.search(&q, &SearchRequest::new(5))?.hits;
+    let flat_hits = unsharded.search(&q, &SearchRequest::new(5))?.hits;
     for (a, b) in sharded_hits.iter().zip(&flat_hits) {
         assert_eq!(a.distance, b.distance);
         assert_eq!(index.seq_of(a.id)?, b.id.get() as u64);
@@ -74,7 +74,7 @@ fn main() -> Result<(), GdimError> {
                         break;
                     }
                     let resp = reader
-                        .search(&db[gid as usize], &SearchRequest::topk(3))
+                        .search(&db[gid as usize], &SearchRequest::new(3))
                         .expect("searches never fail while mutations land");
                     assert_eq!(resp.hits[0].distance, 0.0, "reader {t} query {i}");
                     served.fetch_add(1, Ordering::Relaxed);

@@ -55,18 +55,18 @@
 //! // Serve: the fast mapped ranker (map the query with VF2, scan the
 //! // vectors)...
 //! let query = index.graph(3)?.clone();
-//! let fast = index.search(&query, &SearchRequest::topk(5))?;
+//! let fast = index.search(&query, &SearchRequest::new(5))?;
 //! assert_eq!(fast.hits[0].id.get(), 3); // the query graph itself ranks first
 //!
 //! // ...or filter-then-verify: re-rank the top mapped candidates with
 //! // the exact MCS dissimilarity (near-exact answers, few MCS calls).
-//! let refined = SearchRequest::topk(5).with_ranker(Ranker::Refined { candidates: 20 });
+//! let refined = SearchRequest::new(5).ranker(Ranker::Refined { candidates: 20 });
 //! let verified = index.search(&query, &refined)?;
 //! assert_eq!(verified.stats.mcs_calls, 20);
 //!
 //! // Persist: build once, serve from disk.
 //! let reloaded = GraphIndex::from_bytes(&index.to_bytes())?;
-//! assert_eq!(reloaded.search(&query, &SearchRequest::topk(5))?.hits, fast.hits);
+//! assert_eq!(reloaded.search(&query, &SearchRequest::new(5))?.hits, fast.hits);
 //! # Ok::<(), GdimError>(())
 //! ```
 

@@ -29,10 +29,10 @@ fn opts() -> IndexOptions {
 
 fn requests() -> Vec<SearchRequest> {
     vec![
-        SearchRequest::topk(5),
-        SearchRequest::topk(5).with_mapping(MappingKind::Weighted),
-        SearchRequest::topk(4).with_ranker(Ranker::Refined { candidates: 6 }),
-        SearchRequest::topk(3).with_ranker(Ranker::Exact),
+        SearchRequest::new(5),
+        SearchRequest::new(5).mapping(MappingKind::Weighted),
+        SearchRequest::new(4).ranker(Ranker::Refined { candidates: 6 }),
+        SearchRequest::new(3).ranker(Ranker::Exact),
     ]
 }
 
@@ -316,7 +316,7 @@ fn readers_stay_lock_free_and_bit_identical_during_a_background_checkpoint() {
         durable.insert(g).unwrap();
     }
 
-    let req = SearchRequest::topk(5);
+    let req = SearchRequest::new(5);
     let queries: Vec<Graph> = base_db.iter().take(3).cloned().collect();
     let want: Vec<_> = {
         let snap = durable.serving().snapshot();
@@ -430,7 +430,7 @@ fn failed_rebuild_checkpoint_poisons_mutations_until_reopen() {
     durable
         .serving()
         .snapshot()
-        .search(&extra[0], &SearchRequest::topk(3))
+        .search(&extra[0], &SearchRequest::new(3))
         .unwrap();
     drop(durable);
 

@@ -63,15 +63,15 @@ proptest! {
             prop_assert_eq!(grown.weights(), fresh.weights());
             for q in all.iter().take(3).chain(&queries) {
                 for mapping in [MappingKind::Binary, MappingKind::Weighted] {
-                    let req = SearchRequest::topk(6).with_mapping(mapping);
+                    let req = SearchRequest::new(6).mapping(mapping);
                     prop_assert_eq!(
                         hits(&grown, q, &req),
                         hits(&fresh, q, &req),
                         "threads {}, mapping {:?}", threads, mapping
                     );
                 }
-                let req = SearchRequest::topk(4)
-                    .with_ranker(Ranker::Refined { candidates: 8 });
+                let req = SearchRequest::new(4)
+                    .ranker(Ranker::Refined { candidates: 8 });
                 prop_assert_eq!(hits(&grown, q, &req), hits(&fresh, q, &req));
             }
         }
@@ -101,7 +101,7 @@ proptest! {
         prop_assert_eq!(pruned.dimensions(), fresh.dimensions());
         for q in db.iter().take(4) {
             for ranker in [Ranker::Mapped, Ranker::Exact] {
-                let req = SearchRequest::topk(5).with_ranker(ranker);
+                let req = SearchRequest::new(5).ranker(ranker);
                 prop_assert_eq!(
                     hits(&pruned, q, &req),
                     hits(&fresh, q, &req),
@@ -131,7 +131,7 @@ proptest! {
                 (Ranker::Refined { candidates: 15 }, MappingKind::Binary),
                 (Ranker::Exact, MappingKind::Binary),
             ] {
-                let req = SearchRequest::topk(15).with_ranker(ranker).with_mapping(mapping);
+                let req = SearchRequest::new(15).ranker(ranker).mapping(mapping);
                 let resp = idx.search(q, &req).unwrap();
                 for h in &resp.hits {
                     prop_assert!(!dead.contains(&h.id.get()), "{:?}: dead {} in hits", ranker, h.id);
@@ -166,7 +166,7 @@ proptest! {
             // The inserted graph scores distance 0 against itself (an
             // older graph with an identical vector may win the id
             // tie-break, but the 0-distance band must include it).
-            let resp = idx.search(g, &SearchRequest::topk(idx.len())).unwrap();
+            let resp = idx.search(g, &SearchRequest::new(idx.len())).unwrap();
             prop_assert_eq!(resp.hits[0].distance, 0.0);
             let own = resp.hits.iter().find(|h| h.id == id).expect("inserted id present");
             prop_assert_eq!(own.distance, 0.0);
@@ -176,7 +176,7 @@ proptest! {
         let back = GraphIndex::from_bytes(&idx.to_bytes()).unwrap();
         for q in extra.iter() {
             for ranker in [Ranker::Mapped, Ranker::Exact] {
-                let req = SearchRequest::topk(6).with_ranker(ranker);
+                let req = SearchRequest::new(6).ranker(ranker);
                 prop_assert_eq!(
                     hits(&idx, q, &req),
                     hits(&back, q, &req),

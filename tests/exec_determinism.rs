@@ -25,9 +25,9 @@ fn index_build_and_search_identical_across_thread_budgets() {
     };
     let serial = build(1);
     let reqs = [
-        SearchRequest::topk(10),
-        SearchRequest::topk(10).with_ranker(Ranker::Refined { candidates: 12 }),
-        SearchRequest::topk(10).with_ranker(Ranker::Exact),
+        SearchRequest::new(10),
+        SearchRequest::new(10).ranker(Ranker::Refined { candidates: 12 }),
+        SearchRequest::new(10).ranker(Ranker::Exact),
     ];
     for threads in [2usize, 8] {
         let parallel = build(threads);
@@ -68,7 +68,7 @@ fn dspmap_index_identical_across_thread_budgets() {
     assert_eq!(serial.dimensions(), parallel.dimensions());
     assert_eq!(serial.weights(), parallel.weights());
     let q = serial.graph(3).unwrap().clone();
-    let req = SearchRequest::topk(5);
+    let req = SearchRequest::new(5);
     assert_eq!(
         serial.search(&q, &req).unwrap().hits,
         parallel.search(&q, &req).unwrap().hits

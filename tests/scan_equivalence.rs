@@ -86,7 +86,6 @@ proptest! {
                 let qvec = idx.map_query(q);
                 for mapping in [MappingKind::Binary, MappingKind::Weighted] {
                     let naive = match mapping {
-                        MappingKind::Binary => naive_topk(idx.mapped(), &qvec, 6),
                         MappingKind::Weighted => {
                             // The weighted request is served from the same
                             // binary vectors with the DSPM-derived weights;
@@ -99,8 +98,9 @@ proptest! {
                             full.truncate(6);
                             full
                         }
+                        _ => naive_topk(idx.mapped(), &qvec, 6),
                     };
-                    let req = SearchRequest::topk(6).with_mapping(mapping);
+                    let req = SearchRequest::new(6).mapping(mapping);
                     let resp = idx.search(q, &req).unwrap();
                     let got: Vec<(u32, f64)> =
                         resp.hits.iter().map(|h| (h.id.get(), h.distance)).collect();
@@ -112,15 +112,15 @@ proptest! {
             // equal the Exact ranker hit-for-hit.
             let q = &queries[0];
             let refined = idx
-                .search(q, &SearchRequest::topk(4).with_ranker(Ranker::Refined { candidates: n }))
+                .search(q, &SearchRequest::new(4).ranker(Ranker::Refined { candidates: n }))
                 .unwrap();
             let exact = idx
-                .search(q, &SearchRequest::topk(4).with_ranker(Ranker::Exact))
+                .search(q, &SearchRequest::new(4).ranker(Ranker::Exact))
                 .unwrap();
             prop_assert_eq!(refined.hits, exact.hits);
 
             // Batch answers equal single answers.
-            let req = SearchRequest::topk(5);
+            let req = SearchRequest::new(5);
             let batch = idx.search_batch(&queries, &req).unwrap();
             for (q, resp) in queries.iter().zip(&batch) {
                 let single = idx.search(q, &req).unwrap();
@@ -290,12 +290,12 @@ fn stats_counters_add_up_across_rankers() {
     let idx = GraphIndex::build(db, IndexOptions::default().with_dimensions(20));
     let q = idx.graph(2).unwrap().clone();
     for (req, expect_scan) in [
-        (SearchRequest::topk(5), true),
+        (SearchRequest::new(5), true),
         (
-            SearchRequest::topk(5).with_ranker(Ranker::Refined { candidates: 8 }),
+            SearchRequest::new(5).ranker(Ranker::Refined { candidates: 8 }),
             true,
         ),
-        (SearchRequest::topk(5).with_ranker(Ranker::Exact), false),
+        (SearchRequest::new(5).ranker(Ranker::Exact), false),
     ] {
         let resp = idx.search(&q, &req).unwrap();
         let s = &resp.stats;

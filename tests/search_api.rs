@@ -30,8 +30,8 @@ proptest! {
     fn refined_over_all_candidates_equals_exact(seed in 0u64..1000, k in 1usize..8) {
         let n = 12;
         let idx = index(n, seed, 15);
-        let exact_req = SearchRequest::topk(k).with_ranker(Ranker::Exact);
-        let refined_req = SearchRequest::topk(k).with_ranker(Ranker::Refined { candidates: n });
+        let exact_req = SearchRequest::new(k).ranker(Ranker::Exact);
+        let refined_req = SearchRequest::new(k).ranker(Ranker::Refined { candidates: n });
         let unseen = chem(2, seed ^ 0xdead);
         let queries: Vec<&Graph> = idx.graphs().iter().take(2).chain(&unseen).collect();
         for q in queries {
@@ -52,11 +52,19 @@ fn save_load_roundtrip_yields_byte_identical_hits() {
     std::fs::remove_file(&path).ok();
 
     let queries = chem(4, 7);
+    // Approx rides with ef covering the whole store, so its beam is
+    // exhaustive and the saved/loaded answers must also agree — and
+    // both sides build the same deterministic proximity graph, so the
+    // final byte-stability check covers the persisted ANN section.
     let reqs = [
-        SearchRequest::topk(6),
-        SearchRequest::topk(6).with_mapping(MappingKind::Weighted),
-        SearchRequest::topk(6).with_ranker(Ranker::Refined { candidates: 10 }),
-        SearchRequest::topk(6).with_ranker(Ranker::Exact),
+        SearchRequest::new(6),
+        SearchRequest::new(6).mapping(MappingKind::Weighted),
+        SearchRequest::new(6).ranker(Ranker::Refined { candidates: 10 }),
+        SearchRequest::new(6).ranker(Ranker::Exact),
+        SearchRequest::new(6).ranker(Ranker::Approx {
+            ef: 25,
+            verify: None,
+        }),
     ];
     for q in &queries {
         for req in &reqs {
@@ -85,18 +93,24 @@ fn edge_case_requests_are_well_formed() {
         Ranker::Exact,
         Ranker::Refined { candidates: 0 },
         Ranker::Refined { candidates: 500 },
+        Ranker::Approx {
+            ef: 0,
+            verify: None,
+        },
+        Ranker::Approx {
+            ef: 64,
+            verify: Some(500),
+        },
     ];
     // k = 0: empty hits, no work charged to MCS beyond the candidates.
     for r in rankers {
-        let resp = idx
-            .search(&q, &SearchRequest::topk(0).with_ranker(r))
-            .unwrap();
+        let resp = idx.search(&q, &SearchRequest::new(0).ranker(r)).unwrap();
         assert!(resp.hits.is_empty(), "{r:?}");
     }
     // k > n: clamped to the database size, still sorted.
     for r in rankers {
         let resp = idx
-            .search(&q, &SearchRequest::topk(1_000_000).with_ranker(r))
+            .search(&q, &SearchRequest::new(1_000_000).ranker(r))
             .unwrap();
         assert!(resp.hits.len() <= idx.len(), "{r:?}");
         for w in resp.hits.windows(2) {
@@ -110,13 +124,11 @@ fn edge_case_requests_are_well_formed() {
     // Empty database: every request answers with zero hits.
     let empty = GraphIndex::build(Vec::new(), IndexOptions::default());
     for r in rankers {
-        let resp = empty
-            .search(&q, &SearchRequest::topk(5).with_ranker(r))
-            .unwrap();
+        let resp = empty.search(&q, &SearchRequest::new(5).ranker(r)).unwrap();
         assert!(resp.hits.is_empty(), "{r:?}");
     }
     let batch = empty
-        .search_batch(std::slice::from_ref(&q), &SearchRequest::topk(3))
+        .search_batch(std::slice::from_ref(&q), &SearchRequest::new(3))
         .unwrap();
     assert_eq!(batch.len(), 1);
     assert!(batch[0].hits.is_empty());
@@ -131,7 +143,7 @@ fn tie_breaking_is_stable_by_id_and_batch_agrees() {
     db.extend(dup);
     let idx = GraphIndex::build(db, IndexOptions::default().with_dimensions(15));
     let queries = chem(3, 77);
-    let req = SearchRequest::topk(24);
+    let req = SearchRequest::new(24);
     for q in &queries {
         let hits = idx.search(q, &req).unwrap().hits;
         for w in hits.windows(2) {

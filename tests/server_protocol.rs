@@ -86,7 +86,7 @@ fn post_bytes(path: &str, body: &str, extra_headers: &str) -> Vec<u8> {
 fn assert_bit_identical(served_json: &Json, snap: &ShardedIndex, id: u32, k: usize) {
     let served = response_from_json(served_json).expect("parse served response");
     let local = snap
-        .search(snap.graph(GraphId(id)).unwrap(), &SearchRequest::topk(k))
+        .search(snap.graph(GraphId(id)).unwrap(), &SearchRequest::new(k))
         .unwrap();
     assert_eq!(served.hits.len(), local.hits.len(), "hit count, query {id}");
     for (a, b) in served.hits.iter().zip(&local.hits) {

@@ -47,7 +47,7 @@ fn readers_search_through_a_background_rebuild_without_blocking() {
                 // until the rebuild ends.
                 loop {
                     let q = &db[(i * 7) % db.len()];
-                    let resp = reader.search(q, &SearchRequest::topk(3)).unwrap();
+                    let resp = reader.search(q, &SearchRequest::new(3)).unwrap();
                     assert_eq!(resp.hits[0].distance, 0.0, "self-query ranks first");
                     assert!(resp.hits.len() <= 3);
                     counter.fetch_add(1, Ordering::Relaxed);
@@ -80,7 +80,7 @@ fn readers_search_through_a_background_rebuild_without_blocking() {
     // graphs (full rebuilds re-run the identical global pipeline).
     let fresh = build(db.clone(), 4);
     for q in db.iter().take(3) {
-        let req = SearchRequest::topk(5);
+        let req = SearchRequest::new(5);
         let a: Vec<(u64, f64)> = rebuilt
             .search(q, &req)
             .unwrap()
@@ -121,7 +121,7 @@ fn concurrent_inserts_and_reads_stay_coherent() {
                     let snapshot = reader.current();
                     let n_before = snapshot.live_len();
                     let resp = snapshot
-                        .search(&base[i % base.len()], &SearchRequest::topk(4))
+                        .search(&base[i % base.len()], &SearchRequest::new(4))
                         .unwrap();
                     // One coherent snapshot: the answer reports
                     // exactly the rows that snapshot holds.
@@ -147,7 +147,7 @@ fn concurrent_inserts_and_reads_stay_coherent() {
     // itself first.
     let reader = handle.reader();
     for g in &extra {
-        let resp = reader.search(g, &SearchRequest::topk(1)).unwrap();
+        let resp = reader.search(g, &SearchRequest::new(1)).unwrap();
         assert_eq!(resp.hits[0].distance, 0.0);
     }
 }
@@ -209,7 +209,7 @@ fn background_shard_rebuild_installs_through_the_handle() {
     let snapshot = handle.snapshot();
     let q = db[10].clone();
     let before: Vec<(u64, f64)> = snapshot
-        .search(&q, &SearchRequest::topk(6))
+        .search(&q, &SearchRequest::new(6))
         .unwrap()
         .hits
         .iter()
@@ -225,7 +225,7 @@ fn background_shard_rebuild_installs_through_the_handle() {
     assert_eq!(after.shard(ShardId(0)).unwrap().tombstone_count(), 0);
     assert_eq!(after.live_len(), db.len() - 2);
     let hits: Vec<(u64, f64)> = after
-        .search(&q, &SearchRequest::topk(6))
+        .search(&q, &SearchRequest::new(6))
         .unwrap()
         .hits
         .iter()

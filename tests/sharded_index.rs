@@ -24,13 +24,27 @@ fn opts() -> IndexOptions {
     IndexOptions::default().with_dimensions(16)
 }
 
-/// Requests covering the ranker × mapping spectrum.
+/// Requests covering the ranker × mapping spectrum. The approximate
+/// ranker is included with `ef` far above the database sizes used
+/// here: the beams are exhaustive at that width, so even the one
+/// deliberately inexact ranker must answer bit-identically to the
+/// unsharded index in these tests.
 fn requests() -> Vec<SearchRequest> {
     vec![
-        SearchRequest::topk(6),
-        SearchRequest::topk(6).with_mapping(MappingKind::Weighted),
-        SearchRequest::topk(4).with_ranker(Ranker::Refined { candidates: 7 }),
-        SearchRequest::topk(4).with_ranker(Ranker::Exact),
+        SearchRequest::new(6),
+        SearchRequest::new(6).mapping(MappingKind::Weighted),
+        SearchRequest::new(4).ranker(Ranker::Refined { candidates: 7 }),
+        SearchRequest::new(4).ranker(Ranker::Exact),
+        SearchRequest::new(6).ranker(Ranker::Approx {
+            ef: 64,
+            verify: None,
+        }),
+        SearchRequest::new(4)
+            .ranker(Ranker::Approx {
+                ef: 64,
+                verify: Some(7),
+            })
+            .mapping(MappingKind::Weighted),
     ]
 }
 
@@ -85,7 +99,7 @@ proptest! {
                     }
                 }
                 // Batch answers equal single answers, query for query.
-                let req = SearchRequest::topk(5);
+                let req = SearchRequest::new(5);
                 let batch = sharded.search_batch(&queries, &req).unwrap();
                 for (q, resp) in queries.iter().zip(&batch) {
                     let single = sharded.search(q, &req).unwrap();
@@ -275,11 +289,11 @@ fn shard_rebuild_snapshot_goes_stale_on_later_mutation() {
 
     // A quiet shard installs: tombstones compact away, answers stay.
     let q = idx.shard_graphs(ShardId(1)).unwrap()[0].clone();
-    let before = sharded_hits(&idx, &q, &SearchRequest::topk(5));
+    let before = sharded_hits(&idx, &q, &SearchRequest::new(5));
     let task = idx.spawn_shard_rebuild(owner).unwrap();
     assert!(idx.install_shard(task).unwrap());
     assert_eq!(idx.shard(owner).unwrap().tombstone_count(), 0);
-    assert_eq!(sharded_hits(&idx, &q, &SearchRequest::topk(5)), before);
+    assert_eq!(sharded_hits(&idx, &q, &SearchRequest::new(5)), before);
 
     // Full-rebuild snapshots are invalidated by any later event too.
     let task = idx.spawn_rebuild();

@@ -23,27 +23,31 @@ fn reparse(j: &Json) -> Json {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Every request shape round-trips exactly: all three rankers,
-    /// both mappings, budget present and absent, every k.
+    /// Every request shape round-trips exactly: all four rankers
+    /// (approximate with and without verification), both mappings,
+    /// budget present and absent, every k.
     #[test]
     fn search_requests_round_trip_exactly(
         k in 0usize..200,
-        ranker_pick in 0u8..3,
+        ranker_pick in 0u8..5,
         candidates in 1usize..500,
+        ef in 1usize..2000,
         weighted in any::<bool>(),
         budget in any::<u64>(),
         with_budget in any::<bool>(),
     ) {
-        let mut req = SearchRequest::topk(k).with_ranker(match ranker_pick {
+        let mut req = SearchRequest::new(k).ranker(match ranker_pick {
             0 => Ranker::Mapped,
             1 => Ranker::Exact,
-            _ => Ranker::Refined { candidates },
+            2 => Ranker::Refined { candidates },
+            3 => Ranker::Approx { ef, verify: None },
+            _ => Ranker::Approx { ef, verify: Some(candidates) },
         });
         if weighted {
-            req = req.with_mapping(MappingKind::Weighted);
+            req = req.mapping(MappingKind::Weighted);
         }
         if with_budget {
-            req = req.with_budget(budget);
+            req = req.budget(budget);
         }
         let back = request_from_json(&reparse(&request_to_json(&req))).unwrap();
         prop_assert_eq!(back, req);
@@ -55,11 +59,12 @@ proptest! {
     #[test]
     fn search_responses_round_trip_bit_for_bit(
         raw_hits in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..=24),
-        counters in proptest::collection::vec(any::<u64>(), 9..=9),
+        counters in proptest::collection::vec(any::<u64>(), 11..=11),
         match_ns in any::<u64>(),
         wall_ns in any::<u64>(),
         kernel_pick in 0u8..5,
         fused in any::<bool>(),
+        approximate in any::<bool>(),
     ) {
         let hits: Vec<Hit> = raw_hits
             .iter()
@@ -86,6 +91,9 @@ proptest! {
                 _ => Some(KernelKind::Avx512),
             },
             fused_batch: fused,
+            approximate,
+            ef: counters[9] as usize,
+            beam_visited: counters[10] as usize,
         };
         let resp = SearchResponse { hits, stats };
         let back = response_from_json(&reparse(&response_to_json(&resp))).unwrap();
@@ -111,6 +119,9 @@ proptest! {
         prop_assert_eq!(s.wall_time, t.wall_time);
         prop_assert_eq!(s.kernel, t.kernel);
         prop_assert_eq!(s.fused_batch, t.fused_batch);
+        prop_assert_eq!(s.approximate, t.approximate);
+        prop_assert_eq!(s.ef, t.ef);
+        prop_assert_eq!(s.beam_visited, t.beam_visited);
     }
 }
 
