@@ -10,6 +10,7 @@
 //!     [--clients C] [--requests R] [--target-qps Q] [--batch B]
 //!     [--zipf S] [--seed S]
 //!     [--baseline PATH] [--min-qps-frac F] [--max-p99-frac F]
+//!     [--max-overhead-frac F]
 //! ```
 //!
 //! Each of the `C` client threads owns one keep-alive connection and
@@ -19,13 +20,27 @@
 //! as unbounded queueing). Latency is measured send-to-parsed-response
 //! per request; quantiles come from the pooled sorted sample.
 //!
-//! Gates (`--baseline` reads a committed snapshot):
+//! The run is **two servers, interleaved passes**: one fully
+//! instrumented (stage tracing + slow-query ring on every request,
+//! the default serving configuration) and one with tracing sampled
+//! out (the cheapest the observability layer gets). Passes alternate
+//! U,I then I,U so drift (thermal, cache, scheduler, cold-start) hits
+//! both modes equally; each mode's p50 is the min across its passes. The
+//! snapshot gains `uninstrumented_p50_us` and `overhead_p50_frac` —
+//! the observability tax at the median, which the CI gate pins.
+//!
+//! Gates:
 //!
 //! * `--min-qps-frac F` — fail if fresh `achieved_qps` drops below
-//!   `F ×` the committed one (default 0.25: generous, because the
-//!   committed number may come from different hardware).
+//!   `F ×` the committed one from `--baseline` (default 0.25:
+//!   generous, because the committed number may come from different
+//!   hardware).
 //! * `--max-p99-frac F` — fail if fresh `p99_us` exceeds `F ×` the
 //!   committed one (default 4.0, same reasoning).
+//! * `--max-overhead-frac F` — fail if instrumented p50 exceeds
+//!   uninstrumented p50 by more than `F` (default 0.05), with 25 µs
+//!   of absolute grace so µs-scale scheduler noise cannot flake the
+//!   gate. Runs whenever the bench runs — no committed file needed.
 //!
 //! Every served answer is asserted **bit-identical** to the in-process
 //! [`ServingHandle`] answer for the same query before timing starts —
@@ -55,6 +70,7 @@ struct Args {
     baseline: Option<String>,
     min_qps_frac: f64,
     max_p99_frac: f64,
+    max_overhead_frac: f64,
 }
 
 fn parse_args() -> Args {
@@ -72,6 +88,7 @@ fn parse_args() -> Args {
         baseline: None,
         min_qps_frac: 0.25,
         max_p99_frac: 4.0,
+        max_overhead_frac: 0.05,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -105,6 +122,11 @@ fn parse_args() -> Args {
                 args.max_p99_frac = value("--max-p99-frac")
                     .parse()
                     .expect("--max-p99-frac: number")
+            }
+            "--max-overhead-frac" => {
+                args.max_overhead_frac = value("--max-overhead-frac")
+                    .parse()
+                    .expect("--max-overhead-frac: number")
             }
             other => panic!("unknown argument {other}"),
         }
@@ -159,6 +181,45 @@ fn baseline_field(json: &Json, key: &str) -> Option<f64> {
     json.get(key).and_then(Json::as_f64)
 }
 
+/// One full closed-loop pass against `addr`: C paced clients, the
+/// whole workload. Returns sorted latencies (µs), errors, and wall.
+fn run_pass(
+    addr: SocketAddr,
+    args: &Args,
+    ids: &Arc<Vec<u32>>,
+    k: usize,
+) -> (Vec<u64>, u64, Duration) {
+    let per_client = args.requests / args.clients;
+    let interval = Duration::from_secs_f64(args.clients as f64 / args.target_qps);
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let ids = Arc::clone(ids);
+            let clients = args.clients;
+            std::thread::spawn(move || {
+                let slice: Vec<u32> = ids
+                    .iter()
+                    .skip(c)
+                    .step_by(clients)
+                    .take(per_client)
+                    .copied()
+                    .collect();
+                run_client(addr, slice, interval, k)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(per_client * args.clients);
+    let mut errors = 0u64;
+    for w in workers {
+        let (lat, err) = w.join().expect("load client thread");
+        latencies.extend(lat);
+        errors += err;
+    }
+    let wall = t0.elapsed();
+    latencies.sort_unstable();
+    (latencies, errors, wall)
+}
+
 fn main() {
     let args = parse_args();
     let k = 10usize;
@@ -174,12 +235,25 @@ fn main() {
             .with_index(IndexOptions::default().with_dimensions(args.dimensions)),
     );
     let handle = ServingHandle::new(index);
+    // Two servers over the same index: the default (fully
+    // instrumented — per-request stage traces and ring pushes) and a
+    // minimally-instrumented twin (tracing sampled out, slow logging
+    // off). The difference between them is the observability tax.
     let server = GdimServer::start(
         handle.clone(),
         ServerConfig::new().with_workers(args.clients.max(2)),
     )
     .expect("bind loopback server");
+    let server_min = GdimServer::start(
+        handle.clone(),
+        ServerConfig::new()
+            .with_workers(args.clients.max(2))
+            .with_slow_ms(0)
+            .with_trace_sample(u64::MAX),
+    )
+    .expect("bind minimal-instrumentation server");
     let addr = server.addr();
+    let addr_min = server_min.addr();
     eprintln!("serving on {addr} with {} workers", args.clients.max(2));
 
     // Zipf-skewed traffic over the live graphs, by insertion seq →
@@ -229,40 +303,55 @@ fn main() {
         eprintln!("bit-identity probe passed (16 queries)");
     }
 
-    // The timed run: C paced closed-loop clients.
-    let per_client = args.requests / args.clients;
-    let interval = Duration::from_secs_f64(args.clients as f64 / args.target_qps);
+    // The timed runs, interleaved U,I then I,U so cold-start and
+    // frequency-governor drift hit both modes symmetrically (neither
+    // mode always runs first). The committed headline numbers come
+    // from the instrumented (default-configuration) passes.
     let ids = Arc::new(ids);
-    let t0 = Instant::now();
-    let workers: Vec<_> = (0..args.clients)
-        .map(|c| {
-            let ids = Arc::clone(&ids);
-            std::thread::spawn(move || {
-                let slice: Vec<u32> = ids
-                    .iter()
-                    .skip(c)
-                    .step_by(args.clients)
-                    .take(per_client)
-                    .copied()
-                    .collect();
-                run_client(addr, slice, interval, k)
-            })
-        })
-        .collect();
-    let mut latencies: Vec<u64> = Vec::with_capacity(per_client * args.clients);
+    let mut latencies: Vec<u64> = Vec::new();
     let mut errors = 0u64;
-    for w in workers {
-        let (lat, err) = w.join().expect("load client thread");
-        latencies.extend(lat);
-        errors += err;
+    let mut wall = Duration::ZERO;
+    let mut p50_full = u64::MAX;
+    let mut p50_min = u64::MAX;
+    for pass in 0..2 {
+        let order: [bool; 2] = if pass % 2 == 0 {
+            [false, true] // uninstrumented first
+        } else {
+            [true, false]
+        };
+        let mut pass_p50_u = 0;
+        let mut pass_p50_i = 0;
+        for instrumented in order {
+            if instrumented {
+                let (lat_i, err_i, wall_i) = run_pass(addr, &args, &ids, k);
+                pass_p50_i = quantile(&lat_i, 0.50);
+                p50_full = p50_full.min(pass_p50_i);
+                errors += err_i;
+                wall += wall_i;
+                latencies.extend(lat_i);
+            } else {
+                let (lat_u, err_u, _) = run_pass(addr_min, &args, &ids, k);
+                pass_p50_u = quantile(&lat_u, 0.50);
+                p50_min = p50_min.min(pass_p50_u);
+                errors += err_u;
+            }
+        }
+        eprintln!(
+            "pass {pass}: uninstrumented p50 {pass_p50_u} µs, instrumented p50 {pass_p50_i} µs"
+        );
     }
-    let wall = t0.elapsed();
     server.shutdown();
+    server_min.shutdown();
 
     assert_eq!(errors, 0, "load run saw {errors} failed requests");
     latencies.sort_unstable();
     let total = latencies.len();
     let achieved_qps = total as f64 / wall.as_secs_f64();
+    let overhead_frac = if p50_min > 0 {
+        p50_full as f64 / p50_min as f64 - 1.0
+    } else {
+        0.0
+    };
     let mean_us = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64;
     let (p50, p99, p999) = (
         quantile(&latencies, 0.50),
@@ -281,7 +370,9 @@ fn main() {
          \"dimensions\": {},\n  \"clients\": {},\n  \"requests\": {total},\n  \"k\": {k},\n  \
          \"zipf_exponent\": {},\n  \"target_qps\": {},\n  \"achieved_qps\": {achieved_qps:.1},\n  \
          \"mean_us\": {mean_us:.1},\n  \"p50_us\": {p50},\n  \"p99_us\": {p99},\n  \
-         \"p999_us\": {p999},\n  \"max_us\": {max_us},\n  \"errors\": {errors}\n}}\n",
+         \"p999_us\": {p999},\n  \"max_us\": {max_us},\n  \
+         \"uninstrumented_p50_us\": {p50_min},\n  \
+         \"overhead_p50_frac\": {overhead_frac:.4},\n  \"errors\": {errors}\n}}\n",
         args.graphs, args.shards, args.dimensions, args.clients, args.zipf, args.target_qps
     );
     std::fs::write(&args.out, &json).expect("write snapshot");
@@ -315,5 +406,24 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("serve-smoke: gate passed");
+    }
+
+    // The instrumentation-overhead gate needs no committed file: both
+    // sides were measured in this run. 25 µs of absolute grace keeps
+    // µs-scale scheduler noise from flaking the fraction.
+    let ceiling = p50_min as f64 * (1.0 + args.max_overhead_frac) + 25.0;
+    let verdict = if (p50_full as f64) > ceiling {
+        "FAIL"
+    } else {
+        "ok"
+    };
+    eprintln!(
+        "obs-overhead p50: instrumented {p50_full} µs vs uninstrumented {p50_min} µs \
+         ({overhead_frac:+.1}%, ceiling {ceiling:.0} µs) .. {verdict}",
+        overhead_frac = overhead_frac * 100.0
+    );
+    if (p50_full as f64) > ceiling {
+        eprintln!("obs-overhead: instrumentation exceeded --max-overhead-frac");
+        std::process::exit(1);
     }
 }

@@ -18,8 +18,19 @@
 //! gdim rebuild [--background]
 //! gdim checkpoint
 //! gdim stats
+//! gdim metrics
+//! gdim top
 //! gdim stop
 //! ```
+//!
+//! Observability: `gdim metrics` dumps the raw Prometheus text
+//! exposition from `GET /metrics` (pipe it anywhere a scraper would
+//! go); `gdim top` renders the same scrape as a human summary —
+//! per-endpoint request counts and latency quantiles, per-stage
+//! timings, and an ASCII latency histogram for the busiest endpoint.
+//! `gdim serve --slow-ms N` tunes the server's slow-query threshold
+//! (requests at or over it are logged to stderr with their request id
+//! and per-stage breakdown; `0` disables).
 //!
 //! Durability: `gdim serve --durable DIR` logs every `/insert` and
 //! `/remove` to a write-ahead log inside `DIR` before acking (fsync
@@ -54,6 +65,7 @@ commands:
               [--addr HOST:PORT=127.0.0.1:7171] [--workers W]
               [--shards S=4] [--dimensions P=32] [--seed S=42]
               [--durable DIR] [--fsync always|group:N|off]
+              [--slow-ms N=250] (0 turns slow-query logging off)
               with --durable: mutations ack only once logged to DIR;
               an existing durable DIR reopens (recovering acked
               writes), a fresh one is seeded from the other source
@@ -72,6 +84,10 @@ commands:
   recover   verify a durable directory offline: replay the log, report
               generation / records / tail health  --verify DIR
   stats     print serving counters     [--addr HOST:PORT]
+  metrics   dump the raw Prometheus text exposition [--addr HOST:PORT]
+  top       human summary of the metrics scrape: per-endpoint latency
+              quantiles, stage timings, latency histogram
+              [--addr HOST:PORT]
   stop      gracefully stop the server [--addr HOST:PORT]";
 
 fn main() -> ExitCode {
@@ -90,6 +106,8 @@ fn main() -> ExitCode {
         "checkpoint" => cmd_checkpoint(&args[1..]),
         "recover" => cmd_recover(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
+        "top" => cmd_top(&args[1..]),
         "stop" => cmd_stop(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -222,6 +240,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = ServerConfig::new().with_addr(flags.get("--addr").unwrap_or(DEFAULT_ADDR));
     if let Some(w) = flags.num::<usize>("--workers")? {
         cfg = cfg.with_workers(w);
+    }
+    if let Some(ms) = flags.num::<u64>("--slow-ms")? {
+        cfg = cfg.with_slow_ms(ms);
     }
     let server = if let Some(dir) = flags.get("--durable") {
         let policy = sync_policy(&flags)?;
@@ -442,6 +463,124 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Fetches `GET /metrics` as raw text, failing on non-200.
+fn fetch_metrics(flags: &Flags) -> Result<String, String> {
+    let mut client = connect(flags)?;
+    let (status, text) = client
+        .get_text("/metrics")
+        .map_err(|e| format!("request failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("server answered {status} for /metrics"));
+    }
+    Ok(text)
+}
+
+/// Writes to stdout treating a closed pipe as success — these
+/// subcommands exist to be piped into `grep`/`head`, and `println!`
+/// would panic when the reader hangs up early.
+fn print_pipeable(text: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    match std::io::stdout().write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("writing stdout: {e}")),
+    }
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    print_pipeable(&fetch_metrics(&flags)?)
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let text = fetch_metrics(&flags)?;
+    let expo = gdim_obs::expo::parse(&text).map_err(|e| format!("bad exposition: {e}"))?;
+    print_pipeable(&render_top(&expo))
+}
+
+/// Renders the scrape as a terminal summary. Pure so tests can feed
+/// it a canned exposition.
+fn render_top(expo: &gdim_obs::Exposition) -> String {
+    use gdim_obs::expo::human_ns;
+    use std::fmt::Write as _;
+    let gauge = |name: &str| expo.value(name, &[]).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "uptime {}   in-flight {}   live graphs {}   epoch {}",
+        human_ns(gauge("gdim_uptime_ns") as u64),
+        gauge("gdim_in_flight_requests"),
+        gauge("gdim_live_graphs"),
+        gauge("gdim_index_epoch"),
+    );
+    // Endpoints come from the scrape itself, so the CLI needs no
+    // compiled-in endpoint list and stays compatible across servers.
+    let mut endpoints: Vec<(&str, f64)> = expo
+        .samples
+        .iter()
+        .filter(|s| s.name == "gdim_requests_total" && s.value > 0.0)
+        .filter_map(|s| s.label("endpoint").map(|ep| (ep, s.value)))
+        .collect();
+    endpoints.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if endpoints.is_empty() {
+        let _ = writeln!(out, "\nno requests served yet");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "\n{:<14} {:>10} {:>9} {:>9} {:>9}",
+        "endpoint", "requests", "p50", "p99", "p999"
+    );
+    for (ep, requests) in &endpoints {
+        let Ok(snap) = expo.histogram("gdim_request_latency_ns", &[("endpoint", ep)]) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "{ep:<14} {requests:>10} {:>9} {:>9} {:>9}",
+            human_ns(snap.p50()),
+            human_ns(snap.p99()),
+            human_ns(snap.p999()),
+        );
+    }
+    let mut stages: Vec<(&str, gdim_obs::HistogramSnapshot)> = expo
+        .samples
+        .iter()
+        .filter(|s| s.name == "gdim_stage_ns_count" && s.value > 0.0)
+        .filter_map(|s| s.label("stage"))
+        .filter_map(|st| {
+            expo.histogram("gdim_stage_ns", &[("stage", st)])
+                .ok()
+                .map(|h| (st, h))
+        })
+        .collect();
+    stages.sort_by_key(|(_, h)| std::cmp::Reverse(h.p50()));
+    if !stages.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<14} {:>10} {:>9} {:>9}",
+            "stage", "samples", "p50", "p99"
+        );
+        for (stage, snap) in &stages {
+            let _ = writeln!(
+                out,
+                "{stage:<14} {:>10} {:>9} {:>9}",
+                snap.count,
+                human_ns(snap.p50()),
+                human_ns(snap.p99()),
+            );
+        }
+    }
+    // The busiest endpoint gets the full latency distribution.
+    let busiest = endpoints[0].0;
+    if let Ok(snap) = expo.histogram("gdim_request_latency_ns", &[("endpoint", busiest)]) {
+        let _ = writeln!(out, "\nlatency distribution — {busiest} (ns):");
+        out.push_str(&gdim_obs::ascii_histogram(&snap, 40));
+    }
+    out
+}
+
 fn cmd_stop(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
     let mut client = connect(&flags)?;
@@ -479,5 +618,40 @@ mod tests {
         for bad in ["", "appro", "approx:", "approx:x", "approx:8:", "refined:"] {
             assert!(parse_ranker(bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn top_renders_a_scrape_without_a_server() {
+        // Synthesize a scrape the way the server does: record into a
+        // registry, render, parse — then render_top must summarize it.
+        let registry = gdim_obs::Registry::new();
+        registry
+            .gauge("gdim_uptime_ns", "up", &[])
+            .set(5_000_000_000);
+        registry.gauge("gdim_live_graphs", "live", &[]).set(24);
+        let requests = registry.counter("gdim_requests_total", "reqs", &[("endpoint", "search")]);
+        let latency =
+            registry.histogram("gdim_request_latency_ns", "lat", &[("endpoint", "search")]);
+        let stage = registry.histogram("gdim_stage_ns", "stage", &[("stage", "scan")]);
+        for v in [120_000u64, 250_000, 900_000] {
+            requests.inc();
+            latency.record(v);
+            stage.record(v / 2);
+        }
+        let expo = gdim_obs::expo::parse(&registry.render()).unwrap();
+        let top = render_top(&expo);
+        assert!(top.contains("uptime 5s"), "{top}");
+        assert!(top.contains("live graphs 24"), "{top}");
+        assert!(top.contains("search"), "{top}");
+        assert!(top.contains("scan"), "{top}");
+        assert!(top.contains("latency distribution — search"), "{top}");
+    }
+
+    #[test]
+    fn top_with_no_traffic_says_so() {
+        let registry = gdim_obs::Registry::new();
+        registry.counter("gdim_requests_total", "reqs", &[("endpoint", "search")]);
+        let expo = gdim_obs::expo::parse(&registry.render()).unwrap();
+        assert!(render_top(&expo).contains("no requests served yet"));
     }
 }

@@ -56,6 +56,7 @@
 use std::time::{Duration, Instant};
 
 use gdim_graph::{Graph, McsOptions};
+use gdim_obs::{Stage, StageTimes};
 
 use crate::error::GdimError;
 use crate::index::GraphIndex;
@@ -322,6 +323,11 @@ pub struct SearchStats {
     /// `candidates_scanned`, which for [`Ranker::Approx`] counts only
     /// the exactly-scanned pending-tail rows. Sums across shards.
     pub beam_visited: usize,
+    /// Per-stage breakdown of where the request's time went
+    /// ([`gdim_obs::Stage`] vocabulary: map, scan / ann_beam, refine,
+    /// merge — the serving layer adds parse/serialize on top). Sums
+    /// stage-wise across shards, like the time shares above.
+    pub stages: StageTimes,
 }
 
 impl SearchStats {
@@ -343,7 +349,8 @@ impl SearchStats {
     /// approximate partition makes the whole answer approximate),
     /// `beam_visited` **sums** (it is work), and `ef` takes the
     /// **max** (it is a setting, not work — partitions of one request
-    /// always agree, so max is the identity-preserving fold).
+    /// always agree, so max is the identity-preserving fold). `stages`
+    /// **sums** stage-wise, matching the time shares.
     pub fn merge(&mut self, other: &SearchStats) {
         self.candidates_scanned += other.candidates_scanned;
         self.early_abandoned += other.early_abandoned;
@@ -361,6 +368,7 @@ impl SearchStats {
         self.approximate |= other.approximate;
         self.ef = self.ef.max(other.ef);
         self.beam_visited += other.beam_visited;
+        self.stages.merge(&other.stages);
     }
 
     /// [`SearchStats::merge`] over any number of partition stats,
@@ -419,7 +427,11 @@ impl std::fmt::Display for SearchStats {
             f,
             "; match {:.1?}, wall {:.1?}",
             self.match_time, self.wall_time
-        )
+        )?;
+        if !self.stages.is_empty() {
+            write!(f, " [{}]", self.stages)?;
+        }
+        Ok(())
     }
 }
 
@@ -500,6 +512,7 @@ impl GraphIndex {
             r.stats.vf2_calls = match_stats.vf2_calls;
             r.stats.vf2_pruned = match_stats.vf2_pruned;
             r.stats.match_time = match_time;
+            r.stats.stages.add(Stage::Map, match_time);
             r
         };
         resp.stats.wall_time = t0.elapsed();
@@ -546,6 +559,7 @@ impl GraphIndex {
             resp.stats.vf2_calls = mapped[i].1.vf2_calls;
             resp.stats.vf2_pruned = mapped[i].1.vf2_pruned;
             resp.stats.match_time = match_time;
+            resp.stats.stages.add(Stage::Map, match_time);
             resp.stats.wall_time = ti.elapsed() + match_time;
             resp.stats.epoch = self.epoch();
             resp.stats.live_graphs = self.live_len();
@@ -580,6 +594,7 @@ impl GraphIndex {
                 let ti = Instant::now();
                 let mut resp = self.response_from_scan(q, scan, req);
                 resp.stats.fused_batch = true;
+                resp.stats.stages.add(Stage::Scan, scan_share);
                 let mut resp = finish(resp, i, ti);
                 resp.stats.wall_time += scan_share;
                 resp
@@ -593,6 +608,7 @@ impl GraphIndex {
     /// never surface as hits.
     fn exact_response(&self, query: &Graph, req: &SearchRequest) -> SearchResponse {
         let live = self.tombstones().live_ids();
+        let tr = Instant::now();
         let ranked = crate::query::exact_ranking_among(
             self.graphs(),
             &live,
@@ -601,11 +617,14 @@ impl GraphIndex {
             &self.mcs_for(req),
             self.exec(),
         );
+        let mut stages = StageTimes::new();
+        stages.add(Stage::Refine, tr.elapsed());
         SearchResponse {
             hits: Self::hits(ranked, req.k.min(self.len())),
             stats: SearchStats {
                 candidates_scanned: 0,
                 mcs_calls: live.len(),
+                stages,
                 ..Default::default()
             },
         }
@@ -626,8 +645,12 @@ impl GraphIndex {
             Ranker::Exact => self.exact_response(query, req),
             Ranker::Approx { ef, verify } => self.approx_response(query, qvec, req, ef, verify),
             _ => {
+                let ts = Instant::now();
                 let scan = self.scan_premapped(qvec, req);
-                self.response_from_scan(query, scan, req)
+                let scan_time = ts.elapsed();
+                let mut resp = self.response_from_scan(query, scan, req);
+                resp.stats.stages.add(Stage::Scan, scan_time);
+                resp
             }
         }
     }
@@ -651,12 +674,18 @@ impl GraphIndex {
         // Without verification the beam only needs k answers; with it,
         // the beam must produce the full candidate set to re-rank.
         let take = verify.map_or(req.k.min(n), |c| c.min(n));
+        let tb = Instant::now();
         let (ranking, ann) = self.approx_scan_premapped(qvec, take, ef, req.mapping);
+        let mut stages = StageTimes::new();
+        stages.add(Stage::AnnBeam, tb.elapsed());
         let (ranked, mcs_calls) = match verify {
             Some(c) => {
                 let c = c.min(n);
                 let did = ranking.len().min(c);
-                (self.refine(query, &ranking, c, &self.mcs_for(req)), did)
+                let tr = Instant::now();
+                let ranked = self.refine(query, &ranking, c, &self.mcs_for(req));
+                stages.add(Stage::Refine, tr.elapsed());
+                (ranked, did)
             }
             None => (ranking, 0),
         };
@@ -669,6 +698,7 @@ impl GraphIndex {
                 approximate: true,
                 ef,
                 beam_visited: ann.beam_visited,
+                stages,
                 ..Default::default()
             },
         }
@@ -736,13 +766,17 @@ impl GraphIndex {
         req: &SearchRequest,
     ) -> SearchResponse {
         let n = self.len();
+        let mut stages = StageTimes::new();
         let (ranked, mcs_calls) = match req.ranker {
             Ranker::Refined { candidates } => {
                 let c = candidates.min(n);
                 // The masked scan may return fewer than `c` rows (only
                 // live rows exist); count the δ calls actually made.
                 let did = scanned.len().min(c);
-                (self.refine(query, &scanned, c, &self.mcs_for(req)), did)
+                let tr = Instant::now();
+                let ranked = self.refine(query, &scanned, c, &self.mcs_for(req));
+                stages.add(Stage::Refine, tr.elapsed());
+                (ranked, did)
             }
             _ => (scanned, 0),
         };
@@ -755,6 +789,7 @@ impl GraphIndex {
                 words_scanned: scan_stats.words_scanned,
                 mcs_calls,
                 kernel: Some(selected_kernel()),
+                stages,
                 ..Default::default()
             },
         }
@@ -1120,6 +1155,11 @@ mod tests {
 
     #[test]
     fn stats_merge_sums_counters_and_maxes_the_epoch() {
+        let mut a_stages = StageTimes::new();
+        a_stages.add_ns(Stage::Scan, 100);
+        let mut b_stages = StageTimes::new();
+        b_stages.add_ns(Stage::Scan, 50);
+        b_stages.add_ns(Stage::Refine, 10);
         let a = SearchStats {
             candidates_scanned: 10,
             early_abandoned: 2,
@@ -1137,6 +1177,7 @@ mod tests {
             approximate: false,
             ef: 0,
             beam_visited: 0,
+            stages: a_stages,
         };
         let b = SearchStats {
             candidates_scanned: 20,
@@ -1155,6 +1196,7 @@ mod tests {
             approximate: true,
             ef: 48,
             beam_visited: 900,
+            stages: b_stages,
         };
         let mut m = a;
         m.merge(&b);
@@ -1177,6 +1219,9 @@ mod tests {
         assert!(m.approximate, "approximate must OR across shards");
         assert_eq!(m.ef, 48, "ef takes the max, not the sum");
         assert_eq!(m.beam_visited, 900);
+        // Stage times sum stage-wise, like the time shares.
+        assert_eq!(m.stages.get_ns(Stage::Scan), 150);
+        assert_eq!(m.stages.get_ns(Stage::Refine), 10);
         // merged() folds from the default: one part is the identity,
         // and merging the two parts in either order agrees.
         let folded = SearchStats::merged([&a, &b]);
@@ -1194,6 +1239,9 @@ mod tests {
 
     #[test]
     fn stats_display_is_compact_and_complete() {
+        let mut stages = StageTimes::new();
+        stages.add_ns(Stage::AnnBeam, 700_000);
+        stages.add_ns(Stage::Refine, 150_000);
         let stats = SearchStats {
             candidates_scanned: 90,
             early_abandoned: 7,
@@ -1211,6 +1259,7 @@ mod tests {
             approximate: true,
             ef: 64,
             beam_visited: 1234,
+            stages,
         };
         let line = stats.to_string();
         for needle in [
@@ -1223,6 +1272,8 @@ mod tests {
             "kernel scalar",
             "fused batch",
             "APPROXIMATE (ef 64, beam visited 1234)",
+            "[ann_beam=",
+            "refine=",
         ] {
             assert!(line.contains(needle), "missing {needle:?} in {line:?}");
         }
@@ -1231,6 +1282,7 @@ mod tests {
         let quiet = SearchStats::default().to_string();
         assert!(!quiet.contains("vf2") && !quiet.contains("mcs"));
         assert!(!quiet.contains("APPROXIMATE"));
+        assert!(!quiet.contains('['), "empty stage vectors are elided");
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Prometheus **text exposition** (version 0.0.4): a parser for the
+//! format [`Registry::render`](crate::registry::Registry::render)
+//! emits, and an ASCII histogram renderer for terminals.
+//!
+//! The parser exists for the consumers inside this repo — `gdim top`
+//! and the CI scrape smoke test — so it accepts exactly the dialect
+//! the registry produces plus reasonable whitespace. One subtlety it
+//! must get right: the registry emits **integer** `le` bounds
+//! (`2^i − 1`), which above 2⁵³ are not representable as `f64`, so
+//! bucket bounds are parsed as exact `u64` text first and only
+//! `+Inf` falls back to the float path.
+
+use std::collections::HashMap;
+
+use crate::metrics::{bucket_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+/// One sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name (for histograms this keeps the `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// Label pairs in the order written.
+    pub labels: Vec<(String, String)>,
+    /// The value parsed as `f64` (fine for counters and gauges).
+    pub value: f64,
+    /// The raw value text, for consumers that need exact `u64`s.
+    pub raw_value: String,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether every `(key, value)` in `want` appears in this sample's
+    /// labels (extra labels are allowed — how `_bucket` lines match).
+    pub fn has_labels(&self, want: &[(&str, &str)]) -> bool {
+        want.iter().all(|(k, v)| self.label(k) == Some(*v))
+    }
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations: family name → kind.
+    pub types: HashMap<String, String>,
+    /// All sample lines, in document order.
+    pub samples: Vec<Sample>,
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = text.chars().peekable();
+    loop {
+        // Key up to '='.
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') {
+            return Err(format!("label without '=': {text:?}"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label value not quoted: {text:?}"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in {text:?}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated label value: {text:?}")),
+            }
+        }
+        labels.push((key.trim().to_string(), value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("unexpected {c:?} after label in {text:?}")),
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses exposition text into its type declarations and samples.
+/// Returns a message naming the first malformed line on failure.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next(), it.next());
+            match (name, kind) {
+                (Some(n), Some(k)) => {
+                    out.types.insert(n.to_string(), k.to_string());
+                }
+                _ => return Err(format!("line {}: malformed TYPE: {line:?}", lineno + 1)),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // name{labels} value   |   name value
+        let (name_labels, value_text) = match line.rfind(|c: char| c.is_whitespace()) {
+            Some(i) => (&line[..i], line[i..].trim()),
+            None => return Err(format!("line {}: no value: {line:?}", lineno + 1)),
+        };
+        let (name, labels) = match name_labels.find('{') {
+            Some(open) => {
+                let close = name_labels
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {}: unclosed '{{': {line:?}", lineno + 1))?;
+                let labels = parse_labels(&name_labels[open + 1..close])
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                (name_labels[..open].trim().to_string(), labels)
+            }
+            None => (name_labels.trim().to_string(), Vec::new()),
+        };
+        if name.is_empty() {
+            return Err(format!("line {}: empty metric name: {line:?}", lineno + 1));
+        }
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("line {}: bad value {v:?}", lineno + 1))?,
+        };
+        out.samples.push(Sample {
+            name,
+            labels,
+            value,
+            raw_value: value_text.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+impl Exposition {
+    /// The declared kind of family `name`, if any.
+    pub fn type_of(&self, name: &str) -> Option<&str> {
+        self.types.get(name).map(String::as_str)
+    }
+
+    /// The value of the first sample named `name` carrying all of
+    /// `labels`.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.has_labels(labels))
+            .map(|s| s.value)
+    }
+
+    /// Reconstructs the histogram family `name` (for the series
+    /// carrying `labels`) back into a [`HistogramSnapshot`], inverting
+    /// the cumulative `_bucket` encoding. `le` bounds are matched as
+    /// exact `u64` text; unknown bounds are an error, so a format
+    /// drift fails loudly in the smoke test instead of skewing data.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<HistogramSnapshot, String> {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = [None::<u64>; HISTOGRAM_BUCKETS];
+        let mut inf = None;
+        for s in self
+            .samples
+            .iter()
+            .filter(|s| s.name == bucket_name && s.has_labels(labels))
+        {
+            let le = s
+                .label("le")
+                .ok_or_else(|| format!("{bucket_name}: no le label"))?;
+            let count = s
+                .raw_value
+                .parse::<u64>()
+                .map_err(|_| format!("{bucket_name}: non-integer count {:?}", s.raw_value))?;
+            if le == "+Inf" {
+                inf = Some(count);
+                continue;
+            }
+            let bound: u64 = le
+                .parse()
+                .map_err(|_| format!("{bucket_name}: non-integer le {le:?}"))?;
+            let i = (0..HISTOGRAM_BUCKETS)
+                .find(|&i| bucket_bound(i) == bound)
+                .ok_or_else(|| format!("{bucket_name}: le {le:?} is not a log2 bound"))?;
+            cumulative[i] = Some(count);
+        }
+        let mut snap = HistogramSnapshot::new();
+        let mut prev = 0u64;
+        for (i, cum) in cumulative.iter().enumerate() {
+            let c = cum.ok_or_else(|| format!("{bucket_name}: missing bucket {i}"))?;
+            snap.buckets[i] = c
+                .checked_sub(prev)
+                .ok_or_else(|| format!("{bucket_name}: buckets not cumulative at {i}"))?;
+            prev = c;
+        }
+        snap.count = self
+            .value(&format!("{name}_count"), labels)
+            .ok_or_else(|| format!("{name}_count: missing"))? as u64;
+        snap.sum = self
+            .samples
+            .iter()
+            .find(|s| s.name == format!("{name}_sum") && s.has_labels(labels))
+            .ok_or_else(|| format!("{name}_sum: missing"))?
+            .raw_value
+            .parse::<u64>()
+            .map_err(|e| format!("{name}_sum: {e}"))?;
+        if let Some(inf) = inf {
+            if inf != prev {
+                return Err(format!("{bucket_name}: +Inf {inf} != last bucket {prev}"));
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Renders a nanosecond value as a short human duration (`999ns`,
+/// `12.3µs`, `45.6ms`, `7.89s`).
+pub fn human_ns(ns: u64) -> String {
+    const UNITS: [(u64, &str); 3] = [(1_000_000_000, "s"), (1_000_000, "ms"), (1_000, "µs")];
+    for (scale, unit) in UNITS {
+        if ns >= scale {
+            let v = format!("{:.3}", ns as f64 / scale as f64);
+            return format!("{}{unit}", v.trim_end_matches('0').trim_end_matches('.'));
+        }
+    }
+    format!("{ns}ns")
+}
+
+/// Renders a histogram snapshot as rows of `[floor, bound]  count  bar`
+/// for the terminal (`gdim top`). Empty buckets outside the occupied
+/// range are elided; returns a placeholder line for an empty snapshot.
+pub fn ascii_histogram(snap: &HistogramSnapshot, width: usize) -> String {
+    let Some(hi) = snap.max_bucket() else {
+        return "  (no samples)\n".to_string();
+    };
+    let lo = snap.buckets.iter().position(|&c| c > 0).unwrap_or(0);
+    let max = snap.buckets.iter().copied().max().unwrap_or(1).max(1);
+    let width = width.max(8);
+    let mut out = String::new();
+    for i in lo..=hi {
+        let c = snap.buckets[i];
+        let bar_len = ((c as f64 / max as f64) * width as f64).round() as usize;
+        let floor = if i == 0 { 0 } else { 1u64 << (i - 1) };
+        out.push_str(&format!(
+            "  {:>10} ..= {:>10}  {:>8}  {}\n",
+            human_ns(floor),
+            human_ns(HistogramSnapshot::bound(i)),
+            c,
+            "#".repeat(bar_len.min(width))
+        ));
+    }
+    out.push_str(&format!(
+        "  count {}  mean {}  p50 {}  p99 {}\n",
+        snap.count,
+        human_ns(snap.mean() as u64),
+        human_ns(snap.p50()),
+        human_ns(snap.p99())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn parses_what_the_registry_renders_counters_and_gauges() {
+        let r = Registry::new();
+        r.counter("gdim_requests_total", "Requests", &[("endpoint", "search")])
+            .add(7);
+        r.gauge("gdim_in_flight", "In flight", &[]).set(-3);
+        let expo = parse(&r.render()).expect("parses");
+        assert_eq!(expo.type_of("gdim_requests_total"), Some("counter"));
+        assert_eq!(expo.type_of("gdim_in_flight"), Some("gauge"));
+        assert_eq!(
+            expo.value("gdim_requests_total", &[("endpoint", "search")]),
+            Some(7.0)
+        );
+        assert_eq!(expo.value("gdim_in_flight", &[]), Some(-3.0));
+        assert_eq!(
+            expo.value("gdim_requests_total", &[("endpoint", "insert")]),
+            None
+        );
+    }
+
+    #[test]
+    fn histogram_roundtrips_exactly_through_text() {
+        let r = Registry::new();
+        let h = r.histogram("gdim_lat_ns", "Latency", &[("endpoint", "search")]);
+        // Includes a value above 2^53, where f64 would lose the bound.
+        for v in [0u64, 1, 1000, 1 << 60, u64::MAX] {
+            h.record(v);
+        }
+        let expo = parse(&r.render()).expect("parses");
+        let snap = expo
+            .histogram("gdim_lat_ns", &[("endpoint", "search")])
+            .expect("reconstructs");
+        assert_eq!(snap, h.snapshot());
+    }
+
+    #[test]
+    fn label_escapes_roundtrip() {
+        let r = Registry::new();
+        r.counter("esc", "e", &[("v", "a\"b\\c\nd")]).inc();
+        let expo = parse(&r.render()).expect("parses");
+        assert_eq!(expo.samples[0].label("v"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        assert!(parse("no_value_here").unwrap_err().contains("line 1"));
+        assert!(parse("ok 1\nbad{unclosed 2")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(parse("x notanumber").unwrap_err().contains("bad value"));
+        // But comments, HELP, and blank lines are fine.
+        let expo = parse("# HELP x y\n\n# random comment\nx 4\n").unwrap();
+        assert_eq!(expo.value("x", &[]), Some(4.0));
+    }
+
+    #[test]
+    fn ascii_histogram_renders_bars_and_summary() {
+        let mut snap = HistogramSnapshot::new();
+        snap.buckets[10] = 90; // [512, 1023]
+        snap.buckets[11] = 10;
+        snap.count = 100;
+        snap.sum = 100 * 700;
+        let art = ascii_histogram(&snap, 20);
+        assert!(art.contains("####"), "{art}");
+        assert!(art.contains("count 100"), "{art}");
+        assert!(art.lines().count() == 3, "two buckets + summary: {art}");
+        assert_eq!(
+            ascii_histogram(&HistogramSnapshot::new(), 20),
+            "  (no samples)\n"
+        );
+    }
+
+    #[test]
+    fn human_ns_picks_sane_units() {
+        assert_eq!(human_ns(999), "999ns");
+        assert!(human_ns(12_300).ends_with("µs"));
+        assert!(human_ns(45_600_000).ends_with("ms"));
+        assert!(human_ns(7_890_000_000).ends_with('s'));
+    }
+}

@@ -1,0 +1,370 @@
+//! The lock-free metric primitives: [`Counter`], [`Gauge`], and the
+//! log₂-bucket latency [`Histogram`].
+//!
+//! All recording uses `Ordering::Relaxed` — these are statistics, not
+//! synchronization; the only guarantee a reader needs is that every
+//! completed write eventually shows up, which relaxed atomics give.
+//! Snapshots taken while writers are racing may be torn *across*
+//! fields (a count one ahead of its bucket), never *within* one — the
+//! workspace's tests only assert exact totals after writers join.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: one for the exact value `0` plus one
+/// per power of two up to `u64::MAX` (bucket `i ≥ 1` covers
+/// `[2^(i-1), 2^i - 1]`; the last covers `[2^63, u64::MAX]`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter (resets only when the process
+/// restarts — there is deliberately no `reset`).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping, like every `u64` counter; 2⁶⁴ events
+    /// outlive any process).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (in-flight
+/// requests, WAL bytes, shard imbalance ×1000).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value outright.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (negative to subtract).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log₂-scale histogram of `u64` samples (nanoseconds,
+/// by convention).
+///
+/// Bucket boundaries are powers of two, so recording is a
+/// `leading_zeros` plus one relaxed `fetch_add` — no float math, no
+/// search, no lock — and two histograms recorded on different shards
+/// or threads [`merge`](HistogramSnapshot::merge) *exactly* (bucket
+/// counts are plain sums, and quantile estimates of the merge equal
+/// the estimates of a single recorder fed the same samples).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, else `64 - leading_zeros`
+/// (so bucket `i` holds values whose highest set bit is `i - 1`).
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The **inclusive upper bound** of bucket `i` (`0`, `1`, `3`, `7`, …,
+/// `u64::MAX`). This is the `le` label the Prometheus exposition uses.
+pub(crate) fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// The inclusive lower bound of bucket `i` (`0`, `1`, `2`, `4`, …).
+fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample: two relaxed adds plus a `leading_zeros`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole nanoseconds (saturating at
+    /// `u64::MAX` — 584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets. Under concurrent writers
+    /// the copy can be torn across fields by in-flight records; once
+    /// writers are quiescent it is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state — what crosses
+/// shard/thread boundaries and what quantile math runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping, like the recorder).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn new() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// Folds another snapshot in: plain per-bucket sums, so merging
+    /// per-shard histograms is *exactly* the histogram one recorder
+    /// would have produced from the union of samples (pinned by
+    /// proptest).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        // The recorder's sum wraps; merging must wrap identically or
+        // merged-vs-single equality breaks on large samples.
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// The inclusive upper bound of bucket `i` — the Prometheus `le`
+    /// value.
+    pub fn bound(i: usize) -> u64 {
+        bucket_bound(i)
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by locating the
+    /// bucket holding the target rank and interpolating linearly
+    /// inside it. Exact to within one bucket's width — ±50% of the
+    /// value, which is what a log₂ latency histogram promises. Returns
+    /// 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = bucket_floor(i) as f64;
+                let hi = bucket_bound(i) as f64;
+                let frac = (rank - seen) as f64 / c as f64;
+                return (lo + (hi - lo) * frac) as u64;
+            }
+            seen += c;
+        }
+        bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The p50 estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The p90 estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The p99 estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The p99.9 estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// The mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The index of the highest non-empty bucket, if any.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(3);
+        g.sub(12);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn bucket_indexing_covers_the_whole_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        // Every value lands inside its bucket's [floor, bound] range.
+        for v in [0u64, 1, 2, 3, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_floor(i) <= v && v <= bucket_bound(i), "{v}");
+        }
+    }
+
+    #[test]
+    fn boundary_values_record_without_overflow() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[64], 1);
+        assert_eq!(s.sum, u64::MAX); // 0 + MAX, no wrap
+        assert_eq!(s.max_bucket(), Some(64));
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_stay_within_one_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1000); // bucket [512, 1023]
+        }
+        let s = h.snapshot();
+        let p50 = s.p50();
+        assert!((512..=1023).contains(&p50), "{p50}");
+        assert!((512..=1023).contains(&s.p999()));
+        assert_eq!(s.mean(), 1000.0);
+        // Empty snapshot answers 0 everywhere.
+        assert_eq!(HistogramSnapshot::new().p99(), 0);
+        assert_eq!(HistogramSnapshot::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_exact_bucket_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let one = Histogram::new();
+        for v in [3u64, 9, 1000, 0] {
+            a.record(v);
+            one.record(v);
+        }
+        for v in [5u64, 1_000_000, u64::MAX] {
+            b.record(v);
+            one.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, one.snapshot());
+    }
+}

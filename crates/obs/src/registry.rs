@@ -1,0 +1,312 @@
+//! Named metric families with labels, registered once and recorded
+//! lock-free thereafter.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes the
+//! registry's one mutex and hands back an `Arc` to the instrument;
+//! callers cache the `Arc` (in a struct or a `OnceLock`) and every
+//! subsequent record is pure relaxed atomics — the lock is touched
+//! again only by the scrape path ([`Registry::render`]).
+//!
+//! [`global()`] is the process-wide registry: layers with no handle on
+//! the server (the WAL writer, the durable checkpoint path) record
+//! there, and the server's `/metrics` scrape renders it after its own.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{bucket_bound, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+
+/// A label set rendered as `{k="v",…}` — stored pre-sorted by key so
+/// the same logical series always maps to the same entry.
+type Labels = Vec<(String, String)>;
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Series {
+    labels: Labels,
+    instrument: Instrument,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: &'static str, // "counter" | "gauge" | "histogram"
+    series: Vec<Series>,
+}
+
+/// A collection of metric families. See the module docs for the
+/// locking contract.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+fn normalize(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, `\n`).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_register<T>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: &'static str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+        unwrap: impl Fn(&Instrument) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let labels = normalize(labels);
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(
+                    f.kind, kind,
+                    "metric family {name:?} registered as {} and {kind}",
+                    f.kind
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+            return unwrap(&series.instrument).expect("kind checked above");
+        }
+        let instrument = make();
+        let arc = unwrap(&instrument).expect("freshly made with the right kind");
+        family.series.push(Series { labels, instrument });
+        arc
+    }
+
+    /// The counter series `name{labels}`, registering it on first use.
+    /// Same (name, labels) always returns the same instrument.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_register(
+            name,
+            help,
+            "counter",
+            labels,
+            || Instrument::Counter(Arc::new(Counter::new())),
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge series `name{labels}`, registering it on first use.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_register(
+            name,
+            help,
+            "gauge",
+            labels,
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram series `name{labels}`, registering it on first
+    /// use.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.get_or_register(
+            name,
+            help,
+            "histogram",
+            labels,
+            || Instrument::Histogram(Arc::new(Histogram::new())),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every family in registration order as Prometheus text
+    /// exposition (version 0.0.4): `# HELP` / `# TYPE` headers, one
+    /// sample line per series, histograms as cumulative `_bucket`
+    /// lines (integer `le` bounds plus `+Inf`) with `_sum`/`_count`.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for f in families.iter() {
+            out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind));
+            for s in &f.series {
+                match &s.instrument {
+                    Instrument::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            c.get()
+                        ));
+                    }
+                    Instrument::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            g.get()
+                        ));
+                    }
+                    Instrument::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for i in 0..HISTOGRAM_BUCKETS {
+                            cumulative += snap.buckets[i];
+                            // Exact integer le bounds (2^i - 1): above
+                            // 2^53 these are not f64-representable, so
+                            // consumers parse them back as u64 text.
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                f.name,
+                                render_labels(
+                                    &s.labels,
+                                    Some(("le", &bucket_bound(i).to_string()))
+                                ),
+                                cumulative
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, Some(("le", "+Inf"))),
+                            snap.count
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            snap.sum
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            snap.count
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry. The WAL/durable layers record here; the
+/// server's `/metrics` renders it after its own registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_series_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("hits", "hit count", &[("endpoint", "search")]);
+        let b = r.counter("hits", "hit count", &[("endpoint", "search")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "one instrument behind both handles");
+        // Label order does not split the series.
+        let c = r.counter("multi", "m", &[("a", "1"), ("b", "2")]);
+        let d = r.counter("multi", "m", &[("b", "2"), ("a", "1")]);
+        c.add(5);
+        assert_eq!(d.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("x", "x", &[]);
+        r.gauge("x", "x", &[]);
+    }
+
+    #[test]
+    fn render_produces_exposition_text() {
+        let r = Registry::new();
+        r.counter(
+            "gdim_requests_total",
+            "Requests served",
+            &[("endpoint", "search")],
+        )
+        .add(3);
+        r.gauge("gdim_in_flight", "In-flight requests", &[]).set(-1);
+        let h = r.histogram("gdim_latency_ns", "Latency", &[("endpoint", "search")]);
+        h.record(1000);
+        h.record(u64::MAX);
+        let text = r.render();
+        assert!(text.contains("# HELP gdim_requests_total Requests served\n"));
+        assert!(text.contains("# TYPE gdim_requests_total counter\n"));
+        assert!(text.contains("gdim_requests_total{endpoint=\"search\"} 3\n"));
+        assert!(text.contains("gdim_in_flight -1\n"));
+        assert!(text.contains("# TYPE gdim_latency_ns histogram\n"));
+        assert!(text.contains("gdim_latency_ns_bucket{endpoint=\"search\",le=\"1023\"} 1\n"));
+        assert!(text.contains(&format!(
+            "gdim_latency_ns_bucket{{endpoint=\"search\",le=\"{}\"}} 2\n",
+            u64::MAX
+        )));
+        assert!(text.contains("gdim_latency_ns_bucket{endpoint=\"search\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("gdim_latency_ns_count{endpoint=\"search\"} 2\n"));
+        // Escaping in label values.
+        r.counter("esc", "e", &[("v", "a\"b\\c\nd")]).inc();
+        assert!(r.render().contains("esc{v=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global().counter("gdim_obs_test_global", "t", &[]);
+        global().counter("gdim_obs_test_global", "t", &[]).inc();
+        assert!(a.get() >= 1);
+    }
+}

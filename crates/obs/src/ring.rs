@@ -1,0 +1,194 @@
+//! A bounded, non-blocking ring of recently completed requests — the
+//! store behind the slow-query log.
+//!
+//! Writers claim a slot with one `fetch_add` ticket and then
+//! `try_lock` it; a contended slot (a reader or lapped writer holds
+//! it) **drops the record and counts the drop** instead of waiting, so
+//! the serving hot path never blocks on observability. Readers lock
+//! slot-by-slot, so they delay at most one writer per slot — and only
+//! if that writer wrapped all the way around during the read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::StageTimes;
+
+/// One completed request, as remembered by the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// The request id (echoed from `X-Gdim-Request-Id` or generated).
+    pub id: String,
+    /// The endpoint handled (`"search"`, `"insert"`, …).
+    pub endpoint: &'static str,
+    /// The HTTP status returned.
+    pub status: u16,
+    /// End-to-end wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-stage breakdown of `wall_ns`.
+    pub stages: StageTimes,
+    /// Whether the approximate (ANN) tier served it.
+    pub approximate: bool,
+    /// Monotonic completion sequence number (assigned by the ring).
+    pub seq: u64,
+}
+
+/// The bounded recent-request ring. Push is wait-free for writers
+/// (drop-on-contention); see the module docs for the contract.
+#[derive(Debug)]
+pub struct RequestRing {
+    slots: Vec<Mutex<Option<RequestRecord>>>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl RequestRing {
+    /// A ring remembering the last `capacity` requests (minimum 1).
+    pub fn new(capacity: usize) -> RequestRing {
+        let cap = capacity.max(1);
+        RequestRing {
+            slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// How many records the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records a completed request. Never blocks: if the claimed slot
+    /// is contended the record is dropped and counted instead.
+    /// Returns the record's sequence number.
+    pub fn push(&self, mut record: RequestRecord) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        match slot.try_lock() {
+            Ok(mut guard) => *guard = Some(record),
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        seq
+    }
+
+    /// Records dropped because their slot was contended.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The most recent records, newest first, at most `n`.
+    pub fn recent(&self, n: usize) -> Vec<RequestRecord> {
+        let mut out = self.collect();
+        out.sort_by_key(|r| std::cmp::Reverse(r.seq));
+        out.truncate(n);
+        out
+    }
+
+    /// The slowest remembered records by wall time, slowest first, at
+    /// most `n` — the slow-query log's view.
+    pub fn slowest(&self, n: usize) -> Vec<RequestRecord> {
+        let mut out = self.collect();
+        out.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then(b.seq.cmp(&a.seq)));
+        out.truncate(n);
+        out
+    }
+
+    fn collect(&self) -> Vec<RequestRecord> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s.try_lock() {
+                Ok(guard) => guard.clone(),
+                Err(_) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, wall_ns: u64) -> RequestRecord {
+        RequestRecord {
+            id: id.to_string(),
+            endpoint: "search",
+            status: 200,
+            wall_ns,
+            stages: StageTimes::new(),
+            approximate: false,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_the_newest_capacity_records() {
+        let ring = RequestRing::new(4);
+        for i in 0..10u64 {
+            ring.push(rec(&format!("r{i}"), i));
+        }
+        let recent = ring.recent(10);
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent[0].id, "r9");
+        assert_eq!(recent[3].id, "r6");
+        assert!(recent.windows(2).all(|w| w[0].seq > w[1].seq));
+    }
+
+    #[test]
+    fn slowest_sorts_by_wall_time() {
+        let ring = RequestRing::new(8);
+        for (i, w) in [5u64, 900, 20, 700, 1].into_iter().enumerate() {
+            ring.push(rec(&format!("r{i}"), w));
+        }
+        let slow = ring.slowest(2);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].wall_ns, 900);
+        assert_eq!(slow[1].wall_ns, 700);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one_and_drops_are_counted() {
+        let ring = RequestRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        // Hold the only slot's lock and push: the record must be
+        // dropped and counted, never block.
+        let guard = ring.slots[0].lock().unwrap();
+        ring.push(rec("contended", 1));
+        drop(guard);
+        assert_eq!(ring.dropped(), 1);
+        ring.push(rec("fine", 2));
+        assert_eq!(ring.recent(4).len(), 1);
+        assert_eq!(ring.recent(4)[0].id, "fine");
+    }
+
+    #[test]
+    fn concurrent_pushes_assign_unique_seqs() {
+        use std::sync::Arc;
+        let ring = Arc::new(RequestRing::new(64));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        ring.push(rec(&format!("t{t}-{i}"), i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            ring.head.load(Ordering::Relaxed),
+            800,
+            "every push got a ticket"
+        );
+        let recent = ring.recent(64);
+        assert!(recent.len() <= 64);
+        let mut seqs: Vec<u64> = recent.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), recent.len(), "seqs are unique");
+    }
+}

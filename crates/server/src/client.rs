@@ -68,6 +68,20 @@ impl Client {
         self.request("GET", path, None)
     }
 
+    /// `GET path` → `(status, raw body text)` — no JSON parse, for
+    /// non-JSON endpoints like `/metrics` (Prometheus text).
+    pub fn get_text(&mut self, path: &str) -> io::Result<(u16, String)> {
+        let reused = self.stream.is_some();
+        match self.try_request_text("GET", path, None) {
+            Ok(reply) => Ok(reply),
+            Err(_) if reused => {
+                self.stream = None;
+                self.try_request_text("GET", path, None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// `POST path` with a JSON body → `(status, parsed JSON body)`.
     /// `Json::Null` sends an empty body.
     pub fn post(&mut self, path: &str, body: &Json) -> io::Result<(u16, Json)> {
@@ -99,6 +113,22 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<(u16, Json)> {
+        let (status, payload) = self.try_request_text(method, path, body)?;
+        let json = parse(&payload).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response JSON: {e}"),
+            )
+        })?;
+        Ok((status, json))
+    }
+
+    fn try_request_text(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
         let addr = self.addr;
         let stream = match self.stream.as_mut() {
             Some(s) => s,
@@ -115,13 +145,7 @@ impl Client {
         if !keep_alive {
             self.stream = None;
         }
-        let json = parse(&payload).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad response JSON: {e}"),
-            )
-        })?;
-        Ok((status, json))
+        Ok((status, payload))
     }
 }
 

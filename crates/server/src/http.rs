@@ -325,14 +325,36 @@ pub fn reason(status: u16) -> &'static str {
 /// application/json`, explicit `Content-Length`, and a `Connection`
 /// header matching `keep_alive`.
 pub fn response_bytes(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    response_bytes_with(status, "application/json", body, keep_alive, &[])
+}
+
+/// [`response_bytes`] with an explicit content type and extra headers
+/// — what `GET /metrics` (text exposition) and the request-id echo
+/// need. Header names/values are emitted verbatim; callers must keep
+/// them free of CR/LF.
+pub fn response_bytes_with(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         status,
         reason(status),
+        content_type,
         body.len(),
         connection
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let mut out = Vec::with_capacity(head.len() + body.len());
     out.extend_from_slice(head.as_bytes());
     out.extend_from_slice(body.as_bytes());

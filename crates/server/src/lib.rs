@@ -25,9 +25,18 @@
 //! | `/insert` | POST | `{"graph": {"v": […], "e": [[u,v,label]…]}}` | `{"id", "version"}` |
 //! | `/remove` | POST | `{"id": n}` | `{"removed", "version"}` |
 //! | `/rebuild` | POST | `{"mode": "sync" \| "background"}` | `{"swapped"\|"started", …}` |
-//! | `/stats` | GET | — | index + serving counters |
+//! | `/checkpoint` | POST | — | `{"generation", "wal_records"}` (durable mode only) |
+//! | `/stats` | GET | — | index + serving counters, per-endpoint latency, slow-query log |
+//! | `/metrics` | GET | — | Prometheus text exposition (latency/stage histograms, gauges) |
 //! | `/health` | GET | — | `{"ok": true, "version"}` |
 //! | `/shutdown` | POST | — | `{"stopping": true}`, then the server drains |
+//!
+//! Every response carries an `X-Gdim-Request-Id` header — echoed from
+//! the request when the client sent one, minted otherwise — and slow
+//! or 5xx requests are logged to stderr with the same id, so a client
+//! report and a server log line are joinable. All serving counters are
+//! process-lifetime: they reset to zero on restart and are never reset
+//! by rebuilds or checkpoints.
 //!
 //! Errors answer `{"error": {"code": "...", "message": "..."}}` with
 //! the status from [`wire::gdim_error_status`] (application errors)
@@ -54,6 +63,7 @@
 pub mod client;
 pub mod http;
 pub mod json;
+pub(crate) mod metrics;
 pub mod server;
 pub mod wire;
 

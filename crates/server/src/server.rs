@@ -33,12 +33,15 @@ use std::time::Duration;
 
 use gdim_core::{GdimError, Graph, GraphId, SearchRequest};
 use gdim_exec::{BackgroundTask, CancelToken, WorkerPool};
+use gdim_obs::{Stage, Trace};
 use gdim_shard::{DurableHandle, Reader, ServingHandle, ShardedIndex};
 
 use crate::http::{
-    response_bytes, HeadParser, HttpError, Method, RequestHead, DEFAULT_MAX_BODY_BYTES,
+    response_bytes, response_bytes_with, HeadParser, HttpError, Method, RequestHead,
+    DEFAULT_MAX_BODY_BYTES,
 };
 use crate::json::{parse, Json};
+use crate::metrics::{endpoint_index, error_log_line, slow_log_line, ServerMetrics, ENDPOINTS};
 use crate::wire::{
     error_body, gdim_error_status, graph_from_json, query_from_json, request_from_json,
     response_to_json, QuerySpec, WireError,
@@ -59,6 +62,17 @@ pub struct ServerConfig {
     /// Socket read timeout — how often idle connections poll the
     /// shutdown flag, i.e. the worst-case drain latency.
     pub poll_interval: Duration,
+    /// Slow-query threshold in milliseconds: requests at or over it
+    /// are counted, kept in the slow-query ring, and logged to stderr
+    /// with their per-stage breakdown. `0` disables slow logging.
+    pub slow_ms: u64,
+    /// Capacity of the recent-request ring behind `/stats`'
+    /// `slow_queries`.
+    pub ring_capacity: usize,
+    /// Stage-trace sampling: record per-stage histograms and ring
+    /// entries for every Nth request (`1` = all; slow requests are
+    /// always recorded regardless).
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +86,9 @@ impl Default for ServerConfig {
             workers,
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             poll_interval: Duration::from_millis(100),
+            slow_ms: 250,
+            ring_capacity: 128,
+            trace_sample: 1,
         }
     }
 }
@@ -103,6 +120,24 @@ impl ServerConfig {
     /// Sets the shutdown poll interval.
     pub fn with_poll_interval(mut self, interval: Duration) -> Self {
         self.poll_interval = interval;
+        self
+    }
+
+    /// Sets the slow-query threshold (`0` disables slow logging).
+    pub fn with_slow_ms(mut self, slow_ms: u64) -> Self {
+        self.slow_ms = slow_ms;
+        self
+    }
+
+    /// Sets the recent-request ring capacity (min 1).
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the stage-trace sampling cadence (min 1 = every request).
+    pub fn with_trace_sample(mut self, every_n: u64) -> Self {
+        self.trace_sample = every_n.max(1);
         self
     }
 }
@@ -156,6 +191,9 @@ struct Ctx {
     cfg: ServerConfig,
     latch: Latch,
     counters: Counters,
+    /// Per-server observability: labeled counters/histograms, the
+    /// slow-query ring, request-id generation. See [`crate::metrics`].
+    metrics: ServerMetrics,
     /// The in-flight background rebuild, if any (one at a time; a
     /// second `mode: background` request answers `409`).
     rebuild: Mutex<Option<BackgroundTask<Result<bool, GdimError>>>>,
@@ -208,12 +246,14 @@ impl GdimServer {
     ) -> io::Result<GdimServer> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let metrics = ServerMetrics::new(cfg.slow_ms, cfg.ring_capacity, cfg.trace_sample);
         let ctx = Arc::new(Ctx {
             handle,
             durable,
             cfg,
             latch: Latch::default(),
             counters: Counters::default(),
+            metrics,
             rebuild: Mutex::new(None),
         });
         let pool = {
@@ -336,13 +376,59 @@ fn handle_connection(ctx: &Ctx, mut stream: TcpStream, token: &CancelToken) {
         match read_request(&mut stream, &mut carry, ctx, token) {
             Ok(Some((head, body))) => {
                 ctx.counters.requests.fetch_add(1, Ordering::Relaxed);
-                let (status, json) = route(ctx, &reader, &head, &body);
+                let m = &ctx.metrics;
+                // Echo the client's request id or mint one; either way
+                // every response (and every log line about it) carries
+                // it in `X-Gdim-Request-Id`.
+                let rid = match head.header("x-gdim-request-id") {
+                    Some(id) if !id.is_empty() && id.len() <= 64 => {
+                        let _ = m.next_request_id(); // keep seq advancing for sampling
+                        sanitize_request_id(id)
+                    }
+                    _ => m.next_request_id(),
+                };
+                let ep = endpoint_index(head.path.split('?').next().unwrap_or(""));
+                let mut obs = ReqTrace {
+                    trace: Trace::start(),
+                    approximate: false,
+                };
+                m.in_flight.add(1);
+                let (status, payload) = route(ctx, &reader, &head, &body, &mut obs);
                 if status >= 400 {
                     ctx.counters.error_responses.fetch_add(1, Ordering::Relaxed);
                 }
+                if status >= 500 {
+                    if let Payload::Json(j) = &payload {
+                        eprintln!("{}", error_log_line(&rid, ENDPOINTS[ep], status, j));
+                    }
+                }
                 let keep = head.keep_alive && !ctx.stopping() && !token.is_cancelled();
-                let bytes = response_bytes(status, &json.to_string_compact(), keep);
-                if stream.write_all(&bytes).is_err() || !keep {
+                let ser = std::time::Instant::now();
+                let (content_type, text) = match payload {
+                    Payload::Json(j) => ("application/json", j.to_string_compact()),
+                    Payload::Text(t) => ("text/plain; version=0.0.4", t),
+                };
+                let bytes = response_bytes_with(
+                    status,
+                    content_type,
+                    &text,
+                    keep,
+                    &[("x-gdim-request-id", &rid)],
+                );
+                obs.trace.record(Stage::Serialize, ser.elapsed());
+                let write_ok = stream.write_all(&bytes).is_ok();
+                if let Some(slow) = m.observe(
+                    ep,
+                    status,
+                    rid,
+                    obs.trace.elapsed(),
+                    *obs.trace.stages(),
+                    obs.approximate,
+                ) {
+                    eprintln!("{}", slow_log_line(&slow));
+                }
+                m.in_flight.sub(1);
+                if !write_ok || !keep {
                     return;
                 }
             }
@@ -473,11 +559,57 @@ impl From<WireError> for ApiError {
     }
 }
 
+/// A response body: JSON for the API endpoints, preformatted text for
+/// the Prometheus exposition at `GET /metrics`.
+enum Payload {
+    Json(Json),
+    Text(String),
+}
+
+/// Per-request observation state threaded through the dispatcher: the
+/// stage trace, plus whether the answer used the approximate ranker
+/// (surfaced in the slow-query ring).
+struct ReqTrace {
+    trace: Trace,
+    approximate: bool,
+}
+
+/// Client-supplied request ids go verbatim into response headers and
+/// log lines; strip anything that could break either.
+fn sanitize_request_id(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_graphic() && c != '"' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Dispatches one request; always produces a `(status, body)` pair.
-fn route(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> (u16, Json) {
-    match dispatch(ctx, reader, head, body) {
-        Ok(json) => (200, json),
-        Err(e) => (e.status, error_body(&e.code, &e.message)),
+fn route(
+    ctx: &Ctx,
+    reader: &Reader,
+    head: &RequestHead,
+    body: &[u8],
+    obs: &mut ReqTrace,
+) -> (u16, Payload) {
+    let path = head.path.split('?').next().unwrap_or("");
+    if path == "/metrics" {
+        // Text, not JSON — handled before the JSON dispatcher.
+        if head.method != Method::Get {
+            let body = error_body("method_not_allowed", "/metrics requires GET");
+            return (405, Payload::Json(body));
+        }
+        let snap = reader.current();
+        let text = ctx.metrics.render(snap.epoch(), &snap.shard_live_lens());
+        return (200, Payload::Text(text));
+    }
+    match dispatch(ctx, reader, head, body, obs) {
+        Ok(json) => (200, Payload::Json(json)),
+        Err(e) => (e.status, Payload::Json(error_body(&e.code, &e.message))),
     }
 }
 
@@ -501,7 +633,13 @@ fn resolve<'a>(snap: &'a ShardedIndex, spec: &'a QuerySpec) -> Result<&'a Graph,
     }
 }
 
-fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Result<Json, ApiError> {
+fn dispatch(
+    ctx: &Ctx,
+    reader: &Reader,
+    head: &RequestHead,
+    body: &[u8],
+    obs: &mut ReqTrace,
+) -> Result<Json, ApiError> {
     // Route on the path first so a known path with the wrong method
     // answers 405, not 404.
     let path = head.path.split('?').next().unwrap_or("");
@@ -562,6 +700,7 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                 ("rebuild_in_flight", Json::Bool(rebuild_in_flight)),
                 ("durable", Json::Bool(ctx.durable.is_some())),
             ];
+            fields.extend(ctx.metrics.stats_json());
             if let Some(d) = &ctx.durable {
                 // Lock-free mirrors: stats stay responsive even while
                 // a checkpoint holds the durable lock for a full save.
@@ -572,7 +711,7 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
             Ok(Json::obj(fields))
         }
         "/search" => {
-            let j = parse_body(body)?;
+            let j = obs.trace.time(Stage::Parse, || parse_body(body))?;
             let req: SearchRequest = request_from_json(&j)?;
             let spec = query_from_json(
                 j.get("query")
@@ -580,10 +719,12 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
             )?;
             let snap = reader.current();
             let resp = snap.search(resolve(&snap, &spec)?, &req)?;
+            obs.trace.absorb(&resp.stats.stages);
+            obs.approximate = resp.stats.approximate;
             Ok(response_to_json(&resp))
         }
         "/search_batch" => {
-            let j = parse_body(body)?;
+            let j = obs.trace.time(Stage::Parse, || parse_body(body))?;
             let req: SearchRequest = request_from_json(&j)?;
             let specs = j
                 .get("queries")
@@ -600,13 +741,17 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
                 .map(|s| resolve(&snap, s).cloned())
                 .collect::<Result<Vec<_>, _>>()?;
             let responses = snap.search_batch(&graphs, &req)?;
+            for r in &responses {
+                obs.trace.absorb(&r.stats.stages);
+                obs.approximate |= r.stats.approximate;
+            }
             Ok(Json::obj([(
                 "responses",
                 Json::Arr(responses.iter().map(response_to_json).collect()),
             )]))
         }
         "/insert" => {
-            let j = parse_body(body)?;
+            let j = obs.trace.time(Stage::Parse, || parse_body(body))?;
             let g = graph_from_json(
                 j.get("graph")
                     .ok_or_else(|| ApiError::new(400, "bad_request", "missing \"graph\""))?,
@@ -625,7 +770,7 @@ fn dispatch(ctx: &Ctx, reader: &Reader, head: &RequestHead, body: &[u8]) -> Resu
             ]))
         }
         "/remove" => {
-            let j = parse_body(body)?;
+            let j = obs.trace.time(Stage::Parse, || parse_body(body))?;
             let id = j
                 .get("id")
                 .and_then(Json::as_u64)
@@ -1041,6 +1186,116 @@ mod tests {
                 .and_then(Json::as_str),
             Some("not_durable")
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_parseable_exposition() {
+        let server = start(24, 13);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let snap = server.handle().snapshot();
+        let id = snap.id_for_seq(0).unwrap().get();
+        let (status, _) = client.post("/search", &search_body(id, 5)).unwrap();
+        assert_eq!(status, 200);
+        let (status, text) = client.get_text("/metrics").unwrap();
+        assert_eq!(status, 200);
+        let expo = gdim_obs::expo::parse(&text).expect("exposition parses");
+        assert_eq!(expo.type_of("gdim_requests_total"), Some("counter"));
+        assert_eq!(expo.type_of("gdim_request_latency_ns"), Some("histogram"));
+        assert_eq!(expo.type_of("gdim_stage_ns"), Some("histogram"));
+        assert_eq!(expo.type_of("gdim_in_flight_requests"), Some("gauge"));
+        assert!(
+            expo.value("gdim_requests_total", &[("endpoint", "search")])
+                .unwrap()
+                >= 1.0
+        );
+        assert!(expo.value("gdim_uptime_ns", &[]).unwrap() > 0.0);
+        assert_eq!(expo.value("gdim_live_graphs", &[]), Some(24.0));
+        let hist = expo
+            .histogram("gdim_request_latency_ns", &[("endpoint", "search")])
+            .expect("search latency histogram reconstructs");
+        assert!(hist.p50() > 0, "a real request landed in a real bucket");
+        // Every serving endpoint is pre-registered — a scraper sees
+        // the full catalogue even before traffic arrives.
+        for ep in ["search_batch", "insert", "remove", "checkpoint"] {
+            assert!(
+                expo.value("gdim_requests_total", &[("endpoint", ep)])
+                    .is_some(),
+                "missing eager series for {ep}"
+            );
+        }
+        // Wrong method answers a typed 405, like every other route.
+        let (status, j) = client.post("/metrics", &Json::Null).unwrap();
+        assert_eq!(status, 405, "{j:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn responses_carry_request_ids_and_echo_client_supplied_ones() {
+        use std::io::{Read as _, Write as _};
+        let server = start(8, 14);
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(
+            b"GET /health HTTP/1.1\r\nhost: t\r\nx-gdim-request-id: my-trace-7\r\n\
+              content-length: 0\r\nconnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut reply = String::new();
+        raw.read_to_string(&mut reply).unwrap();
+        assert!(
+            reply.contains("x-gdim-request-id: my-trace-7\r\n"),
+            "client id must be echoed, got:\n{reply}"
+        );
+        // Without a client id the server mints one: 8-hex boot, dash, seq.
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(
+            b"GET /health HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\nconnection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut reply = String::new();
+        raw.read_to_string(&mut reply).unwrap();
+        let line = reply
+            .lines()
+            .find(|l| l.starts_with("x-gdim-request-id: "))
+            .expect("generated id header present");
+        let id = line.trim_start_matches("x-gdim-request-id: ").trim();
+        let (boot, seq) = id.split_once('-').expect("boot-seq shape");
+        assert_eq!(boot.len(), 8);
+        assert!(u64::from_str_radix(seq, 16).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_uptime_per_endpoint_latency_and_slowest_requests() {
+        let server = start(16, 15);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let snap = server.handle().snapshot();
+        let id = snap.id_for_seq(1).unwrap().get();
+        for _ in 0..3 {
+            let (status, _) = client.post("/search", &search_body(id, 3)).unwrap();
+            assert_eq!(status, 200);
+        }
+        let (status, stats) = client.get("/stats").unwrap();
+        assert_eq!(status, 200);
+        assert!(stats.get("uptime_ns").and_then(Json::as_u64).unwrap() > 0);
+        let search = stats
+            .get("endpoints")
+            .and_then(|e| e.get("search"))
+            .expect("per-endpoint block for search");
+        assert_eq!(search.get("requests").and_then(Json::as_u64), Some(3));
+        assert_eq!(search.get("errors").and_then(Json::as_u64), Some(0));
+        assert!(search.get("p50_ns").and_then(Json::as_u64).unwrap() > 0);
+        // The ring saw the searches; the slow-query log lists them
+        // slowest-first with their ids and stage breakdowns.
+        let slow = stats.get("slow_queries").and_then(Json::as_arr).unwrap();
+        assert!(!slow.is_empty());
+        let entry = slow
+            .iter()
+            .find(|e| e.get("endpoint").and_then(Json::as_str) == Some("search"))
+            .expect("a search in the ring");
+        assert!(entry.get("id").and_then(Json::as_str).is_some());
+        assert!(entry.get("wall_ns").and_then(Json::as_u64).unwrap() > 0);
+        assert!(entry.get("stages").is_some());
         server.shutdown();
     }
 

@@ -235,7 +235,7 @@ pub fn request_from_json(j: &Json) -> Result<SearchRequest, WireError> {
 /// Serializes stats; durations go as integer nanoseconds so they
 /// round-trip exactly.
 pub fn stats_to_json(s: &SearchStats) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("candidates_scanned", Json::U64(s.candidates_scanned as u64)),
         ("early_abandoned", Json::U64(s.early_abandoned as u64)),
         ("tombstones_skipped", Json::U64(s.tombstones_skipped as u64)),
@@ -256,7 +256,22 @@ pub fn stats_to_json(s: &SearchStats) -> Json {
         ("approximate", Json::Bool(s.approximate)),
         ("ef", Json::U64(s.ef as u64)),
         ("beam_visited", Json::U64(s.beam_visited as u64)),
-    ])
+    ];
+    // Stage timings travel as an object of non-zero stages only, and
+    // the key is omitted entirely when nothing was timed — older
+    // clients never see it, quiet stats stay quiet.
+    if !s.stages.is_empty() {
+        fields.push((
+            "stages",
+            Json::Obj(
+                s.stages
+                    .iter()
+                    .map(|(stage, ns)| (stage.name().to_string(), Json::U64(ns)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(fields)
 }
 
 /// `Duration` → whole nanoseconds, saturating at `u64::MAX` (584
@@ -316,7 +331,31 @@ pub fn stats_from_json(j: &Json) -> Result<SearchStats, WireError> {
         })?,
         ef: count("ef")?,
         beam_visited: count("beam_visited")?,
+        stages: stages_from_json(j.get("stages"))?,
     })
+}
+
+/// Parses the optional `stages` object. Unknown stage names are
+/// skipped (a newer server may time stages this build doesn't know),
+/// absence reads as all-zero.
+fn stages_from_json(j: Option<&Json>) -> Result<gdim_obs::StageTimes, WireError> {
+    let mut stages = gdim_obs::StageTimes::new();
+    let Some(j) = j else {
+        return Ok(stages);
+    };
+    let pairs = match j {
+        Json::Obj(pairs) => pairs,
+        _ => return Err(bad("stats.stages must be an object")),
+    };
+    for (name, v) in pairs {
+        let ns = v
+            .as_u64()
+            .ok_or_else(|| bad(&format!("stats.stages.{name} must be integer nanoseconds")))?;
+        if let Some(stage) = gdim_obs::Stage::parse(name) {
+            stages.add_ns(stage, ns);
+        }
+    }
+    Ok(stages)
 }
 
 /// Serializes a full response.
@@ -507,6 +546,12 @@ mod tests {
                 approximate: true,
                 ef: 64,
                 beam_visited: 512,
+                stages: {
+                    let mut s = gdim_obs::StageTimes::new();
+                    s.add_ns(gdim_obs::Stage::AnnBeam, 700_000);
+                    s.add_ns(gdim_obs::Stage::Refine, 41);
+                    s
+                },
             },
         };
         let wire = response_to_json(&resp).to_string_compact();
@@ -555,6 +600,8 @@ mod tests {
             (s.approximate, s.ef, s.beam_visited),
             (t.approximate, t.ef, t.beam_visited)
         );
+        assert_eq!(s.stages, t.stages, "stage timings round-trip exactly");
+        assert!(wire.contains("\"stages\":{\"ann_beam\":700000,\"refine\":41}"));
     }
 
     /// An old client predating the approximate tier speaks the same

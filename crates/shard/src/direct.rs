@@ -21,6 +21,7 @@
 use gdim_core::bitset::{weighted_sq_xor_words, Bitset};
 use gdim_core::scan::{hamming_block4, hamming_row_kernel, selected_kernel, OrdF64, TopK};
 use gdim_core::{Graph, MappingKind, Ranker, SearchRequest, SearchResponse, SearchStats};
+use gdim_obs::Stage;
 
 use crate::merge::MergedHit;
 use crate::{ShardId, ShardedIndex};
@@ -51,13 +52,17 @@ impl ShardedIndex {
             Ranker::Refined { candidates } => candidates,
             _ => req.k,
         };
+        let ts = std::time::Instant::now();
         let merged = self.direct_topk(qvec, req.mapping, take);
         let mut stats = self.direct_stats();
+        stats.stages.add(Stage::Scan, ts.elapsed());
         stats.kernel = Some(selected_kernel());
         let hits = match req.ranker {
             Ranker::Refined { .. } => {
                 stats.mcs_calls = merged.len();
+                let tr = std::time::Instant::now();
                 let verified = self.refine(query, &merged, req);
+                stats.stages.add(Stage::Refine, tr.elapsed());
                 Self::hits(verified, req.k)
             }
             _ => Self::hits(merged, req.k),

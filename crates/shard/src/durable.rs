@@ -58,6 +58,20 @@ use gdim_core::{GdimError, Graph, GraphId};
 use gdim_wal::fsutil::{fsync_dir, write_atomic};
 use gdim_wal::{SyncPolicy, WalDefect, WalReader, WalRecord, WalWriter};
 
+/// The process-wide checkpoint-latency histogram (time the durable
+/// lock is held folding the log into a new generation — the stall
+/// mutations see), registered once in [`gdim_obs::global`].
+fn checkpoint_histogram() -> &'static Arc<gdim_obs::Histogram> {
+    static H: std::sync::OnceLock<Arc<gdim_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        gdim_obs::global().histogram(
+            "gdim_checkpoint_ns",
+            "Latency of durable checkpoint folds, lock held (ns)",
+            &[],
+        )
+    })
+}
+
 use crate::serving::ServingHandle;
 use crate::sharded::ShardedIndex;
 
@@ -424,6 +438,7 @@ impl DurableHandle {
     /// caller only has to act when the *index itself* moved first;
     /// see [`DurableHandle::rebuild`].
     fn checkpoint_locked(&self, st: &mut DurableState) -> Result<u64, GdimError> {
+        let t0 = std::time::Instant::now();
         let dir = &self.shared.dir;
         let next = st.generation + 1;
         let gen_dir = dir.join(generation_dir(next));
@@ -443,6 +458,7 @@ impl DurableHandle {
         self.mirror(st);
         let _ = std::fs::remove_file(dir.join(wal_file(old)));
         let _ = std::fs::remove_dir_all(dir.join(generation_dir(old)));
+        checkpoint_histogram().record_duration(t0.elapsed());
         Ok(next)
     }
 

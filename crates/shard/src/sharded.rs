@@ -14,8 +14,24 @@ use gdim_core::{
 };
 use gdim_exec::{BackgroundTask, ExecConfig};
 use gdim_mining::Feature;
+use gdim_obs::{Stage, StageTimes};
 
 use crate::merge::{merge_topk, MergedHit};
+
+/// The process-wide histogram of individual per-shard scan legs, in
+/// nanoseconds — the shard-imbalance signal a merged `SearchStats`
+/// cannot carry (it only sees the sum). Registered once in the global
+/// registry; recording afterwards is lock-free.
+fn shard_scan_histogram() -> &'static std::sync::Arc<gdim_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<gdim_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        gdim_obs::global().histogram(
+            "gdim_shard_scan_ns",
+            "Latency of individual per-shard scan/beam legs (ns)",
+            &[],
+        )
+    })
+}
 
 /// Typed id of one shard of a [`ShardedIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -299,6 +315,14 @@ impl ShardedIndex {
     /// Live (non-tombstoned) rows across shards.
     pub fn live_len(&self) -> usize {
         self.shards.iter().map(|s| s.index.live_len()).sum()
+    }
+
+    /// Live rows per shard, in shard order — the raw material of the
+    /// shard-imbalance gauge (max/mean of this vector): scatter-gather
+    /// latency is gated by the fullest shard, so skew here predicts
+    /// tail latency before it shows up in histograms.
+    pub fn shard_live_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.index.live_len()).collect()
     }
 
     /// The newest rebuild generation across shards (shards rebuild
@@ -701,12 +725,17 @@ impl ShardedIndex {
             } else if self.direct_scan_pays_off() {
                 self.direct_response(query, &qvec, req)
             } else {
+                let ts = Instant::now();
                 let scans = self.scatter_scan(&qvec, req, true);
-                self.response_from_scans(query, scans, req)
+                let scan_time = ts.elapsed();
+                let mut r = self.response_from_scans(query, scans, req);
+                r.stats.stages.add(Stage::Scan, scan_time);
+                r
             };
             r.stats.vf2_calls = mstats.vf2_calls;
             r.stats.vf2_pruned = mstats.vf2_pruned;
             r.stats.match_time = match_time;
+            r.stats.stages.add(Stage::Map, match_time);
             r
         };
         resp.stats.wall_time = t0.elapsed();
@@ -766,6 +795,8 @@ impl ShardedIndex {
                 resp.stats.vf2_calls = mapped[i].1.vf2_calls;
                 resp.stats.vf2_pruned = mapped[i].1.vf2_pruned;
                 resp.stats.match_time = match_time;
+                resp.stats.stages.add(Stage::Map, match_time);
+                resp.stats.stages.add(Stage::Scan, scan_share);
                 resp.stats.wall_time = ti.elapsed() + match_time + scan_share;
                 resp
             })
@@ -788,10 +819,11 @@ impl ShardedIndex {
             _ => req.k,
         };
         let scan_one = |s: usize| {
+            let leg = Instant::now();
             let idx = &self.shards[s].index;
             let k = per_shard_k.min(idx.len());
             let dead = Some(idx.tombstones());
-            match req.mapping {
+            let out = match req.mapping {
                 MappingKind::Weighted => {
                     idx.mapped()
                         .scan_topk_with_masked(qvec, k, idx.weighted_w_sq(), dead)
@@ -802,7 +834,9 @@ impl ShardedIndex {
                     debug_assert!(matches!(other, MappingKind::Binary));
                     idx.mapped().scan_topk_masked(qvec, k, dead)
                 }
-            }
+            };
+            shard_scan_histogram().record_duration(leg.elapsed());
+            out
         };
         if parallel {
             gdim_exec::map_tasks(self.exec(), self.shards.len(), scan_one)
@@ -887,16 +921,20 @@ impl ShardedIndex {
             Ranker::Refined { candidates } => candidates,
             _ => req.k,
         };
+        let tg = Instant::now();
         let merged = merge_topk(
             &parts,
             take,
             |s, local| self.shards[s].seqs[local as usize],
             |s, local| self.compose_id(ShardId(s as u32), local as usize),
         );
+        stats.stages.add(Stage::Merge, tg.elapsed());
         let hits = match req.ranker {
             Ranker::Refined { .. } => {
                 stats.mcs_calls = merged.len();
+                let tr = Instant::now();
                 let verified = self.refine(query, &merged, req);
+                stats.stages.add(Stage::Refine, tr.elapsed());
                 Self::hits(verified, req.k)
             }
             _ => Self::hits(merged, req.k),
@@ -921,11 +959,16 @@ impl ShardedIndex {
         verify: Option<usize>,
     ) -> SearchResponse {
         let take = verify.unwrap_or(req.k);
+        let tb = Instant::now();
         let scans: Vec<(Vec<(u32, f64)>, gdim_core::AnnScanStats)> =
             gdim_exec::map_tasks(self.exec(), self.shards.len(), |s| {
+                let leg = Instant::now();
                 let idx = &self.shards[s].index;
-                idx.approx_scan_premapped(qvec, take.min(idx.len()), ef, req.mapping)
+                let out = idx.approx_scan_premapped(qvec, take.min(idx.len()), ef, req.mapping);
+                shard_scan_histogram().record_duration(leg.elapsed());
+                out
             });
+        let beam_time = tb.elapsed();
         let per_shard: Vec<SearchStats> = scans
             .iter()
             .enumerate()
@@ -941,16 +984,21 @@ impl ShardedIndex {
             })
             .collect();
         let mut stats = SearchStats::merged(per_shard.iter());
+        stats.stages.add(Stage::AnnBeam, beam_time);
         let parts: Vec<Vec<(u32, f64)>> = scans.into_iter().map(|(ranked, _)| ranked).collect();
+        let tg = Instant::now();
         let merged = merge_topk(
             &parts,
             take,
             |s, local| self.shards[s].seqs[local as usize],
             |s, local| self.compose_id(ShardId(s as u32), local as usize),
         );
+        stats.stages.add(Stage::Merge, tg.elapsed());
         let hits = if verify.is_some() {
             stats.mcs_calls = merged.len();
+            let tr = Instant::now();
             let verified = self.refine(query, &merged, req);
+            stats.stages.add(Stage::Refine, tr.elapsed());
             Self::hits(verified, req.k)
         } else {
             Self::hits(merged, req.k)
@@ -1008,6 +1056,8 @@ impl ShardedIndex {
         let kind = self.shards[0].index.dissimilarity();
         let mut parts: Vec<Vec<(u32, f64)>> = Vec::with_capacity(self.shards.len());
         let mut mcs_calls = 0usize;
+        let mut stages = StageTimes::new();
+        let tr = Instant::now();
         for shard in &self.shards {
             let live = shard.index.tombstones().live_ids();
             mcs_calls += live.len();
@@ -1020,12 +1070,15 @@ impl ShardedIndex {
                 self.exec(),
             ));
         }
+        stages.add(Stage::Refine, tr.elapsed());
+        let tg = Instant::now();
         let merged = merge_topk(
             &parts,
             req.k,
             |s, local| self.shards[s].seqs[local as usize],
             |s, local| self.compose_id(ShardId(s as u32), local as usize),
         );
+        stages.add(Stage::Merge, tg.elapsed());
         let per_shard: Vec<SearchStats> = self
             .shards
             .iter()
@@ -1037,6 +1090,7 @@ impl ShardedIndex {
             .collect();
         let mut stats = SearchStats::merged(per_shard.iter());
         stats.mcs_calls = mcs_calls;
+        stats.stages = stages;
         SearchResponse {
             hits: Self::hits(merged, req.k),
             stats,

@@ -405,11 +405,16 @@ impl WalWriter {
     /// file length after the frame — the offset an acked-prefix proof
     /// needs to associate with this record.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let t0 = std::time::Instant::now();
         self.check_usable()?;
         let mut buf = Vec::with_capacity(payload.len() + WAL_FRAME_HEADER as usize);
         Self::frame_into(&mut buf, payload)?;
         self.write_frames(&buf, 1)?;
         self.policy_sync()?;
+        let m = crate::obs::wal_metrics();
+        m.append_ns.record_duration(t0.elapsed());
+        m.records.inc();
+        m.bytes.set(self.len.min(i64::MAX as u64) as i64);
         Ok(self.len)
     }
 
@@ -420,6 +425,7 @@ impl WalWriter {
         &mut self,
         payloads: impl IntoIterator<Item = &'a [u8]>,
     ) -> io::Result<u64> {
+        let t0 = std::time::Instant::now();
         self.check_usable()?;
         let mut buf = Vec::new();
         let mut count = 0u64;
@@ -429,6 +435,10 @@ impl WalWriter {
         }
         self.write_frames(&buf, count)?;
         self.policy_sync()?;
+        let m = crate::obs::wal_metrics();
+        m.append_ns.record_duration(t0.elapsed());
+        m.records.add(count);
+        m.bytes.set(self.len.min(i64::MAX as u64) as i64);
         Ok(self.len)
     }
 
@@ -542,10 +552,14 @@ impl WalWriter {
     pub fn sync(&mut self) -> io::Result<()> {
         self.check_usable()?;
         if self.unsynced > 0 {
+            let t0 = std::time::Instant::now();
             if let Err(e) = self.file.sync_data() {
                 self.poisoned = Some(format!("fsync failed: {e}"));
                 return Err(e);
             }
+            crate::obs::wal_metrics()
+                .fsync_ns
+                .record_duration(t0.elapsed());
             self.unsynced = 0;
         }
         Ok(())

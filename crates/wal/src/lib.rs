@@ -1,7 +1,9 @@
 //! # gdim-wal — durability primitives for the serving stack
 //!
 //! Everything the workspace needs to make acked mutations survive a
-//! crash, with no dependencies beyond `std`:
+//! crash, with no dependencies beyond `std` and the workspace's own
+//! zero-dependency `gdim-obs` (which meters every append and fsync
+//! into the process-wide metrics registry):
 //!
 //! * [`fsutil`] — crash-safe file plumbing: [`fsutil::write_atomic`]
 //!   (write temp → fsync file → rename → fsync parent directory, so a
@@ -32,6 +34,7 @@
 
 pub mod frame;
 pub mod fsutil;
+pub(crate) mod obs;
 pub mod record;
 
 pub use frame::{

@@ -34,6 +34,10 @@
 //! * [`wal`] — durability primitives: the CRC-framed write-ahead log,
 //!   mutation records, and crash-safe atomic file writes behind the
 //!   durable serving mode (`DurableHandle`, `gdim serve --durable`);
+//! * [`obs`] — zero-dependency observability: lock-free counters,
+//!   gauges, and log₂-bucket latency histograms, per-stage query
+//!   traces (`StageTimes`), the recent-request ring, and the
+//!   Prometheus text exposition behind `GET /metrics`;
 //! * [`baselines`] — the seven comparison selectors of the paper's §6.
 //!
 //! ## Quickstart
@@ -77,6 +81,7 @@ pub use gdim_exec as exec;
 pub use gdim_graph as graph;
 pub use gdim_linalg as linalg;
 pub use gdim_mining as mining;
+pub use gdim_obs as obs;
 pub use gdim_server as server;
 pub use gdim_shard as shard;
 pub use gdim_wal as wal;

@@ -1,0 +1,117 @@
+//! Correctness contract of the observability histogram (PR 10): the
+//! log₂-bucket recorder must (1) make merged per-shard snapshots
+//! indistinguishable from one recorder that saw every sample, (2) put
+//! boundary values (0, powers of two, `u64::MAX`) in well-defined
+//! buckets, and (3) stay exact under concurrent recording — counters
+//! are relaxed atomics, so nothing may be lost or double-counted.
+
+use proptest::prelude::*;
+
+use gdim::obs::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shard-merge exactness: recording each value into one of K
+    /// "shard" histograms and merging the snapshots gives *exactly*
+    /// the snapshot of a single recorder that saw all values — same
+    /// buckets, same count, same sum. This is what makes scatter-
+    /// gather metrics trustworthy.
+    #[test]
+    fn merged_shard_snapshots_equal_a_single_recorder(
+        values in proptest::collection::vec(any::<u64>(), 0..=300),
+        shards in 1usize..=6,
+    ) {
+        let single = Histogram::new();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = HistogramSnapshot::new();
+        for p in &parts {
+            merged.merge(&p.snapshot());
+        }
+        prop_assert_eq!(merged, single.snapshot());
+    }
+
+    /// Quantiles never exceed the bucket upper bound that contains
+    /// them, and are monotone in q.
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(any::<u64>(), 1..=200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let qs = [s.quantile(0.0), s.p50(), s.p90(), s.p99(), s.p999(), s.quantile(1.0)];
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "{qs:?}");
+        }
+    }
+}
+
+/// Bucket boundaries: 0 is its own bucket, each power of two starts a
+/// new one, and `u64::MAX` lands in the final bucket instead of
+/// overflowing.
+#[test]
+fn boundary_values_land_in_distinct_well_defined_buckets() {
+    let h = Histogram::new();
+    h.record(0);
+    h.record(1);
+    h.record(u64::MAX);
+    let s = h.snapshot();
+    assert_eq!(s.buckets[0], 1, "zero has its own bucket");
+    assert_eq!(s.buckets[1], 1, "one starts the first real bucket");
+    assert_eq!(
+        s.buckets[HISTOGRAM_BUCKETS - 1],
+        1,
+        "u64::MAX lands in the top bucket"
+    );
+    assert_eq!(s.count, 3);
+    // Adjacent powers of two never share a bucket: 2^k closes the
+    // [2^(k-1), 2^k - 1] bucket and opens the next.
+    for k in 1..63u32 {
+        let h = Histogram::new();
+        h.record((1u64 << k) - 1);
+        h.record(1u64 << k);
+        let s = h.snapshot();
+        assert_eq!(
+            s.buckets.iter().filter(|&&c| c == 1).count(),
+            2,
+            "2^{k}-1 and 2^{k} must split"
+        );
+    }
+}
+
+/// Concurrent recording loses nothing: 8 threads hammer one histogram
+/// and the final snapshot accounts for every sample exactly — count,
+/// sum, and per-bucket totals all match the deterministic expectation.
+#[test]
+fn eight_threads_record_without_losing_samples() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = std::sync::Arc::new(Histogram::new());
+    let expected = Histogram::new();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            expected.record(t * 1_000 + i);
+        }
+    }
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = std::sync::Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * 1_000 + i);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let got = h.snapshot();
+    assert_eq!(got.count, THREADS * PER_THREAD);
+    assert_eq!(got, expected.snapshot(), "bit-exact under contention");
+}

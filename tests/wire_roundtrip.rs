@@ -60,6 +60,7 @@ proptest! {
     fn search_responses_round_trip_bit_for_bit(
         raw_hits in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..=24),
         counters in proptest::collection::vec(any::<u64>(), 11..=11),
+        stage_ns in proptest::collection::vec(any::<u64>(), 7..=7),
         match_ns in any::<u64>(),
         wall_ns in any::<u64>(),
         kernel_pick in 0u8..5,
@@ -94,6 +95,13 @@ proptest! {
             approximate,
             ef: counters[9] as usize,
             beam_visited: counters[10] as usize,
+            stages: {
+                let mut s = gdim::obs::StageTimes::new();
+                for (stage, &ns) in gdim::obs::Stage::ALL.iter().zip(&stage_ns) {
+                    s.add_ns(*stage, ns);
+                }
+                s
+            },
         };
         let resp = SearchResponse { hits, stats };
         let back = response_from_json(&reparse(&response_to_json(&resp))).unwrap();
@@ -122,6 +130,7 @@ proptest! {
         prop_assert_eq!(s.approximate, t.approximate);
         prop_assert_eq!(s.ef, t.ef);
         prop_assert_eq!(s.beam_visited, t.beam_visited);
+        prop_assert_eq!(s.stages, t.stages, "stage ns are exact over the wire");
     }
 }
 
